@@ -1,0 +1,196 @@
+(* Regenerates every table and figure of the paper's evaluation:
+
+   - TABLE I: the four engines over the five function collections
+     (reduced default scale and timeout so one run stays laptop-sized;
+     bin/table1.exe exposes the full parameter space);
+   - FIG 1: the STP AllSAT search tree of the liar puzzle (Example 4);
+   - FIG 2: fence family sizes and the pruned F_3;
+   - FIG 3: the valid DAG shapes of F_3;
+   - Bechamel microbenchmarks, one group per reproduced artefact.
+
+   Run with:  dune exec bench/main.exe *)
+
+module Tt = Stp_tt.Tt
+module Runner = Stp_harness.Runner
+module Table = Stp_harness.Table
+module Collections = Stp_workloads.Collections
+
+let bench_timeout = 2.5
+
+(* Collection scale for one bench run: NPN4 is subsampled (every third
+   class) because the hardest classes dominate wall-clock; the paper's
+   relative picture is preserved (see EXPERIMENTS.md). *)
+let bench_collections () =
+  let sub k (c : Collections.t) =
+    { c with
+      Collections.functions =
+        List.filteri (fun i _ -> i mod k = 0) c.Collections.functions }
+  in
+  [ sub 5 (Collections.npn4 Collections.Default);
+    { (Collections.fdsd6 Collections.Default) with
+      Collections.functions =
+        (Collections.fdsd6 Collections.Default).Collections.functions
+        |> List.filteri (fun i _ -> i < 30) };
+    sub 1 (Collections.fdsd8 (Collections.Custom 0.12));
+    sub 1 (Collections.pdsd6 (Collections.Custom 0.015));
+    sub 1 (Collections.pdsd8 (Collections.Custom 0.06)) ]
+
+let table1 () =
+  Format.printf "=== TABLE I (reduced scale: timeout %.1fs/instance) ===@.@."
+    bench_timeout;
+  let rows =
+    List.map
+      (fun (c : Collections.t) ->
+        Printf.eprintf "[bench] %s (%d instances)\n%!" c.Collections.name
+          (List.length c.Collections.functions);
+        let aggs =
+          List.map
+            (fun (e : Runner.engine) ->
+              Printf.eprintf "[bench]   engine %s...\n%!" e.Runner.engine_name;
+              Runner.run_collection ~timeout:bench_timeout e
+                c.Collections.functions)
+            Runner.all_engines
+        in
+        (c.Collections.name, aggs))
+      (bench_collections ())
+  in
+  Table.render Format.std_formatter ~rows;
+  Format.printf "@."
+
+let fig1 () =
+  Format.printf "=== FIG 1: STP AllSAT descent for the liar puzzle ===@.@.";
+  let phi =
+    let open Stp_matrix.Expr in
+    let a = var 0 and b = var 1 and c = var 2 in
+    ((a <=> not_ b) && (b <=> not_ c)) && (c <=> (not_ a && not_ b))
+  in
+  let m = Stp_matrix.Canonical.of_expr ~n:3 phi in
+  Format.printf "M_phi = %a@.@." Stp_matrix.Matrix.pp m;
+  Format.printf "%a@.@." Stp_matrix.Stp_sat.pp_tree (Stp_matrix.Stp_sat.trace m);
+  List.iter
+    (fun s ->
+      Format.printf "solution: a=%b b=%b c=%b@." s.(0) s.(1) s.(2))
+    (Stp_matrix.Stp_sat.all_solutions m);
+  Format.printf "@."
+
+let fig2 () =
+  Format.printf "=== FIG 2: fence families ===@.@.";
+  Format.printf "%4s %10s %10s@." "k" "|F_k|" "pruned";
+  for k = 1 to 8 do
+    Format.printf "%4d %10d %10d@." k
+      (List.length (Stp_topology.Fence.generate k))
+      (List.length (Stp_topology.Fence.generate_pruned k))
+  done;
+  Format.printf "@.pruned F_3 (Fig. 2b): ";
+  List.iter
+    (fun f -> Format.printf "%a " Stp_topology.Fence.pp f)
+    (Stp_topology.Fence.generate_pruned 3);
+  Format.printf "@.@."
+
+let fig3 () =
+  Format.printf "=== FIG 3: valid DAG shapes of F_3 ===@.@.";
+  List.iter
+    (fun s -> Format.printf "  %a@." Stp_topology.Dag.pp s)
+    (Stp_topology.Dag.enumerate 3);
+  Format.printf "@.shapes per gate count: ";
+  for k = 1 to 7 do
+    Format.printf "k=%d:%d " k (List.length (Stp_topology.Dag.enumerate k))
+  done;
+  Format.printf "@.@."
+
+(* --- Bechamel microbenchmarks: one per reproduced artefact --- *)
+
+let micro () =
+  let open Bechamel in
+  let fdsd6 = Stp_workloads.Dsd_gen.fdsd ~n:6 ~seed:11 in
+  let liar =
+    let open Stp_matrix.Expr in
+    let a = var 0 and b = var 1 and c = var 2 in
+    ((a <=> not_ b) && (b <=> not_ c)) && (c <=> (not_ a && not_ b))
+  in
+  let synth_options = Stp_synth.Spec.with_timeout 10.0 in
+  let tests =
+    [ (* Table I's headline path: STP exact synthesis of a DSD function *)
+      Test.make ~name:"table1/stp-fdsd6"
+        (Staged.stage (fun () ->
+             ignore (Stp_synth.Stp_exact.synthesize ~options:synth_options fdsd6)));
+      Test.make ~name:"table1/bms-xor4"
+        (Staged.stage (fun () ->
+             ignore
+               (Stp_synth.Baselines.bms ~options:synth_options
+                  (Tt.of_hex ~n:4 "6996"))));
+      (* Fig. 1: canonical form + AllSAT *)
+      Test.make ~name:"fig1/liar-allsat"
+        (Staged.stage (fun () ->
+             let m = Stp_matrix.Canonical.of_expr ~n:3 liar in
+             ignore (Stp_matrix.Stp_sat.all_solutions m)));
+      (* Fig. 2: fence enumeration *)
+      Test.make ~name:"fig2/fences-k7"
+        (Staged.stage (fun () ->
+             ignore (Stp_topology.Fence.generate_pruned 7)));
+      (* Fig. 3: DAG shape enumeration *)
+      Test.make ~name:"fig3/shapes-k5"
+        (Staged.stage (fun () -> ignore (Stp_topology.Dag.enumerate 5))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:20 ~quota:(Time.second 0.5) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  Format.printf "=== Bechamel microbenchmarks (monotonic clock) ===@.@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false
+          ~predictors:[| Measure.run |]
+      in
+      let analysed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Format.printf "%-24s %12.1f ns/run@." name est
+          | _ -> Format.printf "%-24s (no estimate)@." name)
+        analysed)
+    tests;
+  Format.printf "@."
+
+(* Ablations over the engine's design choices (DESIGN.md section 3):
+   DSD peeling, and first-topology vs exhaustive all-solutions. *)
+let ablations () =
+  Format.printf "=== ABLATIONS ===@.@.";
+  let run name options fns =
+    let t0 = Stp_util.Unix_time.now () in
+    let solved = ref 0 and sols = ref 0 in
+    List.iter
+      (fun f ->
+        match Stp_synth.Stp_exact.synthesize ~options f with
+        | { Stp_synth.Spec.status = Stp_synth.Spec.Solved; chains; _ } ->
+          incr solved;
+          sols := !sols + List.length chains
+        | _ -> ())
+      fns;
+    Format.printf "%-36s solved %2d/%2d, %5d chains, %6.2fs@." name !solved
+      (List.length fns) !sols
+      (Stp_util.Unix_time.now () -. t0)
+  in
+  let pdsd6 = Stp_workloads.Dsd_gen.pdsd_collection ~n:6 ~count:10 ~seed:303 in
+  let base = Stp_synth.Spec.with_timeout bench_timeout in
+  run "PDSD6 with DSD peeling (default)" base pdsd6;
+  run "PDSD6 without DSD peeling"
+    { base with Stp_synth.Spec.use_dsd = false }
+    pdsd6;
+  let maj_like =
+    [ Tt.of_hex ~n:3 "e8"; Tt.of_hex ~n:3 "ca"; Tt.of_hex ~n:4 "8ff8" ]
+  in
+  run "primes, first topology (default)" base maj_like;
+  run "primes, all shapes"
+    { base with Stp_synth.Spec.all_shapes = true }
+    maj_like;
+  Format.printf "@."
+
+let () =
+  fig2 ();
+  fig3 ();
+  fig1 ();
+  micro ();
+  ablations ();
+  table1 ()

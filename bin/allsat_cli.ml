@@ -1,0 +1,67 @@
+(* AllSAT on propositional formulas via STP canonical forms — the
+   solving style of the paper's Section II-A, as a command-line tool. *)
+
+open Cmdliner
+
+let run text n trace_flag count_only =
+  let expr =
+    try Stp_matrix.Parse.formula text
+    with Invalid_argument msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 2
+  in
+  let n =
+    match n with
+    | Some n -> n
+    | None -> Stp_matrix.Expr.max_var expr + 1
+  in
+  if n <= Stp_matrix.Expr.max_var expr then begin
+    Printf.eprintf "error: formula uses more than %d variables\n" n;
+    exit 2
+  end;
+  let m = Stp_matrix.Canonical.of_expr ~n expr in
+  Format.printf "formula: %a@." Stp_matrix.Expr.pp expr;
+  Format.printf "canonical form:@.%a@." Stp_matrix.Matrix.pp m;
+  if trace_flag then
+    Format.printf "@.search tree:@.%a@." Stp_matrix.Stp_sat.pp_tree
+      (Stp_matrix.Stp_sat.trace m);
+  let total = Stp_matrix.Stp_sat.count m in
+  Format.printf "@.%d satisfying assignment(s)@." total;
+  if not count_only then
+    List.iter
+      (fun s ->
+        Format.printf "  ";
+        Array.iteri
+          (fun i v ->
+            if i > 0 then Format.printf " ";
+            Format.printf "x%d=%d" (i + 1) (if v then 1 else 0))
+          s;
+        Format.printf "@.")
+      (Stp_matrix.Stp_sat.all_solutions m);
+  if total = 0 then exit 1
+
+let formula_arg =
+  let doc =
+    "Formula over x1..xn (or letters a, b, c, ...); operators ! & ^ | -> \
+     <-> and parentheses, e.g. '(a <-> !b) & (b <-> !c)'."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FORMULA" ~doc)
+
+let n_arg =
+  let doc = "Number of variables (default: highest variable used)." in
+  Arg.(value & opt (some int) None & info [ "n" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc = "Print the Fig. 1-style descent tree." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let count_arg =
+  let doc = "Print only the model count." in
+  Arg.(value & flag & info [ "count" ] ~doc)
+
+let cmd =
+  let doc = "AllSAT via STP canonical forms" in
+  Cmd.v (Cmd.info "stp_allsat" ~doc)
+    Term.(const run $ formula_arg $ n_arg $ trace_arg $ count_arg)
+
+let () = exit (Cmd.eval cmd)

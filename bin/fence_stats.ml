@@ -1,0 +1,25 @@
+(* Fence and DAG-shape statistics: the data behind Figs. 2 and 3. *)
+
+let () =
+  Format.printf "Fence families F_k (Fig. 2):@.";
+  Format.printf "%4s %10s %10s@." "k" "fences" "pruned";
+  for k = 1 to 8 do
+    let all = Stp_topology.Fence.generate k in
+    let pruned = Stp_topology.Fence.prune all in
+    Format.printf "%4d %10d %10d@." k (List.length all) (List.length pruned)
+  done;
+  Format.printf "@.Pruned fences of F_3 (Fig. 2b):@.";
+  List.iter
+    (fun f -> Format.printf "  %a@." Stp_topology.Fence.pp f)
+    (Stp_topology.Fence.generate_pruned 3);
+  Format.printf "@.Valid DAG shapes of F_3 (Fig. 3):@.";
+  List.iter
+    (fun s -> Format.printf "  %a@." Stp_topology.Dag.pp s)
+    (Stp_topology.Dag.enumerate 3);
+  Format.printf "@.DAG shapes per gate count:@.";
+  Format.printf "%4s %10s %10s@." "k" "shapes" "trees";
+  for k = 1 to 7 do
+    let shapes = Stp_topology.Dag.enumerate k in
+    let trees = List.filter (fun s -> s.Stp_topology.Dag.is_tree) shapes in
+    Format.printf "%4d %10d %10d@." k (List.length shapes) (List.length trees)
+  done

@@ -1,0 +1,95 @@
+(* Regenerate Table I: four engines over the five function collections. *)
+
+open Cmdliner
+
+let run collections timeout scale csv cross_check =
+  let scale =
+    match scale with
+    | s when s <= 0.0 -> Stp_workloads.Collections.Default
+    | 1.0 -> Stp_workloads.Collections.Paper
+    | s -> Stp_workloads.Collections.Custom s
+  in
+  let available = Stp_workloads.Collections.table1 scale in
+  let selected =
+    match collections with
+    | [] -> available
+    | names ->
+      List.filter
+        (fun (c : Stp_workloads.Collections.t) ->
+          List.mem (String.lowercase_ascii c.name) names)
+        available
+  in
+  let rows =
+    List.map
+      (fun (c : Stp_workloads.Collections.t) ->
+        Printf.eprintf "[table1] %s: %d instances, timeout %.1fs\n%!" c.name
+          (List.length c.functions) timeout;
+        let optima : (int, int) Hashtbl.t = Hashtbl.create 97 in
+        let check_optimum name i (r : Stp_synth.Spec.result) =
+          match (r.status, r.gates) with
+          | Stp_synth.Spec.Solved, Some g -> (
+            match Hashtbl.find_opt optima i with
+            | None -> Hashtbl.replace optima i g
+            | Some g0 ->
+              if g0 <> g then
+                Printf.eprintf
+                  "[table1] WARNING: %s instance %d: %s found %d gates, \
+                   others %d\n%!"
+                  c.name i name g g0)
+          | _ -> ()
+        in
+        let aggs =
+          List.map
+            (fun (e : Stp_harness.Runner.engine) ->
+              let on_instance i _f r =
+                if cross_check then check_optimum e.engine_name i r
+              in
+              let agg =
+                Stp_harness.Runner.run_collection ~timeout ~on_instance e
+                  c.functions
+              in
+              Printf.eprintf "[table1]   %s: mean %.3fs, %d t/o, %d ok\n%!"
+                e.engine_name agg.mean_time agg.timeouts agg.solved;
+              agg)
+            Stp_harness.Runner.all_engines
+        in
+        (c.name, aggs))
+      selected
+  in
+  if csv then Stp_harness.Table.render_csv Format.std_formatter ~rows
+  else Stp_harness.Table.render Format.std_formatter ~rows
+
+let collections_arg =
+  let doc =
+    "Collections to run (npn4, fdsd6, fdsd8, pdsd6, pdsd8); default all."
+  in
+  Arg.(value & opt_all string [] & info [ "c"; "collection" ] ~docv:"NAME" ~doc)
+
+let timeout_arg =
+  let doc = "Per-instance timeout in seconds (the paper used 180)." in
+  Arg.(value & opt float 5.0 & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc)
+
+let scale_arg =
+  let doc =
+    "Instance-count scale: 0 = reduced defaults, 1 = paper scale, other \
+     values multiply the paper's counts."
+  in
+  Arg.(value & opt float 0.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of the formatted table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let cross_arg =
+  let doc = "Warn when two engines disagree on an instance's optimum size." in
+  Arg.(value & flag & info [ "cross-check" ] ~doc)
+
+let cmd =
+  let doc = "regenerate Table I of the paper" in
+  Cmd.v
+    (Cmd.info "table1" ~doc)
+    Term.(
+      const run $ collections_arg $ timeout_arg $ scale_arg $ csv_arg
+      $ cross_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,37 @@
+(* The liar puzzle of Example 4, solved on STP canonical forms, with the
+   Fig. 1 search tree.
+
+   Three persons a, b, c are each either honest or a liar. a says "b is
+   a liar"; b says "c is a liar"; c says "both a and b are liars". Who is
+   honest?
+
+   Run with:  dune exec examples/liar_puzzle.exe *)
+
+open Stp_matrix
+
+let () =
+  let phi =
+    let open Expr in
+    let a = var 0 and b = var 1 and c = var 2 in
+    ((a <=> not_ b) && (b <=> not_ c)) && (c <=> (not_ a && not_ b))
+  in
+  Format.printf "formula: %a@.@." Expr.pp phi;
+
+  (* The canonical form is computed by genuine STP rewriting: structural
+     matrices, Property 1 pushes, M_r power-reductions, M_w swaps. *)
+  let m = Canonical.of_expr ~n:3 phi in
+  Format.printf "canonical form M_phi =@.%a@.@." Matrix.pp m;
+
+  (* SAT = extract the [1;0] columns (Fig. 1). *)
+  Format.printf "search tree:@.%a@.@." Stp_sat.pp_tree (Stp_sat.trace m);
+  (match Stp_sat.all_solutions m with
+   | [] -> Format.printf "unsatisfiable?!@."
+   | sols ->
+     List.iter
+       (fun s ->
+         Format.printf "solution: a=%s b=%s c=%s@."
+           (if s.(0) then "honest" else "liar")
+           (if s.(1) then "honest" else "liar")
+           (if s.(2) then "honest" else "liar"))
+       sols);
+  Format.printf "@.(the paper's unique answer: only b is honest)@."

@@ -1,0 +1,113 @@
+type step = { fanin1 : int; fanin2 : int; gate : Gate.code }
+
+type t = { n : int; steps : step array; output : int; output_negated : bool }
+
+let make ~n ~steps ~output ?(output_negated = false) () =
+  if n < 0 then invalid_arg "Chain.make: negative arity";
+  let steps = Array.of_list steps in
+  Array.iteri
+    (fun i s ->
+      let idx = n + i in
+      if s.fanin1 < 0 || s.fanin1 >= idx then invalid_arg "Chain.make: fanin1";
+      if s.fanin2 < 0 || s.fanin2 >= idx then invalid_arg "Chain.make: fanin2";
+      if s.fanin1 = s.fanin2 then invalid_arg "Chain.make: equal fanins";
+      if s.gate < 0 || s.gate > 15 then invalid_arg "Chain.make: gate code")
+    steps;
+  if output < 0 || output >= n + Array.length steps then
+    invalid_arg "Chain.make: output";
+  { n; steps; output; output_negated }
+
+let size c = Array.length c.steps
+
+let depth c =
+  let d = Array.make (c.n + size c) 0 in
+  Array.iteri
+    (fun i s -> d.(c.n + i) <- 1 + max d.(s.fanin1) d.(s.fanin2))
+    c.steps;
+  d.(c.output)
+
+let simulate_signals c =
+  let total = c.n + size c in
+  let sigs = Array.make total (Stp_tt.Tt.zero (max c.n 1)) in
+  let n = max c.n 1 in
+  for i = 0 to c.n - 1 do
+    sigs.(i) <- Stp_tt.Tt.var n i
+  done;
+  Array.iteri
+    (fun i s ->
+      sigs.(c.n + i) <- Stp_tt.Tt.apply2 s.gate sigs.(s.fanin1) sigs.(s.fanin2))
+    c.steps;
+  sigs
+
+let simulate c =
+  let sigs = simulate_signals c in
+  let f = sigs.(c.output) in
+  if c.output_negated then Stp_tt.Tt.bnot f else f
+
+let equal a b =
+  a.n = b.n && a.steps = b.steps && a.output = b.output
+  && a.output_negated = b.output_negated
+
+let normalise_fanin_order c =
+  let steps =
+    Array.map
+      (fun s ->
+        if s.fanin1 <= s.fanin2 then s
+        else
+          { fanin1 = s.fanin2; fanin2 = s.fanin1; gate = Gate.swap_operands s.gate })
+      c.steps
+  in
+  { c with steps }
+
+let apply_npn c (tr : Stp_tt.Npn.transform) =
+  if Array.length tr.perm <> c.n then invalid_arg "Chain.apply_npn";
+  (* Npn.apply negates inputs (mask), then permutes (variable i of the
+     result reads variable perm(i) of the original), then negates the
+     output.  On the chain side:
+     - permutation: old input j must be read from new input perm⁻¹(j);
+     - negation of old input j: absorb into the gates reading it;
+     - output negation: flip the output flag. *)
+  let perm_inv = Array.make c.n 0 in
+  Array.iteri (fun i p -> perm_inv.(p) <- i) tr.perm;
+  let map_fanin j = if j < c.n then perm_inv.(j) else j in
+  let negated j = j < c.n && (tr.input_neg lsr j) land 1 = 1 in
+  let steps =
+    Array.map
+      (fun s ->
+        let gate = if negated s.fanin1 then Gate.negate_first s.gate else s.gate in
+        let gate = if negated s.fanin2 then Gate.negate_second gate else gate in
+        { fanin1 = map_fanin s.fanin1; fanin2 = map_fanin s.fanin2; gate })
+      c.steps
+  in
+  let output_negated =
+    (* If the output points directly at a negated input, the complement
+       must fold into the flag as well. *)
+    let base = c.output_negated <> tr.output_neg in
+    if negated c.output then not base else base
+  in
+  { n = c.n; steps; output = map_fanin c.output; output_negated }
+
+let pp_signal n fmt j =
+  if j < n then Format.fprintf fmt "x%d" (j + 1)
+  else Format.fprintf fmt "x%d" (j + 1)
+
+let pp fmt c =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i s ->
+      Format.fprintf fmt "x%d = %s(%a, %a)@," (c.n + i + 1) (Gate.name s.gate)
+        (pp_signal c.n) s.fanin1 (pp_signal c.n) s.fanin2)
+    c.steps;
+  Format.fprintf fmt "f = %s%a@]"
+    (if c.output_negated then "!" else "")
+    (pp_signal c.n) c.output
+
+let pp_compact fmt c =
+  Array.iteri
+    (fun i s ->
+      Format.fprintf fmt "x%d=%x(x%d,x%d); " (c.n + i + 1) s.gate
+        (s.fanin1 + 1) (s.fanin2 + 1))
+    c.steps;
+  Format.fprintf fmt "f=%sx%d"
+    (if c.output_negated then "!" else "")
+    (c.output + 1)

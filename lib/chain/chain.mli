@@ -1,0 +1,62 @@
+(** Boolean chains (Knuth, TAOCP 4A; Section II-B of the paper).
+
+    A chain over [n] inputs is a sequence of 2-input gate steps
+    [x_{n+1}, …, x_{n+r}], each reading two strictly earlier signals.
+    Signals are indexed from 0: indices [0 .. n-1] are the primary
+    inputs, index [n + i] is step [i]. The (single) output points at a
+    signal, possibly complemented. *)
+
+type step = {
+  fanin1 : int;
+  fanin2 : int;
+  gate : Gate.code; (** output bit [2*v1 + v2] for fanin values (v1, v2) *)
+}
+
+type t = private {
+  n : int;
+  steps : step array;
+  output : int;
+  output_negated : bool;
+}
+
+val make :
+  n:int -> steps:step list -> output:int -> ?output_negated:bool -> unit -> t
+(** Builds and validates a chain: every step's fanins must be strictly
+    smaller signal indices and distinct from each other; the output must
+    be a valid signal index.
+    @raise Invalid_argument on malformed chains. *)
+
+val size : t -> int
+(** Number of steps. *)
+
+val depth : t -> int
+(** Longest input-to-output path, in gates (0 when the output is an
+    input). *)
+
+val simulate : t -> Stp_tt.Tt.t
+(** The function computed at the output, over [n] variables. *)
+
+val simulate_signals : t -> Stp_tt.Tt.t array
+(** The functions of all [n + size] signals. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val normalise_fanin_order : t -> t
+(** Rewrites every step so that [fanin1 < fanin2], adjusting gate codes
+    with {!Gate.swap_operands}; the simulated function is unchanged. The
+    result is a canonical structural form used for de-duplicating
+    solution sets. *)
+
+val apply_npn : t -> Stp_tt.Npn.transform -> t
+(** [apply_npn c tr] is a chain of identical size and shape computing
+    [Npn.apply (simulate c) tr]: input negations and the output negation
+    are absorbed into gate codes, input permutation relabels fanins. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints steps as e.g. [x5 = AND(x1, x2)] followed by the output
+    binding, 1-indexed like the paper. *)
+
+val pp_compact : Format.formatter -> t -> unit
+(** One-line form [x5=8(x1,x2); x6=...; f=x6] with hexadecimal gate
+    codes, like the paper's Example 7. *)

@@ -1,0 +1,109 @@
+(* Signal maps used by the passes: every old signal resolves to an
+   (existing signal, complemented?) pair; complements are absorbed into
+   reader gates, or into the output flag. *)
+
+let sweep (c : Chain.t) =
+  let n = c.Chain.n in
+  let k = Array.length c.Chain.steps in
+  let reachable = Array.make (n + k) false in
+  let rec mark s =
+    if not reachable.(s) then begin
+      reachable.(s) <- true;
+      if s >= n then begin
+        let st = c.Chain.steps.(s - n) in
+        mark st.Chain.fanin1;
+        mark st.Chain.fanin2
+      end
+    end
+  in
+  mark c.Chain.output;
+  (* Renumber the surviving steps. *)
+  let remap = Array.make (n + k) (-1) in
+  for i = 0 to n - 1 do
+    remap.(i) <- i
+  done;
+  let steps = ref [] in
+  let next = ref n in
+  Array.iteri
+    (fun i (st : Chain.step) ->
+      if reachable.(n + i) then begin
+        remap.(n + i) <- !next;
+        incr next;
+        steps :=
+          { Chain.fanin1 = remap.(st.fanin1);
+            fanin2 = remap.(st.fanin2);
+            gate = st.gate }
+          :: !steps
+      end)
+    c.Chain.steps;
+  Chain.make ~n ~steps:(List.rev !steps) ~output:remap.(c.Chain.output)
+    ~output_negated:c.Chain.output_negated ()
+
+exception Constant_step
+
+let strash (c : Chain.t) =
+  let n = c.Chain.n in
+  let k = Array.length c.Chain.steps in
+  (* old signal -> (new signal, complemented) *)
+  let map = Array.init (n + k) (fun s -> (s, false)) in
+  let table : (int * int * int, int) Hashtbl.t = Hashtbl.create 97 in
+  let steps = ref [] in
+  let next = ref n in
+  let emit st =
+    let id = !next in
+    incr next;
+    steps := st :: !steps;
+    id
+  in
+  Array.iteri
+    (fun i (st : Chain.step) ->
+      let f1, neg1 = map.(st.Chain.fanin1) in
+      let f2, neg2 = map.(st.Chain.fanin2) in
+      let gate = if neg1 then Gate.negate_first st.gate else st.gate in
+      let gate = if neg2 then Gate.negate_second gate else gate in
+      (* degenerate gates collapse into references *)
+      let resolved =
+        if not (Gate.depends_on_first gate) && not (Gate.depends_on_second gate)
+        then raise Constant_step (* no signal equals a constant *)
+        else if not (Gate.depends_on_second gate) then
+          (* function of the first fanin only: a or ~a *)
+          Some (f1, not (Gate.eval gate true false))
+        else if not (Gate.depends_on_first gate) then
+          Some (f2, not (Gate.eval gate false true))
+        else None
+      in
+      match resolved with
+      | Some (root, neg) -> map.(n + i) <- (root, neg)
+      | None ->
+        (* order the fanins canonically, then hash *)
+        let f1, f2, gate =
+          if f1 <= f2 then (f1, f2, gate)
+          else (f2, f1, Gate.swap_operands gate)
+        in
+        if f1 = f2 then begin
+          (* both fanins collapsed to the same signal: the gate is a
+             function of one signal — or a constant *)
+          let v1 = Gate.eval gate true true and v0 = Gate.eval gate false false in
+          if v0 = v1 then raise Constant_step
+          else map.(n + i) <- (f1, not v1)
+        end
+        else begin
+          match Hashtbl.find_opt table (f1, f2, gate) with
+          | Some existing -> map.(n + i) <- (existing, false)
+          | None ->
+            let id = emit { Chain.fanin1 = f1; fanin2 = f2; gate } in
+            Hashtbl.replace table (f1, f2, gate) id;
+            map.(n + i) <- (id, false)
+        end)
+    c.Chain.steps;
+  let out, out_neg = map.(c.Chain.output) in
+  Chain.make ~n ~steps:(List.rev !steps) ~output:out
+    ~output_negated:(c.Chain.output_negated <> out_neg) ()
+
+(* Chains that evaluate a constant somewhere (possible only when built
+   by hand) are left untouched. *)
+let strash c = try strash c with Constant_step -> c
+
+(* Sweep first: dead constant steps would otherwise make [strash] bail
+   out and leave foldable structure behind. *)
+let cleanup c = sweep (strash (sweep c))

@@ -1,0 +1,19 @@
+(** Light structural clean-up passes over Boolean chains.
+
+    Exact synthesis produces minimal chains by construction; these
+    passes matter when chains are composed, imported, or transformed
+    (e.g. by {!Chain.apply_npn}) and may have picked up dead or
+    duplicate structure. Every pass preserves the simulated function. *)
+
+val sweep : Chain.t -> Chain.t
+(** Remove steps no longer reachable from the output. *)
+
+val strash : Chain.t -> Chain.t
+(** Structural hashing: merge steps with identical (fanin-normalised)
+    gate and fanins, rewiring readers; applied to fixpoint, then swept.
+    Also rewrites steps whose gate is degenerate (constant output on
+    reachable... projections and inverters of a fanin) into direct
+    references where possible. *)
+
+val cleanup : Chain.t -> Chain.t
+(** [strash] followed by {!sweep} — the full pass. *)

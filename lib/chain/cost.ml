@@ -1,0 +1,50 @@
+type t = Chain.t -> int
+
+let size = Chain.size
+
+let depth = Chain.depth
+
+let gate_weighted w c =
+  if Array.length w <> 16 then invalid_arg "Cost.gate_weighted";
+  Array.fold_left (fun acc (s : Chain.step) -> acc + w.(s.gate)) 0 c.Chain.steps
+
+let xor_count c =
+  Array.fold_left
+    (fun acc (s : Chain.step) ->
+      acc + if s.gate = 6 || s.gate = 9 then 1 else 0)
+    0 c.Chain.steps
+
+let negation_count c =
+  let bubbles = function
+    | 1 | 2 | 4 | 7 | 9 | 11 | 13 -> 1 (* NOR LT GT NAND XNOR LE GE *)
+    | _ -> 0
+  in
+  Array.fold_left
+    (fun acc (s : Chain.step) -> acc + bubbles s.gate)
+    (if c.Chain.output_negated then 1 else 0)
+    c.Chain.steps
+
+let area_like c =
+  let w = function
+    | 7 | 1 -> 4 (* NAND, NOR *)
+    | 6 | 9 -> 8 (* XOR, XNOR *)
+    | _ -> 6
+  in
+  Array.fold_left (fun acc (s : Chain.step) -> acc + w s.gate) 0 c.Chain.steps
+
+let select_min cost = function
+  | [] -> invalid_arg "Cost.select_min: empty"
+  | c :: rest ->
+    let best, _ =
+      List.fold_left
+        (fun (bc, bv) c ->
+          let v = cost c in
+          if v < bv then (c, v) else (bc, bv))
+        (c, cost c) rest
+    in
+    best
+
+let rank cost chains =
+  List.stable_sort
+    (fun (a, _) (b, _) -> Stdlib.compare a b)
+    (List.map (fun c -> (cost c, c)) chains)

@@ -1,0 +1,37 @@
+(** Cost functions over Boolean chains.
+
+    The paper's point in producing {e all} optimum chains as generic
+    2-LUTs is that a later selection can use any technology cost. This
+    module provides the usual ones and a generic weighted scheme. *)
+
+type t = Chain.t -> int
+
+val size : t
+(** Number of gates. *)
+
+val depth : t
+(** Logic depth. *)
+
+val gate_weighted : int array -> t
+(** [gate_weighted w] sums [w.(gate)] over all steps; [w] has 16
+    entries. *)
+
+val xor_count : t
+(** Number of XOR/XNOR steps — expensive in many technologies. *)
+
+val negation_count : t
+(** Number of "polarity bubbles": gate codes that are not positive-unate
+    normal forms (NAND/NOR/XNOR/LT/GT/LE/GE count 1), plus the output
+    complement. A proxy for inverter cost in a NAND-free library. *)
+
+val area_like : t
+(** A CMOS-flavoured area proxy: AND/OR/GT/LT 6, NAND/NOR 4, XOR/XNOR 8,
+    others 6; useful for demonstrating cost-based selection. *)
+
+val select_min : t -> Chain.t list -> Chain.t
+(** [select_min cost chains] returns the minimum-cost chain (first on
+    ties).
+    @raise Invalid_argument on the empty list. *)
+
+val rank : t -> Chain.t list -> (int * Chain.t) list
+(** All chains annotated with their cost, ascending by cost (stable). *)

@@ -1,0 +1,103 @@
+let signal_name n j = if j < n then Printf.sprintf "x%d" (j + 1) else Printf.sprintf "w%d" (j + 1)
+
+(* A 2-input gate as a Verilog expression over operand strings. *)
+let verilog_expr gate a b =
+  match gate with
+  | 0 -> "1'b0"
+  | 1 -> Printf.sprintf "~(%s | %s)" a b
+  | 2 -> Printf.sprintf "~%s & %s" a b
+  | 3 -> Printf.sprintf "~%s" a
+  | 4 -> Printf.sprintf "%s & ~%s" a b
+  | 5 -> Printf.sprintf "~%s" b
+  | 6 -> Printf.sprintf "%s ^ %s" a b
+  | 7 -> Printf.sprintf "~(%s & %s)" a b
+  | 8 -> Printf.sprintf "%s & %s" a b
+  | 9 -> Printf.sprintf "~(%s ^ %s)" a b
+  | 10 -> b
+  | 11 -> Printf.sprintf "~%s | %s" a b
+  | 12 -> a
+  | 13 -> Printf.sprintf "%s | ~%s" a b
+  | 14 -> Printf.sprintf "%s | %s" a b
+  | 15 -> "1'b1"
+  | _ -> invalid_arg "Export.verilog_expr"
+
+let to_verilog ?(module_name = "chain") (c : Chain.t) =
+  let buf = Buffer.create 256 in
+  let n = c.Chain.n in
+  let inputs = List.init n (fun i -> signal_name n i) in
+  Buffer.add_string buf
+    (Printf.sprintf "module %s(%s, f);\n" module_name (String.concat ", " inputs));
+  List.iter (fun x -> Buffer.add_string buf (Printf.sprintf "  input %s;\n" x)) inputs;
+  Buffer.add_string buf "  output f;\n";
+  Array.iteri
+    (fun i _ ->
+      Buffer.add_string buf (Printf.sprintf "  wire %s;\n" (signal_name n (n + i))))
+    c.Chain.steps;
+  Array.iteri
+    (fun i (s : Chain.step) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  assign %s = %s;\n"
+           (signal_name n (n + i))
+           (verilog_expr s.gate (signal_name n s.fanin1) (signal_name n s.fanin2))))
+    c.Chain.steps;
+  Buffer.add_string buf
+    (Printf.sprintf "  assign f = %s%s;\n"
+       (if c.Chain.output_negated then "~" else "")
+       (signal_name n c.Chain.output));
+  Buffer.add_string buf "endmodule\n";
+  Buffer.contents buf
+
+let to_blif ?(model_name = "chain") (c : Chain.t) =
+  let buf = Buffer.create 256 in
+  let n = c.Chain.n in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" model_name);
+  Buffer.add_string buf ".inputs";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (" " ^ signal_name n i)
+  done;
+  Buffer.add_string buf "\n.outputs f\n";
+  Array.iteri
+    (fun i (s : Chain.step) ->
+      Buffer.add_string buf
+        (Printf.sprintf ".names %s %s %s\n" (signal_name n s.fanin1)
+           (signal_name n s.fanin2)
+           (signal_name n (n + i)));
+      (* one row per ON-set entry of the gate; gate bit (2a+b) *)
+      for a = 0 to 1 do
+        for b = 0 to 1 do
+          if (s.gate lsr ((2 * a) + b)) land 1 = 1 then
+            Buffer.add_string buf (Printf.sprintf "%d%d 1\n" a b)
+        done
+      done)
+    c.Chain.steps;
+  Buffer.add_string buf
+    (Printf.sprintf ".names %s f\n%s 1\n"
+       (signal_name n c.Chain.output)
+       (if c.Chain.output_negated then "0" else "1"));
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let to_dot (c : Chain.t) =
+  let buf = Buffer.create 256 in
+  let n = c.Chain.n in
+  Buffer.add_string buf "digraph chain {\n  rankdir=BT;\n";
+  for i = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  %s [shape=circle];\n" (signal_name n i))
+  done;
+  Array.iteri
+    (fun i (s : Chain.step) ->
+      let name = signal_name n (n + i) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [shape=box,label=\"%s\"];\n" name
+           (Gate.name s.gate));
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s;\n  %s -> %s;\n"
+           (signal_name n s.fanin1) name (signal_name n s.fanin2) name))
+    c.Chain.steps;
+  Buffer.add_string buf
+    (Printf.sprintf "  f [shape=doublecircle];\n  %s -> f%s;\n"
+       (signal_name n c.Chain.output)
+       (if c.Chain.output_negated then " [style=dashed,label=\"~\"]" else ""));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Exporting Boolean chains to standard formats. *)
+
+val to_verilog : ?module_name:string -> Chain.t -> string
+(** Structural Verilog: one [assign] per step using [&], [|], [^], [~].
+    Inputs are [x1 .. xn], the output is [f]. *)
+
+val to_blif : ?model_name:string -> Chain.t -> string
+(** Berkeley Logic Interchange Format, one [.names] table per step —
+    the format ABC and friends consume. *)
+
+val to_dot : Chain.t -> string
+(** Graphviz digraph of the chain, gates labelled with their names. *)

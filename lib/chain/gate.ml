@@ -1,0 +1,70 @@
+type code = int
+
+let check g = if g < 0 || g > 15 then invalid_arg "Gate: code out of range"
+
+let eval g a b =
+  check g;
+  let idx = (2 * Bool.to_int a) + Bool.to_int b in
+  (g lsr idx) land 1 = 1
+
+let names =
+  [| "CONST0"; "NOR"; "LT"; "NOTA"; "GT"; "NOTB"; "XOR"; "NAND";
+     "AND"; "XNOR"; "B"; "LE"; "A"; "GE"; "OR"; "CONST1" |]
+
+let name g =
+  check g;
+  names.(g)
+
+let of_name s =
+  let s = String.uppercase_ascii s in
+  let rec find i =
+    if i = 16 then raise Not_found
+    else if names.(i) = s then i
+    else find (i + 1)
+  in
+  find 0
+
+let tt g =
+  check g;
+  Stp_tt.Tt.of_fun 2 (fun m -> eval g ((m lsr 0) land 1 = 1) ((m lsr 1) land 1 = 1))
+
+let structural g = Stp_matrix.Structural.of_gate_code g
+
+let is_normal g =
+  check g;
+  g land 1 = 0
+
+let bit g i = (g lsr i) land 1
+
+let depends_on_first g =
+  check g;
+  bit g 0 <> bit g 2 || bit g 1 <> bit g 3
+
+let depends_on_second g =
+  check g;
+  bit g 0 <> bit g 1 || bit g 2 <> bit g 3
+
+let is_nontrivial g = depends_on_first g && depends_on_second g
+
+let all = List.init 16 (fun i -> i)
+
+let nontrivial = List.filter is_nontrivial all
+
+let swap_operands g =
+  check g;
+  (* bit (2a+b) -> bit (2b+a): bits 1 and 2 exchange. *)
+  (g land 0b1001) lor ((g land 0b0010) lsl 1) lor ((g land 0b0100) lsr 1)
+
+let negate_first g =
+  check g;
+  ((g land 0b0011) lsl 2) lor ((g land 0b1100) lsr 2)
+
+let negate_second g =
+  check g;
+  ((g land 0b0101) lsl 1) lor ((g land 0b1010) lsr 1)
+
+let negate_output g =
+  check g;
+  lnot g land 0xf
+
+let is_symmetric g = swap_operands g = g

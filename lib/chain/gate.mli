@@ -1,0 +1,55 @@
+(** The sixteen 2-input Boolean gates (2-LUTs).
+
+    A gate is identified by its 4-bit truth-table code: bit [2*a + b] is
+    the output on first operand [a] and second operand [b] — the same
+    convention as {!Stp_tt.Tt.apply2} and
+    {!Stp_matrix.Structural.of_gate_code}. *)
+
+type code = int
+(** An integer in [0, 15]. *)
+
+val eval : code -> bool -> bool -> bool
+(** [eval g a b] applies the gate. *)
+
+val name : code -> string
+(** Conventional name, e.g. [8 -> "AND"], [6 -> "XOR"], [13 -> "LE"]
+    (b implies a reads "a <= b"...); see implementation for the table. *)
+
+val of_name : string -> code
+(** Inverse of {!name} (case-insensitive).
+    @raise Not_found for unknown names. *)
+
+val tt : code -> Stp_tt.Tt.t
+(** The gate as a 2-variable truth table. *)
+
+val structural : code -> Stp_matrix.Matrix.t
+(** The gate's STP structural matrix (2x4). *)
+
+val is_normal : code -> bool
+(** [phi(0,0) = 0] (Knuth's "normal" functions). *)
+
+val depends_on_first : code -> bool
+val depends_on_second : code -> bool
+
+val is_nontrivial : code -> bool
+(** Depends on both operands: the ten gates a size-optimal chain can
+    use. *)
+
+val nontrivial : code list
+(** The ten nontrivial codes, ascending. *)
+
+val all : code list
+(** All sixteen codes. *)
+
+val swap_operands : code -> code
+(** [swap_operands g] is the gate [g'] with [g' a b = g b a]. *)
+
+val negate_first : code -> code
+(** [negate_first g] is [g'] with [g' a b = g (not a) b]. *)
+
+val negate_second : code -> code
+
+val negate_output : code -> code
+
+val is_symmetric : code -> bool
+(** [eval g a b = eval g b a] for all operands. *)

@@ -1,0 +1,68 @@
+type t = {
+  n : int;
+  steps : Chain.step array;
+  outputs : (int * bool) array;
+}
+
+let make ~n ~steps ~outputs =
+  if outputs = [] then invalid_arg "Mchain.make: no outputs";
+  (* reuse Chain validation for the step structure *)
+  let probe = Chain.make ~n ~steps ~output:0 () in
+  ignore probe;
+  let total = n + List.length steps in
+  List.iter
+    (fun (o, _) -> if o < 0 || o >= total then invalid_arg "Mchain.make: output")
+    outputs;
+  { n; steps = Array.of_list steps; outputs = Array.of_list outputs }
+
+let of_chain (c : Chain.t) =
+  { n = c.Chain.n;
+    steps = c.Chain.steps;
+    outputs = [| (c.Chain.output, c.Chain.output_negated) |] }
+
+let to_chain t ~output =
+  let o, neg = t.outputs.(output) in
+  Chain.make ~n:t.n ~steps:(Array.to_list t.steps) ~output:o
+    ~output_negated:neg ()
+
+let size t = Array.length t.steps
+
+let num_outputs t = Array.length t.outputs
+
+let simulate t =
+  let sigs =
+    Chain.simulate_signals
+      (Chain.make ~n:t.n ~steps:(Array.to_list t.steps) ~output:0 ())
+  in
+  Array.map
+    (fun (o, neg) -> if neg then Stp_tt.Tt.bnot sigs.(o) else sigs.(o))
+    t.outputs
+
+let share_count t =
+  let total = t.n + size t in
+  let readers = Array.make total 0 in
+  Array.iter
+    (fun (s : Chain.step) ->
+      readers.(s.fanin1) <- readers.(s.fanin1) + 1;
+      readers.(s.fanin2) <- readers.(s.fanin2) + 1)
+    t.steps;
+  Array.iter (fun (o, _) -> readers.(o) <- readers.(o) + 1) t.outputs;
+  let shared = ref 0 in
+  for s = t.n to total - 1 do
+    if readers.(s) >= 2 then incr shared
+  done;
+  !shared
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i (s : Chain.step) ->
+      Format.fprintf fmt "x%d = %s(x%d, x%d)@," (t.n + i + 1)
+        (Gate.name s.gate) (s.fanin1 + 1) (s.fanin2 + 1))
+    t.steps;
+  Array.iteri
+    (fun k (o, neg) ->
+      Format.fprintf fmt "f%d = %sx%d@," (k + 1) (if neg then "!" else "")
+        (o + 1))
+    t.outputs;
+  Format.fprintf fmt "@]"

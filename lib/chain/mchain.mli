@@ -1,0 +1,31 @@
+(** Multi-output Boolean chains — the full model of Section II-B, where
+    [f = (f_1, …, f_m)] and every output points at a signal, possibly
+    complemented. *)
+
+type t = private {
+  n : int;
+  steps : Chain.step array;
+  outputs : (int * bool) array; (** (signal, complemented) per output *)
+}
+
+val make : n:int -> steps:Chain.step list -> outputs:(int * bool) list -> t
+(** Validates like {!Chain.make}; at least one output.
+    @raise Invalid_argument on malformed chains. *)
+
+val of_chain : Chain.t -> t
+
+val to_chain : t -> output:int -> Chain.t
+(** Single-output view of output [output] (dead steps are kept). *)
+
+val size : t -> int
+
+val num_outputs : t -> int
+
+val simulate : t -> Stp_tt.Tt.t array
+(** One table per output. *)
+
+val share_count : t -> int
+(** Number of steps read by at least two later steps or outputs — a
+    measure of the sharing multi-output synthesis exploits. *)
+
+val pp : Format.formatter -> t -> unit

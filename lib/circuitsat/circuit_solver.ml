@@ -1,0 +1,116 @@
+type cube = { mask : int; value : int }
+
+let cube_compatible a b = (a.value lxor b.value) land (a.mask land b.mask) = 0
+
+let cube_merge a b =
+  if cube_compatible a b then
+    Some { mask = a.mask lor b.mask; value = a.value lor b.value }
+  else None
+
+(* Merge two cube sets pairwise (the MERGE of Algorithm 1), deduplicating
+   and dropping cubes subsumed by another cube of the result. *)
+let merge_sets xs ys =
+  let out = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          match cube_merge x y with
+          | Some c -> Hashtbl.replace out (c.mask, c.value) c
+          | None -> ())
+        ys)
+    xs;
+  let cubes = Hashtbl.fold (fun _ c acc -> c :: acc) out [] in
+  (* Subsumption: c is subsumed by d when d assigns a subset of c's
+     positions with the same values. *)
+  let subsumed c =
+    List.exists
+      (fun d ->
+        d != c
+        && d.mask land c.mask = d.mask
+        && (d.value lxor c.value) land d.mask = 0
+        && not (d.mask = c.mask && d.value = c.value))
+      cubes
+  in
+  List.filter (fun c -> not (subsumed c)) cubes
+
+let solve (net : Lut_network.t) ~targets =
+  if Array.length targets <> Array.length net.outputs then
+    invalid_arg "Circuit_solver.solve: targets arity";
+  if net.num_inputs > 30 then
+    invalid_arg "Circuit_solver.solve: too many inputs for cube masks";
+  let memo : (int * bool, cube list) Hashtbl.t = Hashtbl.create 97 in
+  (* Solutions making signal [s] evaluate to [v] (Algorithm 2). *)
+  let rec traverse s v =
+    match Hashtbl.find_opt memo (s, v) with
+    | Some r -> r
+    | None ->
+      let r =
+        if s < net.num_inputs then
+          [ { mask = 1 lsl s; value = (if v then 1 lsl s else 0) } ]
+        else begin
+          let l = net.luts.(s - net.num_inputs) in
+          let arity = Array.length l.fanins in
+          (* Each truth-table row with output [v] contributes the merge of
+             its fanin requirements. *)
+          let acc = ref [] in
+          for m = 0 to (1 lsl arity) - 1 do
+            if Stp_tt.Tt.get l.tt m = v then begin
+              let row_cubes =
+                Array.to_list l.fanins
+                |> List.mapi (fun j f -> traverse f ((m lsr j) land 1 = 1))
+                |> function
+                | [] -> assert false
+                | first :: rest -> List.fold_left merge_sets first rest
+              in
+              acc := row_cubes @ !acc
+            end
+          done;
+          (* Dedup + subsumption across rows. *)
+          merge_sets !acc [ { mask = 0; value = 0 } ]
+        end
+      in
+      Hashtbl.replace memo (s, v) r;
+      r
+  in
+  (* Algorithm 1: per-output solution sets, merged left to right. *)
+  let per_output =
+    Array.to_list (Array.mapi (fun i o -> traverse o targets.(i)) net.outputs)
+  in
+  match per_output with
+  | [] -> assert false
+  | first :: rest -> List.fold_left merge_sets first rest
+
+let onset net ~targets =
+  let n = max net.Lut_network.num_inputs 1 in
+  let cubes = solve net ~targets in
+  List.fold_left
+    (fun acc c ->
+      Stp_tt.Tt.bor acc
+        (Stp_tt.Tt.of_fun n (fun m -> (m lxor c.value) land c.mask = 0)))
+    (Stp_tt.Tt.zero n) cubes
+
+let count_solutions net ~targets = Stp_tt.Tt.count_ones (onset net ~targets)
+
+let is_sat net ~targets = solve net ~targets <> []
+
+let all_minterms net ~targets =
+  let t = onset net ~targets in
+  let rec loop m acc =
+    if m < 0 then acc else loop (m - 1) (if Stp_tt.Tt.get t m then m :: acc else acc)
+  in
+  loop (Stp_tt.Tt.num_bits t - 1) []
+
+let verify_chain c f =
+  let net = Lut_network.of_chain c in
+  let f_s = onset net ~targets:[| true |] in
+  Stp_tt.Tt.equal f_s f
+
+let pp_cube ~n fmt c =
+  Format.fprintf fmt "(";
+  for i = 0 to n - 1 do
+    if i > 0 then Format.fprintf fmt ",";
+    if (c.mask lsr i) land 1 = 0 then Format.fprintf fmt "-"
+    else Format.fprintf fmt "%d" ((c.value lsr i) land 1)
+  done;
+  Format.fprintf fmt ")"

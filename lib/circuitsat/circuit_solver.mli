@@ -1,0 +1,51 @@
+(** The STP-based circuit AllSAT solver (Section III-C, Algorithms 1–2).
+
+    Given a LUT network and a target value for every primary output, the
+    solver recursively propagates targets towards the primary inputs: a
+    LUT with target [v] admits exactly the fanin value combinations whose
+    row of its structural matrix (equivalently, truth table) evaluates to
+    [v]; the per-fanin solution sets are then merged. Solutions are
+    {e cubes} — partial assignments of the primary inputs in which
+    unassigned positions ([-] in the paper's notation) may take either
+    value.
+
+    The implementation memoises per (signal, value) and represents cubes
+    as bit-mask pairs, so shared sub-circuits are traversed once. *)
+
+type cube = {
+  mask : int;   (** bit [i] set iff input [i] is assigned *)
+  value : int;  (** assigned values; [value land lnot mask = 0] *)
+}
+
+val cube_compatible : cube -> cube -> bool
+val cube_merge : cube -> cube -> cube option
+
+val solve : Lut_network.t -> targets:bool array -> cube list
+(** [solve net ~targets] returns all solution cubes. The list is empty
+    exactly when the instance is UNSAT. [targets] must have one entry
+    per network output. Cubes in the result are pairwise disjoint... not
+    guaranteed — they may overlap; use {!onset} for a canonical
+    answer. *)
+
+val onset : Lut_network.t -> targets:bool array -> Stp_tt.Tt.t
+(** The characteristic function (over the primary inputs) of all
+    satisfying assignments — the union of the solution cubes. *)
+
+val count_solutions : Lut_network.t -> targets:bool array -> int
+(** Number of distinct satisfying input assignments. *)
+
+val is_sat : Lut_network.t -> targets:bool array -> bool
+
+val all_minterms : Lut_network.t -> targets:bool array -> int list
+(** All satisfying assignments, expanded to minterm indices,
+    ascending. *)
+
+val verify_chain :
+  Stp_chain.Chain.t -> Stp_tt.Tt.t -> bool
+(** [verify_chain c f] runs the paper's correctness check on a Boolean
+    chain candidate: solve the chain's network for output target [1],
+    simulate the solution set to a function [f_s], and test [f_s = f]
+    (Section III-C step (iii)). *)
+
+val pp_cube : n:int -> Format.formatter -> cube -> unit
+(** Prints in the paper's style, e.g. [(1,0,-,1)]. *)

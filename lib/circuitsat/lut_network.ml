@@ -1,0 +1,101 @@
+type lut = { tt : Stp_tt.Tt.t; fanins : int array }
+
+type t = { num_inputs : int; luts : lut array; outputs : int array }
+
+let make ~num_inputs ~luts ~outputs =
+  if num_inputs < 0 then invalid_arg "Lut_network.make";
+  let luts = Array.of_list luts in
+  Array.iteri
+    (fun i l ->
+      let idx = num_inputs + i in
+      let arity = Array.length l.fanins in
+      if arity = 0 then invalid_arg "Lut_network.make: zero-arity LUT";
+      if Stp_tt.Tt.num_vars l.tt <> arity then
+        invalid_arg "Lut_network.make: arity mismatch";
+      Array.iter
+        (fun f -> if f < 0 || f >= idx then invalid_arg "Lut_network.make: fanin")
+        l.fanins)
+    luts;
+  let total = num_inputs + Array.length luts in
+  let outputs = Array.of_list outputs in
+  Array.iter
+    (fun o -> if o < 0 || o >= total then invalid_arg "Lut_network.make: output")
+    outputs;
+  if Array.length outputs = 0 then invalid_arg "Lut_network.make: no outputs";
+  { num_inputs; luts; outputs }
+
+let of_chain (c : Stp_chain.Chain.t) =
+  let open Stp_chain in
+  let luts =
+    Array.to_list
+      (Array.map
+         (fun (s : Chain.step) ->
+           { tt = Gate.tt s.gate; fanins = [| s.fanin1; s.fanin2 |] })
+         c.Chain.steps)
+  in
+  if c.Chain.output_negated then
+    if c.Chain.output < c.Chain.n || Array.length c.Chain.steps = 0 then
+      (* Output is a complemented input (or there are no steps): realise
+         the complement with an explicit inverter LUT. *)
+      let inv =
+        { tt = Stp_tt.Tt.bnot (Stp_tt.Tt.var 1 0); fanins = [| c.Chain.output |] }
+      in
+      make ~num_inputs:c.Chain.n ~luts:(luts @ [ inv ])
+        ~outputs:[ c.Chain.n + List.length luts ]
+    else
+      (* Complement the output LUT in place. *)
+      let luts =
+        List.mapi
+          (fun i l ->
+            if c.Chain.n + i = c.Chain.output then
+              { l with tt = Stp_tt.Tt.bnot l.tt }
+            else l)
+          luts
+      in
+      make ~num_inputs:c.Chain.n ~luts ~outputs:[ c.Chain.output ]
+  else make ~num_inputs:c.Chain.n ~luts ~outputs:[ c.Chain.output ]
+
+let num_signals t = t.num_inputs + Array.length t.luts
+
+let size t = Array.length t.luts
+
+let simulate_signals t =
+  let n = max t.num_inputs 1 in
+  let sigs = Array.make (num_signals t) (Stp_tt.Tt.zero n) in
+  for i = 0 to t.num_inputs - 1 do
+    sigs.(i) <- Stp_tt.Tt.var n i
+  done;
+  Array.iteri
+    (fun i l ->
+      let args = Array.map (fun f -> sigs.(f)) l.fanins in
+      sigs.(t.num_inputs + i) <- Stp_tt.Tt.compose l.tt args)
+    t.luts;
+  sigs
+
+let simulate t =
+  let sigs = simulate_signals t in
+  Array.map (fun o -> sigs.(o)) t.outputs
+
+let fanouts t =
+  let counts = Array.make (num_signals t) 0 in
+  Array.iter
+    (fun l -> Array.iter (fun f -> counts.(f) <- counts.(f) + 1) l.fanins)
+    t.luts;
+  counts
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun i l ->
+      Format.fprintf fmt "n%d = lut %s(" (t.num_inputs + i)
+        (Stp_tt.Tt.to_hex l.tt);
+      Array.iteri
+        (fun j f ->
+          if j > 0 then Format.fprintf fmt ", ";
+          Format.fprintf fmt "n%d" f)
+        l.fanins;
+      Format.fprintf fmt ")@,")
+    t.luts;
+  Format.fprintf fmt "outputs:";
+  Array.iter (fun o -> Format.fprintf fmt " n%d" o) t.outputs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,43 @@
+(** Networks of k-input look-up tables.
+
+    The paper's circuit-based solver takes "the LUTs" as input
+    (Algorithm 1); this module is the corresponding network
+    representation. Signals are indexed from 0: indices
+    [0 .. num_inputs - 1] are primary inputs, [num_inputs + i] is LUT
+    [i]. Every LUT reads strictly earlier signals, so the network is a
+    DAG by construction. *)
+
+type lut = {
+  tt : Stp_tt.Tt.t;    (** function of the LUT, arity = #fanins *)
+  fanins : int array;  (** variable [j] of [tt] reads [fanins.(j)] *)
+}
+
+type t = private {
+  num_inputs : int;
+  luts : lut array;
+  outputs : int array; (** signal indices of the primary outputs *)
+}
+
+val make : num_inputs:int -> luts:lut list -> outputs:int list -> t
+(** Validates arities and topological fanin order.
+    @raise Invalid_argument on malformed networks. *)
+
+val of_chain : Stp_chain.Chain.t -> t
+(** A Boolean chain as a single-output 2-LUT network (the output
+    complement is absorbed into a LUT when necessary). *)
+
+val num_signals : t -> int
+
+val size : t -> int
+(** Number of LUTs. *)
+
+val simulate_signals : t -> Stp_tt.Tt.t array
+(** Functions of all signals over the primary inputs. *)
+
+val simulate : t -> Stp_tt.Tt.t array
+(** Functions of the outputs. *)
+
+val fanouts : t -> int array
+(** [fanouts net] counts, per signal, how many LUT fanins read it. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,205 @@
+module Tt = Stp_tt.Tt
+module Chain = Stp_chain.Chain
+module Solver = Stp_sat.Solver
+module Lit = Stp_sat.Lit
+
+type t = {
+  solver : Solver.t;
+  f : Tt.t;
+  n : int;
+  r : int;
+  sel : (int * int * int) list array; (* per gate: (j, k, var) *)
+  op : int array array;               (* per gate: vars for patterns 01 10 11 *)
+  sim : (int * int, int) Hashtbl.t;   (* (gate, minterm) -> var *)
+  mutable minterms : int list;
+}
+
+(* Level of a signal: primary inputs are level 0, gate [i] has the given
+   level; [None] levels mean "unrestricted" (every gate may read any
+   earlier signal). *)
+let legal_pairs ~n ~levels i =
+  let total = n + i in
+  let pairs = ref [] in
+  for j = 0 to total - 1 do
+    for k = j + 1 to total - 1 do
+      let ok =
+        match levels with
+        | None -> true
+        | Some lv ->
+          let level_of s = if s < n then 0 else lv.(s - n) in
+          let li = lv.(i) in
+          let lj = level_of j and lk = level_of k in
+          lj < li && lk < li && (lj = li - 1 || lk = li - 1)
+      in
+      if ok then pairs := (j, k) :: !pairs
+    done
+  done;
+  List.rev !pairs
+
+let sim_var t i m =
+  match Hashtbl.find_opt t.sim (i, m) with
+  | Some v -> v
+  | None ->
+    let v = Solver.new_var t.solver in
+    Hashtbl.replace t.sim (i, m) v;
+    v
+
+(* Literal asserting "signal s has value [v] on minterm m", or a constant
+   for primary inputs: [Ok lit] / [Error b]. *)
+let signal_lit t s v m =
+  if s < t.n then Error ((m lsr s) land 1 = if v then 1 else 0)
+  else Ok (Lit.make (sim_var t (s - t.n) m) v)
+
+let add_minterm_clauses t m =
+  (* Simulation clauses: for every gate i, selected pair (j,k) and value
+     combination (a, b, c):
+       sel & (x_j = a) & (x_k = b) & (x_i = c)  ==>  op_i(a,b) = c. *)
+  for i = 0 to t.r - 1 do
+    List.iter
+      (fun (j, k, s) ->
+        for a = 0 to 1 do
+          for b = 0 to 1 do
+            for c = 0 to 1 do
+              (* Clause: ~sel | ~(x_j = a) | ~(x_k = b) | ~(x_i = c)
+                         | (op(a,b) = c). *)
+              let op_term =
+                if a = 0 && b = 0 then
+                  (* normal gate: op(0,0) = 0 *)
+                  if c = 0 then `True else `Absent
+                else
+                  let p = (2 * a) + b in
+                  (* pattern index into op array: 01 -> 0, 10 -> 1, 11 -> 2 *)
+                  let idx = p - 1 in
+                  `Lit (Lit.make t.op.(i).(idx) (c = 1))
+              in
+              match op_term with
+              | `True -> ()
+              | (`Absent | `Lit _) as term -> (
+                let base = [ Lit.neg s ] in
+                (* The clause carries the negation of "signal = v": a
+                   constantly-true atom drops out of the clause, a
+                   constantly-false atom satisfies it. *)
+                let add_signal acc sig_ v =
+                  match signal_lit t sig_ v m with
+                  | Error true -> `Clause acc
+                  | Error false -> `Satisfied
+                  | Ok l -> `Clause (Lit.negate l :: acc)
+                in
+                let rec build acc = function
+                  | [] ->
+                    let acc =
+                      match term with `Lit l -> l :: acc | `Absent -> acc
+                    in
+                    Solver.add_clause t.solver acc
+                  | (sig_, v) :: rest -> (
+                    match add_signal acc sig_ (v = 1) with
+                    | `Satisfied -> ()
+                    | `Clause acc -> build acc rest)
+                in
+                build base [ (j, a); (k, b); (t.n + i, c) ])
+            done
+          done
+        done)
+      t.sel.(i)
+  done;
+  (* Output clause: the last gate equals f on m. *)
+  let out = Lit.make (sim_var t (t.r - 1) m) (Tt.get t.f m) in
+  Solver.add_clause t.solver [ out ]
+
+let add_minterm t m =
+  if not (List.mem m t.minterms) then begin
+    t.minterms <- m :: t.minterms;
+    add_minterm_clauses t m
+  end
+
+let encoded_minterms t = t.minterms
+
+let build ?levels ?minterms ?basis ~solver ~f ~r () =
+  let n = Tt.num_vars f in
+  if Tt.get f 0 then invalid_arg "Ssv.build: target must be normal";
+  (match levels with
+   | Some lv when Array.length lv <> r -> invalid_arg "Ssv.build: levels"
+   | _ -> ());
+  let sel =
+    Array.init r (fun i ->
+        List.map
+          (fun (j, k) -> (j, k, Solver.new_var solver))
+          (legal_pairs ~n ~levels i))
+  in
+  if Array.exists (fun l -> l = []) sel then None
+  else begin
+    let op = Array.init r (fun _ -> Array.init 3 (fun _ -> Solver.new_var solver)) in
+    let t = { solver; f; n; r; sel; op; sim = Hashtbl.create 97; minterms = [] } in
+    (* At least one fanin pair per gate. *)
+    Array.iter
+      (fun pairs -> Solver.add_clause solver (List.map (fun (_, _, s) -> Lit.pos s) pairs))
+      sel;
+    (* Nontrivial operators: the gate must depend on both inputs.
+       Patterns: op.(0) = output on 01, op.(1) on 10, op.(2) on 11. *)
+    Array.iter
+      (fun o ->
+        let o01 = o.(0) and o10 = o.(1) and o11 = o.(2) in
+        (* depends on first input: o10 | (o01 <> o11) *)
+        Solver.add_clause solver [ Lit.pos o10; Lit.pos o01; Lit.pos o11 ];
+        Solver.add_clause solver [ Lit.pos o10; Lit.neg o01; Lit.neg o11 ];
+        (* depends on second input: o01 | (o10 <> o11) *)
+        Solver.add_clause solver [ Lit.pos o01; Lit.pos o10; Lit.pos o11 ];
+        Solver.add_clause solver [ Lit.pos o01; Lit.neg o10; Lit.neg o11 ])
+      op;
+    (* Restricted basis: block every normal nontrivial code outside it. *)
+    (match basis with
+     | None -> ()
+     | Some allowed ->
+       let is_normal c = c land 1 = 0 in
+       let blocked =
+         List.filter
+           (fun c -> is_normal c && not (List.mem c allowed))
+           Stp_chain.Gate.nontrivial
+       in
+       Array.iter
+         (fun o ->
+           List.iter
+             (fun c ->
+               let bit p = (c lsr p) land 1 = 1 in
+               (* clause: some op bit differs from code c *)
+               Solver.add_clause solver
+                 [ Lit.make o.(0) (not (bit 1));
+                   Lit.make o.(1) (not (bit 2));
+                   Lit.make o.(2) (not (bit 3)) ])
+             blocked)
+         op);
+    (* Every gate except the last must be used by a later gate. *)
+    for i = 0 to r - 2 do
+      let users = ref [] in
+      for i' = i + 1 to r - 1 do
+        List.iter
+          (fun (j, k, s) -> if j = n + i || k = n + i then users := Lit.pos s :: !users)
+          t.sel.(i')
+      done;
+      Solver.add_clause solver !users
+    done;
+    let minterms =
+      match minterms with
+      | Some ms -> ms
+      | None -> List.init ((1 lsl n) - 1) (fun m -> m + 1)
+    in
+    List.iter (add_minterm t) minterms;
+    Some t
+  end
+
+let decode t =
+  let steps =
+    List.init t.r (fun i ->
+        let j, k, _ =
+          match
+            List.find_opt (fun (_, _, s) -> Solver.value t.solver s) t.sel.(i)
+          with
+          | Some p -> p
+          | None -> invalid_arg "Ssv.decode: no selection in model"
+        in
+        let bit idx = if Solver.value t.solver t.op.(i).(idx) then 1 else 0 in
+        (* gate code bit (2a+b); op(0,0) = 0 *)
+        let gate = (bit 0 lsl 1) lor (bit 1 lsl 2) lor (bit 2 lsl 3) in
+        { Chain.fanin1 = j; fanin2 = k; gate })
+  in
+  Chain.make ~n:t.n ~steps ~output:(t.n + t.r - 1) ()

@@ -1,0 +1,50 @@
+(** Single-selection-variable CNF encoding of SAT-based exact synthesis
+    (Knuth; Soeken et al.; Haaswijk et al., TCAD'19).
+
+    Encodes "there exists a Boolean chain of [r] normal 2-input gates
+    computing [f]" into CNF:
+
+    - selection variables [s_{i,(j,k)}] pick the two fanins of gate [i]
+      among earlier signals [j < k];
+    - three operator bits per gate give its output on input patterns
+      01, 10, 11 (normal gates output 0 on 00);
+    - simulation variables [t_{i,m}] tie gate outputs to the target on
+      every encoded minterm.
+
+    The encoder is parametric in three ways: an optional per-gate
+    {e level} assignment restricts selections to fence-legal pairs (the
+    FEN baseline); the set of encoded minterms may start small and grow
+    (the CEGAR loop of the ABC [lutexact] analogue); and an optional
+    gate {e basis} blocks operator-bit patterns outside a restricted
+    library (only the normal members of the basis can appear in an SSV
+    chain — bases closed under complementation lose no optima). The target must be {e normal}
+    ([f(0,…,0) = 0]); callers synthesise the complement otherwise and
+    flip the chain output. *)
+
+type t
+
+val build :
+  ?levels:int array ->
+  ?minterms:int list ->
+  ?basis:Stp_chain.Gate.code list ->
+  solver:Stp_sat.Solver.t ->
+  f:Stp_tt.Tt.t ->
+  r:int ->
+  unit ->
+  t option
+(** [build ~solver ~f ~r ()] adds the encoding for an [r]-gate chain to
+    [solver]. [levels.(i)], when given, is the fence level (1-based) of
+    gate [i]; gates must come in non-decreasing level order. [minterms]
+    defaults to all non-zero minterms. Returns [None] when the structure
+    admits no legal fanin pair for some gate (infeasible fence).
+    @raise Invalid_argument if [f] is not normal. *)
+
+val add_minterm : t -> int -> unit
+(** Adds the simulation and output clauses of one more minterm (CEGAR
+    refinement); no-op if already encoded. *)
+
+val encoded_minterms : t -> int list
+
+val decode : t -> Stp_chain.Chain.t
+(** Reads a chain out of the solver's current model; call only after
+    [solve] returned [Sat]. *)

@@ -1,0 +1,23 @@
+(** Multi-output variant of the SSV encoding.
+
+    Encodes "one shared pool of [r] normal 2-input gates computes every
+    function of [fs]": gate selection/operator/simulation variables as in
+    {!Ssv}, plus per-output selection variables ranging over all signals.
+    Outputs whose function is not normal are complemented statically and
+    decoded with a complement flag — the Boolean-chain output model of
+    the paper's Section II-B. *)
+
+type t
+
+val build :
+  ?basis:Stp_chain.Gate.code list ->
+  solver:Stp_sat.Solver.t ->
+  fs:Stp_tt.Tt.t array ->
+  r:int ->
+  unit ->
+  t option
+(** All functions must have the same arity and at least one must be
+    non-constant. Returns [None] when the structure is infeasible. *)
+
+val decode : t -> Stp_chain.Mchain.t
+(** Call after [solve] returned [Sat]. *)

@@ -1,0 +1,75 @@
+module Spec = Stp_synth.Spec
+
+type engine = {
+  engine_name : string;
+  run : options:Spec.options -> Stp_tt.Tt.t -> Spec.result;
+}
+
+let stp_engine =
+  { engine_name = "STP";
+    run = (fun ~options f -> Stp_synth.Stp_exact.synthesize ~options f) }
+
+let bms_engine =
+  { engine_name = "BMS";
+    run = (fun ~options f -> Stp_synth.Baselines.bms ~options f) }
+
+let fen_engine =
+  { engine_name = "FEN";
+    run = (fun ~options f -> Stp_synth.Baselines.fen ~options f) }
+
+let abc_engine =
+  { engine_name = "ABC";
+    run = (fun ~options f -> Stp_synth.Baselines.abc ~options f) }
+
+let all_engines = [ bms_engine; fen_engine; abc_engine; stp_engine ]
+
+type aggregate = {
+  name : string;
+  solved : int;
+  timeouts : int;
+  mean_time : float;
+  total_time : float;
+  mean_solutions : float;
+  mean_per_solution : float;
+  optima : (int * int) list;
+}
+
+let run_collection ?(timeout = 5.0) ?on_instance engine functions =
+  (* The NPN canonicalisation table is built lazily on first use; force
+     it here so the first instance's timing does not pay for it. *)
+  ignore (Stp_tt.Npn.canon4 0);
+  let options = Spec.with_timeout timeout in
+  let solved = ref 0 and timeouts = ref 0 in
+  let solved_time = ref 0.0 and total_time = ref 0.0 in
+  let solutions = ref 0 in
+  let optima = Hashtbl.create 16 in
+  List.iteri
+    (fun i f ->
+      let result = engine.run ~options f in
+      (match on_instance with Some obs -> obs i f result | None -> ());
+      total_time := !total_time +. result.Spec.elapsed;
+      match result.Spec.status with
+      | Spec.Solved ->
+        incr solved;
+        solved_time := !solved_time +. result.Spec.elapsed;
+        solutions := !solutions + List.length result.Spec.chains;
+        let g = Option.value ~default:(-1) result.Spec.gates in
+        Hashtbl.replace optima g (1 + Option.value ~default:0 (Hashtbl.find_opt optima g))
+      | Spec.Timeout -> incr timeouts)
+    functions;
+  let mean_time = if !solved = 0 then 0.0 else !solved_time /. float_of_int !solved in
+  let mean_solutions =
+    if !solved = 0 then 0.0 else float_of_int !solutions /. float_of_int !solved
+  in
+  let mean_per_solution =
+    if mean_solutions = 0.0 then 0.0 else mean_time /. mean_solutions
+  in
+  { name = engine.engine_name;
+    solved = !solved;
+    timeouts = !timeouts;
+    mean_time;
+    total_time = !total_time;
+    mean_solutions;
+    mean_per_solution;
+    optima =
+      List.sort Stdlib.compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) optima []) }

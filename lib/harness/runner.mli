@@ -1,0 +1,42 @@
+(** Per-collection experiment runner: the machinery behind Table I.
+
+    Runs one synthesis engine over one function collection with a
+    per-instance timeout and aggregates the paper's metrics: mean solving
+    time over solved instances, number of timeouts, number solved, and —
+    for the all-solutions engine — total time, per-solution mean and
+    average number of solutions. *)
+
+type engine = {
+  engine_name : string;
+  run : options:Stp_synth.Spec.options -> Stp_tt.Tt.t -> Stp_synth.Spec.result;
+}
+
+val stp_engine : engine
+val bms_engine : engine
+val fen_engine : engine
+val abc_engine : engine
+
+val all_engines : engine list
+(** BMS, FEN, ABC, STP — the paper's column order. *)
+
+type aggregate = {
+  name : string;            (** engine name *)
+  solved : int;             (** #ok *)
+  timeouts : int;           (** #t/o *)
+  mean_time : float;        (** mean seconds over solved instances *)
+  total_time : float;       (** summed wall-clock over all instances *)
+  mean_solutions : float;   (** average number of chains per solved *)
+  mean_per_solution : float;(** mean time divided by mean solutions *)
+  optima : (int * int) list;(** histogram: gate count -> #instances *)
+}
+
+val run_collection :
+  ?timeout:float ->
+  ?on_instance:(int -> Stp_tt.Tt.t -> Stp_synth.Spec.result -> unit) ->
+  engine ->
+  Stp_tt.Tt.t list ->
+  aggregate
+(** [run_collection engine fns] runs every function under the timeout
+    (default 5 s) and aggregates. [on_instance] observes each result
+    (index, function, result) — used for cross-checking optima between
+    engines and for verbose traces. *)

@@ -1,0 +1,43 @@
+let render fmt ~rows =
+  Format.fprintf fmt
+    "%-8s | %-8s %5s %5s | %-8s %5s %5s | %-8s %5s %5s | %-8s %5s %5s %9s %7s@."
+    "Func" "BMS(s)" "#t/o" "#ok" "FEN(s)" "#t/o" "#ok" "ABC(s)" "#t/o" "#ok"
+    "STP(s)" "#t/o" "#ok" "Total(s)" "#sols";
+  Format.fprintf fmt "%s@." (String.make 130 '-');
+  List.iter
+    (fun (name, aggs) ->
+      let find n =
+        List.find_opt (fun (a : Runner.aggregate) -> a.name = n) aggs
+      in
+      let cell fmt_ agg =
+        match agg with
+        | Some (a : Runner.aggregate) ->
+          Format.fprintf fmt_ "%-8.3f %5d %5d" a.mean_time a.timeouts a.solved
+        | None -> Format.fprintf fmt_ "%-8s %5s %5s" "-" "-" "-"
+      in
+      Format.fprintf fmt "%-8s | " name;
+      cell fmt (find "BMS");
+      Format.fprintf fmt " | ";
+      cell fmt (find "FEN");
+      Format.fprintf fmt " | ";
+      cell fmt (find "ABC");
+      Format.fprintf fmt " | ";
+      (match find "STP" with
+       | Some a ->
+         Format.fprintf fmt "%-8.3f %5d %5d %9.3f %7.1f" a.mean_time a.timeouts
+           a.solved a.total_time a.mean_solutions
+       | None -> Format.fprintf fmt "%-8s %5s %5s %9s %7s" "-" "-" "-" "-" "-");
+      Format.fprintf fmt "@.")
+    rows
+
+let render_csv fmt ~rows =
+  Format.fprintf fmt
+    "collection,engine,mean_s,timeouts,solved,total_s,mean_solutions@.";
+  List.iter
+    (fun (name, aggs) ->
+      List.iter
+        (fun (a : Runner.aggregate) ->
+          Format.fprintf fmt "%s,%s,%.4f,%d,%d,%.3f,%.2f@." name a.name
+            a.mean_time a.timeouts a.solved a.total_time a.mean_solutions)
+        aggs)
+    rows

@@ -1,0 +1,16 @@
+(** Text rendering of Table I-style result tables. *)
+
+val render :
+  Format.formatter ->
+  rows:(string * Runner.aggregate list) list ->
+  unit
+(** [render fmt ~rows] prints one aligned row per collection; each row
+    carries the aggregates of the four engines in the given order, with
+    the STP engine's extra columns (total time, per-solution mean,
+    average solution count) appended, mirroring the paper's layout. *)
+
+val render_csv :
+  Format.formatter ->
+  rows:(string * Runner.aggregate list) list ->
+  unit
+(** Machine-readable variant. *)

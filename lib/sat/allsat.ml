@@ -1,0 +1,21 @@
+let models ?(deadline = Stp_util.Deadline.never) ?(limit = max_int) ~over solver =
+  let over = Array.of_list over in
+  let rec loop acc count =
+    if count >= limit then Some (List.rev acc)
+    else if Stp_util.Deadline.expired deadline then None
+    else
+      match Solver.solve ~deadline solver with
+      | Solver.Unknown -> None
+      | Solver.Unsat -> Some (List.rev acc)
+      | Solver.Sat ->
+        let projection = Array.map (fun v -> Solver.value solver v) over in
+        let blocking =
+          Array.to_list
+            (Array.mapi
+               (fun i v -> Lit.make v (not projection.(i)))
+               over)
+        in
+        Solver.add_clause solver blocking;
+        loop (projection :: acc) (count + 1)
+  in
+  loop [] 0

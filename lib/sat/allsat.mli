@@ -1,0 +1,16 @@
+(** Model enumeration by blocking clauses.
+
+    The conventional way CNF-based exact synthesis would enumerate all
+    solutions — contrast with the paper's one-pass STP circuit solver. *)
+
+val models :
+  ?deadline:Stp_util.Deadline.t ->
+  ?limit:int ->
+  over:int list ->
+  Solver.t ->
+  bool array list option
+(** [models ~over solver] enumerates assignments to the variables [over]
+    extendable to full models, blocking each found projection. Returns
+    [None] on deadline expiry, otherwise the list of projections (each
+    indexed like [over]). The solver is left with the blocking clauses
+    added. *)

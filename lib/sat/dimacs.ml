@@ -1,0 +1,50 @@
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let num_vars = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> invalid_arg "Dimacs.parse: bad token"
+    | Some 0 ->
+      clauses := List.rev !current :: !clauses;
+      current := []
+    | Some i -> current := Lit.of_int i :: !current
+  in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" then ()
+      else if line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "p"; "cnf"; nv; _nc ] -> (
+          match int_of_string_opt nv with
+          | Some n -> num_vars := n
+          | None -> invalid_arg "Dimacs.parse: bad header")
+        | _ -> invalid_arg "Dimacs.parse: bad header"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (( <> ) "")
+        |> List.iter handle_token)
+    lines;
+  if !num_vars < 0 then invalid_arg "Dimacs.parse: missing header";
+  if !current <> [] then invalid_arg "Dimacs.parse: unterminated clause";
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let print fmt { num_vars; clauses } =
+  Format.fprintf fmt "p cnf %d %d@." num_vars (List.length clauses);
+  List.iter
+    (fun c ->
+      List.iter (fun l -> Format.fprintf fmt "%d " (Lit.to_int l)) c;
+      Format.fprintf fmt "0@.")
+    clauses
+
+let load solver { num_vars; clauses } =
+  for _ = 1 to num_vars do
+    ignore (Solver.new_var solver)
+  done;
+  List.iter (Solver.add_clause solver) clauses

@@ -1,0 +1,12 @@
+(** DIMACS CNF reading and writing, for interoperability and tests. *)
+
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+val parse : string -> cnf
+(** [parse text] reads DIMACS CNF from a string.
+    @raise Invalid_argument on malformed input. *)
+
+val print : Format.formatter -> cnf -> unit
+
+val load : Solver.t -> cnf -> unit
+(** Allocates the variables and adds all clauses to a fresh solver. *)

@@ -1,0 +1,28 @@
+(** Literals, encoded as integers.
+
+    Variable [v >= 0] yields the positive literal [2v] and the negative
+    literal [2v + 1]; this is the MiniSat convention, chosen so that
+    negation is a single xor and literals index watch lists directly. *)
+
+type t = int
+
+val make : int -> bool -> t
+(** [make v sign] is the literal on variable [v]; [sign = true] gives
+    the positive literal. *)
+
+val pos : int -> t
+val neg : int -> t
+
+val var : t -> int
+val sign : t -> bool
+(** [sign l] is [true] for positive literals. *)
+
+val negate : t -> t
+
+val to_int : t -> int
+(** DIMACS form: [+-(var+1)]. *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}; [of_int 0] is invalid. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type t = {
+  activity : int -> float;
+  heap : int Stp_util.Vec.t;        (* heap of variable indices *)
+  mutable pos : int array;          (* variable -> heap index, -1 absent *)
+}
+
+let create ~activity =
+  { activity;
+    heap = Stp_util.Vec.create ~dummy:(-1) ();
+    pos = Array.make 64 (-1) }
+
+let ensure t v =
+  let n = Array.length t.pos in
+  if v >= n then begin
+    let pos = Array.make (max (2 * n) (v + 1)) (-1) in
+    Array.blit t.pos 0 pos 0 n;
+    t.pos <- pos
+  end
+
+let mem t v = v < Array.length t.pos && t.pos.(v) >= 0
+
+let swap t i j =
+  let open Stp_util.Vec in
+  let a = get t.heap i and b = get t.heap j in
+  set t.heap i b;
+  set t.heap j a;
+  t.pos.(a) <- j;
+  t.pos.(b) <- i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let open Stp_util.Vec in
+    if t.activity (get t.heap i) > t.activity (get t.heap parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let open Stp_util.Vec in
+  let n = length t.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let largest = ref i in
+  if l < n && t.activity (get t.heap l) > t.activity (get t.heap !largest) then
+    largest := l;
+  if r < n && t.activity (get t.heap r) > t.activity (get t.heap !largest) then
+    largest := r;
+  if !largest <> i then begin
+    swap t i !largest;
+    sift_down t !largest
+  end
+
+let insert t v =
+  ensure t v;
+  if t.pos.(v) < 0 then begin
+    Stp_util.Vec.push t.heap v;
+    let i = Stp_util.Vec.length t.heap - 1 in
+    t.pos.(v) <- i;
+    sift_up t i
+  end
+
+let update t v = if mem t v then sift_up t t.pos.(v)
+
+let pop_max t =
+  let open Stp_util.Vec in
+  if length t.heap = 0 then None
+  else begin
+    let top = get t.heap 0 in
+    let last = pop t.heap in
+    t.pos.(top) <- -1;
+    if length t.heap > 0 then begin
+      set t.heap 0 last;
+      t.pos.(last) <- 0;
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let is_empty t = Stp_util.Vec.is_empty t.heap

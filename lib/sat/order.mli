@@ -1,0 +1,21 @@
+(** Indexed max-heap of variables keyed by external activities, used for
+    VSIDS decision ordering. *)
+
+type t
+
+val create : activity:(int -> float) -> t
+(** [create ~activity] orders variables by the supplied score function;
+    scores may change, but a change must be signalled with {!update}. *)
+
+val mem : t -> int -> bool
+
+val insert : t -> int -> unit
+(** Inserts a variable (no-op when present). *)
+
+val update : t -> int -> unit
+(** Re-establishes heap order after the variable's activity increased. *)
+
+val pop_max : t -> int option
+(** Removes and returns the variable with the highest activity. *)
+
+val is_empty : t -> bool

@@ -1,0 +1,499 @@
+(* Conflict-driven clause learning, after MiniSat.  Watched literals are
+   clause slots 0 and 1; a clause sits in the watch list of each watched
+   literal and the list for literal [l] is visited when [l] becomes
+   false. *)
+
+type clause = {
+  mutable lits : int array;
+  mutable activity : float;
+  learnt : bool;
+  mutable deleted : bool;
+}
+
+type result = Sat | Unsat | Unknown
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned : int;
+}
+
+(* lbool encoding in [assigns]: 0 = true, 1 = false, 2 = undefined. *)
+let l_undef = 2
+
+type t = {
+  mutable nvars : int;
+  mutable assigns : int array;      (* per var *)
+  mutable levels : int array;       (* per var *)
+  mutable reasons : clause option array; (* per var *)
+  mutable saved_phase : bool array; (* per var *)
+  mutable acts : float array;       (* per var *)
+  mutable watches : clause Stp_util.Vec.t array; (* per literal *)
+  order : Order.t Lazy.t;
+  trail : int Stp_util.Vec.t;       (* literals in assignment order *)
+  trail_lim : int Stp_util.Vec.t;
+  mutable qhead : int;
+  clauses : clause Stp_util.Vec.t;  (* problem clauses *)
+  learnts : clause Stp_util.Vec.t;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;
+  mutable max_learnts : float;
+  (* statistics *)
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  mutable n_restarts : int;
+  mutable n_learned : int;
+  (* scratch for analysis *)
+  mutable seen : bool array;
+}
+
+let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; deleted = true }
+
+let create () =
+  let rec t =
+    { nvars = 0;
+      assigns = Array.make 64 l_undef;
+      levels = Array.make 64 0;
+      reasons = Array.make 64 None;
+      saved_phase = Array.make 64 false;
+      acts = Array.make 64 0.0;
+      watches = Array.init 128 (fun _ -> Stp_util.Vec.create ~dummy:dummy_clause ());
+      order = lazy (Order.create ~activity:(fun v -> t.acts.(v)));
+      trail = Stp_util.Vec.create ~dummy:(-1) ();
+      trail_lim = Stp_util.Vec.create ~dummy:(-1) ();
+      qhead = 0;
+      clauses = Stp_util.Vec.create ~dummy:dummy_clause ();
+      learnts = Stp_util.Vec.create ~dummy:dummy_clause ();
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      ok = true;
+      max_learnts = 0.0;
+      n_decisions = 0;
+      n_propagations = 0;
+      n_conflicts = 0;
+      n_restarts = 0;
+      n_learned = 0;
+      seen = Array.make 64 false }
+  in
+  t
+
+let num_vars t = t.nvars
+
+let grow_arrays t =
+  let n = Array.length t.assigns in
+  let n' = 2 * n in
+  let copy_arr a fill =
+    let a' = Array.make n' fill in
+    Array.blit a 0 a' 0 n;
+    a'
+  in
+  t.assigns <- copy_arr t.assigns l_undef;
+  t.levels <- copy_arr t.levels 0;
+  t.reasons <- copy_arr t.reasons None;
+  t.saved_phase <- copy_arr t.saved_phase false;
+  t.acts <- copy_arr t.acts 0.0;
+  t.seen <- copy_arr t.seen false;
+  let w = Array.init (2 * n') (fun i ->
+      if i < Array.length t.watches then t.watches.(i)
+      else Stp_util.Vec.create ~dummy:dummy_clause ())
+  in
+  t.watches <- w
+
+let new_var t =
+  if t.nvars >= Array.length t.assigns then grow_arrays t;
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  Order.insert (Lazy.force t.order) v;
+  v
+
+(* Value of a literal: 0 true, 1 false, 2 undefined. *)
+let lit_value t l =
+  let a = t.assigns.(l lsr 1) in
+  if a = l_undef then l_undef else a lxor (l land 1)
+
+let decision_level t = Stp_util.Vec.length t.trail_lim
+
+let var_bump t v =
+  t.acts.(v) <- t.acts.(v) +. t.var_inc;
+  if t.acts.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.acts.(i) <- t.acts.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  Order.update (Lazy.force t.order) v
+
+let var_decay t = t.var_inc <- t.var_inc /. 0.95
+
+let cla_bump t c =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Stp_util.Vec.iter (fun c -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let cla_decay t = t.cla_inc <- t.cla_inc /. 0.999
+
+let enqueue t l reason =
+  let v = l lsr 1 in
+  t.assigns.(v) <- l land 1;
+  t.levels.(v) <- decision_level t;
+  t.reasons.(v) <- reason;
+  t.saved_phase.(v) <- l land 1 = 0;
+  Stp_util.Vec.push t.trail l
+
+let attach_clause t c =
+  Stp_util.Vec.push t.watches.(c.lits.(0)) c;
+  Stp_util.Vec.push t.watches.(c.lits.(1)) c
+
+(* Propagate all enqueued facts; return the conflicting clause or None. *)
+let propagate t =
+  let conflict = ref None in
+  while !conflict = None && t.qhead < Stp_util.Vec.length t.trail do
+    let p = Stp_util.Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.n_propagations <- t.n_propagations + 1;
+    let false_lit = p lxor 1 in
+    let ws = t.watches.(false_lit) in
+    let n = Stp_util.Vec.length ws in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let c = Stp_util.Vec.get ws !i in
+      incr i;
+      if c.deleted then ()
+      else begin
+        (* Ensure the falsified literal is slot 1. *)
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        let first = c.lits.(0) in
+        if lit_value t first = 0 then begin
+          (* Clause already satisfied: keep the watch. *)
+          Stp_util.Vec.set ws !keep c;
+          incr keep
+        end
+        else begin
+          (* Look for a new literal to watch. *)
+          let len = Array.length c.lits in
+          let rec find k = if k >= len then -1
+            else if lit_value t c.lits.(k) <> 1 then k
+            else find (k + 1)
+          in
+          let k = find 2 in
+          if k >= 0 then begin
+            c.lits.(1) <- c.lits.(k);
+            c.lits.(k) <- false_lit;
+            Stp_util.Vec.push t.watches.(c.lits.(1)) c
+            (* watch moved: do not keep *)
+          end
+          else if lit_value t first = 1 then begin
+            (* Conflict: restore remaining watches and stop. *)
+            Stp_util.Vec.set ws !keep c;
+            incr keep;
+            while !i < n do
+              Stp_util.Vec.set ws !keep (Stp_util.Vec.get ws !i);
+              incr keep;
+              incr i
+            done;
+            conflict := Some c;
+            t.qhead <- Stp_util.Vec.length t.trail
+          end
+          else begin
+            (* Unit: enqueue first. *)
+            Stp_util.Vec.set ws !keep c;
+            incr keep;
+            enqueue t first (Some c)
+          end
+        end
+      end
+    done;
+    Stp_util.Vec.shrink ws !keep
+  done;
+  !conflict
+
+let cancel_until t level =
+  if decision_level t > level then begin
+    let bound = Stp_util.Vec.get t.trail_lim level in
+    for i = Stp_util.Vec.length t.trail - 1 downto bound do
+      let l = Stp_util.Vec.get t.trail i in
+      let v = l lsr 1 in
+      t.assigns.(v) <- l_undef;
+      t.reasons.(v) <- None;
+      Order.insert (Lazy.force t.order) v
+    done;
+    Stp_util.Vec.shrink t.trail bound;
+    Stp_util.Vec.shrink t.trail_lim level;
+    t.qhead <- bound
+  end
+
+(* First-UIP conflict analysis.  Returns (learnt clause lits with the
+   asserting literal first, backtrack level). *)
+let analyze t conflict =
+  let learnt = ref [] in
+  let seen = t.seen in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref (Some conflict) in
+  let index = ref (Stp_util.Vec.length t.trail - 1) in
+  let continue = ref true in
+  while !continue do
+    (match !confl with
+     | None -> assert false
+     | Some c ->
+       if c.learnt then cla_bump t c;
+       let start = if !p = -1 then 0 else 1 in
+       for j = start to Array.length c.lits - 1 do
+         let q = c.lits.(j) in
+         let v = q lsr 1 in
+         if (not seen.(v)) && t.levels.(v) > 0 then begin
+           var_bump t v;
+           seen.(v) <- true;
+           if t.levels.(v) >= decision_level t then incr counter
+           else learnt := q :: !learnt
+         end
+       done);
+    (* Select next literal to look at. *)
+    let rec next () =
+      let l = Stp_util.Vec.get t.trail !index in
+      decr index;
+      if seen.(l lsr 1) then l else next ()
+    in
+    let l = next () in
+    let v = l lsr 1 in
+    seen.(v) <- false;
+    confl := t.reasons.(v);
+    p := l;
+    decr counter;
+    if !counter <= 0 then continue := false
+  done;
+  let asserting = !p lxor 1 in
+  (* Clause minimisation: drop literals implied by the rest. *)
+  List.iter (fun q -> t.seen.(q lsr 1) <- true) !learnt;
+  let redundant q =
+    match t.reasons.(q lsr 1) with
+    | None -> false
+    | Some c ->
+      Array.for_all
+        (fun r ->
+          r = (q lxor 1) || t.seen.(r lsr 1) || t.levels.(r lsr 1) = 0)
+        c.lits
+  in
+  let minimised = List.filter (fun q -> not (redundant q)) !learnt in
+  List.iter (fun q -> t.seen.(q lsr 1) <- false) !learnt;
+  let lits = asserting :: minimised in
+  let btlevel =
+    List.fold_left (fun acc q -> max acc t.levels.(q lsr 1)) 0 minimised
+  in
+  (Array.of_list lits, btlevel)
+
+let record_learnt t lits =
+  t.n_learned <- t.n_learned + 1;
+  if Array.length lits = 1 then begin
+    cancel_until t 0;
+    if lit_value t lits.(0) = l_undef then enqueue t lits.(0) None
+    else if lit_value t lits.(0) = 1 then t.ok <- false
+  end
+  else begin
+    let c = { lits; activity = 0.0; learnt = true; deleted = false } in
+    (* Slot 1 must hold the literal of the backtrack level so that the
+       watch invariant holds after backjumping: pick the highest-level
+       literal among lits[1..]. *)
+    let best = ref 1 in
+    for j = 2 to Array.length lits - 1 do
+      if t.levels.(lits.(j) lsr 1) > t.levels.(lits.(!best) lsr 1) then best := j
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!best);
+    lits.(!best) <- tmp;
+    attach_clause t c;
+    Stp_util.Vec.push t.learnts c;
+    cla_bump t c;
+    enqueue t lits.(0) (Some c)
+  end
+
+let locked t c =
+  Array.length c.lits > 0
+  &&
+  let v = c.lits.(0) lsr 1 in
+  match t.reasons.(v) with Some r -> r == c | None -> false
+
+let reduce_db t =
+  let learnts = Stp_util.Vec.to_array t.learnts in
+  Array.sort (fun a b -> Float.compare a.activity b.activity) learnts;
+  let n = Array.length learnts in
+  let limit = n / 2 in
+  Array.iteri
+    (fun i c ->
+      if i < limit && Array.length c.lits > 2 && not (locked t c) then
+        c.deleted <- true)
+    learnts;
+  Stp_util.Vec.clear t.learnts;
+  Array.iter (fun c -> if not c.deleted then Stp_util.Vec.push t.learnts c) learnts
+
+let add_clause t lits =
+  if t.ok then begin
+    cancel_until t 0;
+    (* Simplify: sort, drop duplicates, detect tautologies and false
+       literals at level 0. *)
+    let lits = List.sort_uniq Stdlib.compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (l lxor 1) lits) lits
+    in
+    if not tautology then begin
+      let lits =
+        List.filter
+          (fun l ->
+            if l lsr 1 >= t.nvars then invalid_arg "Solver.add_clause: unknown var";
+            lit_value t l <> 1)
+          lits
+      in
+      if List.exists (fun l -> lit_value t l = 0) lits then ()
+      else
+        match lits with
+        | [] -> t.ok <- false
+        | [ l ] ->
+          enqueue t l None;
+          if propagate t <> None then t.ok <- false
+        | _ ->
+          let c =
+            { lits = Array.of_list lits; activity = 0.0; learnt = false;
+              deleted = false }
+          in
+          attach_clause t c;
+          Stp_util.Vec.push t.clauses c
+    end
+  end
+
+(* The Luby restart sequence 1 1 2 1 1 2 4 ... (MiniSat's formulation). *)
+let luby x =
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  float_of_int (1 lsl !seq)
+
+let decide t =
+  let order = Lazy.force t.order in
+  let rec loop () =
+    match Order.pop_max order with
+    | None -> None
+    | Some v -> if t.assigns.(v) = l_undef then Some v else loop ()
+  in
+  loop ()
+
+let solve ?(assumptions = []) ?(deadline = Stp_util.Deadline.never)
+    ?(conflict_budget = max_int) t =
+  if not t.ok then Unsat
+  else begin
+    cancel_until t 0;
+    (match propagate t with
+     | Some _ -> t.ok <- false
+     | None -> ());
+    if not t.ok then Unsat
+    else begin
+      let assumptions = Array.of_list assumptions in
+      t.max_learnts <-
+        Float.max 1000.0 (float_of_int (Stp_util.Vec.length t.clauses) /. 3.0);
+      let budget = ref conflict_budget in
+      let result = ref None in
+      let restart_count = ref 0 in
+      (* Conflicts allowed before the next restart. *)
+      let next_restart = ref (int_of_float (100.0 *. luby !restart_count)) in
+      let conflicts_since_restart = ref 0 in
+      while !result = None do
+        match propagate t with
+        | Some conflict ->
+          t.n_conflicts <- t.n_conflicts + 1;
+          incr conflicts_since_restart;
+          decr budget;
+          if decision_level t = 0 then begin
+            t.ok <- false;
+            result := Some Unsat
+          end
+          else begin
+            (* Backtracking may land inside the assumption prefix; the
+               decision loop then re-pushes the assumptions, which either
+               succeed or expose their inconsistency as Unsat. *)
+            let learnt, btlevel = analyze t conflict in
+            cancel_until t btlevel;
+            record_learnt t learnt;
+            if not t.ok then result := Some Unsat;
+            var_decay t;
+            cla_decay t;
+            if !budget <= 0 then result := Some Unknown
+            else if Stp_util.Deadline.expired deadline then result := Some Unknown
+            else if
+              float_of_int (Stp_util.Vec.length t.learnts) >= t.max_learnts
+            then begin
+              reduce_db t;
+              t.max_learnts <- t.max_learnts *. 1.3
+            end
+          end
+        | None ->
+          if !conflicts_since_restart >= !next_restart then begin
+            conflicts_since_restart := 0;
+            incr restart_count;
+            t.n_restarts <- t.n_restarts + 1;
+            next_restart := int_of_float (100.0 *. luby !restart_count);
+            cancel_until t 0
+          end
+          else if Stp_util.Deadline.expired deadline then result := Some Unknown
+          else begin
+            (* Extend with assumptions first, then decide. *)
+            let dl = decision_level t in
+            if dl < Array.length assumptions then begin
+              let a = assumptions.(dl) in
+              if a lsr 1 >= t.nvars then invalid_arg "Solver.solve: unknown var";
+              match lit_value t a with
+              | 0 ->
+                (* already satisfied: open an empty decision level *)
+                Stp_util.Vec.push t.trail_lim (Stp_util.Vec.length t.trail)
+              | 1 -> result := Some Unsat
+              | _ ->
+                Stp_util.Vec.push t.trail_lim (Stp_util.Vec.length t.trail);
+                enqueue t a None
+            end
+            else begin
+              match decide t with
+              | None -> result := Some Sat
+              | Some v ->
+                t.n_decisions <- t.n_decisions + 1;
+                let phase = t.saved_phase.(v) in
+                let l = (2 * v) + if phase then 0 else 1 in
+                Stp_util.Vec.push t.trail_lim (Stp_util.Vec.length t.trail);
+                enqueue t l None
+            end
+          end
+      done;
+      (match !result with
+       | Some Sat -> () (* keep the model readable via [value] *)
+       | _ -> cancel_until t 0);
+      match !result with Some r -> r | None -> assert false
+    end
+  end
+
+let value t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Solver.value";
+  t.assigns.(v) = 0
+
+let okay t = t.ok
+
+let stats t =
+  { decisions = t.n_decisions;
+    propagations = t.n_propagations;
+    conflicts = t.n_conflicts;
+    restarts = t.n_restarts;
+    learned = t.n_learned }

@@ -1,0 +1,54 @@
+(** A CDCL SAT solver.
+
+    Conflict-driven clause learning with two-watched-literal propagation,
+    VSIDS variable activities, phase saving, Luby restarts, first-UIP
+    conflict analysis with recursive clause minimisation, and activity-
+    based learned-clause deletion. Supports incremental solving under
+    assumptions and cooperative wall-clock deadlines — the substrate for
+    the paper's three SAT-based exact-synthesis baselines. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+(** [Unknown] is returned when the deadline or conflict budget expires. *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates a fresh variable and returns its index. *)
+
+val num_vars : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Adds a clause over existing variables. Adding the empty clause (or a
+    clause that simplifies to it) makes the instance trivially
+    unsatisfiable. Clauses may be added between [solve] calls. *)
+
+val solve :
+  ?assumptions:Lit.t list ->
+  ?deadline:Stp_util.Deadline.t ->
+  ?conflict_budget:int ->
+  t ->
+  result
+(** Solves under the given assumptions. After [Sat], {!value} reads the
+    model; after [Unsat] under assumptions, the instance may still be
+    satisfiable under different assumptions. *)
+
+val value : t -> int -> bool
+(** [value s v] is the model value of variable [v]; only meaningful
+    after [solve] returned [Sat]. *)
+
+val okay : t -> bool
+(** [false] once the clause database is unconditionally unsatisfiable. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+  learned : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,182 @@
+(* Canonical forms are computed by structural recursion on the formula.
+   Every step below is one of the paper's STP identities:
+
+   - composing a structural matrix on the left (Definition 3),
+   - passing a matrix across variables (Property 1: x ⋉ A = (I_2 ⊗ A) x),
+   - swapping adjacent variables (equation (4): x y = M_w y x),
+   - merging a repeated variable (equation (3): x x = M_r x),
+   - consuming a vacuous variable with the eliminator [1 1].
+
+   The right-multiplications by I ⊗ M_w ⊗ I, I ⊗ M_r ⊗ I and the
+   eliminator are implemented as direct column permutations / selections /
+   duplications, which the test suite checks against the general
+   [Matrix.stp] products. *)
+
+(* [swap_cols m j k]: right-multiply the 2 x 2^k matrix [m] by
+   I_{2^j} ⊗ M_w ⊗ I_{2^(k-j-2)}, i.e. swap the variables at positions j
+   and j+1 (position 0 is the leftmost variable, the most significant bit
+   of the column index). *)
+let swap_cols m j k =
+  if j < 0 || j + 1 >= k then invalid_arg "Canonical.swap_cols";
+  let bit_a = k - 1 - j and bit_b = k - 2 - j in
+  Matrix.make 2 (1 lsl k) (fun r c ->
+      let ba = (c lsr bit_a) land 1 and bb = (c lsr bit_b) land 1 in
+      let c' =
+        c land lnot ((1 lsl bit_a) lor (1 lsl bit_b))
+        lor (bb lsl bit_a) lor (ba lsl bit_b)
+      in
+      Matrix.get m r c')
+
+(* [reduce_cols m j k]: right-multiply by I_{2^j} ⊗ M_r ⊗ I_{2^(k-j-2)},
+   merging equal variables at positions j and j+1. The result has k-1
+   variable positions; the surviving variable sits at position j. *)
+let reduce_cols m j k =
+  if j < 0 || j + 1 >= k then invalid_arg "Canonical.reduce_cols";
+  let bit = k - 2 - j in
+  (* bit index of the surviving position in the smaller space *)
+  Matrix.make 2 (1 lsl (k - 1)) (fun r c ->
+      (* duplicate bit [bit] of c: low bits stay, the duplicated pair sits
+         at positions bit and bit+1 of the source column *)
+      let low = c land ((1 lsl bit) - 1) in
+      let b = (c lsr bit) land 1 in
+      let high = c lsr (bit + 1) in
+      let c' = (((high lsl 1) lor b) lsl (bit + 1)) lor (b lsl bit) lor low in
+      Matrix.get m r c')
+
+(* [expand_cols m j k]: insert a vacuous variable at position j of a
+   matrix over k variables (the new variable's value does not matter), the
+   inverse of consuming it with the eliminator [1 1]. *)
+let expand_cols m j k =
+  if j < 0 || j > k then invalid_arg "Canonical.expand_cols";
+  let bit = k - j in
+  (* bit index of the inserted position in the larger space *)
+  Matrix.make 2 (1 lsl (k + 1)) (fun r c ->
+      let low = c land ((1 lsl bit) - 1) in
+      let high = c lsr (bit + 1) in
+      let c' = (high lsl bit) lor low in
+      Matrix.get m r c')
+
+(* Merge two sorted-distinct variable lists, rewriting the matrix with
+   swaps and reductions. State: [m] over [done_ @ u @ v] where [done_] is
+   the merged prefix. *)
+let merge_sorted m u v =
+  let rec go m acc u v =
+    match (u, v) with
+    | [], rest | rest, [] -> (m, List.rev_append acc rest)
+    | x :: u', y :: v' ->
+      let p = List.length acc in
+      let k_total = p + List.length u + List.length v in
+      if x = y then begin
+        (* Move y leftwards until adjacent to x, then reduce. x sits at
+           position p + (|u|-?) ... x is at position p; y is at position
+           p + |u|. Swap y left across u' (|u|-1 swaps), then reduce. *)
+        let len_u = List.length u in
+        let m = ref m in
+        for pos = p + len_u downto p + 2 do
+          m := swap_cols !m (pos - 1) k_total
+        done;
+        let m = reduce_cols !m p k_total in
+        go m (x :: acc) u' v'
+      end
+      else if x < y then go m (x :: acc) u' v
+      else begin
+        (* y < x: bring y to the front across all of u. *)
+        let len_u = List.length u in
+        let m = ref m in
+        for pos = p + len_u downto p + 1 do
+          m := swap_cols !m (pos - 1) k_total
+        done;
+        go !m (y :: acc) u v'
+      end
+  in
+  go m [] u v
+
+(* Canonical state: matrix over the sorted, distinct variable list. *)
+type state = { m : Matrix.t; vars : int list }
+
+let id2 = Matrix.identity 2
+
+let apply_unary op s = { s with m = Matrix.stp op s.m }
+
+let apply_binary op a b =
+  let p = List.length a.vars in
+  (* op ⋉ A ⋉ x_u ⋉ B ⋉ x_v = (op ⋉ A) ⋉ (I_{2^p} ⊗ B) ⋉ x_u ⋉ x_v *)
+  let left = Matrix.stp op a.m in
+  let lifted = if p = 0 then b.m else Matrix.kron (Matrix.identity (1 lsl p)) b.m in
+  let m = Matrix.mul left lifted in
+  let m, vars = merge_sorted m a.vars b.vars in
+  { m; vars }
+
+let rec state_of_expr e =
+  match e with
+  | Expr.Const b -> { m = Structural.of_bool b; vars = [] }
+  | Expr.Var i -> { m = id2; vars = [ i ] }
+  | Expr.Not a -> apply_unary Structural.m_not (state_of_expr a)
+  | Expr.And (a, b) ->
+    apply_binary Structural.m_and (state_of_expr a) (state_of_expr b)
+  | Expr.Or (a, b) ->
+    apply_binary Structural.m_or (state_of_expr a) (state_of_expr b)
+  | Expr.Xor (a, b) ->
+    apply_binary Structural.m_xor (state_of_expr a) (state_of_expr b)
+  | Expr.Implies (a, b) ->
+    apply_binary Structural.m_implies (state_of_expr a) (state_of_expr b)
+  | Expr.Equiv (a, b) ->
+    apply_binary Structural.m_equiv (state_of_expr a) (state_of_expr b)
+  | Expr.Nand (a, b) ->
+    apply_binary Structural.m_nand (state_of_expr a) (state_of_expr b)
+  | Expr.Nor (a, b) ->
+    apply_binary Structural.m_nor (state_of_expr a) (state_of_expr b)
+
+let of_expr ~n e =
+  if n <= Expr.max_var e then invalid_arg "Canonical.of_expr";
+  if n < 0 then invalid_arg "Canonical.of_expr";
+  let s = state_of_expr e in
+  (* Insert the ambient variables the formula does not mention. *)
+  let rec fill m vars j =
+    if j = n then m
+    else
+      let pos = List.length (List.filter (fun v -> v < j) vars) in
+      if List.mem j vars then fill m vars (j + 1)
+      else
+        fill (expand_cols m pos (List.length vars)) (j :: vars) (j + 1)
+  in
+  let m = fill s.m s.vars 0 in
+  assert (Matrix.rows m = 2 && Matrix.cols m = 1 lsl n);
+  m
+
+let column_of_minterm ~n m =
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    if (m lsr i) land 1 = 0 then c := !c lor (1 lsl (n - 1 - i))
+  done;
+  !c
+
+let minterm_of_column ~n c =
+  let m = ref 0 in
+  for i = 0 to n - 1 do
+    if (c lsr (n - 1 - i)) land 1 = 0 then m := !m lor (1 lsl i)
+  done;
+  !m
+
+let of_tt t =
+  let n = Stp_tt.Tt.num_vars t in
+  Matrix.make 2 (1 lsl n) (fun i c ->
+      let v = Stp_tt.Tt.get t (minterm_of_column ~n c) in
+      match (i, v) with
+      | 0, true | 1, false -> 1
+      | 0, false | 1, true -> 0
+      | _ -> assert false)
+
+let to_tt m =
+  if not (Matrix.is_logic_matrix m) then invalid_arg "Canonical.to_tt";
+  let w = Matrix.cols m in
+  let n =
+    let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
+    log2 0 w
+  in
+  if 1 lsl n <> w then invalid_arg "Canonical.to_tt: width not a power of 2";
+  Stp_tt.Tt.of_fun n (fun mt -> Matrix.get m 0 (column_of_minterm ~n mt) = 1)
+
+let swap_positions m j k = swap_cols m j k
+let reduce_positions m j k = reduce_cols m j k
+let expand_positions m j k = expand_cols m j k

@@ -1,0 +1,55 @@
+(** STP canonical forms (Property 2).
+
+    Every formula [Φ(x1, …, xn)] equals [M_Φ ⋉ x1 ⋉ … ⋉ xn] for a unique
+    [2 x 2^n] logic matrix [M_Φ], computed by pushing structural matrices
+    to the left (Property 1), reducing repeated variables with [M_r]
+    (equation (3)) and sorting variables with [M_w] (equation (4)).
+
+    Column convention: column [c] (0-indexed from the left) of [M_Φ]
+    corresponds to the assignment in which [x_{i+1}] (= [Expr.Var i]) is
+    true iff bit [n-1-i] of [c] is 0 — i.e. the leftmost column is the
+    all-true assignment, matching the paper's "truth table read from
+    right to left". *)
+
+val of_expr : n:int -> Expr.t -> Matrix.t
+(** [of_expr ~n e] computes the canonical form of [e] over [n] variables
+    by the genuine STP normalisation procedure (structural-matrix
+    rewriting), not by tabulation. [n] must exceed [Expr.max_var e]. *)
+
+val of_tt : Stp_tt.Tt.t -> Matrix.t
+(** [of_tt t] is the canonical form of the function tabulated by [t]. *)
+
+val to_tt : Matrix.t -> Stp_tt.Tt.t
+(** [to_tt m] converts a [2 x 2^n] logic matrix back to a truth table.
+    @raise Invalid_argument if [m] is not a logic matrix of width a
+    power of two. *)
+
+val column_of_minterm : n:int -> int -> int
+(** [column_of_minterm ~n m] is the canonical-form column index of the
+    truth-table minterm [m]. The map is an involution-free bijection
+    [c = 2^n - 1 - rev] ... see implementation; exposed for tests and
+    the AllSAT solver. *)
+
+val minterm_of_column : n:int -> int -> int
+(** Inverse of {!column_of_minterm}. *)
+
+(** {1 Rewriting primitives}
+
+    The three column-level operations the normalisation is built from.
+    Each is semantically a right-multiplication by an STP matrix; the
+    test suite checks them against the general {!Matrix.stp} products. *)
+
+val swap_positions : Matrix.t -> int -> int -> Matrix.t
+(** [swap_positions m j k] right-multiplies the [2 x 2^k] matrix [m] by
+    [I_{2^j} ⊗ M_w ⊗ I_{2^(k-j-2)}], swapping the variables at positions
+    [j] and [j+1] (position 0 = leftmost = most significant column
+    bit). *)
+
+val reduce_positions : Matrix.t -> int -> int -> Matrix.t
+(** [reduce_positions m j k] right-multiplies by
+    [I_{2^j} ⊗ M_r ⊗ I_{2^(k-j-2)}], merging the equal variables at
+    positions [j] and [j+1]; the result is [2 x 2^(k-1)]. *)
+
+val expand_positions : Matrix.t -> int -> int -> Matrix.t
+(** [expand_positions m j k] inserts a vacuous variable at position [j]
+    of a matrix over [k] variables; the result is [2 x 2^(k+1)]. *)

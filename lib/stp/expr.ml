@@ -1,0 +1,74 @@
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Implies of t * t
+  | Equiv of t * t
+  | Nand of t * t
+  | Nor of t * t
+
+let rec eval e env =
+  match e with
+  | Const b -> b
+  | Var i -> env i
+  | Not a -> not (eval a env)
+  | And (a, b) -> eval a env && eval b env
+  | Or (a, b) -> eval a env || eval b env
+  | Xor (a, b) -> eval a env <> eval b env
+  | Implies (a, b) -> (not (eval a env)) || eval b env
+  | Equiv (a, b) -> eval a env = eval b env
+  | Nand (a, b) -> not (eval a env && eval b env)
+  | Nor (a, b) -> not (eval a env || eval b env)
+
+let rec collect_vars e acc =
+  match e with
+  | Const _ -> acc
+  | Var i -> i :: acc
+  | Not a -> collect_vars a acc
+  | And (a, b) | Or (a, b) | Xor (a, b) | Implies (a, b) | Equiv (a, b)
+  | Nand (a, b) | Nor (a, b) ->
+    collect_vars a (collect_vars b acc)
+
+let vars e = List.sort_uniq Stdlib.compare (collect_vars e [])
+
+let max_var e = List.fold_left max (-1) (vars e)
+
+let to_tt ~n e =
+  if n <= max_var e then invalid_arg "Expr.to_tt";
+  Stp_tt.Tt.of_fun n (fun m -> eval e (fun i -> (m lsr i) land 1 = 1))
+
+let rec size = function
+  | Const _ | Var _ -> 1
+  | Not a -> 1 + size a
+  | And (a, b) | Or (a, b) | Xor (a, b) | Implies (a, b) | Equiv (a, b)
+  | Nand (a, b) | Nor (a, b) ->
+    1 + size a + size b
+
+let rec pp fmt e =
+  match e with
+  | Const b -> Format.fprintf fmt "%c" (if b then '1' else '0')
+  | Var i -> Format.fprintf fmt "x%d" (i + 1)
+  | Not a -> Format.fprintf fmt "!%a" pp_atom a
+  | And (a, b) -> Format.fprintf fmt "%a & %a" pp_atom a pp_atom b
+  | Or (a, b) -> Format.fprintf fmt "%a | %a" pp_atom a pp_atom b
+  | Xor (a, b) -> Format.fprintf fmt "%a ^ %a" pp_atom a pp_atom b
+  | Implies (a, b) -> Format.fprintf fmt "%a -> %a" pp_atom a pp_atom b
+  | Equiv (a, b) -> Format.fprintf fmt "%a <-> %a" pp_atom a pp_atom b
+  | Nand (a, b) -> Format.fprintf fmt "!(%a & %a)" pp_atom a pp_atom b
+  | Nor (a, b) -> Format.fprintf fmt "!(%a | %a)" pp_atom a pp_atom b
+
+and pp_atom fmt e =
+  match e with
+  | Const _ | Var _ | Not _ -> pp fmt e
+  | _ -> Format.fprintf fmt "(%a)" pp e
+
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let ( ^^ ) a b = Xor (a, b)
+let ( ==> ) a b = Implies (a, b)
+let ( <=> ) a b = Equiv (a, b)
+let not_ a = Not a
+let var i = Var i

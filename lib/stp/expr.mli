@@ -1,0 +1,45 @@
+(** Propositional formulas over indexed variables.
+
+    Variables are 0-indexed ([Var 0] is the paper's [x1]); see
+    {!Canonical} for the correspondence between STP canonical forms and
+    truth tables. *)
+
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+  | Implies of t * t
+  | Equiv of t * t
+  | Nand of t * t
+  | Nor of t * t
+
+val eval : t -> (int -> bool) -> bool
+(** [eval e env] evaluates [e] under the assignment [env]. *)
+
+val vars : t -> int list
+(** Variables occurring in the formula, ascending, without duplicates. *)
+
+val max_var : t -> int
+(** Largest variable index, or [-1] for a closed formula. *)
+
+val to_tt : n:int -> t -> Stp_tt.Tt.t
+(** [to_tt ~n e] tabulates [e] over [n] variables ([n > max_var e]). *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-prints with minimal parentheses, variables as [x1], [x2], ... *)
+
+(** {1 Convenience constructors} *)
+
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val ( ^^ ) : t -> t -> t
+val ( ==> ) : t -> t -> t
+val ( <=> ) : t -> t -> t
+val not_ : t -> t
+val var : int -> t

@@ -1,0 +1,93 @@
+type t = { rows : int; cols : int; data : int array }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let make r c f =
+  if r <= 0 || c <= 0 then invalid_arg "Matrix.make";
+  let data = Array.make (r * c) 0 in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      data.((i * c) + j) <- f i j
+    done
+  done;
+  { rows = r; cols = c; data }
+
+let of_rows rws =
+  match rws with
+  | [] -> invalid_arg "Matrix.of_rows"
+  | first :: _ ->
+    let c = List.length first in
+    if c = 0 || List.exists (fun r -> List.length r <> c) rws then
+      invalid_arg "Matrix.of_rows";
+    let arr = Array.of_list (List.map Array.of_list rws) in
+    make (Array.length arr) c (fun i j -> arr.(i).(j))
+
+let get m i j =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then invalid_arg "Matrix.get";
+  m.data.((i * m.cols) + j)
+
+let identity n = make n n (fun i j -> if i = j then 1 else 0)
+
+let zero r c = make r c (fun _ _ -> 0)
+
+let equal a b =
+  a.rows = b.rows && a.cols = b.cols && a.data = b.data
+
+let transpose m = make m.cols m.rows (fun i j -> get m j i)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: dimension mismatch";
+  make a.rows b.cols (fun i j ->
+      let acc = ref 0 in
+      for k = 0 to a.cols - 1 do
+        acc := !acc + (a.data.((i * a.cols) + k) * b.data.((k * b.cols) + j))
+      done;
+      !acc)
+
+let kron a b =
+  make (a.rows * b.rows) (a.cols * b.cols) (fun i j ->
+      let ia = i / b.rows and ib = i mod b.rows in
+      let ja = j / b.cols and jb = j mod b.cols in
+      get a ia ja * get b ib jb)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let lcm a b = a / gcd a b * b
+
+let stp a b =
+  let t = lcm a.cols b.rows in
+  let left = if t = a.cols then a else kron a (identity (t / a.cols)) in
+  let right = if t = b.rows then b else kron b (identity (t / b.rows)) in
+  mul left right
+
+let swap_matrix m n =
+  (* W_[m,n] maps basis vector e_i ⊗ e_j (i < m, j < n, index i*n + j) to
+     e_j ⊗ e_i (index j*m + i). *)
+  make (m * n) (m * n) (fun r c ->
+      let i = c / n and j = c mod n in
+      if r = (j * m) + i then 1 else 0)
+
+let column m j = make m.rows 1 (fun i _ -> get m i j)
+
+let is_logic_matrix m =
+  m.rows = 2
+  && (let ok = ref true in
+      for j = 0 to m.cols - 1 do
+        let a = get m 0 j and b = get m 1 j in
+        if not ((a = 1 && b = 0) || (a = 0 && b = 1)) then ok := false
+      done;
+      !ok)
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%d" (get m i j)
+    done;
+    Format.fprintf fmt "]";
+    if i < m.rows - 1 then Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

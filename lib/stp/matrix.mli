@@ -1,0 +1,58 @@
+(** Dense integer matrices with the semi-tensor product (STP).
+
+    This module implements the paper's Definition 1: for
+    [X : m x n] and [Y : p x q], the semi-tensor product is
+    [X ⋉ Y = (X ⊗ I_{t/n}) (Y ⊗ I_{t/p})] with [t = lcm n p], where [⊗]
+    is the Kronecker product. When [n = p] the STP coincides with the
+    ordinary matrix product.
+
+    Entries are OCaml [int]s; logic matrices only ever hold 0 and 1, but
+    the algebra is defined for arbitrary integer matrices so the
+    preliminary identities (Property 1, swap matrices) can be exercised
+    in full generality. *)
+
+type t
+
+val rows : t -> int
+val cols : t -> int
+
+val make : int -> int -> (int -> int -> int) -> t
+(** [make r c f] builds the [r x c] matrix with entries [f i j]
+    (row [i], column [j], both 0-indexed). *)
+
+val of_rows : int list list -> t
+(** [of_rows rows] builds a matrix from row lists; all rows must have
+    equal, positive length. *)
+
+val get : t -> int -> int -> int
+
+val identity : int -> t
+
+val zero : int -> int -> t
+
+val equal : t -> t -> bool
+
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Ordinary matrix product. Raises [Invalid_argument] on dimension
+    mismatch. *)
+
+val kron : t -> t -> t
+(** Kronecker product. *)
+
+val stp : t -> t -> t
+(** Semi-tensor product (Definition 1); total on all dimension pairs. *)
+
+val swap_matrix : int -> int -> t
+(** [swap_matrix m n] is the [mn x mn] swap matrix [W_[m,n]] satisfying
+    [W_[m,n] ⋉ (x ⊗ y) = y ⊗ x] for column vectors [x : m], [y : n]. *)
+
+val column : t -> int -> t
+(** [column m j] extracts column [j] as a column vector. *)
+
+val is_logic_matrix : t -> bool
+(** A logic matrix has exactly two rows, and every column is
+    [[1;0]] or [[0;1]] (Definition 2). *)
+
+val pp : Format.formatter -> t -> unit

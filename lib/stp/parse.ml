@@ -1,0 +1,102 @@
+type state = { input : string; mutable pos : int }
+
+let error st msg =
+  invalid_arg (Printf.sprintf "Parse.formula: %s at position %d" msg st.pos)
+
+let rec skip_ws st =
+  if st.pos < String.length st.input
+     && (st.input.[st.pos] = ' ' || st.input.[st.pos] = '\t'
+        || st.input.[st.pos] = '\n')
+  then begin
+    st.pos <- st.pos + 1;
+    skip_ws st
+  end
+
+let peek st =
+  skip_ws st;
+  if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+(* Try to consume a literal token; returns whether it matched. *)
+let eat st tok =
+  skip_ws st;
+  let len = String.length tok in
+  if st.pos + len <= String.length st.input
+     && String.sub st.input st.pos len = tok
+  then begin
+    st.pos <- st.pos + len;
+    true
+  end
+  else false
+
+let rec parse_iff st =
+  let lhs = parse_imp st in
+  if eat st "<->" then Expr.Equiv (lhs, parse_iff st) else lhs
+
+and parse_imp st =
+  let lhs = parse_or st in
+  if eat st "->" then Expr.Implies (lhs, parse_imp st) else lhs
+
+and parse_or st =
+  let lhs = parse_xor st in
+  if (not (eat_ahead st "->")) && eat st "|" then Expr.Or (lhs, parse_or st)
+  else lhs
+
+and parse_xor st =
+  let lhs = parse_and st in
+  if eat st "^" then Expr.Xor (lhs, parse_xor st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if eat st "&" then Expr.And (lhs, parse_and st) else lhs
+
+and parse_not st =
+  if eat st "!" then Expr.Not (parse_not st) else parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | Some '(' ->
+    advance st;
+    let e = parse_iff st in
+    if not (eat st ")") then error st "expected ')'";
+    e
+  | Some '0' ->
+    advance st;
+    Expr.Const false
+  | Some '1' ->
+    advance st;
+    Expr.Const true
+  | Some 'x' ->
+    advance st;
+    let start = st.pos in
+    while
+      st.pos < String.length st.input
+      && st.input.[st.pos] >= '0'
+      && st.input.[st.pos] <= '9'
+    do
+      advance st
+    done;
+    if st.pos = start then error st "expected variable index after 'x'";
+    let idx = int_of_string (String.sub st.input start (st.pos - start)) in
+    if idx < 1 then error st "variable indices start at 1";
+    Expr.Var (idx - 1)
+  | Some c when c >= 'a' && c <= 'z' ->
+    advance st;
+    Expr.Var (Char.code c - Char.code 'a')
+  | Some _ -> error st "unexpected character"
+  | None -> error st "unexpected end of input"
+
+(* look ahead without consuming, used to keep "|" from eating "->"'s
+   neighbourhood when formulas like "a |-> b" are mistyped *)
+and eat_ahead st tok =
+  skip_ws st;
+  let len = String.length tok in
+  st.pos + len <= String.length st.input && String.sub st.input st.pos len = tok
+
+let formula s =
+  let st = { input = s; pos = 0 } in
+  let e = parse_iff st in
+  skip_ws st;
+  if st.pos <> String.length s then error st "trailing input";
+  e

@@ -1,0 +1,22 @@
+(** A small parser for propositional formulas.
+
+    Grammar (precedence low to high, infix operators right-associative):
+
+    {v
+      formula  ::=  iff
+      iff      ::=  imp ( "<->" imp )*
+      imp      ::=  or  ( "->"  or  )*
+      or       ::=  xor ( "|" xor )*
+      xor      ::=  and ( "^" and )*
+      and      ::=  not ( "&" not )*
+      not      ::=  "!" not | atom
+      atom     ::=  var | "0" | "1" | "(" formula ")"
+      var      ::=  "x" digits      (1-indexed: x1 is Expr.Var 0)
+                 |  letter          (a = x1, b = x2, ...)
+    v}
+
+    Whitespace is free. Single letters [a..w] and [y..z] name variables
+    positionally; [x] must be followed by an index. *)
+
+val formula : string -> Expr.t
+(** @raise Invalid_argument on syntax errors, with a position. *)

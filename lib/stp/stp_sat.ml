@@ -1,0 +1,83 @@
+type assignment = bool array
+
+let width_log2 m =
+  let w = Matrix.cols m in
+  let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
+  let n = log2 0 w in
+  if 1 lsl n <> w then invalid_arg "Stp_sat: width not a power of 2";
+  n
+
+let check m =
+  if not (Matrix.is_logic_matrix m) then invalid_arg "Stp_sat: not a logic matrix";
+  width_log2 m
+
+(* Does [lo, hi) contain a True column? *)
+let has_true m lo hi =
+  let rec loop j = j < hi && (Matrix.get m 0 j = 1 || loop (j + 1)) in
+  loop lo
+
+let is_sat m =
+  let _n = check m in
+  has_true m 0 (Matrix.cols m)
+
+let count m =
+  let _n = check m in
+  let acc = ref 0 in
+  for j = 0 to Matrix.cols m - 1 do
+    if Matrix.get m 0 j = 1 then incr acc
+  done;
+  !acc
+
+let all_solutions m =
+  let n = check m in
+  let sols = ref [] in
+  let value = Array.make (max n 1) false in
+  (* Depth d decides variable d; columns [lo, hi). *)
+  let rec descend d lo hi =
+    if not (has_true m lo hi) then ()
+    else if d = n then sols := Array.copy value :: !sols
+    else begin
+      let mid = (lo + hi) / 2 in
+      value.(d) <- true;
+      descend (d + 1) lo mid;
+      value.(d) <- false;
+      descend (d + 1) mid hi
+    end
+  in
+  if n = 0 then begin if has_true m 0 1 then sols := [ [||] ] end
+  else descend 0 0 (Matrix.cols m);
+  List.rev !sols
+
+let solutions_as_minterms m =
+  List.map
+    (fun a ->
+      let v = ref 0 in
+      Array.iteri (fun i b -> if b then v := !v lor (1 lsl i)) a;
+      !v)
+    (all_solutions m)
+
+type tree =
+  | Sat
+  | Unsat
+  | Branch of { var : int; if_true : tree; if_false : tree }
+
+let trace m =
+  let n = check m in
+  let rec descend d lo hi =
+    if not (has_true m lo hi) then Unsat
+    else if d = n then Sat
+    else
+      let mid = (lo + hi) / 2 in
+      Branch
+        { var = d;
+          if_true = descend (d + 1) lo mid;
+          if_false = descend (d + 1) mid hi }
+  in
+  descend 0 0 (Matrix.cols m)
+
+let rec pp_tree fmt = function
+  | Sat -> Format.fprintf fmt "SAT"
+  | Unsat -> Format.fprintf fmt "x"
+  | Branch { var; if_true; if_false } ->
+    Format.fprintf fmt "@[<v 2>x%d?@,1: %a@,0: %a@]" (var + 1) pp_tree if_true
+      pp_tree if_false

@@ -1,0 +1,35 @@
+(** AllSAT on STP canonical forms (Section II-A, Fig. 1).
+
+    A formula is satisfiable iff its canonical form [M_Φ] contains the
+    column [[1;0]]. Assigning a value to [x1] keeps either the left half
+    (true) or the right half (false) of the matrix; the solver descends
+    recursively, pruning halves that contain no [[1;0]] column, and
+    reports every satisfying assignment. *)
+
+type assignment = bool array
+(** [a.(i)] is the value of [Expr.Var i]. *)
+
+val is_sat : Matrix.t -> bool
+
+val count : Matrix.t -> int
+(** Number of satisfying assignments. *)
+
+val all_solutions : Matrix.t -> assignment list
+(** All satisfying assignments, in the solver's descent order (all-true
+    branch first). *)
+
+val solutions_as_minterms : Matrix.t -> int list
+(** The satisfying assignments as truth-table minterm indices. *)
+
+(** {1 Search-tree tracing}
+
+    [trace] records the recursive descent of Fig. 1, for display. *)
+
+type tree =
+  | Sat                                  (** a [[1;0]] column survives *)
+  | Unsat                                (** pruned: no such column *)
+  | Branch of { var : int; if_true : tree; if_false : tree }
+
+val trace : Matrix.t -> tree
+
+val pp_tree : Format.formatter -> tree -> unit

@@ -1,0 +1,49 @@
+let vtrue = Matrix.of_rows [ [ 1 ]; [ 0 ] ]
+let vfalse = Matrix.of_rows [ [ 0 ]; [ 1 ] ]
+
+let of_bool b = if b then vtrue else vfalse
+
+let to_bool v =
+  if Matrix.equal v vtrue then true
+  else if Matrix.equal v vfalse then false
+  else invalid_arg "Structural.to_bool"
+
+(* Binary structural matrix from output bits on (a,b) =
+   (1,1), (1,0), (0,1), (0,0). *)
+let binary b11 b10 b01 b00 =
+  let row1 = [ b11; b10; b01; b00 ] in
+  Matrix.of_rows [ row1; List.map (fun b -> 1 - b) row1 ]
+
+let m_not = Matrix.of_rows [ [ 0; 1 ]; [ 1; 0 ] ]
+let m_and = binary 1 0 0 0
+let m_or = binary 1 1 1 0
+let m_xor = binary 0 1 1 0
+let m_implies = binary 1 0 1 1
+let m_equiv = binary 1 0 0 1
+let m_nand = binary 0 1 1 1
+let m_nor = binary 0 0 0 1
+
+let power_reduce =
+  Matrix.of_rows [ [ 1; 0 ]; [ 0; 0 ]; [ 0; 0 ]; [ 0; 1 ] ]
+
+let swap22 = Matrix.swap_matrix 2 2
+
+let of_gate_code code =
+  if code < 0 || code > 15 then invalid_arg "Structural.of_gate_code";
+  let bit a b = (code lsr ((2 * a) + b)) land 1 in
+  binary (bit 1 1) (bit 1 0) (bit 0 1) (bit 0 0)
+
+let to_gate_code m =
+  if Matrix.rows m <> 2 || Matrix.cols m <> 4 || not (Matrix.is_logic_matrix m)
+  then invalid_arg "Structural.to_gate_code";
+  (* Column order (1,1), (1,0), (0,1), (0,0); code bit index 2a+b. *)
+  let bit j = Matrix.get m 0 j in
+  (bit 0 lsl 3) lor (bit 1 lsl 2) lor (bit 2 lsl 1) lor bit 3
+
+let of_unary_tt (f0, f1) =
+  let b v = if v then 1 else 0 in
+  Matrix.of_rows [ [ b f1; b f0 ]; [ 1 - b f1; 1 - b f0 ] ]
+
+let apply1 m x = Matrix.stp m x
+
+let apply2 m x y = Matrix.stp (Matrix.stp m x) y

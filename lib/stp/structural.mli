@@ -1,0 +1,69 @@
+(** Structural matrices of Boolean operators (Definition 3) and the
+    special STP matrices of Section II-A.
+
+    Boolean values are the column vectors [True = [1;0]] and
+    [False = [0;1]] (set [S_V], equation (1)). The structural matrix of a
+    binary operator has its columns in the order
+    [(1,1), (1,0), (0,1), (0,0)] of the operand values — i.e. the truth
+    table read from right to left, as in the paper. *)
+
+val vtrue : Matrix.t
+(** The vector [[1;0]]. *)
+
+val vfalse : Matrix.t
+(** The vector [[0;1]]. *)
+
+val of_bool : bool -> Matrix.t
+
+val to_bool : Matrix.t -> bool
+(** Inverse of {!of_bool}.
+    @raise Invalid_argument if the vector is neither [vtrue] nor
+    [vfalse]. *)
+
+val m_not : Matrix.t
+(** [M_n], the 2x2 negation matrix. *)
+
+val m_and : Matrix.t
+(** [M_c], conjunction. *)
+
+val m_or : Matrix.t
+(** [M_d], disjunction (Example 2). *)
+
+val m_xor : Matrix.t
+val m_implies : Matrix.t
+(** [M_i] (Example 2). *)
+
+val m_equiv : Matrix.t
+(** [M_e]. *)
+
+val m_nand : Matrix.t
+val m_nor : Matrix.t
+
+val power_reduce : Matrix.t
+(** [M_r], the 4x2 variable power-reducing matrix of equation (3):
+    [x ⋉ x = M_r ⋉ x]. *)
+
+val swap22 : Matrix.t
+(** [M_w = W_[2,2]], the 4x4 variable swap matrix of equation (4):
+    [x ⋉ y = M_w ⋉ y ⋉ x]. *)
+
+val of_gate_code : int -> Matrix.t
+(** [of_gate_code code] is the 2x4 structural matrix of the 2-input gate
+    whose truth table is [code] in the {!Stp_tt.Tt.apply2} convention
+    (bit [2*a + b] is the output on inputs [(a, b)], the first operand
+    being [a]). *)
+
+val to_gate_code : Matrix.t -> int
+(** Inverse of {!of_gate_code}. *)
+
+val of_unary_tt : bool * bool -> Matrix.t
+(** [of_unary_tt (f0, f1)] is the 2x2 structural matrix of the unary
+    operator with [f b = if b then f1 else f0]. *)
+
+val apply1 : Matrix.t -> Matrix.t -> Matrix.t
+(** [apply1 m x] evaluates a unary structural matrix on a Boolean
+    vector. *)
+
+val apply2 : Matrix.t -> Matrix.t -> Matrix.t -> Matrix.t
+(** [apply2 m x y] evaluates a binary structural matrix on two Boolean
+    vectors via the STP: [m ⋉ x ⋉ y]. *)

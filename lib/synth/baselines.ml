@@ -1,0 +1,145 @@
+module Tt = Stp_tt.Tt
+module Chain = Stp_chain.Chain
+module Solver = Stp_sat.Solver
+module Ssv = Stp_encodings.Ssv
+module Fence = Stp_topology.Fence
+
+(* The SSV encoding requires a normal target; synthesise the complement
+   otherwise and complement the decoded chain's output. *)
+let normalise target =
+  if Tt.get target 0 then (Tt.bnot target, true) else (target, false)
+
+let flip_output negated (chain : Chain.t) =
+  if not negated then chain
+  else
+    Chain.make ~n:chain.Chain.n
+      ~steps:(Array.to_list chain.Chain.steps)
+      ~output:chain.Chain.output
+      ~output_negated:(not chain.Chain.output_negated) ()
+
+let finish ~f ~n ~support ~negated ~elapsed chain gates =
+  let chain = flip_output negated chain in
+  let chain = Common.expand_chain ~n ~support chain in
+  assert (Tt.equal (Chain.simulate chain) f);
+  Spec.solved ~chains:[ chain ] ~gates ~elapsed
+
+let run_engine ~options ~engine f =
+  let start = Stp_util.Unix_time.now () in
+  let deadline = Spec.deadline_of options in
+  let elapsed () = Stp_util.Unix_time.now () -. start in
+  match Common.prepare f with
+  | `Trivial chain -> Spec.solved ~chains:[ chain ] ~gates:0 ~elapsed:(elapsed ())
+  | `Reduced (target, support) -> (
+    let n = Tt.num_vars f in
+    let target, negated = normalise target in
+    let s = Tt.num_vars target in
+    let rec loop r =
+      if r > options.Spec.max_gates then Spec.timed_out ~elapsed:(elapsed ())
+      else
+        match engine ~options ~deadline ~target ~r with
+        | `Sat chain -> finish ~f ~n ~support ~negated ~elapsed:(elapsed ()) chain r
+        | `Unsat -> loop (r + 1)
+        | `Unknown -> Spec.timed_out ~elapsed:(elapsed ())
+    in
+    loop (max 1 (s - 1)))
+
+(* BMS: the plain encoding with all minterms. *)
+let bms_engine ~options ~deadline ~target ~r =
+  let solver = Solver.create () in
+  match Ssv.build ?basis:options.Spec.basis ~solver ~f:target ~r () with
+  | None -> `Unsat
+  | Some enc -> (
+    match Solver.solve ~deadline solver with
+    | Solver.Sat -> `Sat (Ssv.decode enc)
+    | Solver.Unsat -> `Unsat
+    | Solver.Unknown -> `Unknown)
+
+(* FEN: one restricted encoding per pruned fence. *)
+let fen_engine ~options ~deadline ~target ~r =
+  let fences =
+    let all = Fence.generate_pruned r in
+    match options.Spec.max_depth with
+    | None -> all
+    | Some d -> List.filter (fun f -> Fence.num_levels f <= d) all
+  in
+  let levels_of fence =
+    let lv = Array.make (Fence.num_nodes fence) 0 in
+    let idx = ref 0 in
+    Array.iteri
+      (fun level count ->
+        for _ = 1 to count do
+          lv.(!idx) <- level + 1;
+          incr idx
+        done)
+      fence;
+    lv
+  in
+  let rec try_fences = function
+    | [] -> `Unsat
+    | fence :: rest -> (
+      if Stp_util.Deadline.expired deadline then `Unknown
+      else
+        let solver = Solver.create () in
+        match
+          Ssv.build ?basis:options.Spec.basis ~levels:(levels_of fence) ~solver
+            ~f:target ~r ()
+        with
+        | None -> try_fences rest
+        | Some enc -> (
+          match Solver.solve ~deadline solver with
+          | Solver.Sat -> `Sat (Ssv.decode enc)
+          | Solver.Unsat -> try_fences rest
+          | Solver.Unknown -> `Unknown))
+  in
+  try_fences fences
+
+(* ABC lutexact analogue: CEGAR over minterms. *)
+let abc_engine ~options ~deadline ~target ~r =
+  let solver = Solver.create () in
+  let first_onset =
+    let rec find m = if Tt.get target m then m else find (m + 1) in
+    find 0
+  in
+  match
+    Ssv.build ?basis:options.Spec.basis ~minterms:[ first_onset ] ~solver
+      ~f:target ~r ()
+  with
+  | None -> `Unsat
+  | Some enc ->
+    let rec refine () =
+      if Stp_util.Deadline.expired deadline then `Unknown
+      else
+        match Solver.solve ~deadline solver with
+        | Solver.Unsat -> `Unsat
+        | Solver.Unknown -> `Unknown
+        | Solver.Sat -> (
+          let chain = Ssv.decode enc in
+          let sim = Chain.simulate chain in
+          if Tt.equal sim target then `Sat chain
+          else begin
+            (* Add the first counterexample minterm and iterate. *)
+            let diff = Tt.bxor sim target in
+            let rec first m = if Tt.get diff m then m else first (m + 1) in
+            Ssv.add_minterm enc (first 0);
+            refine ()
+          end)
+    in
+    refine ()
+
+(* Depth bounds are expressed through fence levels, so the flat BMS/ABC
+   encodings route through the fence engine when one is requested. *)
+let bms ?(options = Spec.default_options) f =
+  let engine =
+    if options.Spec.max_depth = None then bms_engine else fen_engine
+  in
+  run_engine ~options ~engine f
+
+let fen ?(options = Spec.default_options) f = run_engine ~options ~engine:fen_engine f
+
+let abc ?(options = Spec.default_options) f =
+  let engine =
+    if options.Spec.max_depth = None then abc_engine else fen_engine
+  in
+  run_engine ~options ~engine f
+
+let all = [ ("BMS", bms); ("FEN", fen); ("ABC", abc) ]

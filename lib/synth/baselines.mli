@@ -1,0 +1,22 @@
+(** The paper's three comparison baselines (Section IV), all built on the
+    in-repo CDCL solver:
+
+    - {!bms}: the plain SAT-based exact-synthesis loop with the SSV
+      encoding, one solver call per gate count (Soeken et al., "Busy
+      man's synthesis", DATE'17 — the baseline implementation of [17]).
+    - {!fen}: fence enumeration with topological selection constraints
+      (Haaswijk et al., TCAD'19 — [3]).
+    - {!abc}: a CEGAR analogue of ABC's [lutexact]: simulation clauses
+      are added lazily for counterexample minterms.
+
+    All three return at most one chain — the paper contrasts this with
+    the STP engine's all-solutions-in-one-pass. *)
+
+val bms : ?options:Spec.options -> Stp_tt.Tt.t -> Spec.result
+
+val fen : ?options:Spec.options -> Stp_tt.Tt.t -> Spec.result
+
+val abc : ?options:Spec.options -> Stp_tt.Tt.t -> Spec.result
+
+val all : (string * (?options:Spec.options -> Stp_tt.Tt.t -> Spec.result)) list
+(** [("BMS", bms); ("FEN", fen); ("ABC", abc)]. *)

@@ -1,0 +1,24 @@
+(** Shared plumbing for all synthesis engines: support reduction and
+    trivial-target handling. *)
+
+val prepare :
+  Stp_tt.Tt.t ->
+  [ `Trivial of Stp_chain.Chain.t
+  | `Reduced of Stp_tt.Tt.t * int list ]
+(** [prepare f] projects the target onto its support. A target depending
+    on one variable yields a gate-free chain ([`Trivial]); otherwise
+    [`Reduced (g, support)] gives the compacted function and the original
+    indices of its variables.
+    @raise Invalid_argument on constant targets, which have no Boolean
+    chain in this model. *)
+
+val expand_chain :
+  n:int -> support:int list -> Stp_chain.Chain.t -> Stp_chain.Chain.t
+(** Lift a chain over the compacted variables back to the original
+    [n]-variable space. *)
+
+val optimal_and_verified :
+  Stp_tt.Tt.t -> Stp_chain.Chain.t list -> Stp_chain.Chain.t list
+(** Deduplicate (up to fanin order) and keep only chains that simulate
+    to the target {e and} pass the circuit-solver verification — the
+    paper's step (iv). *)

@@ -1,0 +1,868 @@
+module Tt = Stp_tt.Tt
+module Gate = Stp_chain.Gate
+module Chain = Stp_chain.Chain
+module Dag = Stp_topology.Dag
+
+type triple = { phi : Gate.code; g : Tt.t; h : Tt.t }
+
+(* A realisation of a target inside an independent (tree) subtree: gate
+   codes and leaf variables listed in the subtree's pre-order. *)
+type fragment = { frag_gates : int array; frag_leaves : int array }
+
+(* Feasibility keys: the NPN-canonical representative for small supports
+   (an int from the canon4 table), the compacted table otherwise. *)
+type feas_key = K4 of int | Kraw of Tt.t
+
+type memo = {
+  factorisations :
+    (Tt.t * Tt.t option * Tt.t option * int * int, triple list) Hashtbl.t;
+  feasibility : (feas_key * int, bool) Hashtbl.t;
+      (* (target, leaf budget) -> some tree within budget realises it *)
+  realisations : (string * Tt.t, fragment list) Hashtbl.t;
+  key_cache : (Tt.t, feas_key) Hashtbl.t;
+  covers_cache : (int * int * int * int, (int * int) list) Hashtbl.t;
+  basis : int; (* bitmask over the 16 gate codes the engine may use *)
+}
+
+let full_basis =
+  List.fold_left (fun m g -> m lor (1 lsl g)) 0 Gate.nontrivial
+
+let create_memo ?basis () : memo =
+  let basis =
+    match basis with
+    | None -> full_basis
+    | Some gates ->
+      let m =
+        List.fold_left
+          (fun m g ->
+            if g < 0 || g > 15 then invalid_arg "Factor.create_memo: basis";
+            m lor (1 lsl g))
+          0 gates
+      in
+      (* degenerate codes never appear in optimal chains; mask them out *)
+      m land full_basis
+  in
+  if basis = 0 then invalid_arg "Factor.create_memo: empty basis";
+  { factorisations = Hashtbl.create 997;
+    feasibility = Hashtbl.create 997;
+    realisations = Hashtbl.create 997;
+    key_cache = Hashtbl.create 997;
+    covers_cache = Hashtbl.create 997;
+    basis }
+
+type stats = {
+  mutable decompose_calls : int;
+  mutable shapes_tried : int;
+  mutable candidates_emitted : int;
+  mutable feasibility_checks : int;
+  mutable truncated : bool;
+}
+
+let fresh_stats () =
+  { decompose_calls = 0; shapes_tried = 0; candidates_emitted = 0;
+    feasibility_checks = 0; truncated = false }
+
+(* Hard cap on the factorisations enumerated per (target, A, B): fully
+   entangled DAG shapes otherwise admit astronomically many block-value
+   completions. Hitting the cap is recorded in [stats.truncated]; it
+   marks the rare runs whose all-solutions set (not correctness) may be
+   incomplete. *)
+let decompose_cap = 4096
+
+let vars_of_mask mask n =
+  let rec loop i acc =
+    if i < 0 then acc
+    else loop (i - 1) (if (mask lsr i) land 1 = 1 then i :: acc else acc)
+  in
+  loop (n - 1) []
+
+exception Fail
+
+(* All factorisations target = phi(g over A, h over B).  The unknowns are
+   the block values g(alpha), h(beta); every joint assignment of the
+   A-union-B variables contributes the constraint
+   phi(g(alpha), h(beta)) = target(assignment).  Unconstrained block
+   values are the paper's don't-care entries 'x' (Property 3): the
+   enumeration branches on them, yielding distinct solutions. *)
+let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () =
+  let n = Tt.num_vars target in
+  let smask = Tt.support_mask target in
+  if smask land lnot (amask lor bmask) <> 0 then []
+  else begin
+    let avars = Array.of_list (vars_of_mask amask n) in
+    let bvars = Array.of_list (vars_of_mask bmask n) in
+    let uvars = Array.of_list (vars_of_mask (amask lor bmask) n) in
+    let na = Array.length avars
+    and nb = Array.length bvars
+    and nu = Array.length uvars in
+    if na = 0 || nb = 0 then []
+    else begin
+      (* Position of each A/B variable within the U index. *)
+      let upos = Array.make n (-1) in
+      Array.iteri (fun j v -> upos.(v) <- j) uvars;
+      let asel = Array.map (fun v -> upos.(v)) avars in
+      let bsel = Array.map (fun v -> upos.(v)) bvars in
+      let gather sel ui =
+        let x = ref 0 in
+        Array.iteri (fun j p -> if (ui lsr p) land 1 = 1 then x := !x lor (1 lsl j)) sel;
+        !x
+      in
+      (* Disjoint covers admit the paper's quartering test: group the
+         minterms by the A-side assignment; more than two distinct blocks
+         (or a single one) rule out every factorisation, whatever the
+         gate. *)
+      let quick_reject =
+        amask land bmask = 0
+        &&
+        (* Group by the side whose complement fits in an int block. *)
+        let group, content = if nb <= 5 then (avars, bvars) else (bvars, avars) in
+        let ng = Array.length group and nc = Array.length content in
+        let blocks = Hashtbl.create 8 in
+        let distinct = ref 0 in
+        (try
+           for gi = 0 to (1 lsl ng) - 1 do
+             let block = ref 0 in
+             for ci = 0 to (1 lsl nc) - 1 do
+               let m = ref 0 in
+               Array.iteri
+                 (fun j v -> if (gi lsr j) land 1 = 1 then m := !m lor (1 lsl v))
+                 group;
+               Array.iteri
+                 (fun j v -> if (ci lsr j) land 1 = 1 then m := !m lor (1 lsl v))
+                 content;
+               if Tt.get target !m then block := !block lor (1 lsl ci)
+             done;
+             if not (Hashtbl.mem blocks !block) then begin
+               Hashtbl.replace blocks !block ();
+               incr distinct;
+               if !distinct > 2 then raise Exit
+             end
+           done;
+           !distinct < 2
+         with Exit -> true)
+      in
+      if quick_reject then []
+      else begin
+      (* Constraints: per (alpha, beta) the required target value. *)
+      let a_cons = Array.make (1 lsl na) [] in
+      let b_cons = Array.make (1 lsl nb) [] in
+      for ui = 0 to (1 lsl nu) - 1 do
+        let m = ref 0 in
+        Array.iteri
+          (fun j v -> if (ui lsr j) land 1 = 1 then m := !m lor (1 lsl v))
+          uvars;
+        let v = Tt.get target !m in
+        let alpha = gather asel ui and beta = gather bsel ui in
+        a_cons.(alpha) <- (beta, v) :: a_cons.(alpha);
+        b_cons.(beta) <- (alpha, v) :: b_cons.(beta)
+      done;
+      let results = ref [] in
+      let count = ref 0 in
+      let solve_phi phi =
+        let bit a b = (phi lsr ((2 * a) + b)) land 1 in
+        let ga = Array.make (1 lsl na) (-1) in
+        let hb = Array.make (1 lsl nb) (-1) in
+        let trail = Stp_util.Vec.create ~dummy:(true, 0) () in
+        (* Pre-assigned sides (shared DAG children whose function is
+           already bound) seed the block values before the search. *)
+        let seed arr sel fixed =
+          match fixed with
+          | None -> ()
+          | Some f ->
+            Array.iteri
+              (fun idx _ ->
+                (* idx enumerates the side's classes; rebuild the minterm *)
+                ignore idx)
+              arr;
+            for ci = 0 to Array.length arr - 1 do
+              let m = ref 0 in
+              Array.iteri
+                (fun j p ->
+                  ignore p;
+                  if (ci lsr j) land 1 = 1 then
+                    m := !m lor (1 lsl (if sel == asel then avars.(j) else bvars.(j))))
+                sel;
+              arr.(ci) <- (if Tt.get f !m then 1 else 0)
+            done
+        in
+        seed ga asel g_fixed;
+        seed hb bsel h_fixed;
+        let rec set_a alpha v =
+          if ga.(alpha) = -1 then begin
+            ga.(alpha) <- v;
+            Stp_util.Vec.push trail (true, alpha);
+            List.iter
+              (fun (beta, tv) ->
+                (* allowed b values under phi(v, b) = tv *)
+                let b0 = bit v 0 = Bool.to_int tv and b1 = bit v 1 = Bool.to_int tv in
+                match (b0, b1) with
+                | true, true -> ()
+                | true, false -> set_b beta 0
+                | false, true -> set_b beta 1
+                | false, false -> raise Fail)
+              a_cons.(alpha)
+          end
+          else if ga.(alpha) <> v then raise Fail
+        and set_b beta v =
+          if hb.(beta) = -1 then begin
+            hb.(beta) <- v;
+            Stp_util.Vec.push trail (false, beta);
+            List.iter
+              (fun (alpha, tv) ->
+                let a0 = bit 0 v = Bool.to_int tv and a1 = bit 1 v = Bool.to_int tv in
+                match (a0, a1) with
+                | true, true -> ()
+                | true, false -> set_a alpha 0
+                | false, true -> set_a alpha 1
+                | false, false -> raise Fail)
+              b_cons.(beta)
+          end
+          else if hb.(beta) <> v then raise Fail
+        in
+        let rollback mark =
+          while Stp_util.Vec.length trail > mark do
+            let is_a, idx = Stp_util.Vec.pop trail in
+            if is_a then ga.(idx) <- -1 else hb.(idx) <- -1
+          done
+        in
+        let gather_minterm m =
+          (* Repack a full minterm into the U index. *)
+          let x = ref 0 in
+          Array.iteri
+            (fun j v -> if (m lsr v) land 1 = 1 then x := !x lor (1 lsl j))
+            uvars;
+          !x
+        in
+        let emit () =
+          (* Reject constant factors. *)
+          let const arr =
+            let v0 = arr.(0) in
+            Array.for_all (fun v -> v = v0) arr
+          in
+          if not (const ga || const hb) then begin
+            let g =
+              Tt.of_fun n (fun m -> ga.(gather asel (gather_minterm m)) = 1)
+            and h =
+              Tt.of_fun n (fun m -> hb.(gather bsel (gather_minterm m)) = 1)
+            in
+            results := { phi; g; h } :: !results;
+            incr count
+          end
+        in
+        let seeded_consistent () =
+          (* Every constrained pair with both sides seeded must satisfy
+             phi; pairs with one seeded side propagate through the
+             regular search. *)
+          try
+            Array.iteri
+              (fun alpha cons ->
+                if ga.(alpha) >= 0 then
+                  List.iter
+                    (fun (beta, tv) ->
+                      if hb.(beta) >= 0 then begin
+                        if (bit ga.(alpha) hb.(beta) = 1) <> tv then raise Fail
+                      end
+                      else begin
+                        let v = ga.(alpha) in
+                        let b0 = bit v 0 = Bool.to_int tv
+                        and b1 = bit v 1 = Bool.to_int tv in
+                        match (b0, b1) with
+                        | true, true -> ()
+                        | true, false -> set_b beta 0
+                        | false, true -> set_b beta 1
+                        | false, false -> raise Fail
+                      end)
+                    cons)
+              a_cons;
+            Array.iteri
+              (fun beta cons ->
+                if hb.(beta) >= 0 then
+                  List.iter
+                    (fun (alpha, tv) ->
+                      if ga.(alpha) < 0 then begin
+                        let v = hb.(beta) in
+                        let a0 = bit 0 v = Bool.to_int tv
+                        and a1 = bit 1 v = Bool.to_int tv in
+                        match (a0, a1) with
+                        | true, true -> ()
+                        | true, false -> set_a alpha 0
+                        | false, true -> set_a alpha 1
+                        | false, false -> raise Fail
+                      end)
+                    cons)
+              b_cons;
+            true
+          with Fail -> false
+        in
+        let rec search () =
+          if !count >= cap then ()
+          else begin
+            (* Next unassigned block value. *)
+            let rec find_a i =
+              if i = Array.length ga then None
+              else if ga.(i) = -1 then Some (true, i)
+              else find_a (i + 1)
+            and find_b i =
+              if i = Array.length hb then None
+              else if hb.(i) = -1 then Some (false, i)
+              else find_b (i + 1)
+            in
+            match (match find_a 0 with None -> find_b 0 | s -> s) with
+            | None -> emit ()
+            | Some (is_a, idx) ->
+              let mark = Stp_util.Vec.length trail in
+              (try
+                 if is_a then set_a idx 0 else set_b idx 0;
+                 search ()
+               with Fail -> ());
+              rollback mark;
+              if !count < cap then begin
+                try
+                  if is_a then set_a idx 1 else set_b idx 1;
+                  search ()
+                with Fail -> ()
+              end;
+              rollback mark
+          end
+        in
+        if seeded_consistent () then search ()
+      in
+      List.iter
+        (fun phi ->
+          if (allowed lsr phi) land 1 = 1 && !count < cap then solve_phi phi)
+        Gate.nontrivial;
+      List.rev !results
+      end
+    end
+  end
+
+let decompose ?memo ?g_fixed ?h_fixed ~cap ~target ~amask ~bmask () =
+  match memo with
+  | None ->
+    decompose_uncached ?g_fixed ?h_fixed ~allowed:full_basis ~cap ~target
+      ~amask ~bmask ()
+  | Some memo ->
+    let key = (target, g_fixed, h_fixed, amask, bmask) in
+    (match Hashtbl.find_opt memo.factorisations key with
+     | Some r -> r
+     | None ->
+       let r =
+         decompose_uncached ?g_fixed ?h_fixed ~allowed:memo.basis ~cap ~target
+           ~amask ~bmask ()
+       in
+       Hashtbl.replace memo.factorisations key r;
+       r)
+
+(* Enumerate covers (amask, bmask) of the support of [t]: every support
+   variable goes to the A side, the B side, or both; side sizes respect
+   the slot capacities; the number of shared variables cannot exceed the
+   slack between slots and support size. *)
+let covers ?max_shared ~support ~slots_a ~slots_b () =
+  let vars = Array.of_list support in
+  let k = Array.length vars in
+  let slack =
+    let s = (slots_a + slots_b) - k in
+    match max_shared with None -> s | Some m -> min m s
+  in
+  let out = ref [] in
+  let rec go i amask bmask ca cb shared =
+    if ca > slots_a || cb > slots_b || shared > slack then ()
+    else if i = k then begin
+      if ca >= 1 && cb >= 1 then out := (amask, bmask) :: !out
+    end
+    else begin
+      let bit = 1 lsl vars.(i) in
+      go (i + 1) (amask lor bit) bmask (ca + 1) cb shared;
+      go (i + 1) amask (bmask lor bit) ca (cb + 1) shared;
+      go (i + 1) (amask lor bit) (bmask lor bit) (ca + 1) (cb + 1) (shared + 1)
+    end
+  in
+  go 0 0 0 0 0 0;
+  !out
+
+let popcount_mask x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let decompose_tracked ?g_fixed ?h_fixed ~memo ~stats ~target ~amask ~bmask () =
+  let triples =
+    decompose ~memo ?g_fixed ?h_fixed ~cap:decompose_cap ~target ~amask ~bmask ()
+  in
+  if List.compare_length_with triples decompose_cap >= 0 then
+    stats.truncated <- true;
+  triples
+
+(* Disjoint covers first: they are the cheap, common case, and the
+   entangled ones only matter when no disjoint split exists. Cover lists
+   depend only on (support set, slot counts), so they are cached. *)
+let covers_ordered ?(max_shared = max_int) ~memo ~support ~slots_a ~slots_b () =
+  let smask = List.fold_left (fun m v -> m lor (1 lsl v)) 0 support in
+  let key = (smask, slots_a, slots_b, max_shared) in
+  match Hashtbl.find_opt memo.covers_cache key with
+  | Some cs -> cs
+  | None ->
+    let cs = covers ~max_shared ~support ~slots_a ~slots_b () in
+    let overlap (a, b) = popcount_mask (a land b) in
+    let cs =
+      List.stable_sort (fun c1 c2 -> Stdlib.compare (overlap c1) (overlap c2)) cs
+    in
+    Hashtbl.replace memo.covers_cache key cs;
+    cs
+
+let proj_var_of tt =
+  (* If tt is exactly the projection of one variable, return it. *)
+  match Tt.support tt with
+  | [ v ] when Tt.equal tt (Tt.var (Tt.num_vars tt) v) -> Some v
+  | _ -> None
+
+(* Per-node structural data used for pruning: the number of distinct
+   internal nodes of the sub-DAG, the number of reachable leaf slots, and
+   a tree-expansion signature under which subtree feasibility results are
+   shared across shapes. *)
+(* Tree feasibility is invariant under NPN transforms of the target:
+   negations fold into gate codes, permutations relabel leaves. Keying
+   the memo on a canonical representative collapses the search space by
+   orders of magnitude; functions of up to four support variables use
+   the precomputed table, larger supports fall back to the raw
+   support-compacted table. *)
+let feasibility_key memo t =
+  match Hashtbl.find_opt memo.key_cache t with
+  | Some k -> k
+  | None ->
+    let shrunk, _ = Tt.shrink_to_support t in
+    let k = Tt.num_vars shrunk in
+    let key =
+      (* NPN-canonical keys are only sound when the basis is closed
+         under input/output complementation and operand swap; the
+         built-in full basis is. Restricted bases use raw keys. *)
+      if k <= 4 && memo.basis = full_basis then
+        let embedded =
+          if k = 4 then shrunk
+          else Tt.expand shrunk 4 (Array.init k (fun i -> i))
+        in
+        K4 (Stp_tt.Npn.canon4 (Tt.to_int embedded))
+      else Kraw shrunk
+    in
+    Hashtbl.replace memo.key_cache t key;
+    key
+
+(* Bounded tree feasibility: can ANY tree chain with at most [budget]
+   leaves (possibly repeating variables) realise [t]?  A sound necessary
+   condition for realisability inside any sub-DAG whose tree expansion
+   has [budget] leaves, memoised globally on (function, budget) — the
+   budget strictly decreases through the recursion, so the test
+   terminates even though overlapping splits do not shrink supports. *)
+let rec tree_ok ~memo ~stats ~deadline t budget =
+  let k = Tt.support_size t in
+  if k = 0 then false
+  else if k = 1 then proj_var_of t <> None
+  else if budget < k then false
+  else if k = 2 && single_gate_realises memo t then true
+  else if k = 2 && budget = 2 then false
+  else if memo.basis = full_basis && k = 2 then true
+  else if memo.basis = full_basis && budget >= 3 * k then true
+    (* ample room: do not spend time *)
+  else begin
+    let key = (feasibility_key memo t, budget) in
+    match Hashtbl.find_opt memo.feasibility key with
+    | Some r -> r
+    | None ->
+      Stp_util.Deadline.check deadline;
+      stats.feasibility_checks <- stats.feasibility_checks + 1;
+      let support = Tt.support t in
+      let result =
+        List.exists
+          (fun (amask, bmask) ->
+            List.exists
+              (fun { phi = _; g; h } ->
+                match min_tree_leaves ~memo ~stats ~deadline g (budget - 1) with
+                | None -> false
+                | Some la -> tree_ok ~memo ~stats ~deadline h (budget - la))
+              (decompose ~memo ~cap:decompose_cap ~target:t ~amask ~bmask ()))
+          (covers_ordered ~max_shared:(budget - k) ~memo ~support
+             ~slots_a:(budget - 1) ~slots_b:(budget - 1) ())
+      in
+      Hashtbl.replace memo.feasibility key result;
+      result
+  end
+
+(* Is [t] (a function of exactly two variables) one allowed gate applied
+   to the two support variables? *)
+and single_gate_realises memo t =
+  match Tt.support t with
+  | [ z1; z2 ] ->
+    let phi = ref 0 in
+    for a = 0 to 1 do
+      for b = 0 to 1 do
+        let m = (a lsl z1) lor (b lsl z2) in
+        if Tt.get t m then phi := !phi lor (1 lsl ((2 * a) + b))
+      done
+    done;
+    (memo.basis lsr !phi) land 1 = 1
+  | _ -> false
+
+(* Smallest leaf budget at most [upper] under which [t] is
+   tree-realisable. *)
+and min_tree_leaves ~memo ~stats ~deadline t upper =
+  let k = Tt.support_size t in
+  let rec scan l =
+    if l > upper then None
+    else if tree_ok ~memo ~stats ~deadline t l then Some l
+    else scan (l + 1)
+  in
+  scan (max k 1)
+
+(* Per-node structural data used for pruning and memoisation: distinct
+   and tree-expansion gate/leaf counts, plus two signatures of the
+   sub-DAG's tree expansion — a sorted one for feasibility results and an
+   order-preserving one for realisation fragments (whose node/leaf
+   traversal order matters). *)
+type node_info = {
+  sig_sorted : string;
+  sig_ordered : string;
+  gates_below : int;  (* distinct internal nodes, including the node *)
+  leaves_below : int; (* distinct reachable leaf slots *)
+  tree_gates : int;   (* nodes of the tree expansion (shared = copies) *)
+  tree_leaves : int;  (* leaves of the tree expansion *)
+  independent : bool; (* true tree: no node below (or here) has fanout > 1 *)
+}
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let node_infos shape =
+  let num = Dag.num_nodes shape in
+  let node_reach = Array.make num 0 in
+  let fanout = Array.make num 0 in
+  Array.iter
+    (fun (a, b) ->
+      (match a with Dag.N j -> fanout.(j) <- fanout.(j) + 1 | Dag.L _ -> ());
+      match b with Dag.N j -> fanout.(j) <- fanout.(j) + 1 | Dag.L _ -> ())
+    shape.Dag.fanins;
+  let dummy =
+    { sig_sorted = ""; sig_ordered = ""; gates_below = 0; leaves_below = 0;
+      tree_gates = 0; tree_leaves = 0; independent = false }
+  in
+  let infos = Array.make num dummy in
+  for i = 0 to num - 1 do
+    let fa, fb = shape.Dag.fanins.(i) in
+    let reach_of = function
+      | Dag.N j -> node_reach.(j) lor (1 lsl j)
+      | Dag.L _ -> 0
+    in
+    node_reach.(i) <- reach_of fa lor reach_of fb;
+    let ssig = function Dag.N j -> infos.(j).sig_sorted | Dag.L _ -> "L" in
+    let osig = function Dag.N j -> infos.(j).sig_ordered | Dag.L _ -> "L" in
+    let tg = function Dag.N j -> infos.(j).tree_gates | Dag.L _ -> 0 in
+    let tl = function Dag.N j -> infos.(j).tree_leaves | Dag.L _ -> 1 in
+    let indep = function Dag.N j -> infos.(j).independent | Dag.L _ -> true in
+    let sa = ssig fa and sb = ssig fb in
+    let lo, hi = if sa <= sb then (sa, sb) else (sb, sa) in
+    let children_independent =
+      indep fa && indep fb
+      && (match fa with Dag.N j -> fanout.(j) = 1 | Dag.L _ -> true)
+      && (match fb with Dag.N j -> fanout.(j) = 1 | Dag.L _ -> true)
+    in
+    infos.(i) <-
+      { sig_sorted = "(" ^ lo ^ hi ^ ")";
+        sig_ordered = "(" ^ osig fa ^ osig fb ^ ")";
+        gates_below = 1 + popcount node_reach.(i);
+        leaves_below = popcount shape.Dag.reach.(i);
+        tree_gates = 1 + tg fa + tg fb;
+        tree_leaves = tl fa + tl fb;
+        independent = children_independent }
+  done;
+  (infos, node_reach)
+
+let solve_shape ?(deadline = Stp_util.Deadline.never) ?memo ?stats ~cap ~shape
+    ~target () =
+  let n = Tt.num_vars target in
+  let memo = match memo with Some m -> m | None -> create_memo () in
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  stats.shapes_tried <- stats.shapes_tried + 1;
+  let num = Dag.num_nodes shape in
+  let infos, node_reach = node_infos shape in
+  let targets = Array.make num None in
+  let gates = Array.make num 0 in
+  let handled = Array.make num false in
+  let leaf_var = Array.make (max shape.Dag.num_leaves 1) (-1) in
+  let chains = ref [] in
+  let count = ref 0 in
+  targets.(num - 1) <- Some target;
+  let slot_cap = function
+    | Dag.N j -> infos.(j).leaves_below
+    | Dag.L _ -> 1
+  in
+  (* Feasibility of realising [t] in the sub-DAG of a fanin.  Two sound
+     tests combine: (a) the bounded-tree test on the sub-DAG's tree
+     expansion over-approximates realisability (shared nodes become
+     independent copies); (b) because smaller gate counts were exhausted
+     before this round, no sub-DAG may hold a function that a strictly
+     smaller tree realises — otherwise the whole chain would compress
+     below the current round, contradicting its minimality. *)
+  let feasible side t =
+    match side with
+    | Dag.L _ -> proj_var_of t <> None
+    | Dag.N j ->
+      let k = Tt.support_size t in
+      k >= 2
+      && infos.(j).tree_leaves >= k
+      && infos.(j).tree_gates >= k - 1
+      && (match
+            min_tree_leaves ~memo ~stats ~deadline t infos.(j).tree_leaves
+          with
+         | None -> false
+         | Some mtl ->
+           (* Minimality prune: a sub-DAG may not hold a function a
+              strictly smaller tree realises. Only sound when the tree
+              bound is exact: full basis, and below the ample-room
+              shortcut region of [tree_ok]. *)
+           memo.basis <> full_basis
+           || mtl >= 3 * k
+           || mtl - 1 >= infos.(j).gates_below)
+  in
+  (* Pre-order traversals of an independent subtree, for mapping memoised
+     fragments onto this shape's node and leaf identifiers. *)
+  let subtree_order j =
+    let nodes = ref [] and leaves = ref [] in
+    let rec walk = function
+      | Dag.L s -> leaves := s :: !leaves
+      | Dag.N i ->
+        nodes := i :: !nodes;
+        let fa, fb = shape.Dag.fanins.(i) in
+        walk fa;
+        walk fb
+    in
+    walk (Dag.N j);
+    (Array.of_list (List.rev !nodes), Array.of_list (List.rev !leaves))
+  in
+  (* All realisations of [t] at an independent subtree, memoised by the
+     ordered tree signature. A fragment stores gate codes and leaf
+     variables in pre-order. *)
+  let rec realize j t : fragment list =
+    Stp_util.Deadline.check deadline;
+    let support = Tt.support t in
+    let k = List.length support in
+    if k < 2 || infos.(j).tree_leaves < k || infos.(j).tree_gates < k - 1 then []
+    else begin
+      let key = (infos.(j).sig_ordered, t) in
+      match Hashtbl.find_opt memo.realisations key with
+      | Some r -> r
+      | None ->
+        let fa, fb = shape.Dag.fanins.(j) in
+        let result =
+          match (fa, fb) with
+          | Dag.L _, Dag.L _ ->
+            if k = 2 then begin
+              let z1, z2 =
+                match support with [ a; b ] -> (a, b) | _ -> assert false
+              in
+              let phi = ref 0 in
+              for a = 0 to 1 do
+                for b = 0 to 1 do
+                  let m = (a lsl z1) lor (b lsl z2) in
+                  if Tt.get t m then phi := !phi lor (1 lsl ((2 * a) + b))
+                done
+              done;
+              if (memo.basis lsr !phi) land 1 = 1 then
+                [ { frag_gates = [| !phi |]; frag_leaves = [| z1; z2 |] } ]
+              else []
+            end
+            else []
+          | _ ->
+            let acc = ref [] in
+            let realise_side side f =
+              match side with
+              | Dag.L _ -> (
+                match proj_var_of f with
+                | Some z ->
+                  [ { frag_gates = [||]; frag_leaves = [| z |] } ]
+                | None -> [])
+              | Dag.N c ->
+                (* Minimality: within an independent subtree of tl leaves,
+                   the function must not fit a smaller tree — only sound
+                   for the exact (full-basis, non-shortcut) tree bound. *)
+                let tl = infos.(c).tree_leaves in
+                let kf = Tt.support_size f in
+                if
+                  tree_ok ~memo ~stats ~deadline f tl
+                  && not
+                       (memo.basis = full_basis && tl > 2
+                       && tl - 1 < 3 * kf
+                       && tree_ok ~memo ~stats ~deadline f (tl - 1))
+                then realize c f
+                else []
+            in
+            List.iter
+              (fun (amask, bmask) ->
+                stats.decompose_calls <- stats.decompose_calls + 1;
+                List.iter
+                  (fun { phi; g; h } ->
+                    if List.length !acc < cap then begin
+                      let frags_a = realise_side fa g in
+                      if frags_a <> [] then begin
+                        let frags_b = realise_side fb h in
+                        List.iter
+                          (fun fra ->
+                            List.iter
+                              (fun frb ->
+                                if List.length !acc < cap then
+                                  acc :=
+                                    { frag_gates =
+                                        Array.concat
+                                          [ [| phi |]; fra.frag_gates;
+                                            frb.frag_gates ];
+                                      frag_leaves =
+                                        Array.append fra.frag_leaves
+                                          frb.frag_leaves }
+                                    :: !acc)
+                              frags_b)
+                          frags_a
+                      end
+                    end)
+                  (decompose_tracked ~memo ~stats ~target:t ~amask ~bmask ()))
+              (covers_ordered ~memo ~support ~slots_a:(slot_cap fa)
+               ~slots_b:(slot_cap fb) ());
+            if List.length !acc >= cap then stats.truncated <- true;
+            List.rev !acc
+        in
+        Hashtbl.replace memo.realisations key result;
+        result
+    end
+  in
+  let emit () =
+    let steps =
+      Array.to_list
+        (Array.mapi
+           (fun i (fa, fb) ->
+             let signal = function
+               | Dag.N j -> n + j
+               | Dag.L s -> leaf_var.(s)
+             in
+             { Chain.fanin1 = signal fa; fanin2 = signal fb; gate = gates.(i) })
+           shape.Dag.fanins)
+    in
+    let chain = Chain.make ~n ~steps ~output:(n + num - 1) () in
+    chains := chain :: !chains;
+    incr count;
+    stats.candidates_emitted <- stats.candidates_emitted + 1
+  in
+  let fixed_target = function
+    | Dag.N j -> targets.(j)
+    | Dag.L _ -> None
+  in
+  (* Bind a side to a subfunction; returns an undo closure, or None if the
+     binding is inconsistent or provably unrealisable. *)
+  let bind side f =
+    match side with
+    | Dag.N j -> (
+      match targets.(j) with
+      | None ->
+        let k = Tt.support_size f in
+        if
+          k <= infos.(j).leaves_below
+          && k - 1 <= infos.(j).gates_below
+          && feasible side f
+        then begin
+          targets.(j) <- Some f;
+          Some (fun () -> targets.(j) <- None)
+        end
+        else None
+      | Some f0 -> if Tt.equal f f0 then Some (fun () -> ()) else None)
+    | Dag.L s -> (
+      match proj_var_of f with
+      | Some z ->
+        leaf_var.(s) <- z;
+        Some (fun () -> leaf_var.(s) <- -1)
+      | None -> None)
+  in
+  let rec assign node =
+    Stp_util.Deadline.check deadline;
+    if !count >= cap then stats.truncated <- true
+    else if node < 0 then emit ()
+    else if handled.(node) then assign (node - 1)
+    else begin
+      let t = match targets.(node) with Some t -> t | None -> assert false in
+      let support = Tt.support t in
+      let k = List.length support in
+      let fa, fb = shape.Dag.fanins.(node) in
+      if k < 2 then () (* a 2-input step realising t would be degenerate *)
+      else if infos.(node).independent then begin
+        (* Whole independent subtree at once, from the memoised
+           realisations. *)
+        let node_order, leaf_order = subtree_order node in
+        let inner = node_reach.(node) in
+        List.iter
+          (fun frag ->
+            if !count < cap then begin
+              Array.iteri (fun p i -> gates.(i) <- frag.frag_gates.(p)) node_order;
+              Array.iteri
+                (fun p s -> leaf_var.(s) <- frag.frag_leaves.(p))
+                leaf_order;
+              for i = 0 to num - 1 do
+                if (inner lsr i) land 1 = 1 then handled.(i) <- true
+              done;
+              assign (node - 1);
+              for i = 0 to num - 1 do
+                if (inner lsr i) land 1 = 1 then handled.(i) <- false
+              done;
+              Array.iter (fun s -> leaf_var.(s) <- -1) leaf_order
+            end)
+          (realize node t)
+      end
+      else begin
+        let try_triple { phi; g; h } =
+          if !count < cap then begin
+            (* Internal/internal pairs computing complementary or equal
+               functions cannot occur in a size-optimal chain. *)
+            let both_internal =
+              match (fa, fb) with Dag.N _, Dag.N _ -> true | _ -> false
+            in
+            if both_internal && (Tt.equal g h || Tt.equal g (Tt.bnot h)) then ()
+            else
+              match bind fa g with
+              | None -> ()
+              | Some undo_a -> (
+                match bind fb h with
+                | None -> undo_a ()
+                | Some undo_b ->
+                  gates.(node) <- phi;
+                  assign (node - 1);
+                  undo_b ();
+                  undo_a ())
+          end
+        in
+        let slots_a = slot_cap fa and slots_b = slot_cap fb in
+        if slots_a + slots_b >= k then begin
+          let cover_list = covers_ordered ~memo ~support ~slots_a ~slots_b () in
+          List.iter
+            (fun (amask, bmask) ->
+              if !count < cap then begin
+                (* Pre-filter covers against already-fixed child
+                   targets. *)
+                let ok_fixed side mask =
+                  match fixed_target side with
+                  | None -> true
+                  | Some f0 -> Tt.support_mask f0 land lnot mask = 0
+                in
+                if ok_fixed fa amask && ok_fixed fb bmask then begin
+                  stats.decompose_calls <- stats.decompose_calls + 1;
+                  let triples =
+                    decompose_tracked ~memo ~stats ~target:t ~amask ~bmask ()
+                  in
+                  List.iter try_triple triples
+                end
+              end)
+            cover_list
+        end
+      end
+    end
+  in
+  if
+    Tt.support_size target >= 2
+    && shape.Dag.num_leaves >= Tt.support_size target
+    && feasible (Dag.N (num - 1)) target
+  then assign (num - 1);
+  if !count >= cap then stats.truncated <- true;
+  !chains

@@ -1,0 +1,139 @@
+module Tt = Stp_tt.Tt
+module Chain = Stp_chain.Chain
+module Mchain = Stp_chain.Mchain
+module Solver = Stp_sat.Solver
+
+type result = {
+  status : Spec.status;
+  mchain : Stp_chain.Mchain.t option;
+  gates : int option;
+  elapsed : float;
+}
+
+let check_outputs fs =
+  if Array.length fs = 0 then invalid_arg "Multi: no outputs";
+  let n = Tt.num_vars fs.(0) in
+  Array.iter
+    (fun f ->
+      if Tt.num_vars f <> n then invalid_arg "Multi: mixed arities";
+      if Tt.is_const f then
+        invalid_arg "Multi: constant outputs have no Boolean chain")
+    fs;
+  n
+
+let exact ?(options = Spec.default_options) fs =
+  let n = check_outputs fs in
+  ignore n;
+  let start = Stp_util.Unix_time.now () in
+  let deadline = Spec.deadline_of options in
+  let elapsed () = Stp_util.Unix_time.now () -. start in
+  let lower =
+    Array.fold_left (fun acc f -> max acc (Tt.support_size f - 1)) 1 fs
+  in
+  let rec loop r =
+    if r > options.Spec.max_gates then
+      { status = Spec.Timeout; mchain = None; gates = None; elapsed = elapsed () }
+    else begin
+      let solver = Solver.create () in
+      match
+        Stp_encodings.Ssv_multi.build ?basis:options.Spec.basis ~solver ~fs ~r ()
+      with
+      | None -> loop (r + 1)
+      | Some enc -> (
+        match Solver.solve ~deadline solver with
+        | Solver.Unsat -> loop (r + 1)
+        | Solver.Unknown ->
+          { status = Spec.Timeout; mchain = None; gates = None;
+            elapsed = elapsed () }
+        | Solver.Sat ->
+          let mc = Stp_encodings.Ssv_multi.decode enc in
+          let sims = Mchain.simulate mc in
+          Array.iteri (fun k f -> assert (Tt.equal sims.(k) f)) fs;
+          { status = Spec.Solved; mchain = Some mc; gates = Some r;
+            elapsed = elapsed () })
+    end
+  in
+  loop lower
+
+(* Greedy structural merging of per-output optimum chains. *)
+let stp_shared ?(options = Spec.default_options) fs =
+  let n = check_outputs fs in
+  let start = Stp_util.Unix_time.now () in
+  let elapsed () = Stp_util.Unix_time.now () -. start in
+  let per_output =
+    Array.map (fun f -> Stp_exact.synthesize ~options f) fs
+  in
+  if Array.exists (fun (r : Spec.result) -> r.Spec.status <> Spec.Solved)
+       per_output
+  then { status = Spec.Timeout; mchain = None; gates = None; elapsed = elapsed () }
+  else begin
+    (* Pool of merged steps: (f1, f2, gate) -> pool signal. *)
+    let table : (int * int * int, int) Hashtbl.t = Hashtbl.create 97 in
+    let pool : Chain.step list ref = ref [] in
+    let pool_size = ref 0 in
+    (* Merge one chain; returns (output signal, flag) in pool space and
+       the number of freshly added steps. *)
+    let merge (c : Chain.t) ~commit =
+      let saved_table = Hashtbl.copy table in
+      let saved_pool = !pool and saved_size = !pool_size in
+      let map = Array.make (c.Chain.n + Chain.size c) (-1) in
+      for i = 0 to c.Chain.n - 1 do
+        map.(i) <- i
+      done;
+      let added = ref 0 in
+      Array.iteri
+        (fun i (st : Chain.step) ->
+          let f1 = map.(st.fanin1) and f2 = map.(st.fanin2) in
+          let f1, f2, gate =
+            if f1 <= f2 then (f1, f2, st.gate)
+            else (f2, f1, Stp_chain.Gate.swap_operands st.gate)
+          in
+          let signal =
+            match Hashtbl.find_opt table (f1, f2, gate) with
+            | Some s -> s
+            | None ->
+              let s = n + !pool_size in
+              incr pool_size;
+              incr added;
+              pool := { Chain.fanin1 = f1; fanin2 = f2; gate } :: !pool;
+              Hashtbl.replace table (f1, f2, gate) s;
+              s
+          in
+          map.(c.Chain.n + i) <- signal)
+        c.Chain.steps;
+      let out = (map.(c.Chain.output), c.Chain.output_negated) in
+      if not commit then begin
+        Hashtbl.reset table;
+        Hashtbl.iter (Hashtbl.replace table) saved_table;
+        pool := saved_pool;
+        pool_size := saved_size
+      end;
+      (out, !added)
+    in
+    let outputs =
+      Array.to_list
+        (Array.map
+           (fun (r : Spec.result) ->
+             (* Pick the candidate that adds the fewest fresh gates. *)
+             let best =
+               List.fold_left
+                 (fun acc c ->
+                   let _, added = merge c ~commit:false in
+                   match acc with
+                   | Some (_, best_added) when best_added <= added -> acc
+                   | _ -> Some (c, added))
+                 None r.Spec.chains
+             in
+             match best with
+             | None -> assert false
+             | Some (c, _) ->
+               let out, _ = merge c ~commit:true in
+               out)
+           per_output)
+    in
+    let mc = Mchain.make ~n ~steps:(List.rev !pool) ~outputs in
+    let sims = Mchain.simulate mc in
+    Array.iteri (fun k f -> assert (Tt.equal sims.(k) f)) fs;
+    { status = Spec.Solved; mchain = Some mc; gates = Some !pool_size;
+      elapsed = elapsed () }
+  end

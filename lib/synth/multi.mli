@@ -1,0 +1,21 @@
+(** Multi-output synthesis: the full Boolean-chain model of Section
+    II-B, where one shared gate pool drives several outputs. *)
+
+type result = {
+  status : Spec.status;
+  mchain : Stp_chain.Mchain.t option;
+  gates : int option;
+  elapsed : float;
+}
+
+val exact : ?options:Spec.options -> Stp_tt.Tt.t array -> result
+(** Size-optimal multi-output chain via the multi-output SSV encoding on
+    the CDCL solver — exact, one solution. Outputs must share one
+    arity. *)
+
+val stp_shared : ?options:Spec.options -> Stp_tt.Tt.t array -> result
+(** Heuristic multi-output synthesis in the STP spirit: each output is
+    synthesised exactly (all optimum chains), then one chain per output
+    is chosen to maximise structural sharing and the union is merged
+    with {!Stp_chain.Chain_opt}-style hashing. An upper bound on the
+    exact multi-output optimum — fast where {!exact} is not. *)

@@ -1,0 +1,22 @@
+(** The paper's exact-synthesis algorithm (Section III).
+
+    For increasing gate counts [r] starting at [support - 1], enumerate
+    the DAG shapes of the pruned fence family [F_r] (Section III-A),
+    factor the target's STP canonical form over each shape (Section
+    III-B), collect {e all} Boolean-chain candidates, and keep those the
+    circuit AllSAT solver verifies (Section III-C). The first gate count
+    with verified chains is optimum, and every optimum chain of that
+    size is returned in one pass. *)
+
+val synthesize :
+  ?options:Spec.options -> Stp_tt.Tt.t -> Spec.result
+(** All optimum chains for the target. The result chains range over the
+    target's full variable space.
+    @raise Invalid_argument on constant targets. *)
+
+val synthesize_npn :
+  ?options:Spec.options -> Stp_tt.Tt.t -> Spec.result
+(** Like {!synthesize}, but canonicalises the target's NPN class first
+    and maps the solutions back — cheaper when many equivalent functions
+    are synthesised, and a direct use of the paper's NPN reduction.
+    Practical for targets of at most 6 support variables. *)

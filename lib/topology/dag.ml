@@ -1,0 +1,163 @@
+type fanin = N of int | L of int
+
+type t = {
+  fence : Fence.t;
+  level : int array;
+  fanins : (fanin * fanin) array;
+  num_leaves : int;
+  reach : int array;
+  is_tree : bool;
+}
+
+let num_nodes s = Array.length s.fanins
+
+let top s = num_nodes s - 1
+
+(* During generation leaves are anonymous; [Raw_leaf] marks a slot. *)
+type raw = RN of int | RL
+
+let raw_compare a b =
+  match (a, b) with
+  | RN i, RN j -> Stdlib.compare i j
+  | RN _, RL -> -1
+  | RL, RN _ -> 1
+  | RL, RL -> 0
+
+let pair_compare (a1, a2) (b1, b2) =
+  let c = raw_compare a1 b1 in
+  if c <> 0 then c else raw_compare a2 b2
+
+let iter_fence fence yield =
+  let l = Array.length fence in
+  let num = Array.fold_left ( + ) 0 fence in
+  (* node index ranges per level *)
+  let level_start = Array.make l 0 in
+  for i = 1 to l - 1 do
+    level_start.(i) <- level_start.(i - 1) + fence.(i - 1)
+  done;
+  let level_of = Array.make num 0 in
+  for lev = 0 to l - 1 do
+    for i = level_start.(lev) to level_start.(lev) + fence.(lev) - 1 do
+      level_of.(i) <- lev
+    done
+  done;
+  (* Fanin pair candidates for a node at level [lev], normalised so the
+     pair is sorted and distinct (two leaf slots are distinct signals, so
+     (RL, RL) is allowed). At least one fanin is from level lev-1. *)
+  let candidates lev =
+    if lev = 0 then [ (RL, RL) ]
+    else begin
+      let prev =
+        List.init fence.(lev - 1) (fun i -> RN (level_start.(lev - 1) + i))
+      in
+      let lower =
+        List.concat
+          (List.init (level_start.(lev - 1)) (fun i -> [ RN i ]))
+      in
+      let others = (RL :: lower) @ prev in
+      let pairs = ref [] in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun o ->
+              let pair = if raw_compare p o <= 0 then (p, o) else (o, p) in
+              match pair with
+              | RN i, RN j when i = j -> ()
+              | _ -> if not (List.mem pair !pairs) then pairs := pair :: !pairs)
+            others)
+        prev;
+      List.sort pair_compare !pairs
+    end
+  in
+  (* Cook a raw result: number the leaf slots, compute reach masks. *)
+  let cook raw =
+    let next_leaf = ref 0 in
+    let fanins =
+      Array.map
+        (fun (a, b) ->
+          let cook_one = function
+            | RN i -> N i
+            | RL ->
+              let id = !next_leaf in
+              incr next_leaf;
+              L id
+          in
+          let a = cook_one a in
+          let b = cook_one b in
+          (a, b))
+        raw
+    in
+    let reach = Array.make num 0 in
+    Array.iteri
+      (fun i (a, b) ->
+        let r = function N j -> reach.(j) | L id -> 1 lsl id in
+        reach.(i) <- r a lor r b)
+      fanins;
+    let fanout = Array.make num 0 in
+    Array.iter
+      (fun (a, b) ->
+        (match a with N j -> fanout.(j) <- fanout.(j) + 1 | L _ -> ());
+        match b with N j -> fanout.(j) <- fanout.(j) + 1 | L _ -> ())
+      fanins;
+    let is_tree = Array.for_all (fun c -> c <= 1) fanout in
+    { fence; level = level_of; fanins; num_leaves = !next_leaf; reach; is_tree }
+  in
+  (* Enumerate per node, with non-decreasing pairs within a level. *)
+  let chosen = Array.make num (RL, RL) in
+  let rec go node =
+    if node = num then begin
+      (* fanout check: every non-top node referenced *)
+      let used = Array.make num false in
+      Array.iter
+        (fun (a, b) ->
+          (match a with RN j -> used.(j) <- true | RL -> ());
+          match b with RN j -> used.(j) <- true | RL -> ())
+        chosen;
+      let ok = ref true in
+      for i = 0 to num - 2 do
+        if not used.(i) then ok := false
+      done;
+      if !ok then yield (cook (Array.copy chosen))
+    end
+    else begin
+      let lev = level_of.(node) in
+      let first_of_level = node = level_start.(lev) in
+      List.iter
+        (fun pair ->
+          if first_of_level || pair_compare chosen.(node - 1) pair <= 0 then begin
+            chosen.(node) <- pair;
+            go (node + 1)
+          end)
+        (candidates lev)
+    end
+  in
+  go 0
+
+let of_fence fence =
+  let acc = ref [] in
+  iter_fence fence (fun s -> acc := s :: !acc);
+  List.rev !acc
+
+let iter k yield = List.iter (fun f -> iter_fence f yield) (Fence.generate_pruned k)
+
+let enumerate k =
+  List.concat_map of_fence (Fence.generate_pruned k)
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let reach_count s i = popcount s.reach.(i)
+
+let pp_fanin fmt = function
+  | N i -> Format.fprintf fmt "n%d" i
+  | L i -> Format.fprintf fmt "l%d" i
+
+let pp fmt s =
+  Format.fprintf fmt "%a[" Fence.pp s.fence;
+  Array.iteri
+    (fun i (a, b) ->
+      if i > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "n%d=(%a,%a)" i pp_fanin a pp_fanin b)
+    s.fanins;
+  Format.fprintf fmt "]"

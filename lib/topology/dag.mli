@@ -1,0 +1,54 @@
+(** DAG shapes generated from fences (Fig. 3).
+
+    A {e shape} fixes, for every node of a fence, which earlier nodes or
+    fresh leaf slots its two fanins connect to — the "DAGs with
+    connectivity information" of Section III-A. Leaf slots are anonymous
+    here; the synthesis engine binds them to input variables.
+
+    Structural constraints, following the paper:
+    - nodes are 2-input; the two fanins are distinct;
+    - every node takes at least one fanin from the level directly below
+      it (bottom-level nodes read leaves only);
+    - exactly one node sits at the top, and every other node is read by
+      at least one later node;
+    - within a level, nodes carry non-decreasing fanin pairs, removing
+      most isomorphic duplicates. *)
+
+type fanin =
+  | N of int  (** an earlier node, by index *)
+  | L of int  (** a leaf slot, numbered in order of appearance *)
+
+type t = {
+  fence : Fence.t;
+  level : int array;             (** level of each node *)
+  fanins : (fanin * fanin) array; (** per node, in topological order *)
+  num_leaves : int;
+  reach : int array;             (** per node: bitmask of reachable leaf slots *)
+  is_tree : bool;                (** no internal node has fanout above 1 *)
+}
+
+val num_nodes : t -> int
+
+val top : t -> int
+(** Index of the (single) top node. *)
+
+val of_fence : Fence.t -> t list
+(** All shapes of one fence. *)
+
+val enumerate : int -> t list
+(** [enumerate k] is all shapes over all pruned fences of [k] nodes. *)
+
+val iter_fence : Fence.t -> (t -> unit) -> unit
+(** [iter_fence fence f] applies [f] to every shape of the fence without
+    materialising the list — the shape families of large gate counts are
+    big, and a synthesis run usually stops early (first solution or
+    deadline, both delivered by exception). *)
+
+val iter : int -> (t -> unit) -> unit
+(** [iter k f] streams all shapes over all pruned fences of [k] nodes. *)
+
+val reach_count : t -> int -> int
+(** Number of leaf slots reachable from a node — an upper bound on its
+    support size. *)
+
+val pp : Format.formatter -> t -> unit

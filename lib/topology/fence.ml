@@ -1,0 +1,51 @@
+type t = int array
+
+let generate k =
+  if k <= 0 then invalid_arg "Fence.generate";
+  (* All compositions of k, shortest (fewest levels) first. *)
+  let rec compositions k =
+    if k = 0 then [ [] ]
+    else
+      List.concat_map
+        (fun first -> List.map (fun rest -> first :: rest) (compositions (k - first)))
+        (List.init k (fun i -> i + 1))
+  in
+  compositions k
+  |> List.map Array.of_list
+  |> List.sort (fun a b ->
+         let c = Stdlib.compare (Array.length a) (Array.length b) in
+         if c <> 0 then c else Stdlib.compare a b)
+
+let num_nodes f = Array.fold_left ( + ) 0 f
+
+let num_levels f = Array.length f
+
+let feasible f =
+  let l = Array.length f in
+  f.(l - 1) = 1
+  &&
+  (* Every non-top level must be referenceable from above: level l' > ℓ+1
+     contributes its free slots (one of its two is committed to the level
+     directly below it), level ℓ+1 contributes both. *)
+  let ok = ref true in
+  for lev = 0 to l - 2 do
+    let capacity = ref (2 * f.(lev + 1)) in
+    for above = lev + 2 to l - 1 do
+      capacity := !capacity + f.(above)
+    done;
+    if f.(lev) > !capacity then ok := false
+  done;
+  !ok
+
+let prune fences = List.filter feasible fences
+
+let generate_pruned k = prune (generate k)
+
+let pp fmt f =
+  Format.fprintf fmt "<";
+  Array.iteri
+    (fun i c ->
+      if i > 0 then Format.fprintf fmt ",";
+      Format.fprintf fmt "%d" c)
+    f;
+  Format.fprintf fmt ">"

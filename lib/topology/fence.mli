@@ -1,0 +1,30 @@
+(** Boolean fences (Section III-A; Haaswijk et al., DAC'18).
+
+    A fence over [k] nodes and [l] levels is a partition of the nodes
+    into [l] non-empty levels. We represent a fence as an int array of
+    per-level node counts, index 0 being the {e bottom} level (the one
+    whose nodes read only primary inputs). *)
+
+type t = int array
+
+val generate : int -> t list
+(** [generate k] is the full family [F_k]: all compositions of [k],
+    grouped by number of levels, in a deterministic order.
+    [List.length (generate k) = 2^(k-1)]. *)
+
+val prune : t list -> t list
+(** The paper's pruning (Fig. 2b): keep fences with a single node at the
+    top (single-output networks) and through which 2-input nodes can
+    form a connected, fully-used DAG: every non-top level must be
+    referenceable, i.e. the nodes above any level must offer enough
+    fanin slots for all nodes of that level, counting that each node
+    must take at least one fanin from the level directly below it. *)
+
+val generate_pruned : int -> t list
+
+val num_nodes : t -> int
+
+val num_levels : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [<2,1>], bottom level first. *)

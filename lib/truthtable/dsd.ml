@@ -1,0 +1,152 @@
+type kind = Constant | Literal | Full | Partial | Prime
+
+(* Enumerate the assignments of the variables in [mask] (a bitmask over
+   the ambient variable space) and return, for each assignment, the
+   cofactor of [t] under it. *)
+let blocks_of t mask =
+  let vars =
+    List.filter (fun i -> (mask lsr i) land 1 = 1)
+      (List.init (Tt.num_vars t) (fun i -> i))
+  in
+  let rec loop t = function
+    | [] -> [ t ]
+    | v :: rest ->
+      loop (Tt.cofactor t v false) rest @ loop (Tt.cofactor t v true) rest
+  in
+  loop t vars
+
+(* Check f = phi (g over A) (h over B) for disjoint A, B covering the
+   support. Returns (g, h) over the ambient space on success. The blocks
+   of f grouped by A-assignments must take at most two distinct values;
+   with two values r0 <> r1 the pair must be realisable as
+   {phi(0, h), phi(1, h)}: each side constant, or complements of each
+   other, or equal (impossible for distinct). *)
+let split t mask_a =
+  let bs = blocks_of t mask_a in
+  match bs with
+  | [] -> None
+  | first :: rest ->
+    let distinct =
+      List.fold_left
+        (fun acc b -> if List.exists (Tt.equal b) acc then acc else b :: acc)
+        [ first ] rest
+    in
+    (match distinct with
+     | [ _ ] -> None (* t does not depend on A *)
+     | [ rx; ry ] ->
+       let const_of b = Tt.is_const_of b in
+       let ok, h =
+         match (const_of rx, const_of ry) with
+         | Some _, Some _ -> (false, rx) (* t does not depend on B *)
+         | Some _, None -> (true, ry)
+         | None, Some _ -> (true, rx)
+         | None, None -> (Tt.equal rx (Tt.bnot ry), rx)
+       in
+       if not ok then None
+       else begin
+         (* g(alpha) = 1 iff block_alpha = ry (labelling is symmetric;
+            any consistent labelling gives a valid decomposition). *)
+         let n = Tt.num_vars t in
+         let g =
+           Tt.of_fun n (fun m ->
+               (* Identify the block of the A-part of m. *)
+               let rec fix t i =
+                 if i = n then t
+                 else if (mask_a lsr i) land 1 = 1 then
+                   fix (Tt.cofactor t i ((m lsr i) land 1 = 1)) (i + 1)
+                 else fix t (i + 1)
+               in
+               Tt.equal (fix t 0) ry)
+         in
+         Some (g, h)
+       end
+     | _ -> None)
+
+let proper_subsets_containing_lowest support_vars =
+  match support_vars with
+  | [] | [ _ ] -> []
+  | lowest :: rest ->
+    let rest = Array.of_list rest in
+    let k = Array.length rest in
+    (* Subsets of rest, each union {lowest}; exclude the full set. *)
+    let out = ref [] in
+    for s = 0 to (1 lsl k) - 2 do
+      let mask = ref (1 lsl lowest) in
+      for i = 0 to k - 1 do
+        if (s lsr i) land 1 = 1 then mask := !mask lor (1 lsl rest.(i))
+      done;
+      out := !mask :: !out
+    done;
+    List.rev !out
+
+let support_mask t = List.fold_left (fun m v -> m lor (1 lsl v)) 0 (Tt.support t)
+
+let top_splits t =
+  let sup = Tt.support t in
+  let full = support_mask t in
+  List.filter_map
+    (fun mask_a ->
+      match split t mask_a with
+      | Some _ -> Some (mask_a, full land lnot mask_a)
+      | None -> None)
+    (proper_subsets_containing_lowest sup)
+
+let rec is_fully_dsd t =
+  match Tt.support t with
+  | [] | [ _ ] -> true
+  | [ _; _ ] -> true (* any 2-input function is a single gate *)
+  | sup ->
+    List.exists
+      (fun mask_a ->
+        match split t mask_a with
+        | None -> false
+        | Some (g, h) -> is_fully_dsd g && is_fully_dsd h)
+      (proper_subsets_containing_lowest sup)
+
+(* A proper DSD block extraction: A with 2 <= |A| < support such that
+   grouping by the B = support \ A assignments yields blocks over A that
+   are all in {0, 1, g, not g} for one common g. *)
+let has_block_extraction t =
+  let sup = Tt.support t in
+  let k = List.length sup in
+  let sup_arr = Array.of_list sup in
+  let subsets =
+    (* all subsets of the support with 2 <= size < k *)
+    let out = ref [] in
+    for s = 1 to (1 lsl k) - 2 do
+      let size = ref 0 and mask = ref 0 in
+      for i = 0 to k - 1 do
+        if (s lsr i) land 1 = 1 then begin
+          incr size;
+          mask := !mask lor (1 lsl sup_arr.(i))
+        end
+      done;
+      if !size >= 2 then out := !mask :: !out
+    done;
+    !out
+  in
+  let full = support_mask t in
+  List.exists
+    (fun mask_a ->
+      let mask_b = full land lnot mask_a in
+      let bs = blocks_of t mask_b in
+      (* blocks over A indexed by B-assignments *)
+      let non_const = List.filter (fun b -> not (Tt.is_const b)) bs in
+      match non_const with
+      | [] -> false
+      | g :: rest ->
+        let ng = Tt.bnot g in
+        List.for_all (fun b -> Tt.equal b g || Tt.equal b ng) rest)
+    subsets
+
+let kind t =
+  match Tt.support t with
+  | [] -> Constant
+  | [ _ ] -> Literal
+  | [ _; _ ] -> Full
+  | _ ->
+    if is_fully_dsd t then Full
+    else if has_block_extraction t then Partial
+    else Prime
+
+let is_prime t = kind t = Prime

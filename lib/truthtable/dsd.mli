@@ -1,0 +1,46 @@
+(** Disjoint-support decomposition (DSD) analysis.
+
+    A function is {e fully DSD-decomposable} (FDSD) when it can be
+    written as a read-once formula over arbitrary 2-input gates: every
+    support variable appears exactly once, and every internal block is a
+    2-input operator. This matches the FDSD collections of the paper
+    (functions "that occur frequently in practical synthesis and
+    technology mapping" are predominantly of this shape).
+
+    A function is {e partially DSD-decomposable} (PDSD) when it admits at
+    least one proper disjoint-support block extraction but is not fully
+    decomposable — its DSD tree contains a prime node.
+
+    All analyses work on the function projected onto its support. *)
+
+type kind =
+  | Constant      (** no support *)
+  | Literal       (** support of size 1 *)
+  | Full          (** fully DSD-decomposable into 2-input gates *)
+  | Partial       (** decomposable, but with a prime block *)
+  | Prime         (** no proper disjoint decomposition at all *)
+
+val kind : Tt.t -> kind
+
+val is_fully_dsd : Tt.t -> bool
+(** [is_fully_dsd t] is [true] iff [kind t] is [Full], [Literal] or
+    [Constant]. *)
+
+val is_prime : Tt.t -> bool
+(** [is_prime t] is [true] iff [t] (projected onto its support, of size
+    >= 3) admits no decomposition [t = F(g(A), B)] with [2 <= |A| <
+    support] and no binary top split. *)
+
+val top_splits : Tt.t -> (int * int) list
+(** [top_splits t] lists the bipartitions [(maskA, maskB)] of the support
+    of [t] (masks over variable indices, [maskA] containing the lowest
+    support variable to avoid mirror duplicates) such that
+    [t = phi (g maskA) (h maskB)] for some 2-input gate [phi] and
+    subfunctions [g], [h] of disjoint supports. *)
+
+val split : Tt.t -> int -> (Tt.t * Tt.t) option
+(** [split t maskA] checks the candidate bipartition of [t]'s support
+    into [maskA] and its complement. On success it returns subfunctions
+    [(g, h)] over the full variable space with supports inside [maskA]
+    and its complement, such that [t] is a 2-input gate applied to [g]
+    and [h]. *)

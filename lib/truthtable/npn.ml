@@ -1,0 +1,109 @@
+type transform = {
+  perm : int array;
+  input_neg : int;
+  output_neg : bool;
+}
+
+let identity n = { perm = Array.init n (fun i -> i); input_neg = 0; output_neg = false }
+
+let apply t tr =
+  let n = Tt.num_vars t in
+  if Array.length tr.perm <> n then invalid_arg "Npn.apply";
+  let t = ref t in
+  for i = 0 to n - 1 do
+    if (tr.input_neg lsr i) land 1 = 1 then t := Tt.negate_var !t i
+  done;
+  let t = Tt.permute !t tr.perm in
+  if tr.output_neg then Tt.bnot t else t
+
+let inverse tr =
+  let n = Array.length tr.perm in
+  (* With sigma the minterm map of perm (bit i of m lands at position
+     perm(i)) and nu the negation mask, [apply t tr] computes
+     m -> t(sigma(m) xor nu) xor o.  Since sigma is coordinate-linear,
+     the inverse is perm' = perm⁻¹ and nu' = sigma⁻¹(nu), same output
+     flag: bit j of nu lands at position perm⁻¹(j) of nu'. *)
+  let perm' = Array.make n 0 in
+  Array.iteri (fun i p -> perm'.(p) <- i) tr.perm;
+  let neg' = ref 0 in
+  for j = 0 to n - 1 do
+    if (tr.input_neg lsr j) land 1 = 1 then neg' := !neg' lor (1 lsl perm'.(j))
+  done;
+  { perm = perm'; input_neg = !neg'; output_neg = tr.output_neg }
+
+let permutations n =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l ->
+      (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x ys)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert_everywhere x) (perms xs)
+  in
+  perms (List.init n (fun i -> i)) |> List.map Array.of_list
+
+let all_transforms n =
+  let perms = permutations n in
+  List.concat_map
+    (fun perm ->
+      List.concat_map
+        (fun output_neg ->
+          List.init (1 lsl n) (fun input_neg -> { perm; input_neg; output_neg }))
+        [ false; true ])
+    perms
+
+let canonical t =
+  let n = Tt.num_vars t in
+  let best = ref t and best_tr = ref (identity n) in
+  List.iter
+    (fun tr ->
+      let cand = apply t tr in
+      if Tt.compare cand !best < 0 then begin
+        best := cand;
+        best_tr := tr
+      end)
+    (all_transforms n);
+  (!best, !best_tr)
+
+let is_canonical t = Tt.equal t (fst (canonical t))
+
+let canon4_table =
+  lazy
+    (let total = 1 lsl 16 in
+     let table = Array.make total (-1) in
+     let transforms = all_transforms 4 in
+     for v = 0 to total - 1 do
+       if table.(v) < 0 then begin
+         let rep = Tt.of_int 4 v in
+         List.iter
+           (fun tr ->
+             let image = Tt.to_int (apply rep tr) in
+             if table.(image) < 0 then table.(image) <- v)
+           transforms
+       end
+     done;
+     table)
+
+let canon4 v =
+  if v < 0 || v >= 1 lsl 16 then invalid_arg "Npn.canon4";
+  (Lazy.force canon4_table).(v)
+
+let classes n =
+  if n > 4 then invalid_arg "Npn.classes: n too large for exhaustive sweep";
+  let total = 1 lsl (1 lsl n) in
+  let visited = Bytes.make total '\000' in
+  let transforms = all_transforms n in
+  let reps = ref [] in
+  for v = 0 to total - 1 do
+    if Bytes.get visited v = '\000' then begin
+      let rep = Tt.of_int n v in
+      reps := rep :: !reps;
+      List.iter
+        (fun tr ->
+          let image = Tt.to_int (apply rep tr) in
+          Bytes.set visited image '\001')
+        transforms
+    end
+  done;
+  List.rev !reps

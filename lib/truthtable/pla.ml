@@ -1,0 +1,99 @@
+let parse text =
+  let inputs = ref (-1) and outputs = ref (-1) in
+  let rows = ref [] in
+  let fail line msg =
+    invalid_arg (Printf.sprintf "Pla.parse: %s in %S" msg line)
+  in
+  let tokens line =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (( <> ) "")
+  in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else if line.[0] = '.' then begin
+        match tokens line with
+        | ".i" :: v :: _ -> (
+          match int_of_string_opt v with
+          | Some n when n >= 0 && n <= Tt.max_vars -> inputs := n
+          | _ -> fail line "bad .i")
+        | ".o" :: v :: _ -> (
+          match int_of_string_opt v with
+          | Some n when n > 0 -> outputs := n
+          | _ -> fail line "bad .o")
+        | (".p" | ".ilb" | ".ob" | ".type" | ".e" | ".end") :: _ -> ()
+        | _ -> fail line "unknown directive"
+      end
+      else begin
+        match tokens line with
+        | [ ins; outs ] -> rows := (ins, outs) :: !rows
+        | _ -> fail line "expected 'inputs outputs'"
+      end)
+    (String.split_on_char '\n' text);
+  if !inputs < 0 then invalid_arg "Pla.parse: missing .i";
+  if !outputs < 0 then invalid_arg "Pla.parse: missing .o";
+  let n = !inputs and m = !outputs in
+  let tables = Array.make m (Tt.zero (max n 1)) in
+  List.iter
+    (fun (ins, outs) ->
+      if String.length ins <> n then invalid_arg "Pla.parse: input width";
+      if String.length outs <> m then invalid_arg "Pla.parse: output width";
+      (* Expand the cube over its dashes; PLA columns are MSB-first:
+         the first character is the highest-numbered variable. *)
+      let dash_positions = ref [] in
+      let base = ref 0 in
+      String.iteri
+        (fun i c ->
+          let var = n - 1 - i in
+          match c with
+          | '1' -> base := !base lor (1 lsl var)
+          | '0' -> ()
+          | '-' -> dash_positions := var :: !dash_positions
+          | _ -> invalid_arg "Pla.parse: bad input character")
+        ins;
+      let dashes = Array.of_list !dash_positions in
+      let count = 1 lsl Array.length dashes in
+      for d = 0 to count - 1 do
+        let minterm = ref !base in
+        Array.iteri
+          (fun bi var -> if (d lsr bi) land 1 = 1 then minterm := !minterm lor (1 lsl var))
+          dashes;
+        String.iteri
+          (fun k c ->
+            match c with
+            | '1' -> tables.(k) <- Tt.set tables.(k) !minterm true
+            | '0' | '~' -> ()
+            | _ -> invalid_arg "Pla.parse: bad output character")
+          outs
+      done)
+    !rows;
+  tables
+
+let print fmt tables =
+  if Array.length tables = 0 then invalid_arg "Pla.print: no outputs";
+  let n = Tt.num_vars tables.(0) in
+  Array.iter
+    (fun t -> if Tt.num_vars t <> n then invalid_arg "Pla.print: arity")
+    tables;
+  let on_minterms =
+    List.filter
+      (fun m -> Array.exists (fun t -> Tt.get t m) tables)
+      (List.init (1 lsl n) (fun m -> m))
+  in
+  Format.fprintf fmt ".i %d@..o %d@..p %d@." n (Array.length tables)
+    (List.length on_minterms);
+  List.iter
+    (fun m ->
+      let ins =
+        String.init n (fun i ->
+            if (m lsr (n - 1 - i)) land 1 = 1 then '1' else '0')
+      in
+      let outs =
+        String.init (Array.length tables) (fun k ->
+            if Tt.get tables.(k) m then '1' else '0')
+      in
+      Format.fprintf fmt "%s %s@." ins outs)
+    on_minterms;
+  Format.fprintf fmt ".e@."

@@ -1,0 +1,16 @@
+(** Reading and writing PLA (espresso) truth-table files — the format
+    logic-synthesis benchmark suites ship single functions in.
+
+    Supported subset: [.i], [.o], optional [.p]/[.ilb]/[.ob]/[.type f]
+    and [.e]/[.end] directives, comment lines starting with [#], and
+    product-term rows over inputs [0], [1], [-] with outputs [0], [1],
+    [~] ([~] treated as 0). Minterms not covered by any row are 0 (the
+    [f] interpretation). *)
+
+val parse : string -> Tt.t array
+(** [parse text] returns one truth table per output column.
+    @raise Invalid_argument on malformed input. *)
+
+val print : Format.formatter -> Tt.t array -> unit
+(** Writes a minterm-per-row PLA covering the ON-sets; all tables must
+    share one arity. *)

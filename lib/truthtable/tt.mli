@@ -1,0 +1,142 @@
+(** Bit-parallel truth tables.
+
+    A truth table over [n] variables stores [2^n] bits. Bit [m]
+    ([0 <= m < 2^n]) is the value of the function on the assignment in
+    which variable [i] (0-indexed) takes the value [(m lsr i) land 1].
+    Variables are numbered from 0; variable 0 is the fastest-toggling
+    column of the table, matching the usual "x1 is the least significant
+    input" convention of exact-synthesis literature.
+
+    Tables over up to {!max_vars} variables are supported. All operations
+    are total over tables of equal arity and raise [Invalid_argument] when
+    arities disagree. *)
+
+type t
+
+val max_vars : int
+(** Largest supported arity (20). *)
+
+val num_vars : t -> int
+(** Number of variables of the table. *)
+
+val num_bits : t -> int
+(** [2^(num_vars t)]. *)
+
+(** {1 Construction} *)
+
+val const : int -> bool -> t
+(** [const n b] is the constant-[b] function of [n] variables. *)
+
+val zero : int -> t
+(** [zero n] = [const n false]. *)
+
+val one : int -> t
+(** [one n] = [const n true]. *)
+
+val var : int -> int -> t
+(** [var n i] is the projection onto variable [i] over [n] variables. *)
+
+val of_fun : int -> (int -> bool) -> t
+(** [of_fun n f] tabulates [f] over all [2^n] minterm indices. *)
+
+val of_int : int -> int -> t
+(** [of_int n v] builds a table over [n <= 6] variables from the low
+    [2^n] bits of [v]. *)
+
+val to_int : t -> int
+(** Inverse of {!of_int}; only for [n <= 6]... tables wider than 62 bits
+    raise [Invalid_argument]. *)
+
+val of_hex : n:int -> string -> t
+(** [of_hex ~n s] parses a hexadecimal truth table (optionally prefixed
+    with ["0x"]), most significant bits first, e.g. the paper's
+    [0x8ff8] with [n = 4].
+    @raise Invalid_argument on malformed input or wrong length. *)
+
+val to_hex : t -> string
+(** [to_hex t] prints the table as lowercase hex, most significant bits
+    first, without a prefix. Tables with [n < 2] are printed as a single
+    digit. *)
+
+val to_bin : t -> string
+(** [to_bin t] prints the [2^n] bits, most significant first. *)
+
+(** {1 Access} *)
+
+val get : t -> int -> bool
+(** [get t m] is the value at minterm [m]. *)
+
+val set : t -> int -> bool -> t
+(** [set t m b] is [t] with minterm [m] set to [b] (functional update). *)
+
+val count_ones : t -> int
+(** Number of satisfying minterms. *)
+
+val is_const : t -> bool
+
+val is_const_of : t -> bool option
+(** [is_const_of t] is [Some b] if [t] is the constant [b]. *)
+
+(** {1 Boolean algebra} *)
+
+val bnot : t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val apply2 : int -> t -> t -> t
+(** [apply2 code a b] applies the 2-input gate whose 4-bit truth table is
+    [code] (bit [2*va + vb] is the output on inputs [(va, vb)]) to tables
+    [a] and [b], bit-parallel. *)
+
+(** {1 Structure} *)
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor t i b] is the cofactor of [t] with variable [i] fixed to
+    [b]; the result still ranges over [n] variables (variable [i] becomes
+    irrelevant). *)
+
+val depends_on : t -> int -> bool
+(** [depends_on t i] is [true] iff the two cofactors w.r.t. [i] differ. *)
+
+val support : t -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val support_size : t -> int
+
+val support_mask : t -> int
+(** Support as a bitmask over variable indices. *)
+
+(** {1 Transformations} *)
+
+val negate_var : t -> int -> t
+(** [negate_var t i] composes [t] with the complement of input [i]. *)
+
+val permute : t -> int array -> t
+(** [permute t perm] relabels inputs: variable [i] of the result reads
+    the value that variable [perm.(i)] read in [t]; [perm] must be a
+    permutation of [0 .. n-1]. Equivalently, the result [g] satisfies
+    [g(x_0, …, x_{n-1}) = t(x_{perm(0)}, ..., x_{perm(n-1)})]... see the
+    implementation's minterm mapping: result bit [m] equals [t]'s bit at
+    the minterm whose variable [perm.(i)] value is bit [i] of [m]. *)
+
+val swap_vars : t -> int -> int -> t
+
+val compose : t -> t array -> t
+(** [compose f gs] substitutes [gs.(i)] (all of equal arity [n]) for
+    variable [i] of [f]; the result has arity [n]. *)
+
+val shrink_to_support : t -> t * int list
+(** [shrink_to_support t] projects [t] onto its support, returning the
+    compacted table (arity = support size) and the support variables in
+    the order they were kept. *)
+
+val expand : t -> int -> int array -> t
+(** [expand t n placement] lifts a table to [n] variables, reading input
+    [i] of [t] from variable [placement.(i)] of the result. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [<n>'h<hex>]. *)

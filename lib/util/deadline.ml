@@ -1,0 +1,30 @@
+exception Timeout
+
+type t =
+  | Never
+  | At of { limit : float; mutable countdown : int }
+
+(* Polling granularity: consult the wall clock once per [interval] calls. *)
+let interval = 256
+
+let never = Never
+
+let after s = At { limit = Unix_time.now () +. s; countdown = 0 }
+
+let expired = function
+  | Never -> false
+  | At d ->
+    if d.countdown > 0 then begin
+      d.countdown <- d.countdown - 1;
+      false
+    end
+    else begin
+      d.countdown <- interval;
+      Unix_time.now () > d.limit
+    end
+
+let check d = if expired d then raise Timeout
+
+let remaining = function
+  | Never -> infinity
+  | At d -> Float.max 0.0 (d.limit -. Unix_time.now ())

@@ -1,0 +1,25 @@
+(** Cooperative wall-clock deadlines.
+
+    Long-running solvers poll a deadline at loop boundaries and abandon the
+    search when it has expired, which is how the reproduction implements
+    the paper's per-instance timeout without threads or signals. *)
+
+type t
+
+val never : t
+(** A deadline that never expires. *)
+
+val after : float -> t
+(** [after s] expires [s] seconds from now. *)
+
+val expired : t -> bool
+(** [expired d] is [true] once the wall clock has passed [d]. The check is
+    throttled internally so it is cheap to call in tight loops. *)
+
+val check : t -> unit
+(** [check d] raises {!Timeout} if [d] has expired. *)
+
+val remaining : t -> float
+(** [remaining d] is the number of seconds left (infinite for {!never}). *)
+
+exception Timeout

@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix g.state
+
+let bits g k =
+  assert (k >= 0 && k <= 62);
+  if k = 0 then 0
+  else Int64.to_int (Int64.shift_right_logical (next_int64 g) (64 - k))
+
+let int g bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec loop () =
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2) in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then loop () else v
+  in
+  loop ()
+
+let bool g = Int64.compare (next_int64 g) 0L < 0
+
+let float g =
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 g) 11) in
+  float_of_int r *. (1.0 /. 9007199254740992.0)
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let split g = { state = mix (next_int64 g) }

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the reproduction (workload generators,
+    randomised tests) draws from this generator so that runs are exactly
+    reproducible from a seed, independently of the OCaml stdlib [Random]
+    state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from a 63-bit seed. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same state as [g]. *)
+
+val next_int64 : t -> int64
+(** [next_int64 g] draws 64 uniformly random bits. *)
+
+val int : t -> int -> int
+(** [int g bound] draws uniformly in [\[0, bound)]. [bound] must be
+    positive. *)
+
+val bits : t -> int -> int
+(** [bits g k] draws [k] uniformly random bits, [0 <= k <= 62]. *)
+
+val bool : t -> bool
+(** [bool g] draws a fair coin flip. *)
+
+val float : t -> float
+(** [float g] draws uniformly in [\[0, 1)]. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle g a] permutes [a] in place, uniformly at random. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick g a] draws a uniformly random element of the non-empty array
+    [a]. *)
+
+val split : t -> t
+(** [split g] derives an independent child generator, advancing [g]. *)

@@ -1,0 +1,4 @@
+(** Wall-clock time. *)
+
+val now : unit -> float
+(** [now ()] is the current wall-clock time in seconds since the epoch. *)

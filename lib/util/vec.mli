@@ -1,0 +1,49 @@
+(** Growable integer-indexed arrays.
+
+    OCaml 5.1 has no [Dynarray]; the SAT solver and the synthesis engines
+    need amortised O(1) push/pop with random access, so we provide a small
+    polymorphic vector. The implementation never shrinks its backing
+    store. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty vector. [dummy] fills unused slots of
+    the backing array; it is never observable through the interface. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] is the [i]-th element. Bounds-checked. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument on an empty vector. *)
+
+val top : 'a t -> 'a
+(** [top v] is the last element without removing it. *)
+
+val clear : 'a t -> unit
+(** [clear v] resets the length to zero, keeping capacity. *)
+
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates [v] to its first [n] elements;
+    [n <= length v]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+val to_list : 'a t -> 'a list
+
+val to_array : 'a t -> 'a array
+
+val of_list : dummy:'a -> 'a list -> 'a t
+
+val exists : ('a -> bool) -> 'a t -> bool

@@ -1,0 +1,29 @@
+type t = { name : string; functions : Stp_tt.Tt.t list }
+
+type scale = Default | Paper | Custom of float
+
+let scaled scale ~paper ~default =
+  match scale with
+  | Paper -> paper
+  | Default -> default
+  | Custom f -> max 1 (int_of_float (float_of_int paper *. f))
+
+let npn4 _scale = { name = "NPN4"; functions = Npn4.synthesizable () }
+
+let fdsd6 scale =
+  let count = scaled scale ~paper:1000 ~default:100 in
+  { name = "FDSD6"; functions = Dsd_gen.fdsd_collection ~n:6 ~count ~seed:101 }
+
+let fdsd8 scale =
+  let count = scaled scale ~paper:100 ~default:25 in
+  { name = "FDSD8"; functions = Dsd_gen.fdsd_collection ~n:8 ~count ~seed:202 }
+
+let pdsd6 scale =
+  let count = scaled scale ~paper:1000 ~default:50 in
+  { name = "PDSD6"; functions = Dsd_gen.pdsd_collection ~n:6 ~count ~seed:303 }
+
+let pdsd8 scale =
+  let count = scaled scale ~paper:100 ~default:10 in
+  { name = "PDSD8"; functions = Dsd_gen.pdsd_collection ~n:8 ~count ~seed:404 }
+
+let table1 scale = [ npn4 scale; fdsd6 scale; fdsd8 scale; pdsd6 scale; pdsd8 scale ]

@@ -1,0 +1,24 @@
+(** The five function collections of Table I, with configurable scale.
+
+    Paper scale: NPN4 = all 222 classes, FDSD6/PDSD6 = 1000 functions,
+    FDSD8/PDSD8 = 100 functions. The default scale is reduced so that
+    the bench harness completes in minutes on a laptop; see DESIGN.md
+    section 4 and the [--paper-scale] flag of [bin/table1.exe]. *)
+
+type t = {
+  name : string;
+  functions : Stp_tt.Tt.t list;
+}
+
+type scale = Default | Paper | Custom of float
+(** [Custom f] multiplies the paper's instance counts by [f] (at least
+    one instance per collection). *)
+
+val npn4 : scale -> t
+val fdsd6 : scale -> t
+val fdsd8 : scale -> t
+val pdsd6 : scale -> t
+val pdsd8 : scale -> t
+
+val table1 : scale -> t list
+(** The five rows of Table I, in the paper's order. *)

@@ -1,0 +1,74 @@
+module Tt = Stp_tt.Tt
+module Prng = Stp_util.Prng
+
+(* The ten 2-input gate codes that depend on both operands; composing
+   read-once trees out of these preserves full support. *)
+let nontrivial_gates = [| 1; 2; 4; 6; 7; 8; 9; 11; 13; 14 |]
+
+let apply_gate code a b = Tt.apply2 code a b
+
+(* Random read-once tree over the given projections. *)
+let rec read_once rng = function
+  | [] -> invalid_arg "Dsd_gen.read_once"
+  | [ leaf ] -> leaf
+  | leaves ->
+    let arr = Array.of_list leaves in
+    Prng.shuffle rng arr;
+    let cut = 1 + Prng.int rng (Array.length arr - 1) in
+    let left = Array.to_list (Array.sub arr 0 cut) in
+    let right = Array.to_list (Array.sub arr cut (Array.length arr - cut)) in
+    let code = Prng.pick rng nontrivial_gates in
+    apply_gate code (read_once rng left) (read_once rng right)
+
+let fdsd ~n ~seed =
+  if n < 2 then invalid_arg "Dsd_gen.fdsd";
+  let rng = Prng.create (seed * 2654435761 + n) in
+  let leaves = List.init n (fun i -> Tt.var n i) in
+  let t = read_once rng leaves in
+  if Prng.bool rng then Tt.bnot t else t
+
+let prime_cores =
+  let candidates = List.init 256 (fun v -> Tt.of_int 3 v) in
+  List.filter
+    (fun t -> Tt.support_size t = 3 && Stp_tt.Dsd.is_prime t)
+    candidates
+
+let pdsd ~n ~seed =
+  if n < 4 then invalid_arg "Dsd_gen.pdsd";
+  let cores = Array.of_list prime_cores in
+  let rec attempt salt =
+    let rng = Prng.create ((seed * 48271) + (salt * 69621) + n) in
+    (* Choose three variables for the prime core. *)
+    let vars = Array.init n (fun i -> i) in
+    Prng.shuffle rng vars;
+    let core3 = Prng.pick rng cores in
+    let core =
+      Tt.expand core3 n [| vars.(0); vars.(1); vars.(2) |]
+    in
+    let free = Array.to_list (Array.sub vars 3 (n - 3)) in
+    let leaves = core :: List.map (fun i -> Tt.var n i) free in
+    let t = read_once rng leaves in
+    let t = if Prng.bool rng then Tt.bnot t else t in
+    if Stp_tt.Dsd.kind t = Stp_tt.Dsd.Partial then t else attempt (salt + 1)
+  in
+  attempt 0
+
+let collection gen ~n ~count ~seed =
+  let seen = Hashtbl.create 97 in
+  let rec loop acc produced salt =
+    if produced = count then List.rev acc
+    else begin
+      let t = gen ~n ~seed:(seed + salt) in
+      let key = Tt.to_hex t in
+      if Hashtbl.mem seen key then loop acc produced (salt + 1)
+      else begin
+        Hashtbl.replace seen key ();
+        loop (t :: acc) (produced + 1) (salt + 1)
+      end
+    end
+  in
+  loop [] 0 0
+
+let fdsd_collection ~n ~count ~seed = collection fdsd ~n ~count ~seed
+
+let pdsd_collection ~n ~count ~seed = collection pdsd ~n ~count ~seed

@@ -1,0 +1,27 @@
+(** Generators for the paper's DSD function collections.
+
+    - FDSD: fully-DSD-decomposable functions, built as random read-once
+      formulas over 2-input gates with random complementations; every
+      variable appears exactly once.
+    - PDSD: partially-DSD functions, built like FDSD but with one random
+      leaf block replaced by a prime (non-decomposable) core of three
+      variables, then rejection-checked to be decomposable-but-not-fully
+      with {!Stp_tt.Dsd.kind}.
+
+    All generators are deterministic in the seed and guarantee full
+    support. *)
+
+val fdsd : n:int -> seed:int -> Stp_tt.Tt.t
+(** One fully-DSD function of [n] variables. *)
+
+val pdsd : n:int -> seed:int -> Stp_tt.Tt.t
+(** One partially-DSD function of [n >= 4] variables. *)
+
+val fdsd_collection : n:int -> count:int -> seed:int -> Stp_tt.Tt.t list
+(** Distinct functions, deterministic in the seed. *)
+
+val pdsd_collection : n:int -> count:int -> seed:int -> Stp_tt.Tt.t list
+
+val prime_cores : Stp_tt.Tt.t list
+(** The 3-input prime functions used as PDSD cores (majority and its
+    NPN relatives), over 3 variables. *)

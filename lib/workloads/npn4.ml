@@ -1,0 +1,6 @@
+let cache = lazy (Stp_tt.Npn.classes 4)
+
+let all () = Lazy.force cache
+
+let synthesizable () =
+  List.filter (fun t -> Stp_tt.Tt.support_size t > 0) (all ())

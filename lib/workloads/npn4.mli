@@ -1,0 +1,10 @@
+(** The NPN4 collection: the 222 NPN classes of 4-input functions
+    (Haaswijk et al., ASP-DAC'17). *)
+
+val all : unit -> Stp_tt.Tt.t list
+(** All 222 canonical representatives, ascending; computed once and
+    cached. *)
+
+val synthesizable : unit -> Stp_tt.Tt.t list
+(** The classes that have a Boolean chain: all but the constant class
+    (221 functions; the projection class synthesises to zero gates). *)

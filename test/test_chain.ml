@@ -1,0 +1,213 @@
+(* Tests for 2-input gates, Boolean chains and cost functions. *)
+
+module Gate = Stp_chain.Gate
+module Chain = Stp_chain.Chain
+module Cost = Stp_chain.Cost
+module Tt = Stp_tt.Tt
+module Prng = Stp_util.Prng
+
+let random_chain rng ~n ~steps:k =
+  let steps =
+    List.init k (fun i ->
+        let hi = n + i in
+        let f1 = Prng.int rng hi in
+        let f2 = (f1 + 1 + Prng.int rng (hi - 1)) mod hi in
+        { Chain.fanin1 = f1; fanin2 = f2; gate = Prng.int rng 16 })
+  in
+  Chain.make ~n ~steps ~output:(n + k - 1)
+    ~output_negated:(Prng.bool rng) ()
+
+let test_gate_eval_table () =
+  (* every gate code's eval matches its truth-table bit *)
+  for g = 0 to 15 do
+    for a = 0 to 1 do
+      for b = 0 to 1 do
+        let expected = (g lsr ((2 * a) + b)) land 1 = 1 in
+        Alcotest.(check bool) "eval" expected (Gate.eval g (a = 1) (b = 1))
+      done
+    done
+  done
+
+let test_gate_names () =
+  Alcotest.(check string) "and" "AND" (Gate.name 8);
+  Alcotest.(check string) "xor" "XOR" (Gate.name 6);
+  Alcotest.(check string) "or" "OR" (Gate.name 14);
+  Alcotest.(check string) "nand" "NAND" (Gate.name 7);
+  Alcotest.(check int) "of_name" 8 (Gate.of_name "and");
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Gate.of_name "frob"))
+
+let test_gate_classification () =
+  Alcotest.(check int) "ten nontrivial" 10 (List.length Gate.nontrivial);
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "depends both" true
+        (Gate.depends_on_first g && Gate.depends_on_second g))
+    Gate.nontrivial;
+  Alcotest.(check bool) "const0 trivial" false (Gate.is_nontrivial 0);
+  Alcotest.(check bool) "proj trivial" false (Gate.is_nontrivial 12);
+  Alcotest.(check bool) "and normal" true (Gate.is_normal 8);
+  Alcotest.(check bool) "nand not normal" false (Gate.is_normal 7)
+
+let test_gate_transforms () =
+  for g = 0 to 15 do
+    (* swap_operands semantics *)
+    for a = 0 to 1 do
+      for b = 0 to 1 do
+        Alcotest.(check bool) "swap" (Gate.eval g (b = 1) (a = 1))
+          (Gate.eval (Gate.swap_operands g) (a = 1) (b = 1));
+        Alcotest.(check bool) "neg first" (Gate.eval g (a <> 1) (b = 1))
+          (Gate.eval (Gate.negate_first g) (a = 1) (b = 1));
+        Alcotest.(check bool) "neg second" (Gate.eval g (a = 1) (b <> 1))
+          (Gate.eval (Gate.negate_second g) (a = 1) (b = 1));
+        Alcotest.(check bool) "neg out" (not (Gate.eval g (a = 1) (b = 1)))
+          (Gate.eval (Gate.negate_output g) (a = 1) (b = 1))
+      done
+    done;
+    (* involutions *)
+    Alcotest.(check int) "swap invol" g (Gate.swap_operands (Gate.swap_operands g));
+    Alcotest.(check int) "negf invol" g (Gate.negate_first (Gate.negate_first g))
+  done;
+  Alcotest.(check bool) "and symmetric" true (Gate.is_symmetric 8);
+  Alcotest.(check bool) "lt asymmetric" false (Gate.is_symmetric 2)
+
+let test_chain_validation () =
+  Alcotest.check_raises "forward fanin" (Invalid_argument "Chain.make: fanin2")
+    (fun () ->
+      ignore
+        (Chain.make ~n:2 ~steps:[ { Chain.fanin1 = 0; fanin2 = 2; gate = 8 } ]
+           ~output:2 ()));
+  Alcotest.check_raises "equal fanins"
+    (Invalid_argument "Chain.make: equal fanins") (fun () ->
+      ignore
+        (Chain.make ~n:2 ~steps:[ { Chain.fanin1 = 0; fanin2 = 0; gate = 8 } ]
+           ~output:2 ()));
+  Alcotest.check_raises "bad output" (Invalid_argument "Chain.make: output")
+    (fun () -> ignore (Chain.make ~n:2 ~steps:[] ~output:5 ()))
+
+let test_simulate_known () =
+  (* full adder sum: a xor b xor c *)
+  let c =
+    Chain.make ~n:3
+      ~steps:
+        [ { Chain.fanin1 = 0; fanin2 = 1; gate = 6 };
+          { Chain.fanin1 = 3; fanin2 = 2; gate = 6 } ]
+      ~output:4 ()
+  in
+  Alcotest.(check string) "xor3" "96" (Tt.to_hex (Chain.simulate c));
+  Alcotest.(check int) "size" 2 (Chain.size c);
+  Alcotest.(check int) "depth" 2 (Chain.depth c)
+
+let test_simulate_output_negated () =
+  let c =
+    Chain.make ~n:2
+      ~steps:[ { Chain.fanin1 = 0; fanin2 = 1; gate = 8 } ]
+      ~output:2 ~output_negated:true ()
+  in
+  Alcotest.(check string) "nand via flag" "7" (Tt.to_hex (Chain.simulate c))
+
+let test_trivial_chain () =
+  let c = Chain.make ~n:3 ~steps:[] ~output:1 () in
+  Alcotest.(check bool) "projection" true
+    (Tt.equal (Chain.simulate c) (Tt.var 3 1));
+  Alcotest.(check int) "depth 0" 0 (Chain.depth c)
+
+let test_normalise_fanin_order () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 100 do
+    let c = random_chain rng ~n:4 ~steps:4 in
+    let c' = Chain.normalise_fanin_order c in
+    Alcotest.(check bool) "same function" true
+      (Tt.equal (Chain.simulate c) (Chain.simulate c'));
+    Array.iter
+      (fun (s : Chain.step) ->
+        Alcotest.(check bool) "ordered" true (s.fanin1 < s.fanin2))
+      c'.Chain.steps
+  done
+
+let test_apply_npn_random () =
+  let rng = Prng.create 6 in
+  for _ = 1 to 200 do
+    let n = 3 + Prng.int rng 2 in
+    let c = random_chain rng ~n ~steps:3 in
+    let perm = Array.init n (fun i -> i) in
+    Prng.shuffle rng perm;
+    let tr =
+      { Stp_tt.Npn.perm;
+        input_neg = Prng.int rng (1 lsl n);
+        output_neg = Prng.bool rng }
+    in
+    let lhs = Chain.simulate (Chain.apply_npn c tr) in
+    let rhs = Stp_tt.Npn.apply (Chain.simulate c) tr in
+    Alcotest.(check bool) "apply_npn commutes with simulate" true
+      (Tt.equal lhs rhs)
+  done
+
+let test_depth_vs_size () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 50 do
+    let c = random_chain rng ~n:4 ~steps:5 in
+    Alcotest.(check bool) "depth <= size" true (Chain.depth c <= Chain.size c)
+  done
+
+let test_costs () =
+  let c =
+    Chain.make ~n:3
+      ~steps:
+        [ { Chain.fanin1 = 0; fanin2 = 1; gate = 6 } (* XOR *);
+          { Chain.fanin1 = 3; fanin2 = 2; gate = 7 } (* NAND *) ]
+      ~output:4 ()
+  in
+  Alcotest.(check int) "size" 2 (Cost.size c);
+  Alcotest.(check int) "xor count" 1 (Cost.xor_count c);
+  Alcotest.(check int) "negations" 1 (Cost.negation_count c);
+  Alcotest.(check int) "area" (8 + 4) (Cost.area_like c);
+  let w = Array.make 16 0 in
+  w.(6) <- 5;
+  Alcotest.(check int) "weighted" 5 (Cost.gate_weighted w c)
+
+let test_select_min_rank () =
+  let mk gate =
+    Chain.make ~n:2 ~steps:[ { Chain.fanin1 = 0; fanin2 = 1; gate } ] ~output:2 ()
+  in
+  let chains = [ mk 6 (* xor *); mk 8 (* and *); mk 7 (* nand *) ] in
+  let best = Cost.select_min Cost.area_like chains in
+  Alcotest.(check int) "nand cheapest" 7 best.Chain.steps.(0).Chain.gate;
+  let ranked = Cost.rank Cost.area_like chains in
+  Alcotest.(check int) "rank ascending" 4 (fst (List.hd ranked));
+  Alcotest.check_raises "empty" (Invalid_argument "Cost.select_min: empty")
+    (fun () -> ignore (Cost.select_min Cost.size []))
+
+let qcheck_simulate_signals_prefix =
+  QCheck.Test.make ~name:"signals prefix are projections" ~count:50
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let c = random_chain rng ~n:4 ~steps:3 in
+      let sigs = Chain.simulate_signals c in
+      Array.length sigs = 7
+      && List.for_all
+           (fun i -> Tt.equal sigs.(i) (Tt.var 4 i))
+           [ 0; 1; 2; 3 ])
+
+let () =
+  Alcotest.run "chain"
+    [ ( "gate",
+        [ Alcotest.test_case "eval table" `Quick test_gate_eval_table;
+          Alcotest.test_case "names" `Quick test_gate_names;
+          Alcotest.test_case "classification" `Quick test_gate_classification;
+          Alcotest.test_case "transforms" `Quick test_gate_transforms ] );
+      ( "chain",
+        [ Alcotest.test_case "validation" `Quick test_chain_validation;
+          Alcotest.test_case "simulate xor3" `Quick test_simulate_known;
+          Alcotest.test_case "output negation" `Quick
+            test_simulate_output_negated;
+          Alcotest.test_case "trivial chain" `Quick test_trivial_chain;
+          Alcotest.test_case "normalise fanins" `Quick
+            test_normalise_fanin_order;
+          Alcotest.test_case "apply_npn" `Quick test_apply_npn_random;
+          Alcotest.test_case "depth vs size" `Quick test_depth_vs_size;
+          QCheck_alcotest.to_alcotest qcheck_simulate_signals_prefix ] );
+      ( "cost",
+        [ Alcotest.test_case "costs" `Quick test_costs;
+          Alcotest.test_case "select/rank" `Quick test_select_min_rank ] ) ]

@@ -1,0 +1,188 @@
+(* Tests for LUT networks and the circuit-based AllSAT solver
+   (Algorithms 1-2), including the paper's Example 8. *)
+
+module Net = Stp_circuitsat.Lut_network
+module Solver = Stp_circuitsat.Circuit_solver
+module Chain = Stp_chain.Chain
+module Tt = Stp_tt.Tt
+module Prng = Stp_util.Prng
+
+let example7_chain =
+  (* x5 = XOR(c,d); x6 = AND(a,b); x7 = OR(x5,x6), computing 0x8ff8 *)
+  Chain.make ~n:4
+    ~steps:
+      [ { Chain.fanin1 = 2; fanin2 = 3; gate = 6 };
+        { Chain.fanin1 = 0; fanin2 = 1; gate = 8 };
+        { Chain.fanin1 = 4; fanin2 = 5; gate = 14 } ]
+    ~output:6 ()
+
+let test_network_validation () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Lut_network.make: arity mismatch") (fun () ->
+      ignore
+        (Net.make ~num_inputs:2
+           ~luts:[ { Net.tt = Tt.of_int 2 6; fanins = [| 0 |] } ]
+           ~outputs:[ 2 ]));
+  Alcotest.check_raises "no outputs"
+    (Invalid_argument "Lut_network.make: no outputs") (fun () ->
+      ignore (Net.make ~num_inputs:2 ~luts:[] ~outputs:[]))
+
+let test_of_chain_simulates () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 200 do
+    let n = 2 + Prng.int rng 3 in
+    let k = 1 + Prng.int rng 4 in
+    let steps =
+      List.init k (fun i ->
+          let hi = n + i in
+          let f1 = Prng.int rng hi in
+          let f2 = (f1 + 1 + Prng.int rng (hi - 1)) mod hi in
+          { Chain.fanin1 = f1; fanin2 = f2; gate = Prng.int rng 16 })
+    in
+    let c =
+      Chain.make ~n ~steps ~output:(n + k - 1) ~output_negated:(Prng.bool rng) ()
+    in
+    let net = Net.of_chain c in
+    let sim = (Net.simulate net).(0) in
+    Alcotest.(check bool) "network = chain" true
+      (Tt.equal sim (Chain.simulate c))
+  done
+
+let test_of_chain_negated_input_output () =
+  (* output pointing at a complemented primary input needs an inverter *)
+  let c = Chain.make ~n:2 ~steps:[] ~output:1 ~output_negated:true () in
+  let net = Net.of_chain c in
+  Alcotest.(check bool) "inverter added" true (Net.size net = 1);
+  Alcotest.(check bool) "simulates" true
+    (Tt.equal (Net.simulate net).(0) (Tt.bnot (Tt.var 2 1)))
+
+let test_cube_merge () =
+  let a = { Solver.mask = 0b011; value = 0b001 } in
+  let b = { Solver.mask = 0b110; value = 0b100 } in
+  (match Solver.cube_merge a b with
+   | Some c ->
+     Alcotest.(check int) "mask" 0b111 c.Solver.mask;
+     Alcotest.(check int) "value" 0b101 c.Solver.value
+   | None -> Alcotest.fail "expected merge");
+  let conflicting = { Solver.mask = 0b001; value = 0b000 } in
+  Alcotest.(check bool) "conflict" false (Solver.cube_compatible a conflicting)
+
+let test_example8 () =
+  (* The paper finds ten satisfying assignments for the Example 7 chain. *)
+  let net = Net.of_chain example7_chain in
+  Alcotest.(check int) "ten solutions" 10
+    (Solver.count_solutions net ~targets:[| true |]);
+  let f = Tt.of_hex ~n:4 "8ff8" in
+  Alcotest.(check bool) "onset = f" true
+    (Tt.equal (Solver.onset net ~targets:[| true |]) f);
+  Alcotest.(check bool) "verify" true (Solver.verify_chain example7_chain f)
+
+let test_onset_equals_simulation () =
+  (* onset via backward target propagation must equal forward simulation *)
+  let rng = Prng.create 13 in
+  for _ = 1 to 100 do
+    let n = 2 + Prng.int rng 3 in
+    let k = 1 + Prng.int rng 4 in
+    let steps =
+      List.init k (fun i ->
+          let hi = n + i in
+          let f1 = Prng.int rng hi in
+          let f2 = (f1 + 1 + Prng.int rng (hi - 1)) mod hi in
+          { Chain.fanin1 = f1; fanin2 = f2; gate = Prng.int rng 16 })
+    in
+    let c = Chain.make ~n ~steps ~output:(n + k - 1) () in
+    let net = Net.of_chain c in
+    let sim = Chain.simulate c in
+    Alcotest.(check bool) "onset(1) = f" true
+      (Tt.equal (Solver.onset net ~targets:[| true |]) sim);
+    Alcotest.(check bool) "onset(0) = !f" true
+      (Tt.equal (Solver.onset net ~targets:[| false |]) (Tt.bnot sim))
+  done
+
+let test_multi_output_merge () =
+  (* two outputs: AND(a,b) and XOR(a,b); requiring (1,0) forces a=b=1...
+     AND=1 needs a=1,b=1; XOR then is 0: consistent; count = 1 over 2 vars *)
+  let net =
+    Net.make ~num_inputs:2
+      ~luts:
+        [ { Net.tt = Tt.of_int 2 0b1000; fanins = [| 0; 1 |] };
+          { Net.tt = Tt.of_int 2 0b0110; fanins = [| 0; 1 |] } ]
+      ~outputs:[ 2; 3 ]
+  in
+  Alcotest.(check int) "and=1 xor=0" 1
+    (Solver.count_solutions net ~targets:[| true; false |]);
+  Alcotest.(check int) "and=1 xor=1" 0
+    (Solver.count_solutions net ~targets:[| true; true |]);
+  Alcotest.(check bool) "unsat detected" false
+    (Solver.is_sat net ~targets:[| true; true |])
+
+let test_three_input_luts () =
+  (* a MAJ3 LUT network *)
+  let maj = Tt.of_hex ~n:3 "e8" in
+  let net =
+    Net.make ~num_inputs:3
+      ~luts:[ { Net.tt = maj; fanins = [| 0; 1; 2 |] } ]
+      ~outputs:[ 3 ]
+  in
+  Alcotest.(check int) "maj onset" 4
+    (Solver.count_solutions net ~targets:[| true |]);
+  Alcotest.(check bool) "onset correct" true
+    (Tt.equal (Solver.onset net ~targets:[| true |]) maj)
+
+let test_all_minterms_sorted () =
+  let net = Net.of_chain example7_chain in
+  let ms = Solver.all_minterms net ~targets:[| true |] in
+  Alcotest.(check int) "ten minterms" 10 (List.length ms);
+  Alcotest.(check bool) "sorted" true (List.sort compare ms = ms)
+
+let test_fanouts () =
+  let net = Net.of_chain example7_chain in
+  let fo = Net.fanouts net in
+  (* every PI feeds exactly one LUT; x5 and x6 feed the OR *)
+  List.iter (fun i -> Alcotest.(check int) "pi fanout" 1 fo.(i)) [ 0; 1; 2; 3 ];
+  Alcotest.(check int) "x7 fanout" 0 fo.(6)
+
+let test_verify_rejects_wrong () =
+  let f = Tt.of_hex ~n:4 "8ff8" in
+  let wrong = Tt.bnot f in
+  Alcotest.(check bool) "rejects" false (Solver.verify_chain example7_chain wrong)
+
+let qcheck_count_equals_popcount =
+  QCheck.Test.make ~name:"count_solutions = count_ones of simulation"
+    ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let n = 2 + Prng.int rng 2 in
+      let k = 1 + Prng.int rng 3 in
+      let steps =
+        List.init k (fun i ->
+            let hi = n + i in
+            let f1 = Prng.int rng hi in
+            let f2 = (f1 + 1 + Prng.int rng (hi - 1)) mod hi in
+            { Chain.fanin1 = f1; fanin2 = f2; gate = Prng.int rng 16 })
+      in
+      let c = Chain.make ~n ~steps ~output:(n + k - 1) () in
+      let net = Net.of_chain c in
+      Solver.count_solutions net ~targets:[| true |]
+      = Tt.count_ones (Chain.simulate c))
+
+let () =
+  Alcotest.run "circuitsat"
+    [ ( "network",
+        [ Alcotest.test_case "validation" `Quick test_network_validation;
+          Alcotest.test_case "of_chain simulates" `Quick test_of_chain_simulates;
+          Alcotest.test_case "negated trivial output" `Quick
+            test_of_chain_negated_input_output;
+          Alcotest.test_case "fanouts" `Quick test_fanouts ] );
+      ( "solver",
+        [ Alcotest.test_case "cube merge" `Quick test_cube_merge;
+          Alcotest.test_case "example 8" `Quick test_example8;
+          Alcotest.test_case "onset = simulation" `Quick
+            test_onset_equals_simulation;
+          Alcotest.test_case "multi-output merge" `Quick test_multi_output_merge;
+          Alcotest.test_case "3-input LUTs" `Quick test_three_input_luts;
+          Alcotest.test_case "minterms sorted" `Quick test_all_minterms_sorted;
+          Alcotest.test_case "verify rejects wrong target" `Quick
+            test_verify_rejects_wrong;
+          QCheck_alcotest.to_alcotest qcheck_count_equals_popcount ] ) ]

@@ -1,0 +1,94 @@
+(* Tests for the chain export formats. *)
+
+module Chain = Stp_chain.Chain
+module Export = Stp_chain.Export
+module Tt = Stp_tt.Tt
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1))
+  in
+  scan 0
+
+let sample =
+  Chain.make ~n:3
+    ~steps:
+      [ { Chain.fanin1 = 0; fanin2 = 1; gate = 6 };
+        { Chain.fanin1 = 3; fanin2 = 2; gate = 7 } ]
+    ~output:4 ()
+
+let test_verilog_structure () =
+  let v = Export.to_verilog ~module_name:"m" sample in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains v needle))
+    [ "module m(x1, x2, x3, f);"; "input x1;"; "output f;";
+      "assign w4 = x1 ^ x2;"; "assign w5 = ~(w4 & x3);"; "assign f = w5;";
+      "endmodule" ]
+
+let test_verilog_negated_output () =
+  let c = Chain.make ~n:2 ~steps:[] ~output:0 ~output_negated:true () in
+  Alcotest.(check bool) "negated" true
+    (contains (Export.to_verilog c) "assign f = ~x1;")
+
+let test_verilog_all_gates () =
+  (* every gate code must render to a parsable expression *)
+  for g = 0 to 15 do
+    let c =
+      Chain.make ~n:2 ~steps:[ { Chain.fanin1 = 0; fanin2 = 1; gate = g } ]
+        ~output:2 ()
+    in
+    let v = Export.to_verilog c in
+    Alcotest.(check bool) "has assign" true (contains v "assign w3 = ")
+  done
+
+let test_blif_tables () =
+  let b = Export.to_blif sample in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains b needle))
+    [ ".model chain"; ".inputs x1 x2 x3"; ".outputs f";
+      ".names x1 x2 w4"; "01 1"; "10 1"; ".names w4 x3 w5"; ".end" ];
+  (* XOR table must not include 00 or 11 *)
+  Alcotest.(check bool) "xor no 11 row" false (contains b "11 1\n01 1")
+
+let test_blif_row_counts () =
+  (* the number of ON rows equals the gate's popcount *)
+  for g = 1 to 14 do
+    let c =
+      Chain.make ~n:2 ~steps:[ { Chain.fanin1 = 0; fanin2 = 1; gate = g } ]
+        ~output:2 ()
+    in
+    let b = Export.to_blif c in
+    let rows = ref 0 in
+    String.split_on_char '\n' b
+    |> List.iter (fun line ->
+           if String.length line = 4 && line.[2] = ' ' && line.[3] = '1' then
+             incr rows);
+    let expected =
+      let rec pop x = if x = 0 then 0 else (x land 1) + pop (x lsr 1) in
+      pop g
+    in
+    Alcotest.(check int) (Printf.sprintf "gate %d rows" g) expected !rows
+  done
+
+let test_dot_shape () =
+  let d = Export.to_dot sample in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true (contains d needle))
+    [ "digraph chain"; "w4 [shape=box,label=\"XOR\"]"; "x1 -> w4";
+      "w5 -> f"; "}" ]
+
+let () =
+  Alcotest.run "export"
+    [ ( "verilog",
+        [ Alcotest.test_case "structure" `Quick test_verilog_structure;
+          Alcotest.test_case "negated output" `Quick test_verilog_negated_output;
+          Alcotest.test_case "all gates render" `Quick test_verilog_all_gates ] );
+      ( "blif",
+        [ Alcotest.test_case "tables" `Quick test_blif_tables;
+          Alcotest.test_case "row counts" `Quick test_blif_row_counts ] );
+      ( "dot",
+        [ Alcotest.test_case "shape" `Quick test_dot_shape ] ) ]

@@ -1,0 +1,260 @@
+(* Tests for the CDCL SAT solver: brute-force cross-checks on random
+   instances, classic UNSAT families, assumptions, model enumeration,
+   DIMACS parsing. *)
+
+module Solver = Stp_sat.Solver
+module Lit = Stp_sat.Lit
+module Allsat = Stp_sat.Allsat
+module Dimacs = Stp_sat.Dimacs
+module Prng = Stp_util.Prng
+
+let brute_force nv clauses =
+  let rec check m =
+    m < 1 lsl nv
+    &&
+    (List.for_all
+       (fun c ->
+         List.exists
+           (fun l -> ((m lsr Lit.var l) land 1 = 1) = Lit.sign l)
+           c)
+       clauses
+     || check (m + 1))
+  in
+  check 0
+
+let random_instance rng ~max_vars ~clause_factor =
+  let nv = 2 + Prng.int rng max_vars in
+  let nc = 1 + Prng.int rng (clause_factor * nv) in
+  let clauses =
+    List.init nc (fun _ ->
+        let len = 1 + Prng.int rng 3 in
+        List.init len (fun _ -> Lit.make (Prng.int rng nv) (Prng.bool rng)))
+  in
+  (nv, clauses)
+
+let fresh_solver nv clauses =
+  let s = Solver.create () in
+  for _ = 1 to nv do
+    ignore (Solver.new_var s)
+  done;
+  List.iter (Solver.add_clause s) clauses;
+  s
+
+let model_satisfies s clauses =
+  List.for_all
+    (fun c -> List.exists (fun l -> Solver.value s (Lit.var l) = Lit.sign l) c)
+    clauses
+
+let test_fuzz_vs_brute_force () =
+  let rng = Prng.create 2024 in
+  for _ = 1 to 800 do
+    let nv, clauses = random_instance rng ~max_vars:10 ~clause_factor:4 in
+    let s = fresh_solver nv clauses in
+    let expected = brute_force nv clauses in
+    match Solver.solve s with
+    | Solver.Sat ->
+      Alcotest.(check bool) "sat expected" true expected;
+      Alcotest.(check bool) "model valid" true (model_satisfies s clauses)
+    | Solver.Unsat -> Alcotest.(check bool) "unsat expected" false expected
+    | Solver.Unknown -> Alcotest.fail "unexpected unknown"
+  done
+
+let test_lit_encoding () =
+  Alcotest.(check int) "var" 3 (Lit.var (Lit.pos 3));
+  Alcotest.(check bool) "pos sign" true (Lit.sign (Lit.pos 3));
+  Alcotest.(check bool) "neg sign" false (Lit.sign (Lit.neg 3));
+  Alcotest.(check int) "negate" (Lit.neg 3) (Lit.negate (Lit.pos 3));
+  Alcotest.(check int) "dimacs" 4 (Lit.to_int (Lit.pos 3));
+  Alcotest.(check int) "dimacs neg" (-4) (Lit.to_int (Lit.neg 3));
+  Alcotest.(check int) "of_int" (Lit.neg 3) (Lit.of_int (-4))
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  Alcotest.(check bool) "not okay" false (Solver.okay s);
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_unit_propagation () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a ];
+  Solver.add_clause s [ Lit.neg a; Lit.pos b ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "a true" true (Solver.value s a);
+  Alcotest.(check bool) "b true" true (Solver.value s b)
+
+let test_pigeonhole_unsat () =
+  (* PHP(4,3): 4 pigeons, 3 holes — classic small UNSAT instance. *)
+  let pigeons = 4 and holes = 3 in
+  let s = Solver.create () in
+  let v = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> Lit.pos v.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.neg v.(p1).(h); Lit.neg v.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_xor_chain_sat () =
+  (* parity constraints as CNF: x1 xor x2 xor ... = 1 is satisfiable *)
+  let n = 6 in
+  let s = Solver.create () in
+  let xs = Array.init n (fun _ -> Solver.new_var s) in
+  (* y_i = x_1 xor ... xor x_i via Tseitin-style chaining *)
+  let ys = Array.init n (fun _ -> Solver.new_var s) in
+  let add_xor out a b =
+    (* out = a xor b *)
+    Solver.add_clause s [ Lit.neg out; Lit.pos a; Lit.pos b ];
+    Solver.add_clause s [ Lit.neg out; Lit.neg a; Lit.neg b ];
+    Solver.add_clause s [ Lit.pos out; Lit.pos a; Lit.neg b ];
+    Solver.add_clause s [ Lit.pos out; Lit.neg a; Lit.pos b ]
+  in
+  (* y0 = x0 *)
+  Solver.add_clause s [ Lit.neg ys.(0); Lit.pos xs.(0) ];
+  Solver.add_clause s [ Lit.pos ys.(0); Lit.neg xs.(0) ];
+  for i = 1 to n - 1 do
+    add_xor ys.(i) ys.(i - 1) xs.(i)
+  done;
+  Solver.add_clause s [ Lit.pos ys.(n - 1) ];
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat);
+  let parity =
+    Array.fold_left (fun acc x -> acc <> Solver.value s x) false xs
+  in
+  Alcotest.(check bool) "parity holds" true parity
+
+let test_assumptions () =
+  let rng = Prng.create 77 in
+  for _ = 1 to 300 do
+    let nv, clauses = random_instance rng ~max_vars:8 ~clause_factor:3 in
+    let assumptions =
+      List.init (Prng.int rng 3) (fun _ ->
+          Lit.make (Prng.int rng nv) (Prng.bool rng))
+    in
+    let s = fresh_solver nv clauses in
+    let expected =
+      brute_force nv (List.map (fun a -> [ a ]) assumptions @ clauses)
+    in
+    (match Solver.solve ~assumptions s with
+     | Solver.Sat -> Alcotest.(check bool) "assum sat" true expected
+     | Solver.Unsat -> Alcotest.(check bool) "assum unsat" false expected
+     | Solver.Unknown -> Alcotest.fail "unknown");
+    (* solving again without assumptions must match the plain instance *)
+    let expected_plain = brute_force nv clauses in
+    (match Solver.solve s with
+     | Solver.Sat -> Alcotest.(check bool) "reuse sat" true expected_plain
+     | Solver.Unsat -> Alcotest.(check bool) "reuse unsat" false expected_plain
+     | Solver.Unknown -> Alcotest.fail "unknown")
+  done
+
+let test_incremental_clauses () =
+  let s = Solver.create () in
+  let a = Solver.new_var s and b = Solver.new_var s in
+  Solver.add_clause s [ Lit.pos a; Lit.pos b ];
+  Alcotest.(check bool) "sat 1" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ Lit.neg a ];
+  Alcotest.(check bool) "sat 2" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "b forced" true (Solver.value s b);
+  Solver.add_clause s [ Lit.neg b ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_conflict_budget () =
+  (* PHP(7,6) is hard enough that a 1-conflict budget gives Unknown. *)
+  let pigeons = 7 and holes = 6 in
+  let s = Solver.create () in
+  let v = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s)) in
+  for p = 0 to pigeons - 1 do
+    Solver.add_clause s (List.init holes (fun h -> Lit.pos v.(p).(h)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.neg v.(p1).(h); Lit.neg v.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "unknown on tiny budget" true
+    (Solver.solve ~conflict_budget:1 s = Solver.Unknown)
+
+let test_allsat_enumeration () =
+  let s = Solver.create () in
+  let vs = List.init 3 (fun _ -> Solver.new_var s) in
+  (* at least one true: 7 models over 3 vars *)
+  Solver.add_clause s (List.map Lit.pos vs);
+  (match Allsat.models ~over:vs s with
+   | Some models -> Alcotest.(check int) "model count" 7 (List.length models)
+   | None -> Alcotest.fail "deadline unexpectedly hit")
+
+let test_allsat_vs_brute_force () =
+  let rng = Prng.create 99 in
+  for _ = 1 to 50 do
+    let nv, clauses = random_instance rng ~max_vars:6 ~clause_factor:2 in
+    let s = fresh_solver nv clauses in
+    let vs = List.init nv (fun i -> i) in
+    match Allsat.models ~over:vs s with
+    | None -> Alcotest.fail "deadline"
+    | Some models ->
+      let count = ref 0 in
+      for m = 0 to (1 lsl nv) - 1 do
+        let ok =
+          List.for_all
+            (fun c ->
+              List.exists
+                (fun l -> ((m lsr Lit.var l) land 1 = 1) = Lit.sign l)
+                c)
+            clauses
+        in
+        if ok then incr count
+      done;
+      Alcotest.(check int) "allsat count" !count (List.length models)
+  done
+
+let test_dimacs_roundtrip () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let cnf = Dimacs.parse text in
+  Alcotest.(check int) "vars" 3 cnf.Dimacs.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length cnf.Dimacs.clauses);
+  let printed = Format.asprintf "%a" Dimacs.print cnf in
+  let cnf2 = Dimacs.parse printed in
+  Alcotest.(check bool) "roundtrip" true (cnf = cnf2);
+  let s = Solver.create () in
+  Dimacs.load s cnf;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+let test_dimacs_invalid () =
+  Alcotest.check_raises "missing header"
+    (Invalid_argument "Dimacs.parse: missing header") (fun () ->
+      ignore (Dimacs.parse "1 2 0\n"))
+
+let test_stats_populated () =
+  let rng = Prng.create 123 in
+  let nv, clauses = random_instance rng ~max_vars:10 ~clause_factor:4 in
+  let s = fresh_solver nv clauses in
+  ignore (Solver.solve s);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "propagations counted" true (st.Solver.propagations >= 0)
+
+let () =
+  Alcotest.run "sat"
+    [ ( "solver",
+        [ Alcotest.test_case "lit encoding" `Quick test_lit_encoding;
+          Alcotest.test_case "fuzz vs brute force" `Slow test_fuzz_vs_brute_force;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "unit propagation" `Quick test_unit_propagation;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+          Alcotest.test_case "xor chain" `Quick test_xor_chain_sat;
+          Alcotest.test_case "assumptions" `Slow test_assumptions;
+          Alcotest.test_case "incremental clauses" `Quick
+            test_incremental_clauses;
+          Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+          Alcotest.test_case "stats" `Quick test_stats_populated ] );
+      ( "allsat",
+        [ Alcotest.test_case "enumeration" `Quick test_allsat_enumeration;
+          Alcotest.test_case "vs brute force" `Slow test_allsat_vs_brute_force ] );
+      ( "dimacs",
+        [ Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "invalid" `Quick test_dimacs_invalid ] ) ]

@@ -1,0 +1,320 @@
+(* Tests for the STP matrix algebra, structural matrices, canonical forms
+   and the canonical-form AllSAT solver — the paper's Section II. *)
+
+module M = Stp_matrix.Matrix
+module S = Stp_matrix.Structural
+module Expr = Stp_matrix.Expr
+module Canonical = Stp_matrix.Canonical
+module Stp_sat = Stp_matrix.Stp_sat
+module Tt = Stp_tt.Tt
+module Prng = Stp_util.Prng
+
+let meq = Alcotest.testable M.pp M.equal
+
+let test_identity_mul () =
+  let a = M.of_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Alcotest.check meq "I*a" a (M.mul (M.identity 2) a);
+  Alcotest.check meq "a*I" a (M.mul a (M.identity 2))
+
+let test_kron_dims () =
+  let a = M.of_rows [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = M.of_rows [ [ 0; 1; 2 ] ] in
+  let k = M.kron a b in
+  Alcotest.(check int) "rows" 2 (M.rows k);
+  Alcotest.(check int) "cols" 6 (M.cols k);
+  (* (A ⊗ B)(i,j) = A(i/p, j/q) B(i mod p, j mod q) *)
+  Alcotest.(check int) "entry" (2 * 2) (M.get k 0 5)
+
+let test_kron_mixed_product () =
+  (* (A ⊗ B)(C ⊗ D) = AC ⊗ BD for compatible dims *)
+  let rng = Prng.create 17 in
+  let rand r c = M.make r c (fun _ _ -> Prng.int rng 3) in
+  let a = rand 2 2 and b = rand 2 3 and c = rand 2 2 and d = rand 3 2 in
+  Alcotest.check meq "mixed product" (M.kron (M.mul a c) (M.mul b d))
+    (M.mul (M.kron a b) (M.kron c d))
+
+let test_stp_equals_mul_when_compatible () =
+  let rng = Prng.create 23 in
+  let rand r c = M.make r c (fun _ _ -> Prng.int rng 3) in
+  let a = rand 2 4 and b = rand 4 3 in
+  Alcotest.check meq "stp = mul" (M.mul a b) (M.stp a b)
+
+let test_stp_dimensions () =
+  (* X: 2x4, Y: 2x2 -> t = lcm(4,2) = 4: result 2x... (X ⊗ I1)(Y ⊗ I2):
+     2x4 * 4x4 = 2x4 *)
+  let x = M.make 2 4 (fun i j -> i + j) in
+  let y = M.make 2 2 (fun i j -> i * j) in
+  let r = M.stp x y in
+  Alcotest.(check int) "rows" 2 (M.rows r);
+  Alcotest.(check int) "cols" 4 (M.cols r)
+
+let test_stp_associative () =
+  let rng = Prng.create 29 in
+  let rand r c = M.make r c (fun _ _ -> Prng.int rng 2) in
+  (* dimensions chosen among powers of two so association varies t *)
+  let a = rand 2 4 and b = rand 2 2 and c = rand 4 1 in
+  Alcotest.check meq "assoc" (M.stp (M.stp a b) c) (M.stp a (M.stp b c))
+
+let test_swap_matrix_property () =
+  (* W_[m,n] (x ⊗ y) = y ⊗ x *)
+  let x = M.of_rows [ [ 1 ]; [ 2 ]; [ 3 ] ] in
+  let y = M.of_rows [ [ 4 ]; [ 5 ] ] in
+  let w = M.swap_matrix 3 2 in
+  Alcotest.check meq "swap" (M.kron y x) (M.mul w (M.kron x y))
+
+let test_property1 () =
+  (* Z_c ⋉ X = (I_t ⊗ X) ⋉ Z_c for a column vector Z_c of height t *)
+  let rng = Prng.create 31 in
+  let x = M.make 2 2 (fun _ _ -> Prng.int rng 3) in
+  let z = M.of_rows [ [ 1 ]; [ 0 ] ] in
+  Alcotest.check meq "property 1" (M.stp z x)
+    (M.stp (M.kron (M.identity 2) x) z)
+
+let test_structural_matrices () =
+  (* Example 2 of the paper: M_d M_n = M_i *)
+  Alcotest.check meq "Md Mn = Mi" S.m_implies (M.stp S.m_or S.m_not);
+  (* NOT is an involution *)
+  Alcotest.check meq "Mn Mn = I" (M.identity 2) (M.mul S.m_not S.m_not)
+
+let test_bool_vectors () =
+  Alcotest.(check bool) "true" true (S.to_bool S.vtrue);
+  Alcotest.(check bool) "false" false (S.to_bool S.vfalse);
+  (* evaluating AND on vectors *)
+  List.iter
+    (fun (a, b) ->
+      let r = S.apply2 S.m_and (S.of_bool a) (S.of_bool b) in
+      Alcotest.(check bool) "and eval" (a && b) (S.to_bool r))
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
+let test_power_reduce () =
+  (* x ⋉ x = M_r ⋉ x for both Boolean vectors (equation 3) *)
+  List.iter
+    (fun v ->
+      Alcotest.check meq "power reduce" (M.stp v v) (M.stp S.power_reduce v))
+    [ S.vtrue; S.vfalse ]
+
+let test_swap22 () =
+  (* x ⋉ y = M_w ⋉ y ⋉ x (equation 4) *)
+  List.iter
+    (fun (x, y) ->
+      Alcotest.check meq "swap22" (M.stp x y) (M.stp (M.stp S.swap22 y) x))
+    [ (S.vtrue, S.vfalse); (S.vfalse, S.vtrue); (S.vtrue, S.vtrue) ]
+
+let test_gate_code_roundtrip () =
+  for code = 0 to 15 do
+    Alcotest.(check int) "roundtrip" code
+      (S.to_gate_code (S.of_gate_code code))
+  done
+
+let test_gate_code_semantics () =
+  (* evaluating the structural matrix equals the code's truth table *)
+  for code = 0 to 15 do
+    let m = S.of_gate_code code in
+    for a = 0 to 1 do
+      for b = 0 to 1 do
+        let r = S.apply2 m (S.of_bool (a = 1)) (S.of_bool (b = 1)) in
+        let expected = (code lsr ((2 * a) + b)) land 1 = 1 in
+        Alcotest.(check bool) "gate eval" expected (S.to_bool r)
+      done
+    done
+  done
+
+let test_liar_puzzle () =
+  (* Example 4 of the paper, including the exact canonical matrix. *)
+  let phi =
+    let open Expr in
+    let a = var 0 and b = var 1 and c = var 2 in
+    ((a <=> not_ b) && (b <=> not_ c)) && (c <=> (not_ a && not_ b))
+  in
+  let m = Canonical.of_expr ~n:3 phi in
+  let expected =
+    M.of_rows [ [ 0; 0; 0; 0; 0; 1; 0; 0 ]; [ 1; 1; 1; 1; 1; 0; 1; 1 ] ]
+  in
+  Alcotest.check meq "canonical matrix of Example 4" expected m;
+  match Stp_sat.all_solutions m with
+  | [ s ] ->
+    Alcotest.(check (list bool)) "only b honest" [ false; true; false ]
+      (Array.to_list s)
+  | _ -> Alcotest.fail "expected exactly one solution"
+
+let random_expr rng n =
+  let rec go depth =
+    if depth = 0 || Prng.int rng 4 = 0 then Expr.Var (Prng.int rng n)
+    else
+      match Prng.int rng 8 with
+      | 0 -> Expr.Not (go (depth - 1))
+      | 1 -> Expr.And (go (depth - 1), go (depth - 1))
+      | 2 -> Expr.Or (go (depth - 1), go (depth - 1))
+      | 3 -> Expr.Xor (go (depth - 1), go (depth - 1))
+      | 4 -> Expr.Implies (go (depth - 1), go (depth - 1))
+      | 5 -> Expr.Equiv (go (depth - 1), go (depth - 1))
+      | 6 -> Expr.Nand (go (depth - 1), go (depth - 1))
+      | _ -> Expr.Nor (go (depth - 1), go (depth - 1))
+  in
+  go 3
+
+let test_canonical_vs_tabulation () =
+  let rng = Prng.create 37 in
+  for _ = 1 to 60 do
+    let n = 1 + Prng.int rng 4 in
+    let e = random_expr rng n in
+    let m = Canonical.of_expr ~n e in
+    let tt = Expr.to_tt ~n e in
+    Alcotest.(check bool) "canonical = tabulated" true
+      (Tt.equal (Canonical.to_tt m) tt);
+    Alcotest.(check bool) "of_tt agrees" true (M.equal (Canonical.of_tt tt) m);
+    Alcotest.(check bool) "logic matrix" true (M.is_logic_matrix m)
+  done
+
+let test_rewriting_primitives () =
+  (* the column-level primitives equal the general STP products *)
+  let rng = Prng.create 41 in
+  for _ = 1 to 20 do
+    let k = 2 + Prng.int rng 3 in
+    let m =
+      M.make 2 (1 lsl k) (fun i j ->
+          ignore j;
+          if (i + Prng.int rng 2) mod 2 = 0 then 1 else 0)
+    in
+    let j = Prng.int rng (k - 1) in
+    let right kernel pos =
+      let before = M.identity (1 lsl pos) in
+      let after = M.identity (1 lsl (k - pos - 2)) in
+      M.kron (M.kron before kernel) after
+    in
+    Alcotest.check meq "swap = x (I ⊗ W ⊗ I)"
+      (M.mul m (right S.swap22 j))
+      (Canonical.swap_positions m j k);
+    Alcotest.check meq "reduce = x (I ⊗ Mr ⊗ I)"
+      (M.mul m (right S.power_reduce j))
+      (Canonical.reduce_positions m j k)
+  done
+
+let test_column_minterm_bijection () =
+  for n = 1 to 6 do
+    for m = 0 to (1 lsl n) - 1 do
+      let c = Canonical.column_of_minterm ~n m in
+      Alcotest.(check int) "bijection" m (Canonical.minterm_of_column ~n c)
+    done
+  done
+
+let test_allsat_counts () =
+  let rng = Prng.create 43 in
+  for _ = 1 to 30 do
+    let n = 1 + Prng.int rng 4 in
+    let tt = Tt.of_fun n (fun _ -> Prng.bool rng) in
+    let m = Canonical.of_tt tt in
+    Alcotest.(check int) "count = ones" (Tt.count_ones tt) (Stp_sat.count m);
+    Alcotest.(check bool) "is_sat" (Tt.count_ones tt > 0) (Stp_sat.is_sat m);
+    let minterms = Stp_sat.solutions_as_minterms m in
+    Alcotest.(check int) "all enumerated" (Tt.count_ones tt)
+      (List.length minterms);
+    List.iter
+      (fun mt -> Alcotest.(check bool) "real solution" true (Tt.get tt mt))
+      minterms
+  done
+
+let test_trace_structure () =
+  let m = Canonical.of_tt (Tt.of_hex ~n:2 "8") in
+  match Stp_sat.trace m with
+  | Stp_sat.Branch { var = 0; _ } -> ()
+  | _ -> Alcotest.fail "expected branch on x1"
+
+let test_expr_helpers () =
+  let e = Expr.(var 0 && (var 1 || not_ (var 2))) in
+  Alcotest.(check (list int)) "vars" [ 0; 1; 2 ] (Expr.vars e);
+  Alcotest.(check int) "max var" 2 (Expr.max_var e);
+  Alcotest.(check bool) "size" true (Expr.size e > 3);
+  Alcotest.(check bool) "eval" true
+    (Expr.eval e (fun i -> i = 0 || i = 1))
+
+let test_parse_roundtrip () =
+  let cases =
+    [ ("a & b", "8");
+      ("a | b", "e");
+      ("a ^ b", "6");
+      ("!(a & b)", "7");
+      ("a -> b", "d");
+      ("a <-> b", "9") ]
+  in
+  List.iter
+    (fun (text, hex) ->
+      let e = Stp_matrix.Parse.formula text in
+      Alcotest.(check string) text hex (Tt.to_hex (Expr.to_tt ~n:2 e)))
+    cases
+
+let test_parse_precedence () =
+  (* & binds tighter than ^ binds tighter than | *)
+  let e = Stp_matrix.Parse.formula "a | b & c" in
+  let expected = Expr.Or (Expr.Var 0, Expr.And (Expr.Var 1, Expr.Var 2)) in
+  Alcotest.(check bool) "or/and" true
+    (Tt.equal (Expr.to_tt ~n:3 e) (Expr.to_tt ~n:3 expected));
+  let e2 = Stp_matrix.Parse.formula "a ^ b | c" in
+  let expected2 = Expr.Or (Expr.Xor (Expr.Var 0, Expr.Var 1), Expr.Var 2) in
+  Alcotest.(check bool) "xor/or" true
+    (Tt.equal (Expr.to_tt ~n:3 e2) (Expr.to_tt ~n:3 expected2))
+
+let test_parse_variables () =
+  let e = Stp_matrix.Parse.formula "x3 & x12" in
+  Alcotest.(check (list int)) "indices" [ 2; 11 ] (Expr.vars e);
+  let e2 = Stp_matrix.Parse.formula "d" in
+  Alcotest.(check (list int)) "letter" [ 3 ] (Expr.vars e2)
+
+let test_parse_constants_parens () =
+  let e = Stp_matrix.Parse.formula "!(1 ^ (a & 0))" in
+  Alcotest.(check bool) "evaluates" false (Expr.eval e (fun _ -> true))
+
+let test_parse_errors () =
+  List.iter
+    (fun bad ->
+      match Stp_matrix.Parse.formula bad with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" bad)
+    [ ""; "a &"; "(a"; "a b"; "x"; "x0"; "& a"; "a <- b" ]
+
+let test_parse_liar_puzzle () =
+  let e = Stp_matrix.Parse.formula "(a <-> !b) & (b <-> !c) & (c <-> (!a & !b))" in
+  let m = Canonical.of_expr ~n:3 e in
+  Alcotest.(check int) "one solution" 1 (Stp_sat.count m)
+
+let () =
+  Alcotest.run "stp_matrix"
+    [ ( "matrix",
+        [ Alcotest.test_case "identity" `Quick test_identity_mul;
+          Alcotest.test_case "kron dims" `Quick test_kron_dims;
+          Alcotest.test_case "kron mixed product" `Quick test_kron_mixed_product;
+          Alcotest.test_case "stp = mul when compatible" `Quick
+            test_stp_equals_mul_when_compatible;
+          Alcotest.test_case "stp dims" `Quick test_stp_dimensions;
+          Alcotest.test_case "stp associative" `Quick test_stp_associative;
+          Alcotest.test_case "swap matrix" `Quick test_swap_matrix_property;
+          Alcotest.test_case "property 1" `Quick test_property1 ] );
+      ( "structural",
+        [ Alcotest.test_case "example 2" `Quick test_structural_matrices;
+          Alcotest.test_case "bool vectors" `Quick test_bool_vectors;
+          Alcotest.test_case "power reduce" `Quick test_power_reduce;
+          Alcotest.test_case "swap22" `Quick test_swap22;
+          Alcotest.test_case "gate code roundtrip" `Quick
+            test_gate_code_roundtrip;
+          Alcotest.test_case "gate code semantics" `Quick
+            test_gate_code_semantics ] );
+      ( "canonical",
+        [ Alcotest.test_case "liar puzzle (Example 4)" `Quick test_liar_puzzle;
+          Alcotest.test_case "canonical vs tabulation" `Quick
+            test_canonical_vs_tabulation;
+          Alcotest.test_case "rewriting primitives" `Quick
+            test_rewriting_primitives;
+          Alcotest.test_case "column bijection" `Quick
+            test_column_minterm_bijection;
+          Alcotest.test_case "expr helpers" `Quick test_expr_helpers ] );
+      ( "allsat",
+        [ Alcotest.test_case "counts" `Quick test_allsat_counts;
+          Alcotest.test_case "trace" `Quick test_trace_structure ] );
+      ( "parse",
+        [ Alcotest.test_case "gate roundtrips" `Quick test_parse_roundtrip;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "variables" `Quick test_parse_variables;
+          Alcotest.test_case "constants/parens" `Quick
+            test_parse_constants_parens;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "liar puzzle" `Quick test_parse_liar_puzzle ] ) ]

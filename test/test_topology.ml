@@ -1,0 +1,156 @@
+(* Tests for fence enumeration and DAG shape generation (Section III-A,
+   Figs. 2-3). *)
+
+module Fence = Stp_topology.Fence
+module Dag = Stp_topology.Dag
+
+let test_fence_counts () =
+  (* |F_k| = 2^(k-1) compositions *)
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "F_%d size" k)
+        (1 lsl (k - 1))
+        (List.length (Fence.generate k)))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_fence_f3 () =
+  (* Fig. 2: F_3 has 4 fences, 2 survive pruning *)
+  let all = Fence.generate 3 in
+  Alcotest.(check int) "F_3" 4 (List.length all);
+  let pruned = Fence.prune all in
+  Alcotest.(check int) "pruned (Fig 2b)" 2 (List.length pruned);
+  let as_lists = List.map Array.to_list pruned in
+  Alcotest.(check bool) "<2,1> kept" true (List.mem [ 2; 1 ] as_lists);
+  Alcotest.(check bool) "<1,1,1> kept" true (List.mem [ 1; 1; 1 ] as_lists)
+
+let test_fence_invariants () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun f ->
+          Alcotest.(check int) "node count" k (Fence.num_nodes f);
+          Alcotest.(check bool) "levels nonempty" true
+            (Array.for_all (fun c -> c > 0) f))
+        (Fence.generate k))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_fence_pruned_top () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun f ->
+          Alcotest.(check int) "single top" 1 f.(Fence.num_levels f - 1))
+        (Fence.generate_pruned k))
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_dag_f3 () =
+  (* Fig. 3: the valid shapes of F_3 *)
+  let shapes = Dag.enumerate 3 in
+  Alcotest.(check int) "three shapes" 3 (List.length shapes);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "3 nodes" 3 (Dag.num_nodes s);
+      Alcotest.(check int) "top" 2 (Dag.top s))
+    shapes
+
+let test_dag_structural_invariants () =
+  List.iter
+    (fun k ->
+      Dag.iter k (fun s ->
+          let num = Dag.num_nodes s in
+          Alcotest.(check int) "nodes = k" k num;
+          (* fanins point strictly backwards, distinct *)
+          Array.iteri
+            (fun i (a, b) ->
+              (match (a, b) with
+               | Dag.N x, Dag.N y ->
+                 Alcotest.(check bool) "distinct" true (x <> y);
+                 Alcotest.(check bool) "backward" true (x < i && y < i)
+               | Dag.N x, Dag.L _ | Dag.L _, Dag.N x ->
+                 Alcotest.(check bool) "backward" true (x < i)
+               | Dag.L s1, Dag.L s2 ->
+                 Alcotest.(check bool) "distinct slots" true (s1 <> s2));
+              (* at least one fanin from the level directly below *)
+              let lev = s.Dag.level.(i) in
+              let level_of = function
+                | Dag.N x -> s.Dag.level.(x) + 1 (* node levels are 0-based *)
+                | Dag.L _ -> 0
+              in
+              ignore level_of;
+              if lev > 0 then begin
+                let from_prev = function
+                  | Dag.N x -> s.Dag.level.(x) = lev - 1
+                  | Dag.L _ -> false
+                in
+                Alcotest.(check bool) "prev-level fanin" true
+                  (from_prev a || from_prev b)
+              end)
+            s.Dag.fanins;
+          (* every non-top node is used *)
+          let used = Array.make num false in
+          Array.iter
+            (fun (a, b) ->
+              (match a with Dag.N x -> used.(x) <- true | Dag.L _ -> ());
+              match b with Dag.N x -> used.(x) <- true | Dag.L _ -> ())
+            s.Dag.fanins;
+          for i = 0 to num - 2 do
+            Alcotest.(check bool) "fanout >= 1" true used.(i)
+          done;
+          (* the top reaches every leaf *)
+          Alcotest.(check int) "top reach" s.Dag.num_leaves
+            (Dag.reach_count s (num - 1))))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_dag_counts_stable () =
+  (* regression pin: shape family sizes *)
+  let counts = List.map (fun k -> List.length (Dag.enumerate k)) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "family sizes" [ 1; 1; 3; 12; 66 ] counts
+
+let test_dag_tree_flag () =
+  Dag.iter 4 (fun s ->
+      let fanout = Array.make (Dag.num_nodes s) 0 in
+      Array.iter
+        (fun (a, b) ->
+          (match a with Dag.N x -> fanout.(x) <- fanout.(x) + 1 | Dag.L _ -> ());
+          match b with Dag.N x -> fanout.(x) <- fanout.(x) + 1 | Dag.L _ -> ())
+        s.Dag.fanins;
+      let is_tree = Array.for_all (fun c -> c <= 1) fanout in
+      Alcotest.(check bool) "tree flag" is_tree s.Dag.is_tree)
+
+let test_iter_matches_enumerate () =
+  List.iter
+    (fun k ->
+      let via_iter = ref 0 in
+      Dag.iter k (fun _ -> incr via_iter);
+      Alcotest.(check int) "iter = enumerate" (List.length (Dag.enumerate k))
+        !via_iter)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_leaf_numbering () =
+  Dag.iter 4 (fun s ->
+      (* leaf slots are numbered 0 .. num_leaves-1, each exactly once *)
+      let seen = Array.make s.Dag.num_leaves 0 in
+      Array.iter
+        (fun (a, b) ->
+          (match a with Dag.L l -> seen.(l) <- seen.(l) + 1 | Dag.N _ -> ());
+          match b with Dag.L l -> seen.(l) <- seen.(l) + 1 | Dag.N _ -> ())
+        s.Dag.fanins;
+      Alcotest.(check bool) "each slot once" true
+        (Array.for_all (fun c -> c = 1) seen))
+
+let () =
+  Alcotest.run "topology"
+    [ ( "fence",
+        [ Alcotest.test_case "counts" `Quick test_fence_counts;
+          Alcotest.test_case "F_3 (Fig 2)" `Quick test_fence_f3;
+          Alcotest.test_case "invariants" `Quick test_fence_invariants;
+          Alcotest.test_case "pruned top" `Quick test_fence_pruned_top ] );
+      ( "dag",
+        [ Alcotest.test_case "F_3 shapes (Fig 3)" `Quick test_dag_f3;
+          Alcotest.test_case "structural invariants" `Quick
+            test_dag_structural_invariants;
+          Alcotest.test_case "family sizes" `Quick test_dag_counts_stable;
+          Alcotest.test_case "tree flag" `Quick test_dag_tree_flag;
+          Alcotest.test_case "iter = enumerate" `Quick test_iter_matches_enumerate;
+          Alcotest.test_case "leaf numbering" `Quick test_leaf_numbering ] ) ]

@@ -1,0 +1,103 @@
+(* Tests for the workload generators behind Table I's collections. *)
+
+module Tt = Stp_tt.Tt
+module Dsd = Stp_tt.Dsd
+module Dsd_gen = Stp_workloads.Dsd_gen
+module Npn4 = Stp_workloads.Npn4
+module Collections = Stp_workloads.Collections
+
+let test_npn4_all () =
+  Alcotest.(check int) "222 classes" 222 (List.length (Npn4.all ()));
+  (* canonical representatives are canonical *)
+  List.iteri
+    (fun i f ->
+      if i mod 37 = 0 then
+        Alcotest.(check bool) "canonical" true (Stp_tt.Npn.is_canonical f))
+    (Npn4.all ())
+
+let test_npn4_synthesizable () =
+  let s = Npn4.synthesizable () in
+  Alcotest.(check int) "221 non-constant" 221 (List.length s);
+  List.iter
+    (fun f -> Alcotest.(check bool) "has support" true (Tt.support_size f > 0))
+    s
+
+let test_fdsd_properties () =
+  for seed = 1 to 20 do
+    let f = Dsd_gen.fdsd ~n:6 ~seed in
+    Alcotest.(check int) "full support" 6 (Tt.support_size f);
+    Alcotest.(check bool) "fully dsd" true (Dsd.is_fully_dsd f)
+  done
+
+let test_fdsd8_properties () =
+  for seed = 1 to 5 do
+    let f = Dsd_gen.fdsd ~n:8 ~seed in
+    Alcotest.(check int) "full support" 8 (Tt.support_size f);
+    Alcotest.(check bool) "fully dsd" true (Dsd.is_fully_dsd f)
+  done
+
+let test_pdsd_properties () =
+  for seed = 1 to 10 do
+    let f = Dsd_gen.pdsd ~n:6 ~seed in
+    Alcotest.(check int) "full support" 6 (Tt.support_size f);
+    Alcotest.(check bool) "partial" true (Dsd.kind f = Dsd.Partial)
+  done
+
+let test_generators_deterministic () =
+  Alcotest.(check bool) "fdsd deterministic" true
+    (Tt.equal (Dsd_gen.fdsd ~n:6 ~seed:3) (Dsd_gen.fdsd ~n:6 ~seed:3));
+  Alcotest.(check bool) "pdsd deterministic" true
+    (Tt.equal (Dsd_gen.pdsd ~n:6 ~seed:3) (Dsd_gen.pdsd ~n:6 ~seed:3));
+  Alcotest.(check bool) "seeds differ" false
+    (Tt.equal (Dsd_gen.fdsd ~n:6 ~seed:3) (Dsd_gen.fdsd ~n:6 ~seed:4))
+
+let test_prime_cores () =
+  Alcotest.(check bool) "cores exist" true (Dsd_gen.prime_cores <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "prime" true (Dsd.is_prime f);
+      Alcotest.(check int) "3 vars" 3 (Tt.support_size f))
+    Dsd_gen.prime_cores;
+  (* majority must be among them *)
+  Alcotest.(check bool) "maj included" true
+    (List.exists (Tt.equal (Tt.of_hex ~n:3 "e8")) Dsd_gen.prime_cores)
+
+let test_collections_distinct () =
+  let c = Dsd_gen.fdsd_collection ~n:6 ~count:30 ~seed:5 in
+  Alcotest.(check int) "count" 30 (List.length c);
+  let keys = List.map Tt.to_hex c in
+  Alcotest.(check int) "distinct" 30 (List.length (List.sort_uniq compare keys))
+
+let test_table1_collections () =
+  let rows = Collections.table1 Collections.Default in
+  Alcotest.(check (list string)) "names"
+    [ "NPN4"; "FDSD6"; "FDSD8"; "PDSD6"; "PDSD8" ]
+    (List.map (fun (c : Collections.t) -> c.name) rows);
+  List.iter
+    (fun (c : Collections.t) ->
+      Alcotest.(check bool) "non-empty" true (c.functions <> []))
+    rows
+
+let test_scaling () =
+  let paper = Collections.fdsd8 Collections.Paper in
+  Alcotest.(check int) "paper scale" 100 (List.length paper.Collections.functions);
+  let custom = Collections.fdsd8 (Collections.Custom 0.1) in
+  Alcotest.(check int) "custom scale" 10
+    (List.length custom.Collections.functions)
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "npn4",
+        [ Alcotest.test_case "all" `Slow test_npn4_all;
+          Alcotest.test_case "synthesizable" `Slow test_npn4_synthesizable ] );
+      ( "dsd_gen",
+        [ Alcotest.test_case "fdsd6" `Quick test_fdsd_properties;
+          Alcotest.test_case "fdsd8" `Slow test_fdsd8_properties;
+          Alcotest.test_case "pdsd6" `Quick test_pdsd_properties;
+          Alcotest.test_case "deterministic" `Quick test_generators_deterministic;
+          Alcotest.test_case "prime cores" `Quick test_prime_cores;
+          Alcotest.test_case "collections distinct" `Quick
+            test_collections_distinct ] );
+      ( "collections",
+        [ Alcotest.test_case "table1 rows" `Slow test_table1_collections;
+          Alcotest.test_case "scaling" `Quick test_scaling ] ) ]
