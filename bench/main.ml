@@ -8,7 +8,11 @@
    - FIG 3: the valid DAG shapes of F_3;
    - Bechamel microbenchmarks, one group per reproduced artefact.
 
-   Run with:  dune exec bench/main.exe *)
+   Run with:  dune exec bench/main.exe
+   Flags:     --jobs N         fan Table I instances over N domains
+              --no-npn-cache   disable NPN-class chain reuse
+   Each run also writes its Table I aggregates (wall-clock, speedup,
+   cache hit-rate) to BENCH_table1.json for cross-PR tracking. *)
 
 module Tt = Stp_tt.Tt
 module Runner = Stp_harness.Runner
@@ -27,6 +31,9 @@ let bench_collections () =
         List.filteri (fun i _ -> i mod k = 0) c.Collections.functions }
   in
   [ sub 5 (Collections.npn4 Collections.Default);
+    (* The class-reuse workload: many functions per NPN class, so the
+       cache turns most instances into transform replays. *)
+    sub 4 (Collections.npn4_all Collections.Default);
     { (Collections.fdsd6 Collections.Default) with
       Collections.functions =
         (Collections.fdsd6 Collections.Default).Collections.functions
@@ -35,9 +42,20 @@ let bench_collections () =
     sub 1 (Collections.pdsd6 (Collections.Custom 0.015));
     sub 1 (Collections.pdsd8 (Collections.Custom 0.06)) ]
 
-let table1 () =
-  Format.printf "=== TABLE I (reduced scale: timeout %.1fs/instance) ===@.@."
-    bench_timeout;
+let table1 ~jobs ~npn_cache () =
+  Format.printf
+    "=== TABLE I (reduced scale: timeout %.1fs/instance, %d job%s, npn \
+     cache %s) ===@.@."
+    bench_timeout jobs
+    (if jobs = 1 then "" else "s")
+    (if npn_cache then "on" else "off");
+  let caches =
+    List.map
+      (fun (e : Runner.engine) ->
+        ( e.Runner.engine_name,
+          if npn_cache then Some (Stp_synth.Npn_cache.create ()) else None ))
+      Runner.all_engines
+  in
   let rows =
     List.map
       (fun (c : Collections.t) ->
@@ -47,15 +65,33 @@ let table1 () =
           List.map
             (fun (e : Runner.engine) ->
               Printf.eprintf "[bench]   engine %s...\n%!" e.Runner.engine_name;
-              Runner.run_collection ~timeout:bench_timeout e
-                c.Collections.functions)
+              let agg =
+                Runner.run_collection ~timeout:bench_timeout ~jobs
+                  ?cache:(List.assoc e.Runner.engine_name caches)
+                  e c.Collections.functions
+              in
+              Printf.eprintf
+                "[bench]     wall %.2fs, speedup %.2fx, cache %d/%d hits\n%!"
+                agg.Runner.wall_time (Runner.speedup agg) agg.Runner.cache_hits
+                (agg.Runner.cache_hits + agg.Runner.cache_misses);
+              agg)
             Runner.all_engines
         in
-        (c.Collections.name, aggs))
+        (c.Collections.name, List.length c.Collections.functions, aggs))
       (bench_collections ())
   in
-  Table.render Format.std_formatter ~rows;
-  Format.printf "@."
+  Table.render Format.std_formatter
+    ~rows:(List.map (fun (name, _, aggs) -> (name, aggs)) rows);
+  Format.printf "@.";
+  let open Stp_harness.Report in
+  write ~path:"BENCH_table1.json"
+    ~meta:
+      [ ("source", String "bench/main");
+        ("timeout_s", Float bench_timeout);
+        ("jobs", Int jobs);
+        ("npn_cache", Bool npn_cache) ]
+    ~rows;
+  Printf.eprintf "[bench] wrote BENCH_table1.json\n%!"
 
 let fig1 () =
   Format.printf "=== FIG 1: STP AllSAT descent for the liar puzzle ===@.@.";
@@ -188,9 +224,26 @@ let ablations () =
   Format.printf "@."
 
 let () =
-  fig2 ();
-  fig3 ();
-  fig1 ();
-  micro ();
-  ablations ();
-  table1 ()
+  let open Cmdliner in
+  let jobs_arg =
+    let doc = "Domains to fan Table I instances over (1 = sequential)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the NPN-class synthesis cache for Table I." in
+    Arg.(value & flag & info [ "no-npn-cache" ] ~doc)
+  in
+  let run jobs no_npn_cache =
+    fig2 ();
+    fig3 ();
+    fig1 ();
+    micro ();
+    ablations ();
+    table1 ~jobs:(max 1 jobs) ~npn_cache:(not no_npn_cache) ()
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "bench" ~doc:"regenerate the paper's tables and figures")
+      Term.(const run $ jobs_arg $ no_cache_arg)
+  in
+  exit (Cmd.eval cmd)

@@ -2,28 +2,60 @@
 
 open Cmdliner
 
-let run collections timeout scale csv cross_check =
+let run collections timeout scale jobs no_npn_cache json_path csv cross_check =
   let scale =
     match scale with
     | s when s <= 0.0 -> Stp_workloads.Collections.Default
     | 1.0 -> Stp_workloads.Collections.Paper
     | s -> Stp_workloads.Collections.Custom s
   in
-  let available = Stp_workloads.Collections.table1 scale in
+  let available =
+    Stp_workloads.Collections.table1 scale
+    @ [ Stp_workloads.Collections.npn4_all scale ]
+  in
   let selected =
     match collections with
-    | [] -> available
+    | [] -> Stp_workloads.Collections.table1 scale
     | names ->
+      let names = List.map String.lowercase_ascii names in
+      let known =
+        List.map
+          (fun (c : Stp_workloads.Collections.t) ->
+            String.lowercase_ascii c.name)
+          available
+      in
+      List.iter
+        (fun n ->
+          if not (List.mem n known) then (
+            Printf.eprintf "table1: unknown collection %S (known: %s)\n" n
+              (String.concat ", " known);
+            exit 124))
+        names;
       List.filter
         (fun (c : Stp_workloads.Collections.t) ->
           List.mem (String.lowercase_ascii c.name) names)
         available
   in
+  (* One NPN cache per engine, carried across collections: entries store
+     the engine's own chain sets, so caches must not be shared between
+     engines. *)
+  let caches =
+    List.map
+      (fun (e : Stp_harness.Runner.engine) ->
+        ( e.Stp_harness.Runner.engine_name,
+          if no_npn_cache then None
+          else Some (Stp_synth.Npn_cache.create ()) ))
+      Stp_harness.Runner.all_engines
+  in
   let rows =
     List.map
       (fun (c : Stp_workloads.Collections.t) ->
-        Printf.eprintf "[table1] %s: %d instances, timeout %.1fs\n%!" c.name
-          (List.length c.functions) timeout;
+        Printf.eprintf "[table1] %s: %d instances, timeout %.1fs, %d job%s%s\n%!"
+          c.name
+          (List.length c.functions)
+          timeout jobs
+          (if jobs = 1 then "" else "s")
+          (if no_npn_cache then "" else ", npn-cache on");
         let optima : (int, int) Hashtbl.t = Hashtbl.create 97 in
         let check_optimum name i (r : Stp_synth.Spec.result) =
           match (r.status, r.gates) with
@@ -44,24 +76,46 @@ let run collections timeout scale csv cross_check =
               let on_instance i _f r =
                 if cross_check then check_optimum e.engine_name i r
               in
+              let cache = List.assoc e.engine_name caches in
               let agg =
-                Stp_harness.Runner.run_collection ~timeout ~on_instance e
-                  c.functions
+                Stp_harness.Runner.run_collection ~timeout ~jobs ?cache
+                  ~on_instance e c.functions
               in
-              Printf.eprintf "[table1]   %s: mean %.3fs, %d t/o, %d ok\n%!"
-                e.engine_name agg.mean_time agg.timeouts agg.solved;
+              Printf.eprintf
+                "[table1]   %s: mean %.3fs, %d t/o, %d ok, wall %.2fs \
+                 (speedup %.2fx, cache %d/%d hits)\n%!"
+                e.engine_name agg.mean_time agg.timeouts agg.solved
+                agg.wall_time
+                (Stp_harness.Runner.speedup agg)
+                agg.cache_hits
+                (agg.cache_hits + agg.cache_misses);
               agg)
             Stp_harness.Runner.all_engines
         in
-        (c.name, aggs))
+        (c.name, List.length c.functions, aggs))
       selected
   in
-  if csv then Stp_harness.Table.render_csv Format.std_formatter ~rows
-  else Stp_harness.Table.render Format.std_formatter ~rows
+  let table_rows = List.map (fun (name, _, aggs) -> (name, aggs)) rows in
+  if csv then Stp_harness.Table.render_csv Format.std_formatter ~rows:table_rows
+  else Stp_harness.Table.render Format.std_formatter ~rows:table_rows;
+  match json_path with
+  | "" -> ()
+  | path ->
+    let open Stp_harness.Report in
+    write ~path
+      ~meta:
+        [ ("source", String "bin/table1");
+          ("timeout_s", Float timeout);
+          ("jobs", Int jobs);
+          ("npn_cache", Bool (not no_npn_cache)) ]
+      ~rows;
+    Printf.eprintf "[table1] wrote %s\n%!" path
 
 let collections_arg =
   let doc =
-    "Collections to run (npn4, fdsd6, fdsd8, pdsd6, pdsd8); default all."
+    "Collections to run (npn4, fdsd6, fdsd8, pdsd6, pdsd8; also npn4all, \
+     the all-65536-functions sweep that showcases the NPN cache); default: \
+     the paper's five."
   in
   Arg.(value & opt_all string [] & info [ "c"; "collection" ] ~docv:"NAME" ~doc)
 
@@ -76,6 +130,31 @@ let scale_arg =
   in
   Arg.(value & opt float 0.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of domains to fan instances over (1 = sequential). Aggregates \
+     are identical across job counts; only wall-clock changes."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the NPN-class synthesis cache (enabled by default: optimum \
+     chains found for one member of an NPN class are replayed, \
+     transform-adjusted and re-verified, for every other member)."
+  in
+  Arg.(value & flag & info [ "no-npn-cache" ] ~doc)
+
+let json_arg =
+  let doc =
+    "Write machine-readable aggregates to this file (empty string \
+     disables)."
+  in
+  Arg.(
+    value
+    & opt string "BENCH_table1.json"
+    & info [ "json" ] ~docv:"PATH" ~doc)
+
 let csv_arg =
   let doc = "Emit CSV instead of the formatted table." in
   Arg.(value & flag & info [ "csv" ] ~doc)
@@ -89,7 +168,7 @@ let cmd =
   Cmd.v
     (Cmd.info "table1" ~doc)
     Term.(
-      const run $ collections_arg $ timeout_arg $ scale_arg $ csv_arg
-      $ cross_arg)
+      const run $ collections_arg $ timeout_arg $ scale_arg $ jobs_arg
+      $ no_cache_arg $ json_arg $ csv_arg $ cross_arg)
 
 let () = exit (Cmd.eval cmd)

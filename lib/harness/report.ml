@@ -1,0 +1,107 @@
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  (* JSON has no inf/nan literals; the metrics never legitimately
+     produce them, so map the degenerate cases to null. *)
+  if Float.is_nan f || Float.abs f = infinity then None
+  else
+    let s = Printf.sprintf "%.12g" f in
+    (* Ensure the token reads back as a float, not an integer. *)
+    Some
+      (if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+       else s ^ ".0")
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> (
+    match float_repr f with
+    | None -> Buffer.add_string buf "null"
+    | Some s -> Buffer.add_string buf s)
+  | String s -> escape_string buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_string buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+let aggregate_json (a : Runner.aggregate) =
+  Obj
+    [ ("engine", String a.Runner.name);
+      ("solved", Int a.Runner.solved);
+      ("timeouts", Int a.Runner.timeouts);
+      ("mean_time_s", Float a.Runner.mean_time);
+      ("total_time_s", Float a.Runner.total_time);
+      ("wall_time_s", Float a.Runner.wall_time);
+      ("speedup", Float (Runner.speedup a));
+      ("mean_solutions", Float a.Runner.mean_solutions);
+      ("mean_per_solution_s", Float a.Runner.mean_per_solution);
+      ("optima",
+       List
+         (List.map
+            (fun (gates, count) -> List [ Int gates; Int count ])
+            a.Runner.optima));
+      ("cache_hits", Int a.Runner.cache_hits);
+      ("cache_misses", Int a.Runner.cache_misses);
+      ("cache_hit_rate", Float (Runner.hit_rate a)) ]
+
+let rows_json rows =
+  List
+    (List.map
+       (fun (collection, instances, aggs) ->
+         Obj
+           [ ("collection", String collection);
+             ("instances", Int instances);
+             ("engines", List (List.map aggregate_json aggs)) ])
+       rows)
+
+let write ~path ~meta ~rows =
+  let doc = Obj (meta @ [ ("rows", rows_json rows) ]) in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string doc);
+      output_char oc '\n')

@@ -1,0 +1,35 @@
+(** Machine-readable run reports (BENCH_table1.json).
+
+    A minimal hand-rolled JSON emitter — the container deliberately has
+    no JSON dependency — plus the writer used by [bin/table1] and
+    [bench/main] to persist each run's aggregates, so the performance
+    trajectory (wall-clock, speedup, cache hit-rate) is tracked across
+    PRs by diffing one file. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val to_string : json -> string
+(** Compact (single-line) rendering. NaN/infinite floats become
+    [null]. *)
+
+val aggregate_json : Runner.aggregate -> json
+(** One engine's aggregate as an object: solved/timeout counts, mean,
+    total and wall time, realised speedup, the optimum-size histogram,
+    and the NPN-cache hit/miss counts and rate. *)
+
+val write :
+  path:string ->
+  meta:(string * json) list ->
+  rows:(string * int * Runner.aggregate list) list ->
+  unit
+(** [write ~path ~meta ~rows] writes [{...meta, "rows": [...]}] to
+    [path], one object per collection carrying its name, instance count
+    and per-engine aggregates. The file is overwritten atomically
+    enough for a single-writer harness (plain truncate + write). *)

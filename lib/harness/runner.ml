@@ -1,25 +1,26 @@
 module Spec = Stp_synth.Spec
+module Npn_cache = Stp_synth.Npn_cache
 
 type engine = {
   engine_name : string;
-  run : options:Spec.options -> Stp_tt.Tt.t -> Spec.result;
+  run : Npn_cache.solver;
 }
 
 let stp_engine =
   { engine_name = "STP";
-    run = (fun ~options f -> Stp_synth.Stp_exact.synthesize ~options f) }
+    run = (fun ~options ?memo f -> Stp_synth.Stp_exact.synthesize ~options ?memo f) }
 
 let bms_engine =
   { engine_name = "BMS";
-    run = (fun ~options f -> Stp_synth.Baselines.bms ~options f) }
+    run = (fun ~options ?memo:_ f -> Stp_synth.Baselines.bms ~options f) }
 
 let fen_engine =
   { engine_name = "FEN";
-    run = (fun ~options f -> Stp_synth.Baselines.fen ~options f) }
+    run = (fun ~options ?memo:_ f -> Stp_synth.Baselines.fen ~options f) }
 
 let abc_engine =
   { engine_name = "ABC";
-    run = (fun ~options f -> Stp_synth.Baselines.abc ~options f) }
+    run = (fun ~options ?memo:_ f -> Stp_synth.Baselines.abc ~options f) }
 
 let all_engines = [ bms_engine; fen_engine; abc_engine; stp_engine ]
 
@@ -29,23 +30,60 @@ type aggregate = {
   timeouts : int;
   mean_time : float;
   total_time : float;
+  wall_time : float;
   mean_solutions : float;
   mean_per_solution : float;
   optima : (int * int) list;
+  cache_hits : int;
+  cache_misses : int;
 }
 
-let run_collection ?(timeout = 5.0) ?on_instance engine functions =
-  (* The NPN canonicalisation table is built lazily on first use; force
-     it here so the first instance's timing does not pay for it. *)
+let speedup agg =
+  if agg.wall_time > 0.0 then agg.total_time /. agg.wall_time else 1.0
+
+let hit_rate agg =
+  let looked_up = agg.cache_hits + agg.cache_misses in
+  if looked_up = 0 then 0.0
+  else float_of_int agg.cache_hits /. float_of_int looked_up
+
+let run_collection ?(timeout = 5.0) ?(jobs = 1) ?cache ?on_instance engine
+    functions =
+  let jobs = max 1 jobs in
+  (* Force the lazily built global tables (the NPN4 canonicalisation
+     table in particular) before any fan-out: racing domains on an
+     unforced [lazy] is an error in OCaml 5, and the first instance's
+     timing should not pay for table construction either. *)
   ignore (Stp_tt.Npn.canon4 0);
   let options = Spec.with_timeout timeout in
+  let run =
+    match cache with
+    | None -> engine.run
+    | Some c -> Npn_cache.wrap c engine.run
+  in
+  let cache_before = Option.map Npn_cache.stats cache in
+  (* One Factor.memo per domain, reused across the instances that domain
+     executes. The memo's hash tables are not thread-safe, so domains
+     must never share one — domain-local storage gives each domain its
+     own, created on first use; a fresh key per run keeps runs
+     independent. Sharing across instances is sound because memo entries
+     are pure functions of their keys (see Factor.memo). *)
+  let memo_key = Domain.DLS.new_key (fun () -> Stp_synth.Factor.create_memo ()) in
+  let solve f = run ~options ~memo:(Domain.DLS.get memo_key) f in
+  let t0 = Stp_util.Unix_time.now () in
+  let results =
+    if jobs = 1 then List.map solve functions
+    else Stp_parallel.Pool.map ~domains:jobs solve functions
+  in
+  let wall_time = Stp_util.Unix_time.now () -. t0 in
+  (* Aggregation is one sequential pass over (instance, result) in input
+     order — byte-identical between the sequential and parallel paths,
+     and [on_instance] observes instances in input order either way. *)
   let solved = ref 0 and timeouts = ref 0 in
   let solved_time = ref 0.0 and total_time = ref 0.0 in
   let solutions = ref 0 in
   let optima = Hashtbl.create 16 in
   List.iteri
-    (fun i f ->
-      let result = engine.run ~options f in
+    (fun i (f, result) ->
       (match on_instance with Some obs -> obs i f result | None -> ());
       total_time := !total_time +. result.Spec.elapsed;
       match result.Spec.status with
@@ -56,7 +94,7 @@ let run_collection ?(timeout = 5.0) ?on_instance engine functions =
         let g = Option.value ~default:(-1) result.Spec.gates in
         Hashtbl.replace optima g (1 + Option.value ~default:0 (Hashtbl.find_opt optima g))
       | Spec.Timeout -> incr timeouts)
-    functions;
+    (List.combine functions results);
   let mean_time = if !solved = 0 then 0.0 else !solved_time /. float_of_int !solved in
   let mean_solutions =
     if !solved = 0 then 0.0 else float_of_int !solutions /. float_of_int !solved
@@ -64,12 +102,23 @@ let run_collection ?(timeout = 5.0) ?on_instance engine functions =
   let mean_per_solution =
     if mean_solutions = 0.0 then 0.0 else mean_time /. mean_solutions
   in
+  let cache_hits, cache_misses =
+    match (cache, cache_before) with
+    | Some c, Some before ->
+      let after = Npn_cache.stats c in
+      ( after.Npn_cache.hits - before.Npn_cache.hits,
+        after.Npn_cache.misses - before.Npn_cache.misses )
+    | _ -> (0, 0)
+  in
   { name = engine.engine_name;
     solved = !solved;
     timeouts = !timeouts;
     mean_time;
     total_time = !total_time;
+    wall_time;
     mean_solutions;
     mean_per_solution;
     optima =
-      List.sort Stdlib.compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) optima []) }
+      List.sort Stdlib.compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) optima []);
+    cache_hits;
+    cache_misses }

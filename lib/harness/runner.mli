@@ -4,11 +4,19 @@
     per-instance timeout and aggregates the paper's metrics: mean solving
     time over solved instances, number of timeouts, number solved, and —
     for the all-solutions engine — total time, per-solution mean and
-    average number of solutions. *)
+    average number of solutions.
+
+    The runner can fan the (independent) instances of a collection out
+    across domains ([?jobs]) and reuse optimum chains within an NPN
+    class ([?cache]); both knobs change wall-clock only — aggregation
+    is a sequential pass over the results in input order, identical to
+    the sequential path. *)
 
 type engine = {
   engine_name : string;
-  run : options:Stp_synth.Spec.options -> Stp_tt.Tt.t -> Stp_synth.Spec.result;
+  run : Stp_synth.Npn_cache.solver;
+    (** engines accept an optional {!Stp_synth.Factor.memo}; the CNF
+        baselines ignore it *)
 }
 
 val stp_engine : engine
@@ -24,19 +32,47 @@ type aggregate = {
   solved : int;             (** #ok *)
   timeouts : int;           (** #t/o *)
   mean_time : float;        (** mean seconds over solved instances *)
-  total_time : float;       (** summed wall-clock over all instances *)
+  total_time : float;       (** summed per-instance wall-clock *)
+  wall_time : float;        (** wall-clock of the whole sweep; below
+                                [total_time] when [jobs > 1] *)
   mean_solutions : float;   (** average number of chains per solved *)
   mean_per_solution : float;(** mean time divided by mean solutions *)
   optima : (int * int) list;(** histogram: gate count -> #instances *)
+  cache_hits : int;         (** NPN-cache hits during this run (0 when
+                                run without a cache) *)
+  cache_misses : int;       (** NPN-cache misses during this run *)
 }
+
+val speedup : aggregate -> float
+(** [total_time / wall_time] — the parallel speedup actually realised
+    (1.0 when [wall_time] is 0). *)
+
+val hit_rate : aggregate -> float
+(** [cache_hits / (cache_hits + cache_misses)]; 0 when the run had no
+    cache or no lookups. *)
 
 val run_collection :
   ?timeout:float ->
+  ?jobs:int ->
+  ?cache:Stp_synth.Npn_cache.t ->
   ?on_instance:(int -> Stp_tt.Tt.t -> Stp_synth.Spec.result -> unit) ->
   engine ->
   Stp_tt.Tt.t list ->
   aggregate
 (** [run_collection engine fns] runs every function under the timeout
     (default 5 s) and aggregates. [on_instance] observes each result
-    (index, function, result) — used for cross-checking optima between
-    engines and for verbose traces. *)
+    (index, function, result) in input order — used for cross-checking
+    optima between engines and for verbose traces.
+
+    [jobs] (default 1, clamped to at least 1) fans instances out across
+    that many domains via {!Stp_parallel.Pool}; each domain owns a
+    private {!Stp_synth.Factor.memo} reused across its instances.
+    Results are aggregated in input order regardless of completion
+    order, so a parallel run's aggregate matches the sequential one
+    (timing fields aside).
+
+    [cache] enables the NPN-class cache for this run; pass the same
+    cache to successive runs of the {e same} engine to carry classes
+    across collections. The cache is domain-safe and shared by all
+    [jobs] domains. [cache_hits]/[cache_misses] in the aggregate are
+    this run's deltas. *)

@@ -32,12 +32,14 @@ let render fmt ~rows =
 
 let render_csv fmt ~rows =
   Format.fprintf fmt
-    "collection,engine,mean_s,timeouts,solved,total_s,mean_solutions@.";
+    "collection,engine,mean_s,timeouts,solved,total_s,wall_s,mean_solutions,\
+     cache_hits,cache_misses@.";
   List.iter
     (fun (name, aggs) ->
       List.iter
         (fun (a : Runner.aggregate) ->
-          Format.fprintf fmt "%s,%s,%.4f,%d,%d,%.3f,%.2f@." name a.name
-            a.mean_time a.timeouts a.solved a.total_time a.mean_solutions)
+          Format.fprintf fmt "%s,%s,%.4f,%d,%d,%.3f,%.3f,%.2f,%d,%d@." name
+            a.name a.mean_time a.timeouts a.solved a.total_time a.wall_time
+            a.mean_solutions a.cache_hits a.cache_misses)
         aggs)
     rows

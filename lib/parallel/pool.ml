@@ -1,0 +1,138 @@
+(* A hand-rolled domain pool: a shared FIFO of thunks drained by
+   [domains - 1] worker domains plus the calling domain. OCaml 5.1 only
+   needs the stdlib for this (Domain + Mutex/Condition); domainslib is
+   deliberately not a dependency.
+
+   Invariants:
+   - [mutex] guards [queue], [live] and every per-batch [pending]
+     counter; jobs themselves run unlocked.
+   - workers block on [work_available]; a batch's submitter blocks on
+     [batch_done] once the queue is drained. Both conditions are
+     broadcast, and every wait sits in a re-checking loop, so spurious
+     wakeups and multi-batch traffic are harmless.
+   - [shutdown] lets workers finish jobs already queued: the exit
+     condition is "queue empty and not live". *)
+
+type job = unit -> unit
+
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  queue : job Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+  domains : int;
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  let rec dequeue () =
+    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+    else if not pool.live then None
+    else begin
+      Condition.wait pool.work_available pool.mutex;
+      dequeue ()
+    end
+  in
+  match dequeue () with
+  | None -> Mutex.unlock pool.mutex
+  | Some job ->
+    Mutex.unlock pool.mutex;
+    job ();
+    worker_loop pool
+
+let create ?domains () =
+  let domains =
+    match domains with None -> default_domains () | Some d -> d
+  in
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let pool =
+    { mutex = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      workers = [];
+      domains }
+  in
+  pool.workers <-
+    List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size pool = pool.domains
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  let workers = pool.workers in
+  pool.live <- false;
+  pool.workers <- [];
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join workers
+
+let exec pool f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let pending = ref n in
+    let job i () =
+      (match f items.(i) with
+       | v -> results.(i) <- Some v
+       | exception e ->
+         failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+      Mutex.lock pool.mutex;
+      decr pending;
+      if !pending = 0 then Condition.broadcast pool.batch_done;
+      Mutex.unlock pool.mutex
+    in
+    Mutex.lock pool.mutex;
+    if not pool.live then begin
+      Mutex.unlock pool.mutex;
+      invalid_arg "Pool.exec: pool is shut down"
+    end;
+    for i = 0 to n - 1 do
+      Queue.add (job i) pool.queue
+    done;
+    Condition.broadcast pool.work_available;
+    (* The calling domain participates: drain the queue, then wait for
+       stragglers still running on worker domains. *)
+    let rec drive () =
+      if not (Queue.is_empty pool.queue) then begin
+        let job = Queue.pop pool.queue in
+        Mutex.unlock pool.mutex;
+        job ();
+        Mutex.lock pool.mutex;
+        drive ()
+      end
+      else if !pending > 0 then begin
+        Condition.wait pool.batch_done pool.mutex;
+        drive ()
+      end
+    in
+    drive ();
+    Mutex.unlock pool.mutex;
+    (* Every job has run to completion; propagate the lowest-index
+       failure so the raised exception does not depend on scheduling. *)
+    Array.iteri
+      (fun _ fail ->
+        match fail with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      failures;
+    List.init n (fun i ->
+        match results.(i) with
+        | Some v -> v
+        | None -> assert false (* no failure, so every slot is filled *))
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map ?domains f items = with_pool ?domains (fun pool -> exec pool f items)

@@ -1,0 +1,51 @@
+(** A hand-rolled domain pool for OCaml 5 — [Domain] workers draining a
+    [Mutex]/[Condition]-guarded work queue, with no dependency beyond
+    the stdlib.
+
+    The pool exists so the experiment harness can fan a collection of
+    independent synthesis instances out across cores. Results are
+    always returned in input order, and exceptions are re-raised
+    deterministically, so a parallel sweep is observationally a faster
+    {!List.map}.
+
+    Worker domains hold no pool-specific state; anything a job needs
+    per-domain (e.g. a [Factor.memo], whose hash tables are not
+    thread-safe) should live in a [Domain.DLS] key consulted from
+    inside the job. *)
+
+type t
+(** A running pool: [domains - 1] spawned worker domains plus the
+    calling domain, which participates in every {!exec}. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns the workers. [domains] defaults to
+    {!default_domains}; [domains = 1] spawns nothing and makes {!exec}
+    run everything on the calling domain, in order.
+    @raise Invalid_argument when [domains < 1]. *)
+
+val size : t -> int
+(** Total domains working an {!exec}, including the caller. *)
+
+val exec : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [exec pool f items] applies [f] to every item, spread over the
+    pool's domains, and returns the results {e in input order}
+    regardless of completion order. Every item is attempted even when
+    some fail; if any raised, the exception of the {e lowest-index}
+    failing item is re-raised (with its backtrace) after the batch
+    drains, so error reporting does not depend on scheduling.
+    @raise Invalid_argument on a pool that was {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Signals the workers and joins them. Jobs already queued are
+    completed first. Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] brackets [create]/[shutdown] around [f]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot [with_pool] + {!exec}: [map ~domains f items] is
+    [List.map f items] computed on [domains] domains, same order, same
+    (deterministic) exception behaviour. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)

@@ -336,22 +336,37 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
     end
   end
 
+(* [take cap] of a list emitted in deterministic order equals running
+   the capped enumeration directly: the search explores a fixed order
+   and the cap only stops it early. *)
+let rec take n = function
+  | [] -> []
+  | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
 let decompose ?memo ?g_fixed ?h_fixed ~cap ~target ~amask ~bmask () =
   match memo with
   | None ->
     decompose_uncached ?g_fixed ?h_fixed ~allowed:full_basis ~cap ~target
       ~amask ~bmask ()
   | Some memo ->
+    (* The cached value is always the full (decompose_cap-bounded)
+       enumeration, truncated per call: this keeps the cache contents —
+       and therefore every caller's view — independent of which call
+       site happened to populate the entry first, which is what lets a
+       memo be reused across the instances of a collection run. *)
     let key = (target, g_fixed, h_fixed, amask, bmask) in
-    (match Hashtbl.find_opt memo.factorisations key with
-     | Some r -> r
-     | None ->
-       let r =
-         decompose_uncached ?g_fixed ?h_fixed ~allowed:memo.basis ~cap ~target
-           ~amask ~bmask ()
-       in
-       Hashtbl.replace memo.factorisations key r;
-       r)
+    let full =
+      match Hashtbl.find_opt memo.factorisations key with
+      | Some r -> r
+      | None ->
+        let r =
+          decompose_uncached ?g_fixed ?h_fixed ~allowed:memo.basis
+            ~cap:(max cap decompose_cap) ~target ~amask ~bmask ()
+        in
+        Hashtbl.replace memo.factorisations key r;
+        r
+    in
+    if List.compare_length_with full cap <= 0 then full else take cap full
 
 (* Enumerate covers (amask, bmask) of the support of [t]: every support
    variable goes to the A side, the B side, or both; side sizes respect

@@ -30,8 +30,14 @@ type memo
 (** Shared caches: factorisation results keyed by (target, A, B) and
     subtree feasibility keyed by (structural signature, target), plus
     the gate basis the engine is allowed to use. Reuse one memo across
-    gate counts and shapes of a synthesis run; a memo is specific to
-    its basis. *)
+    gate counts and shapes of a synthesis run — and across the
+    instances of a whole collection run: every cached value is a pure
+    function of its key (capped factorisation lists are stored at the
+    full enumeration bound and truncated per call), so reuse changes
+    only speed, never results. A memo is specific to its basis.
+
+    A memo is plain [Hashtbl]s and is {e not} thread-safe: parallel
+    runners must keep one memo per domain and never share one. *)
 
 val create_memo : ?basis:Stp_chain.Gate.code list -> unit -> memo
 (** [create_memo ()] allows all ten nontrivial gates.

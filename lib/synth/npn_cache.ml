@@ -1,0 +1,122 @@
+module Tt = Stp_tt.Tt
+module Npn = Stp_tt.Npn
+module Chain = Stp_chain.Chain
+
+type solver =
+  options:Spec.options -> ?memo:Factor.memo -> Stp_tt.Tt.t -> Spec.result
+
+type stats = { hits : int; misses : int; bypassed : int; failures : int }
+
+type entry = {
+  gates : int;
+  chains : Chain.t list; (* over the canonical function's variable space *)
+}
+
+type t = {
+  lock : Mutex.t;
+  table : (Tt.t, entry) Hashtbl.t;
+  max_support : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable bypassed : int;
+  mutable failures : int;
+}
+
+let create ?(max_support = 6) () =
+  { lock = Mutex.create ();
+    table = Hashtbl.create 997;
+    max_support;
+    hits = 0;
+    misses = 0;
+    bypassed = 0;
+    failures = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let stats t =
+  locked t (fun () ->
+      { hits = t.hits;
+        misses = t.misses;
+        bypassed = t.bypassed;
+        failures = t.failures })
+
+let classes t = locked t (fun () -> Hashtbl.length t.table)
+
+let hit_rate t =
+  let s = stats t in
+  let looked_up = s.hits + s.misses in
+  if looked_up = 0 then 0.0 else float_of_int s.hits /. float_of_int looked_up
+
+let lookup t canon = locked t (fun () -> Hashtbl.find_opt t.table canon)
+
+let store t canon entry =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table canon) then Hashtbl.replace t.table canon entry)
+
+(* Map the cached optimum chains of the class representative back onto
+   the concrete target: [tr] satisfies [Npn.apply target tr = canon], so
+   replaying [Npn.inverse tr] onto a chain computing [canon] yields a
+   chain of identical size computing [target] (input negations and the
+   output negation fold into gate codes, the permutation relabels
+   fanins). The replayed chains then pass the same
+   [Common.optimal_and_verified] gate as a cold synthesis — the paper's
+   step (iv) — before being lifted back to the original variable
+   space. *)
+let replay ~n ~support ~target ~tr entry =
+  let inv = Npn.inverse tr in
+  let replayed = List.map (fun c -> Chain.apply_npn c inv) entry.chains in
+  match Common.optimal_and_verified target replayed with
+  | [] -> None
+  | verified -> Some (List.map (Common.expand_chain ~n ~support) verified)
+
+let wrap t (solve : solver) : solver =
+ fun ~options ?memo f ->
+  let start = Stp_util.Unix_time.now () in
+  let elapsed () = Stp_util.Unix_time.now () -. start in
+  match Common.prepare f with
+  | `Trivial chain ->
+    Spec.solved ~chains:[ chain ] ~gates:0 ~elapsed:(elapsed ())
+  | `Reduced (target, support) ->
+    if Tt.num_vars target > t.max_support then begin
+      (* Exhaustive canonicalisation is impractical this wide; solve
+         directly. *)
+      locked t (fun () -> t.bypassed <- t.bypassed + 1);
+      solve ~options ?memo f
+    end
+    else begin
+      let n = Tt.num_vars f in
+      let canon, tr = Npn.canonical target in
+      match lookup t canon with
+      | Some entry -> (
+        locked t (fun () -> t.hits <- t.hits + 1);
+        match replay ~n ~support ~target ~tr entry with
+        | Some chains ->
+          Spec.solved ~chains ~gates:entry.gates ~elapsed:(elapsed ())
+        | None ->
+          (* A cached chain failing verification after replay would be a
+             bug in the transform algebra; never let it corrupt results —
+             fall back to a direct solve and record the event. *)
+          locked t (fun () -> t.failures <- t.failures + 1);
+          solve ~options ?memo f)
+      | None -> (
+        locked t (fun () -> t.misses <- t.misses + 1);
+        (* Solve the class representative so the cached entry serves
+           every member of the class, then replay onto this member. *)
+        let r = solve ~options ?memo canon in
+        match r.Spec.status with
+        | Spec.Timeout -> Spec.timed_out ~elapsed:(elapsed ())
+        | Spec.Solved -> (
+          let gates = Option.value ~default:0 r.Spec.gates in
+          store t canon { gates; chains = r.Spec.chains };
+          match replay ~n ~support ~target ~tr { gates; chains = r.Spec.chains } with
+          | Some chains -> Spec.solved ~chains ~gates ~elapsed:(elapsed ())
+          | None ->
+            locked t (fun () -> t.failures <- t.failures + 1);
+            solve ~options ?memo f))
+    end
+
+let synthesize ?(options = Spec.default_options) ?memo t f =
+  (wrap t (fun ~options ?memo f -> Stp_exact.synthesize ~options ?memo f))
+    ~options ?memo f

@@ -1,0 +1,63 @@
+(** NPN-class synthesis cache.
+
+    NPN4 has only 222 classes behind the 65 536 4-input functions, and
+    every member of a class has the same optimum gate count, with the
+    optimum chains mapped onto each other by the class transform. This
+    module exploits that: before a full synthesis run the target is
+    canonicalised with {!Stp_tt.Npn.canonical}; on a cache hit the
+    stored optimum chains of the class representative are replayed
+    through the inverse transform (fanins permuted/negated into gate
+    codes, output negation folded in) instead of re-searching, and the
+    replayed chains are re-verified with
+    {!Common.optimal_and_verified} before being returned.
+
+    The cache is protected by a mutex and may be shared between the
+    domains of a parallel collection run: a class solved by one domain
+    is a replay for every other. (The wrapped solver itself runs
+    outside the lock; two domains missing on the same class
+    concurrently both solve it, and the first store wins.) Entries are
+    only written for solved instances — timeouts are never cached,
+    since solvability under a wall-clock budget is not a class
+    property.
+
+    Functions whose support exceeds [max_support] (default 6, the
+    practical bound of exhaustive canonicalisation) bypass the cache
+    and are solved directly. *)
+
+type t
+
+val create : ?max_support:int -> unit -> t
+
+type solver =
+  options:Spec.options -> ?memo:Factor.memo -> Stp_tt.Tt.t -> Spec.result
+(** The shape shared by {!Stp_exact.synthesize} and the baselines once
+    partially applied — what the harness calls an engine. *)
+
+val wrap : t -> solver -> solver
+(** [wrap t solve] is a solver with identical per-instance semantics
+    that consults the cache first. Cache misses solve the {e class
+    representative} (so the entry serves the whole class) and replay
+    the result onto the concrete target. Keep one cache per engine:
+    entries store the wrapped solver's chain sets, and engines differ
+    in how many optimum chains they return. *)
+
+val synthesize :
+  ?options:Spec.options -> ?memo:Factor.memo -> t -> Stp_tt.Tt.t -> Spec.result
+(** [wrap] applied to {!Stp_exact.synthesize}. *)
+
+type stats = {
+  hits : int;      (** lookups answered by replaying a cached class *)
+  misses : int;    (** lookups that had to run a full synthesis *)
+  bypassed : int;  (** instances too wide to canonicalise *)
+  failures : int;
+    (** replayed chains that failed re-verification (a transform-algebra
+        bug surfaced — the instance was re-solved directly) *)
+}
+
+val stats : t -> stats
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 before any lookup. *)
+
+val classes : t -> int
+(** Number of distinct NPN classes currently cached. *)

@@ -164,13 +164,17 @@ and synth_uncached ~options ~deadline ~memo ~stats ~cache target =
        in
        try_size (max 1 (s - 1)))
 
-let synthesize_reduced ~options ~deadline target =
-  let memo = Factor.create_memo ?basis:options.Spec.basis () in
+let synthesize_reduced ~options ~deadline ~memo target =
+  let memo =
+    match memo with
+    | Some m -> m
+    | None -> Factor.create_memo ?basis:options.Spec.basis ()
+  in
   let stats = Factor.fresh_stats () in
   let cache = Hashtbl.create 97 in
   synth ~options ~deadline ~memo ~stats ~cache target
 
-let synthesize ?(options = Spec.default_options) f =
+let synthesize ?(options = Spec.default_options) ?memo f =
   let start = Stp_util.Unix_time.now () in
   let deadline = Spec.deadline_of options in
   let elapsed () = Stp_util.Unix_time.now () -. start in
@@ -179,14 +183,14 @@ let synthesize ?(options = Spec.default_options) f =
     Spec.solved ~chains:[ chain ] ~gates:0 ~elapsed:(elapsed ())
   | `Reduced (target, support) -> (
     let n = Tt.num_vars f in
-    match synthesize_reduced ~options ~deadline target with
+    match synthesize_reduced ~options ~deadline ~memo target with
     | Some (gates, chains) ->
       let chains = List.map (Common.expand_chain ~n ~support) chains in
       Spec.solved ~chains ~gates ~elapsed:(elapsed ())
     | None -> Spec.timed_out ~elapsed:(elapsed ())
     | exception Stp_util.Deadline.Timeout -> Spec.timed_out ~elapsed:(elapsed ()))
 
-let synthesize_npn ?(options = Spec.default_options) f =
+let synthesize_npn ?(options = Spec.default_options) ?memo f =
   let start = Stp_util.Unix_time.now () in
   let deadline = Spec.deadline_of options in
   let elapsed () = Stp_util.Unix_time.now () -. start in
@@ -201,7 +205,7 @@ let synthesize_npn ?(options = Spec.default_options) f =
       (* A non-trivial function cannot have a trivial NPN representative. *)
       assert false
     | `Reduced (canon_target, canon_support) -> (
-      match synthesize_reduced ~options ~deadline canon_target with
+      match synthesize_reduced ~options ~deadline ~memo canon_target with
       | Some (gates, chains) ->
         let inv = Stp_tt.Npn.inverse tr in
         let chains =

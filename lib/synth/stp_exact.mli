@@ -9,14 +9,21 @@
     size is returned in one pass. *)
 
 val synthesize :
-  ?options:Spec.options -> Stp_tt.Tt.t -> Spec.result
+  ?options:Spec.options -> ?memo:Factor.memo -> Stp_tt.Tt.t -> Spec.result
 (** All optimum chains for the target. The result chains range over the
     target's full variable space.
+
+    [memo] lets a caller reuse one {!Factor.memo} across many targets
+    (a collection run): reuse only speeds the search up, it never
+    changes results. The memo's basis must match [options.basis], and a
+    memo must never be shared between domains.
     @raise Invalid_argument on constant targets. *)
 
 val synthesize_npn :
-  ?options:Spec.options -> Stp_tt.Tt.t -> Spec.result
+  ?options:Spec.options -> ?memo:Factor.memo -> Stp_tt.Tt.t -> Spec.result
 (** Like {!synthesize}, but canonicalises the target's NPN class first
     and maps the solutions back — cheaper when many equivalent functions
     are synthesised, and a direct use of the paper's NPN reduction.
-    Practical for targets of at most 6 support variables. *)
+    Practical for targets of at most 6 support variables. For reuse of
+    the canonical class's solutions across a whole run, see
+    {!Npn_cache}. *)

@@ -2,14 +2,17 @@ exception Timeout
 
 type t =
   | Never
-  | At of { limit : float; mutable countdown : int }
+  | At of { limit : float; interval : int; mutable countdown : int }
 
-(* Polling granularity: consult the wall clock once per [interval] calls. *)
-let interval = 256
+(* Default polling granularity: consult the wall clock once per
+   [default_poll_interval] calls. *)
+let default_poll_interval = 256
 
 let never = Never
 
-let after s = At { limit = Unix_time.now () +. s; countdown = 0 }
+let after ?(poll_interval = default_poll_interval) s =
+  if poll_interval < 1 then invalid_arg "Deadline.after: poll_interval < 1";
+  At { limit = Unix_time.now () +. s; interval = poll_interval; countdown = 0 }
 
 let expired = function
   | Never -> false
@@ -19,7 +22,9 @@ let expired = function
       false
     end
     else begin
-      d.countdown <- interval;
+      (* Re-arm so the clock is read once every [interval] polls;
+         [interval = 1] reads it on every poll. *)
+      d.countdown <- d.interval - 1;
       Unix_time.now () > d.limit
     end
 

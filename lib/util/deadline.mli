@@ -2,24 +2,47 @@
 
     Long-running solvers poll a deadline at loop boundaries and abandon the
     search when it has expired, which is how the reproduction implements
-    the paper's per-instance timeout without threads or signals. *)
+    the paper's per-instance timeout without threads or signals.
+
+    Monotonicity note: every time read goes through {!Unix_time.now},
+    which is wall-clock ([Unix.gettimeofday]) rather than a monotonic
+    clock. A backwards wall-clock step (NTP adjustment, manual reset)
+    while a deadline is live therefore extends it, and a forwards step
+    shortens it. This is accepted for the harness — per-instance budgets
+    are seconds-scale and the aggregate metrics are themselves wall-clock
+    — but deadlines must not be used as a hard real-time bound. Swapping
+    [Unix_time.now] for a monotonic source fixes every caller at once. *)
 
 type t
 
 val never : t
 (** A deadline that never expires. *)
 
-val after : float -> t
-(** [after s] expires [s] seconds from now. *)
+val after : ?poll_interval:int -> float -> t
+(** [after s] expires [s] seconds from now.
+
+    [poll_interval] is the throttle of {!expired}/{!check}: the wall
+    clock is consulted once per [poll_interval] calls (default
+    {!default_poll_interval}). Tests pass [~poll_interval:1] so expiry
+    is observable on the very next poll without spinning thousands of
+    calls or sleeping.
+    @raise Invalid_argument when [poll_interval < 1]. *)
+
+val default_poll_interval : int
+(** Polls between two wall-clock reads when [after] is not told
+    otherwise (256). *)
 
 val expired : t -> bool
 (** [expired d] is [true] once the wall clock has passed [d]. The check is
-    throttled internally so it is cheap to call in tight loops. *)
+    throttled internally (see {!after}) so it is cheap to call in tight
+    loops; consequently expiry may be reported up to [poll_interval - 1]
+    calls late, never early. *)
 
 val check : t -> unit
 (** [check d] raises {!Timeout} if [d] has expired. *)
 
 val remaining : t -> float
-(** [remaining d] is the number of seconds left (infinite for {!never}). *)
+(** [remaining d] is the number of seconds left (infinite for {!never});
+    unlike {!expired} this always reads the clock. *)
 
 exception Timeout

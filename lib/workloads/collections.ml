@@ -10,6 +10,22 @@ let scaled scale ~paper ~default =
 
 let npn4 _scale = { name = "NPN4"; functions = Npn4.synthesizable () }
 
+(* Every 4-input function, not just the class representatives: 65 534
+   non-constant functions behind 221 synthesizable classes — the
+   workload where NPN-class reuse pays (~300 members per class). The
+   stride subsample keeps the per-class mix. *)
+let npn4_all scale =
+  let count = scaled scale ~paper:65534 ~default:2048 in
+  let total = 65534 in
+  let step = max 1 (total / count) in
+  let functions = ref [] in
+  let v = ref 1 in
+  while !v <= total do
+    functions := Stp_tt.Tt.of_int 4 !v :: !functions;
+    v := !v + step
+  done;
+  { name = "NPN4ALL"; functions = List.rev !functions }
+
 let fdsd6 scale =
   let count = scaled scale ~paper:1000 ~default:100 in
   { name = "FDSD6"; functions = Dsd_gen.fdsd_collection ~n:6 ~count ~seed:101 }

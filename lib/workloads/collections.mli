@@ -15,6 +15,13 @@ type scale = Default | Paper | Custom of float
     one instance per collection). *)
 
 val npn4 : scale -> t
+
+val npn4_all : scale -> t
+(** All 65 534 non-constant 4-input functions (strided subsample below
+    paper scale; default ~2048) — 221 synthesizable NPN classes each
+    appearing many times, the showcase workload for the NPN-class
+    synthesis cache. Not part of the paper's Table I. *)
+
 val fdsd6 : scale -> t
 val fdsd8 : scale -> t
 val pdsd6 : scale -> t

@@ -1,0 +1,186 @@
+(* Tests for the NPN-class synthesis cache: chains returned via a cache
+   hit must simulate to the concrete target and carry the same optimum
+   gate count as a cold synthesis; the cache must replay — not
+   re-search — for further members of an already-solved class. *)
+
+module Tt = Stp_tt.Tt
+module Npn = Stp_tt.Npn
+module Chain = Stp_chain.Chain
+module Spec = Stp_synth.Spec
+module Stp_exact = Stp_synth.Stp_exact
+module Npn_cache = Stp_synth.Npn_cache
+module Prng = Stp_util.Prng
+
+let options = Spec.with_timeout 60.0
+
+let gates_of (r : Spec.result) = Option.value ~default:(-1) r.Spec.gates
+
+let check_solved what (r : Spec.result) =
+  Alcotest.(check bool) (what ^ " solved") true (r.Spec.status = Spec.Solved)
+
+let random_tt rng n =
+  Tt.of_fun n (fun _ -> Prng.bool rng)
+
+let random_transform rng n =
+  let perms = Array.of_list (Npn.permutations n) in
+  { Npn.perm = perms.(Prng.int rng (Array.length perms));
+    input_neg = Prng.int rng (1 lsl n);
+    output_neg = Prng.bool rng }
+
+let test_hit_matches_cold_synthesis () =
+  (* DSD-decomposable targets keep cold synthesis in the millisecond
+     range; dense random 4-var functions can run for minutes. *)
+  let rng = Prng.create 2024 in
+  let targets = Stp_workloads.Dsd_gen.fdsd_collection ~n:4 ~count:6 ~seed:2024 in
+  List.iter
+    (fun f ->
+      let cold = Stp_exact.synthesize ~options f in
+      check_solved "cold" cold;
+      let cache = Npn_cache.create () in
+      let miss = Npn_cache.synthesize ~options cache f in
+      check_solved "miss" miss;
+      Alcotest.(check int) "miss optimum" (gates_of cold) (gates_of miss);
+      (* A different member of the same class must be a replay. *)
+      let g = Npn.apply f (random_transform rng 4) in
+      let hit = Npn_cache.synthesize ~options cache g in
+      check_solved "hit" hit;
+      Alcotest.(check int) "hit optimum == cold optimum" (gates_of cold)
+        (gates_of hit);
+      Alcotest.(check bool) "chains returned" true (hit.Spec.chains <> []);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "hit chain simulates to target" true
+            (Tt.equal (Chain.simulate c) g))
+        hit.Spec.chains;
+      let s = Npn_cache.stats cache in
+      Alcotest.(check int) "one hit" 1 s.Npn_cache.hits;
+      Alcotest.(check int) "one miss" 1 s.Npn_cache.misses;
+      Alcotest.(check int) "no replay failures" 0 s.Npn_cache.failures)
+    targets
+
+let test_hit_count_matches_cold_count () =
+  (* The replayed solution set has the same cardinality as a cold run on
+     the same target: NPN transforms map the optimum chains of the first
+     realised topology bijectively. *)
+  let rng = Prng.create 4096 in
+  let tried = ref 0 in
+  while !tried < 4 do
+    let f = random_tt rng 3 in
+    if Tt.support_size f >= 2 then begin
+      incr tried;
+      let cache = Npn_cache.create () in
+      (* Warm the cache with the class representative's orbit member. *)
+      ignore (Npn_cache.synthesize ~options cache (Npn.apply f (random_transform rng 3)));
+      let cold = Stp_exact.synthesize ~options f in
+      let hit = Npn_cache.synthesize ~options cache f in
+      check_solved "cold" cold;
+      check_solved "hit" hit;
+      Alcotest.(check int) "same optimum" (gates_of cold) (gates_of hit);
+      Alcotest.(check int) "same number of optimum chains"
+        (List.length cold.Spec.chains)
+        (List.length hit.Spec.chains)
+    end
+  done
+
+let test_many_members_one_synthesis () =
+  (* Sweep a whole orbit: exactly one miss, everything else replays. *)
+  let f = Tt.of_hex ~n:4 "8ff8" (* the paper's Example 7 function *) in
+  let rng = Prng.create 7 in
+  let members =
+    f :: List.init 15 (fun _ -> Npn.apply f (random_transform rng 4))
+  in
+  let cache = Npn_cache.create () in
+  let results = List.map (Npn_cache.synthesize ~options cache) members in
+  List.iter2
+    (fun m r ->
+      check_solved "member" r;
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "simulates" true (Tt.equal (Chain.simulate c) m))
+        r.Spec.chains)
+    members results;
+  let s = Npn_cache.stats cache in
+  Alcotest.(check int) "one miss for the whole orbit" 1 s.Npn_cache.misses;
+  Alcotest.(check int) "rest are hits" (List.length members - 1) s.Npn_cache.hits;
+  Alcotest.(check int) "one class cached" 1 (Npn_cache.classes cache);
+  Alcotest.(check (float 1e-9)) "hit rate" (15.0 /. 16.0) (Npn_cache.hit_rate cache)
+
+let test_wide_support_bypasses () =
+  (* 7-input read-once function: support exceeds the canonicalisation
+     bound, so the cache steps aside and solves directly. *)
+  let f =
+    List.fold_left Tt.bor (Tt.var 7 0) (List.init 6 (fun i -> Tt.var 7 (i + 1)))
+  in
+  let cache = Npn_cache.create () in
+  let r = Npn_cache.synthesize ~options cache f in
+  check_solved "wide" r;
+  Alcotest.(check int) "read-once optimum" 6 (gates_of r);
+  let s = Npn_cache.stats cache in
+  Alcotest.(check int) "bypassed" 1 s.Npn_cache.bypassed;
+  Alcotest.(check int) "no lookups" 0 (s.Npn_cache.hits + s.Npn_cache.misses)
+
+let test_trivial_targets_skip_cache () =
+  let cache = Npn_cache.create () in
+  let r = Npn_cache.synthesize ~options cache (Tt.var 4 2) in
+  check_solved "projection" r;
+  Alcotest.(check int) "gate-free" 0 (gates_of r);
+  let s = Npn_cache.stats cache in
+  Alcotest.(check int) "no lookups" 0
+    (s.Npn_cache.hits + s.Npn_cache.misses + s.Npn_cache.bypassed)
+
+let test_wrapped_baseline_agrees () =
+  (* The cache is engine-generic: wrapping a CNF baseline must preserve
+     its optima on class members. *)
+  let f = Tt.of_hex ~n:4 "6996" (* xor4 *) in
+  let cache = Npn_cache.create () in
+  let run =
+    Npn_cache.wrap cache (fun ~options ?memo:_ g ->
+        Stp_synth.Baselines.bms ~options g)
+  in
+  let r1 = run ~options f in
+  let g = Npn.apply f { Npn.perm = [| 3; 1; 0; 2 |]; input_neg = 5; output_neg = true } in
+  let r2 = run ~options g in
+  check_solved "bms miss" r1;
+  check_solved "bms hit" r2;
+  Alcotest.(check int) "same optimum" (gates_of r1) (gates_of r2);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "baseline replay simulates" true
+        (Tt.equal (Chain.simulate c) g))
+    r2.Spec.chains;
+  let s = Npn_cache.stats cache in
+  Alcotest.(check int) "hit" 1 s.Npn_cache.hits
+
+let test_timeouts_not_cached () =
+  (* [b4d2] needs ~4 gates and tens of milliseconds of search — far more
+     than the 0.5 ms budget below, yet instant with a real one. *)
+  let f = Tt.of_hex ~n:4 "b4d2" in
+  let cache = Npn_cache.create () in
+  let r =
+    Npn_cache.synthesize ~options:(Spec.with_timeout 0.0005) cache f
+  in
+  Alcotest.(check bool) "timed out" true (r.Spec.status = Spec.Timeout);
+  Alcotest.(check int) "nothing cached" 0 (Npn_cache.classes cache);
+  (* With budget restored the same cache must now solve and store. *)
+  let r2 = Npn_cache.synthesize ~options cache f in
+  check_solved "after timeout" r2;
+  Alcotest.(check int) "class stored" 1 (Npn_cache.classes cache)
+
+let () =
+  Alcotest.run "npn_cache"
+    [ ( "replay",
+        [ Alcotest.test_case "hit matches cold synthesis" `Slow
+            test_hit_matches_cold_synthesis;
+          Alcotest.test_case "hit count matches cold count" `Quick
+            test_hit_count_matches_cold_count;
+          Alcotest.test_case "orbit sweep: one synthesis" `Quick
+            test_many_members_one_synthesis;
+          Alcotest.test_case "baseline wrap agrees" `Quick
+            test_wrapped_baseline_agrees ] );
+      ( "gating",
+        [ Alcotest.test_case "wide support bypasses" `Quick
+            test_wide_support_bypasses;
+          Alcotest.test_case "trivial targets skip" `Quick
+            test_trivial_targets_skip_cache;
+          Alcotest.test_case "timeouts not cached" `Quick
+            test_timeouts_not_cached ] ) ]

@@ -1,0 +1,137 @@
+(* Tests for the domain pool: result ordering, exception propagation,
+   degenerate domain counts, pool reuse, and — the property the
+   experiment harness depends on — a parallel [run_collection]
+   aggregating exactly like the sequential one. *)
+
+module Pool = Stp_parallel.Pool
+module Runner = Stp_harness.Runner
+module Npn_cache = Stp_synth.Npn_cache
+
+let test_map_preserves_order () =
+  let items = List.init 100 Fun.id in
+  let expect = List.map (fun x -> x * x) items in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order with %d domains" domains)
+        expect
+        (Pool.map ~domains (fun x -> x * x) items))
+    [ 1; 2; 4; 8 ]
+
+let test_map_empty_and_few_items () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~domains:4 Fun.id []);
+  Alcotest.(check (list int))
+    "more domains than items" [ 10; 20; 30 ]
+    (Pool.map ~domains:8 (fun x -> 10 * x) [ 1; 2; 3 ])
+
+let test_map_propagates_first_exception () =
+  (* All items run; the lowest-index failure is the one re-raised, so
+     the observed exception does not depend on scheduling. *)
+  let ran = Array.make 10 false in
+  Alcotest.check_raises "lowest-index failure" (Failure "boom-5") (fun () ->
+      ignore
+        (Pool.map ~domains:4
+           (fun x ->
+             ran.(x) <- true;
+             if x >= 5 then failwith (Printf.sprintf "boom-%d" x);
+             x)
+           (List.init 10 Fun.id)));
+  Alcotest.(check bool) "all items attempted" true (Array.for_all Fun.id ran)
+
+let test_invalid_domains () =
+  Alcotest.check_raises "zero domains" (Invalid_argument "Pool.create: domains < 1")
+    (fun () -> ignore (Pool.map ~domains:0 Fun.id [ 1 ]))
+
+let test_pool_reuse_and_shutdown () =
+  let pool = Pool.create ~domains:3 () in
+  Alcotest.(check int) "size" 3 (Pool.size pool);
+  let a = Pool.exec pool (fun x -> x + 1) [ 1; 2; 3 ] in
+  let b = Pool.exec pool string_of_int [ 4; 5 ] in
+  Alcotest.(check (list int)) "first batch" [ 2; 3; 4 ] a;
+  Alcotest.(check (list string)) "second batch, new type" [ "4"; "5" ] b;
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "exec after shutdown"
+    (Invalid_argument "Pool.exec: pool is shut down") (fun () ->
+      ignore (Pool.exec pool Fun.id [ 1 ]))
+
+let test_heavy_items_balance () =
+  (* Uneven work must still come back in order. *)
+  let items = List.init 24 Fun.id in
+  let f x =
+    let n = if x mod 7 = 0 then 200_000 else 100 in
+    let acc = ref 0 in
+    for i = 1 to n do
+      acc := (!acc + (i * x)) land 0xFFFF
+    done;
+    (x, !acc)
+  in
+  Alcotest.(check (list (pair int int)))
+    "deterministic results" (List.map f items)
+    (Pool.map ~domains:4 f items)
+
+(* --- the harness property: parallel == sequential aggregates --- *)
+
+let small_collection () =
+  (* DSD-friendly 6-input functions the STP engine solves in
+     milliseconds: cheap enough for CI, varied enough to be a real
+     aggregate. *)
+  Stp_workloads.Dsd_gen.fdsd_collection ~n:6 ~count:10 ~seed:77
+
+let test_parallel_aggregate_equals_sequential () =
+  let fns = small_collection () in
+  let seq = Runner.run_collection ~timeout:60.0 ~jobs:1 Runner.stp_engine fns in
+  let par = Runner.run_collection ~timeout:60.0 ~jobs:4 Runner.stp_engine fns in
+  Alcotest.(check string) "name" seq.Runner.name par.Runner.name;
+  Alcotest.(check int) "solved" seq.Runner.solved par.Runner.solved;
+  Alcotest.(check int) "timeouts" seq.Runner.timeouts par.Runner.timeouts;
+  Alcotest.(check (list (pair int int)))
+    "optima histogram" seq.Runner.optima par.Runner.optima;
+  Alcotest.(check (float 1e-9))
+    "mean solutions" seq.Runner.mean_solutions par.Runner.mean_solutions
+
+let test_cached_aggregate_matches_uncached () =
+  let fns = small_collection () in
+  let base = Runner.run_collection ~timeout:60.0 Runner.stp_engine fns in
+  let cache = Npn_cache.create () in
+  let cached =
+    Runner.run_collection ~timeout:60.0 ~jobs:4 ~cache Runner.stp_engine fns
+  in
+  Alcotest.(check int) "solved" base.Runner.solved cached.Runner.solved;
+  Alcotest.(check int) "timeouts" base.Runner.timeouts cached.Runner.timeouts;
+  Alcotest.(check (list (pair int int)))
+    "optima histogram" base.Runner.optima cached.Runner.optima;
+  Alcotest.(check int) "every lookup accounted" (List.length fns)
+    (cached.Runner.cache_hits + cached.Runner.cache_misses)
+
+let test_on_instance_order () =
+  let fns = small_collection () in
+  let seen = ref [] in
+  let on_instance i _f _r = seen := i :: !seen in
+  ignore
+    (Runner.run_collection ~timeout:60.0 ~jobs:4 ~on_instance Runner.stp_engine
+       fns);
+  Alcotest.(check (list int))
+    "observer sees input order"
+    (List.init (List.length fns) Fun.id)
+    (List.rev !seen)
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "order preserved" `Quick test_map_preserves_order;
+          Alcotest.test_case "empty/few items" `Quick test_map_empty_and_few_items;
+          Alcotest.test_case "first exception wins" `Quick
+            test_map_propagates_first_exception;
+          Alcotest.test_case "invalid domains" `Quick test_invalid_domains;
+          Alcotest.test_case "reuse and shutdown" `Quick
+            test_pool_reuse_and_shutdown;
+          Alcotest.test_case "uneven load, ordered results" `Quick
+            test_heavy_items_balance ] );
+      ( "runner",
+        [ Alcotest.test_case "parallel == sequential" `Slow
+            test_parallel_aggregate_equals_sequential;
+          Alcotest.test_case "cached == uncached" `Slow
+            test_cached_aggregate_matches_uncached;
+          Alcotest.test_case "on_instance order" `Slow test_on_instance_order ] )
+    ]

@@ -119,6 +119,19 @@ let test_deadline_check_raises () =
         Deadline.check d
       done)
 
+let test_deadline_poll_interval () =
+  (* With the polling throttle reduced to 1 the very first poll reads
+     the clock — deadline behaviour is testable without sleeping or
+     spinning through the default 256-call window. *)
+  let d = Deadline.after ~poll_interval:1 (-1.0) in
+  Alcotest.(check bool) "expired on first poll" true (Deadline.expired d);
+  Alcotest.(check bool) "stays expired" true (Deadline.expired d);
+  let live = Deadline.after ~poll_interval:1 1000.0 in
+  Alcotest.(check bool) "not expired" false (Deadline.expired live);
+  Alcotest.check_raises "poll_interval < 1 rejected"
+    (Invalid_argument "Deadline.after: poll_interval < 1") (fun () ->
+      ignore (Deadline.after ~poll_interval:0 1.0))
+
 let test_deadline_remaining () =
   let d = Deadline.after 1000.0 in
   Alcotest.(check bool) "remaining positive" true (Deadline.remaining d > 0.0);
@@ -161,4 +174,5 @@ let () =
         [ Alcotest.test_case "never" `Quick test_deadline_never;
           Alcotest.test_case "expires" `Quick test_deadline_expires;
           Alcotest.test_case "check raises" `Quick test_deadline_check_raises;
+          Alcotest.test_case "poll interval" `Quick test_deadline_poll_interval;
           Alcotest.test_case "remaining" `Quick test_deadline_remaining ] ) ]
