@@ -226,8 +226,12 @@ let ablations () =
 let () =
   let open Cmdliner in
   let jobs_arg =
-    let doc = "Domains to fan Table I instances over (1 = sequential)." in
-    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+    let doc =
+      "Domains to fan Table I instances over (0 = auto: the recommended \
+       domain count capped at 8; 1 = sequential). The effective value is \
+       printed in the Table I header."
+    in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
   let no_cache_arg =
     let doc = "Disable the NPN-class synthesis cache for Table I." in
@@ -239,7 +243,10 @@ let () =
     fig1 ();
     micro ();
     ablations ();
-    table1 ~jobs:(max 1 jobs) ~npn_cache:(not no_npn_cache) ()
+    let jobs =
+      if jobs <= 0 then Stp_parallel.Pool.default_jobs () else jobs
+    in
+    table1 ~jobs ~npn_cache:(not no_npn_cache) ()
   in
   let cmd =
     Cmd.v

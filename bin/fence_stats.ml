@@ -1,13 +1,31 @@
 (* Fence and DAG-shape statistics: the data behind Figs. 2 and 3. *)
 
-let () =
+open Cmdliner
+
+let max_fence_k = 8
+
+let max_dag_k = 7
+
+let fence_rows () =
+  List.init max_fence_k (fun i ->
+      let k = i + 1 in
+      let all = Stp_topology.Fence.generate k in
+      let pruned = Stp_topology.Fence.prune all in
+      (k, List.length all, List.length pruned))
+
+let dag_rows () =
+  List.init max_dag_k (fun i ->
+      let k = i + 1 in
+      let shapes = Stp_topology.Dag.enumerate k in
+      let trees = List.filter (fun s -> s.Stp_topology.Dag.is_tree) shapes in
+      (k, List.length shapes, List.length trees))
+
+let print_text () =
   Format.printf "Fence families F_k (Fig. 2):@.";
   Format.printf "%4s %10s %10s@." "k" "fences" "pruned";
-  for k = 1 to 8 do
-    let all = Stp_topology.Fence.generate k in
-    let pruned = Stp_topology.Fence.prune all in
-    Format.printf "%4d %10d %10d@." k (List.length all) (List.length pruned)
-  done;
+  List.iter
+    (fun (k, fences, pruned) -> Format.printf "%4d %10d %10d@." k fences pruned)
+    (fence_rows ());
   Format.printf "@.Pruned fences of F_3 (Fig. 2b):@.";
   List.iter
     (fun f -> Format.printf "  %a@." Stp_topology.Fence.pp f)
@@ -18,8 +36,49 @@ let () =
     (Stp_topology.Dag.enumerate 3);
   Format.printf "@.DAG shapes per gate count:@.";
   Format.printf "%4s %10s %10s@." "k" "shapes" "trees";
-  for k = 1 to 7 do
-    let shapes = Stp_topology.Dag.enumerate k in
-    let trees = List.filter (fun s -> s.Stp_topology.Dag.is_tree) shapes in
-    Format.printf "%4d %10d %10d@." k (List.length shapes) (List.length trees)
-  done
+  List.iter
+    (fun (k, shapes, trees) -> Format.printf "%4d %10d %10d@." k shapes trees)
+    (dag_rows ())
+
+let write_json path =
+  let open Stp_harness.Report in
+  let doc =
+    Obj
+      [ ("source", String "bin/fence_stats");
+        ( "fences",
+          List
+            (List.map
+               (fun (k, fences, pruned) ->
+                 Obj
+                   [ ("k", Int k);
+                     ("fences", Int fences);
+                     ("pruned", Int pruned) ])
+               (fence_rows ())) );
+        ( "dag_shapes",
+          List
+            (List.map
+               (fun (k, shapes, trees) ->
+                 Obj
+                   [ ("k", Int k); ("shapes", Int shapes); ("trees", Int trees)
+                   ])
+               (dag_rows ())) ) ]
+  in
+  let oc = open_out path in
+  output_string oc (to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  Printf.eprintf "[fence_stats] wrote %s\n%!" path
+
+let run json_path =
+  print_text ();
+  match json_path with "" -> () | path -> write_json path
+
+let json_arg =
+  let doc = "Also write the fence and DAG-shape counts to this JSON file." in
+  Arg.(value & opt string "" & info [ "json" ] ~docv:"PATH" ~doc)
+
+let cmd =
+  let doc = "fence and DAG-shape statistics behind Figs. 2 and 3" in
+  Cmd.v (Cmd.info "fence_stats" ~doc) Term.(const run $ json_arg)
+
+let () = exit (Cmd.eval cmd)

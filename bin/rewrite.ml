@@ -1,0 +1,198 @@
+(* NPN-cached exact cut rewriting over AIGER/BLIF/Verilog netlists. *)
+
+open Cmdliner
+module Ntk = Stp_network.Ntk
+module Rewrite = Stp_network.Rewrite
+module Report = Stp_harness.Report
+
+let read_network path =
+  let sniff () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (min 4 (in_channel_length ic)))
+  in
+  if Filename.check_suffix path ".aig" || Filename.check_suffix path ".aag"
+  then Stp_network.Aiger.read_file path
+  else if Filename.check_suffix path ".blif" then
+    Stp_network.Blif.read_file path
+  else if Filename.check_suffix path ".v" then
+    Stp_network.Verilog.read_file path
+  else
+    match sniff () with
+    | "aig " | "aag " -> Stp_network.Aiger.read_file path
+    | _ -> Stp_network.Blif.read_file path
+
+let write_network path ntk =
+  if Filename.check_suffix path ".blif" then
+    Stp_network.Blif.write_file path ntk
+  else Stp_network.Aiger.write_file path ntk
+
+let row_json path ntk (r : Rewrite.report) =
+  let open Report in
+  Obj
+    [ ("file", String (Filename.basename path));
+      ("pis", Int (Ntk.num_pis ntk));
+      ("pos", Int (Ntk.num_pos ntk));
+      ("ands_before", Int r.ands_before);
+      ("ands_after", Int r.ands_after);
+      ("gain", Int (Rewrite.gain r));
+      ("depth_before", Int r.depth_before);
+      ("depth_after", Int r.depth_after);
+      ("applied", Int r.applied);
+      ("candidates", Int r.candidates);
+      ("classes", Int r.classes);
+      ("cache_hits", Int r.cache.Stp_synth.Npn_cache.hits);
+      ("cache_misses", Int r.cache.Stp_synth.Npn_cache.misses);
+      ("verified", Bool r.verified);
+      ("verify_method", String r.verify_method);
+      ("elapsed_s", Float r.elapsed) ]
+
+let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
+    out_path =
+  if files = [] then begin
+    prerr_endline "rewrite: no input files";
+    exit 124
+  end;
+  if out_path <> "" && List.length files > 1 then begin
+    prerr_endline "rewrite: --out needs exactly one input file";
+    exit 124
+  end;
+  let jobs = if jobs <= 0 then Stp_parallel.Pool.default_jobs () else jobs in
+  Printf.eprintf
+    "[rewrite] lut-size %d, cut-limit %d, timeout %.1fs/class, %d job%s, \
+     basis %s\n%!"
+    lut_size cut_limit timeout jobs
+    (if jobs = 1 then "" else "s")
+    (if full_basis then "full" else "and");
+  let options =
+    { Rewrite.cut_size = lut_size;
+      cut_limit;
+      timeout;
+      jobs;
+      max_chains;
+      basis = (if full_basis then None else Some Rewrite.and_basis) }
+  in
+  (* One cache for the whole batch: classes solved on one benchmark are
+     replays on the next. *)
+  let cache = Stp_synth.Npn_cache.create () in
+  let all_ok = ref true in
+  let total_gain = ref 0 in
+  let rows =
+    List.map
+      (fun path ->
+        let ntk = read_network path in
+        Printf.eprintf "[rewrite] %s: %d PIs, %d POs, %d ANDs, depth %d\n%!"
+          (Filename.basename path) (Ntk.num_pis ntk) (Ntk.num_pos ntk)
+          (Ntk.count_live ntk) (Ntk.depth ntk);
+        let optimized, r = Rewrite.run ~options ~cache ntk in
+        let pct =
+          if r.Rewrite.ands_before = 0 then 0.0
+          else
+            100.0
+            *. float_of_int (Rewrite.gain r)
+            /. float_of_int r.Rewrite.ands_before
+        in
+        Printf.eprintf
+          "[rewrite]   %d candidates -> %d classes, cache %d/%d hits\n%!"
+          r.Rewrite.candidates r.Rewrite.classes
+          r.Rewrite.cache.Stp_synth.Npn_cache.hits
+          (r.Rewrite.cache.Stp_synth.Npn_cache.hits
+          + r.Rewrite.cache.Stp_synth.Npn_cache.misses);
+        Printf.eprintf
+          "[rewrite]   ANDs %d -> %d (saved %d, %.1f%%), depth %d -> %d, %d \
+           rewrites, %s (%s), %.2fs\n%!"
+          r.Rewrite.ands_before r.Rewrite.ands_after (Rewrite.gain r) pct
+          r.Rewrite.depth_before r.Rewrite.depth_after r.Rewrite.applied
+          (if r.Rewrite.verified then "verified" else "VERIFICATION FAILED")
+          r.Rewrite.verify_method r.Rewrite.elapsed;
+        if not r.Rewrite.verified then all_ok := false;
+        total_gain := !total_gain + Rewrite.gain r;
+        if out_path <> "" && r.Rewrite.verified then begin
+          write_network out_path optimized;
+          Printf.eprintf "[rewrite]   wrote %s\n%!" out_path
+        end;
+        row_json path ntk r)
+      files
+  in
+  Printf.eprintf "[rewrite] total: %d gate%s saved over %d benchmark%s\n%!"
+    !total_gain
+    (if !total_gain = 1 then "" else "s")
+    (List.length files)
+    (if List.length files = 1 then "" else "s");
+  (match json_path with
+  | "" -> ()
+  | path ->
+    let open Report in
+    let doc =
+      Obj
+        [ ("source", String "bin/rewrite");
+          ("lut_size", Int lut_size);
+          ("cut_limit", Int cut_limit);
+          ("timeout_s", Float timeout);
+          ("jobs", Int jobs);
+          ("basis", String (if full_basis then "full" else "and"));
+          ("total_gain", Int !total_gain);
+          ("rows", List rows) ]
+    in
+    let oc = open_out path in
+    output_string oc (to_string doc);
+    output_string oc "\n";
+    close_out oc;
+    Printf.eprintf "[rewrite] wrote %s\n%!" path);
+  if not !all_ok then exit 2
+
+let files_arg =
+  let doc = "Benchmark netlists (AIGER .aig/.aag, BLIF, structural Verilog)." in
+  Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+
+let lut_size_arg =
+  let doc = "Cut size k: rewrite up to k-input subfunctions (2-6)." in
+  Arg.(value & opt int 4 & info [ "k"; "lut-size" ] ~docv:"K" ~doc)
+
+let cut_limit_arg =
+  let doc = "Priority cuts kept per node." in
+  Arg.(value & opt int 8 & info [ "cut-limit" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc = "Per-NPN-class synthesis timeout in seconds." in
+  Arg.(value & opt float 5.0 & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Domains to fan class synthesis over (0 = auto: recommended domain \
+     count capped at 8)."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let full_basis_arg =
+  let doc =
+    "Synthesize replacement chains over all ten 2-input gates instead of \
+     the AND-class basis; XOR-like steps then cost three AND nodes each."
+  in
+  Arg.(value & flag & info [ "full-basis" ] ~doc)
+
+let max_chains_arg =
+  let doc = "Optimum chains tried per cut (the engine returns all of them)." in
+  Arg.(value & opt int 8 & info [ "max-chains" ] ~docv:"N" ~doc)
+
+let json_arg =
+  let doc = "Write machine-readable per-benchmark results to this file." in
+  Arg.(value & opt string "" & info [ "json" ] ~docv:"PATH" ~doc)
+
+let out_arg =
+  let doc =
+    "Write the optimized network here (.aig binary AIGER, .aag ASCII, \
+     .blif BLIF); requires a single input file."
+  in
+  Arg.(value & opt string "" & info [ "o"; "out" ] ~docv:"PATH" ~doc)
+
+let cmd =
+  let doc = "optimize netlists by NPN-cached exact cut rewriting" in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc)
+    Term.(
+      const run $ files_arg $ lut_size_arg $ cut_limit_arg $ timeout_arg
+      $ jobs_arg $ full_basis_arg $ max_chains_arg $ json_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -3,6 +3,9 @@
 open Cmdliner
 
 let run collections timeout scale jobs no_npn_cache json_path csv cross_check =
+  let jobs =
+    if jobs <= 0 then Stp_parallel.Pool.default_jobs () else jobs
+  in
   let scale =
     match scale with
     | s when s <= 0.0 -> Stp_workloads.Collections.Default
@@ -132,10 +135,12 @@ let scale_arg =
 
 let jobs_arg =
   let doc =
-    "Number of domains to fan instances over (1 = sequential). Aggregates \
-     are identical across job counts; only wall-clock changes."
+    "Number of domains to fan instances over (0 = auto: the recommended \
+     domain count capped at 8; 1 = sequential). Aggregates are identical \
+     across job counts; only wall-clock changes. The effective value is \
+     printed in each collection header."
   in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let no_cache_arg =
   let doc =

@@ -1,0 +1,98 @@
+(* Regenerates the committed netlists under examples/benchmarks/.
+
+   Each benchmark is deliberately naive two-level logic — every small
+   block is a minterm-expanded sum of products — so exact cut
+   rewriting has real redundancy to remove while the reference
+   function stays obvious. *)
+
+module Ntk = Stp_network.Ntk
+
+(* OR of the minterms of [f] over [lits], as a linear AND/OR chain.
+   Structural hashing shares identical product subterms, which is
+   fine: the result is still far from the optimum circuit. *)
+let minterm_or ntk lits f =
+  let n = Array.length lits in
+  let acc = ref Ntk.const_false in
+  for m = 0 to (1 lsl n) - 1 do
+    if f (fun i -> m land (1 lsl i) <> 0) then begin
+      let product = ref Ntk.const_true in
+      for i = 0 to n - 1 do
+        let l = if m land (1 lsl i) <> 0 then lits.(i) else Ntk.lit_not lits.(i) in
+        product := Ntk.add_and ntk !product l
+      done;
+      acc := Ntk.add_or ntk !acc !product
+    end
+  done;
+  !acc
+
+let full_adder ntk a b cin =
+  let lits = [| a; b; cin |] in
+  let bit v i = if v i then 1 else 0 in
+  let sum = minterm_or ntk lits (fun v -> (bit v 0 + bit v 1 + bit v 2) land 1 = 1) in
+  let cout = minterm_or ntk lits (fun v -> bit v 0 + bit v 1 + bit v 2 >= 2) in
+  (sum, cout)
+
+let mux2 ntk s a b =
+  minterm_or ntk [| s; a; b |] (fun v -> if v 0 then v 1 else v 2)
+
+let xor3 ntk a b c =
+  minterm_or ntk [| a; b; c |] (fun v ->
+      let bit i = if v i then 1 else 0 in
+      (bit 0 + bit 1 + bit 2) land 1 = 1)
+
+(* 4-bit ripple-carry adder with carry-in: 9 PIs, 5 POs. *)
+let adder () =
+  let ntk = Ntk.create () in
+  let a = Array.init 4 (fun _ -> Ntk.add_pi ntk) in
+  let b = Array.init 4 (fun _ -> Ntk.add_pi ntk) in
+  let carry = ref (Ntk.add_pi ntk) in
+  for i = 0 to 3 do
+    let sum, cout = full_adder ntk a.(i) b.(i) !carry in
+    ignore (Ntk.add_po ntk sum);
+    carry := cout
+  done;
+  ignore (Ntk.add_po ntk !carry);
+  ntk
+
+(* 8-input odd parity as a cascade of minterm-expanded XOR3 blocks. *)
+let parity8 () =
+  let ntk = Ntk.create () in
+  let x = Array.init 8 (fun _ -> Ntk.add_pi ntk) in
+  let p1 = xor3 ntk x.(0) x.(1) x.(2) in
+  let p2 = xor3 ntk p1 x.(3) x.(4) in
+  let p3 = xor3 ntk p2 x.(5) x.(6) in
+  let out =
+    minterm_or ntk [| p3; x.(7) |] (fun v -> v 0 <> v 1)
+  in
+  ignore (Ntk.add_po ntk out);
+  ntk
+
+(* 4:1 mux from three minterm-expanded 2:1 muxes: s1 s0 a b c d -> out. *)
+let mux41 () =
+  let ntk = Ntk.create () in
+  let s1 = Ntk.add_pi ntk in
+  let s0 = Ntk.add_pi ntk in
+  let a = Ntk.add_pi ntk in
+  let b = Ntk.add_pi ntk in
+  let c = Ntk.add_pi ntk in
+  let d = Ntk.add_pi ntk in
+  let t0 = mux2 ntk s0 a b in
+  let t1 = mux2 ntk s0 c d in
+  ignore (Ntk.add_po ntk (mux2 ntk s1 t0 t1));
+  ntk
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "examples/benchmarks" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let save name ntk =
+    let path = Filename.concat dir name in
+    if Filename.check_suffix name ".blif" then
+      Stp_network.Blif.write_file path ntk
+    else Stp_network.Aiger.write_file path ntk;
+    Printf.printf "%-14s %d PIs, %d POs, %d ANDs, depth %d\n" name
+      (Ntk.num_pis ntk) (Ntk.num_pos ntk) (Ntk.count_live ntk) (Ntk.depth ntk)
+  in
+  save "adder.aig" (adder ());
+  save "parity8.aig" (parity8 ());
+  save "mux41.aig" (mux41 ());
+  save "mux41.blif" (mux41 ())

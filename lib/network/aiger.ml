@@ -1,0 +1,210 @@
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* --- tokenised line access over the raw file contents --- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let read_line cur =
+  if cur.pos >= String.length cur.s then fail "aiger: unexpected end of file";
+  let j =
+    match String.index_from_opt cur.s cur.pos '\n' with
+    | Some j -> j
+    | None -> String.length cur.s
+  in
+  let line = String.sub cur.s cur.pos (j - cur.pos) in
+  cur.pos <- j + 1;
+  line
+
+let ints_of_line line =
+  String.split_on_char ' ' line
+  |> List.filter (fun t -> t <> "")
+  |> List.map (fun t ->
+         match int_of_string_opt t with
+         | Some v when v >= 0 -> v
+         | _ -> fail "aiger: expected a literal, got %S" t)
+
+let int_of_line line =
+  match ints_of_line line with
+  | [ v ] -> v
+  | _ -> fail "aiger: expected a single literal on line %S" line
+
+type header = { m : int; i : int; l : int; o : int; a : int }
+
+let read_header cur =
+  let line = read_line cur in
+  match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+  | magic :: rest when magic = "aig" || magic = "aag" ->
+    let nums =
+      List.map
+        (fun t ->
+          match int_of_string_opt t with
+          | Some v when v >= 0 -> v
+          | _ -> fail "aiger: bad header %S" line)
+        rest
+    in
+    (match nums with
+    | [ m; i; l; o; a ] ->
+      if l > 0 then fail "aiger: latches are not supported (L = %d)" l;
+      if m < i + l + a then fail "aiger: inconsistent header %S" line;
+      (magic = "aag", { m; i; l; o; a })
+    | _ -> fail "aiger: bad header %S" line)
+  | _ -> fail "aiger: not an AIGER file (missing aig/aag magic)"
+
+(* --- ASCII --- *)
+
+let of_ascii cur h =
+  let t = Ntk.create ~capacity:(h.m + 1) () in
+  (* file variable -> our literal, resolved lazily so AND definitions
+     may appear in any order *)
+  let input_of = Hashtbl.create 97 in
+  for _ = 1 to h.i do
+    let l = int_of_line (read_line cur) in
+    if l < 2 || l land 1 = 1 then fail "aiger: bad input literal %d" l;
+    if Hashtbl.mem input_of (l / 2) then fail "aiger: duplicate input %d" l;
+    Hashtbl.replace input_of (l / 2) (Ntk.add_pi t)
+  done;
+  let out_lits = List.init h.o (fun _ -> int_of_line (read_line cur)) in
+  let defs = Hashtbl.create 97 in
+  for _ = 1 to h.a do
+    match ints_of_line (read_line cur) with
+    | [ lhs; rhs0; rhs1 ] ->
+      if lhs < 2 || lhs land 1 = 1 then fail "aiger: bad AND literal %d" lhs;
+      if Hashtbl.mem input_of (lhs / 2) || Hashtbl.mem defs (lhs / 2) then
+        fail "aiger: literal %d defined twice" lhs;
+      Hashtbl.replace defs (lhs / 2) (rhs0, rhs1)
+    | _ -> fail "aiger: malformed AND line"
+  done;
+  let memo = Hashtbl.create 97 in
+  let visiting = Hashtbl.create 97 in
+  let rec resolve_lit l =
+    let base = resolve_var (l / 2) in
+    if l land 1 = 1 then Ntk.lit_not base else base
+  and resolve_var v =
+    if v = 0 then Ntk.const_false
+    else
+      match Hashtbl.find_opt memo v with
+      | Some m -> m
+      | None -> (
+        match Hashtbl.find_opt input_of v with
+        | Some m -> m
+        | None ->
+          (match Hashtbl.find_opt defs v with
+          | None -> fail "aiger: undefined literal %d" (2 * v)
+          | Some (rhs0, rhs1) ->
+            if Hashtbl.mem visiting v then
+              fail "aiger: cyclic AND definition at literal %d" (2 * v);
+            Hashtbl.replace visiting v ();
+            let m = Ntk.add_and t (resolve_lit rhs0) (resolve_lit rhs1) in
+            Hashtbl.remove visiting v;
+            Hashtbl.replace memo v m;
+            m))
+  in
+  (* Materialise every defined AND (ascending) so the parsed network
+     keeps even nodes that no output reaches. *)
+  Hashtbl.fold (fun v _ acc -> v :: acc) defs []
+  |> List.sort compare
+  |> List.iter (fun v -> ignore (resolve_var v));
+  List.iter (fun l -> ignore (Ntk.add_po t (resolve_lit l))) out_lits;
+  t
+
+(* --- binary --- *)
+
+let read_varint cur =
+  let x = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if cur.pos >= String.length cur.s then fail "aiger: truncated delta";
+    let b = Char.code cur.s.[cur.pos] in
+    cur.pos <- cur.pos + 1;
+    x := !x lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := b land 0x80 <> 0
+  done;
+  !x
+
+let of_binary cur h =
+  let t = Ntk.create ~capacity:(h.m + 1) () in
+  let lit_of = Array.make (h.m + 1) (-1) in
+  for v = 1 to h.i do
+    lit_of.(v) <- Ntk.add_pi t
+  done;
+  let out_lits = List.init h.o (fun _ -> int_of_line (read_line cur)) in
+  let resolve l =
+    let v = l / 2 in
+    if v > h.m then fail "aiger: literal %d out of range" l;
+    let base = if v = 0 then Ntk.const_false else lit_of.(v) in
+    if base < 0 then fail "aiger: undefined literal %d" l;
+    if l land 1 = 1 then Ntk.lit_not base else base
+  in
+  for k = 0 to h.a - 1 do
+    let lhs = 2 * (h.i + h.l + k + 1) in
+    let d0 = read_varint cur in
+    let d1 = read_varint cur in
+    let rhs0 = lhs - d0 in
+    let rhs1 = rhs0 - d1 in
+    if d0 <= 0 || rhs1 < 0 then fail "aiger: bad deltas for literal %d" lhs;
+    lit_of.(lhs / 2) <- Ntk.add_and t (resolve rhs0) (resolve rhs1)
+  done;
+  List.iter (fun l -> ignore (Ntk.add_po t (resolve l))) out_lits;
+  t
+
+let of_string s =
+  let cur = { s; pos = 0 } in
+  let ascii, h = read_header cur in
+  if ascii then of_ascii cur h else of_binary cur h
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* --- writers --- *)
+
+let header_string magic t =
+  Printf.sprintf "%s %d %d 0 %d %d\n" magic
+    (Ntk.num_pis t + Ntk.num_ands t)
+    (Ntk.num_pis t) (Ntk.num_pos t) (Ntk.num_ands t)
+
+let to_ascii t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header_string "aag" t);
+  for v = 1 to Ntk.num_pis t do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (2 * v))
+  done;
+  Array.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" l))
+    (Ntk.outputs t);
+  Ntk.iter_ands t (fun v ->
+      (* rhs0 >= rhs1, matching the binary writer's convention *)
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n" (2 * v) (Ntk.fanin1 t v) (Ntk.fanin0 t v)));
+  Buffer.contents buf
+
+let rec put_varint buf x =
+  if x < 0x80 then Buffer.add_char buf (Char.chr x)
+  else begin
+    Buffer.add_char buf (Char.chr (0x80 lor (x land 0x7f)));
+    put_varint buf (x lsr 7)
+  end
+
+let to_binary t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (header_string "aig" t);
+  Array.iter
+    (fun l -> Buffer.add_string buf (Printf.sprintf "%d\n" l))
+    (Ntk.outputs t);
+  Ntk.iter_ands t (fun v ->
+      let lhs = 2 * v in
+      let rhs0 = Ntk.fanin1 t v and rhs1 = Ntk.fanin0 t v in
+      put_varint buf (lhs - rhs0);
+      put_varint buf (rhs0 - rhs1));
+  Buffer.contents buf
+
+let write_file path t =
+  let data =
+    if Filename.check_suffix path ".aag" then to_ascii t else to_binary t
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data)

@@ -1,0 +1,28 @@
+(** AIGER reader/writer (binary [aig] and ASCII [aag], format 1.9
+    combinational subset).
+
+    Literals in the file map one-to-one onto {!Ntk.lit}s; the writer
+    emits the "reencoded" layout (inputs [2, 4, …], AND variables
+    consecutive and topologically ordered) that {!Ntk} maintains by
+    construction, so [of_string] ∘ [to_binary] is the identity on
+    strashed networks. Reading re-strashes, so a file containing
+    duplicate or trivially reducible AND gates parses to the reduced
+    network; outputs always keep their order and functions.
+
+    Latches are not supported: sequential files raise [Failure] with a
+    clear message, as do truncated or malformed files. Symbol tables
+    and comment sections are skipped. *)
+
+val of_string : string -> Ntk.t
+(** Parses either format, keyed on the [aig]/[aag] magic. ASCII AND
+    definitions may appear in any order; cyclic definitions fail. *)
+
+val read_file : string -> Ntk.t
+
+val to_ascii : Ntk.t -> string
+
+val to_binary : Ntk.t -> string
+
+val write_file : string -> Ntk.t -> unit
+(** Chooses the format by extension: [.aag] writes ASCII, anything
+    else binary. *)

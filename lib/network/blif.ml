@@ -1,0 +1,203 @@
+module Tt = Stp_tt.Tt
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+let max_names_inputs = 15
+
+(* Logical lines: comments stripped, continuation backslashes joined,
+   blanks dropped. *)
+let logical_lines s =
+  let physical = String.split_on_char '\n' s in
+  let strip_comment line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let rec join acc pending = function
+    | [] ->
+      let acc = if pending = "" then acc else pending :: acc in
+      List.rev acc
+    | line :: rest ->
+      let line = strip_comment line in
+      let line = String.trim line in
+      if String.length line > 0 && line.[String.length line - 1] = '\\' then
+        join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
+      else if pending <> "" then join ((pending ^ line) :: acc) "" rest
+      else if line = "" then join acc "" rest
+      else join (line :: acc) "" rest
+  in
+  join [] "" physical
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+type def = { fanins : string list; rows : (string * char) list }
+
+let tt_of_cover ~n rows =
+  let phase =
+    match rows with
+    | [] -> '1' (* empty cover: constant 0 under either phase *)
+    | (_, p) :: rest ->
+      List.iter
+        (fun (_, p') ->
+          if p' <> p then fail "blif: mixed on-set and off-set rows")
+        rest;
+      p
+  in
+  let matches plane m =
+    let ok = ref true in
+    String.iteri
+      (fun j c ->
+        match c with
+        | '-' -> ()
+        | '0' -> if (m lsr j) land 1 = 1 then ok := false
+        | '1' -> if (m lsr j) land 1 = 0 then ok := false
+        | _ -> fail "blif: bad cover character %C" c)
+      plane;
+    !ok
+  in
+  let on = Tt.of_fun n (fun m -> List.exists (fun (p, _) -> matches p m) rows) in
+  if phase = '1' then on else Tt.bnot on
+
+let of_string s =
+  let lines = logical_lines s in
+  let inputs = ref [] and outputs = ref [] in
+  let defs : (string, def) Hashtbl.t = Hashtbl.create 97 in
+  let def_order = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some (out, fanins, rows) ->
+      if Hashtbl.mem defs out then fail "blif: signal %s defined twice" out;
+      Hashtbl.replace defs out { fanins; rows = List.rev rows };
+      def_order := out :: !def_order;
+      current := None
+  in
+  let seen_end = ref false in
+  List.iter
+    (fun line ->
+      if not !seen_end then
+        match tokens line with
+        | [] -> ()
+        | tok :: rest when tok.[0] = '.' -> (
+          flush ();
+          match tok with
+          | ".model" -> ()
+          | ".inputs" -> inputs := !inputs @ rest
+          | ".outputs" -> outputs := !outputs @ rest
+          | ".names" -> (
+            match List.rev rest with
+            | [] -> fail "blif: .names without an output"
+            | out :: rev_ins ->
+              let fanins = List.rev rev_ins in
+              if List.length fanins > max_names_inputs then
+                fail "blif: .names %s has %d inputs (max %d)" out
+                  (List.length fanins) max_names_inputs;
+              current := Some (out, fanins, []))
+          | ".end" -> seen_end := true
+          | ".latch" | ".subckt" | ".gate" | ".mlatch" | ".exdc" ->
+            fail "blif: %s is not supported (structural subset only)" tok
+          | _ -> fail "blif: unknown directive %s" tok)
+        | toks -> (
+          match !current with
+          | None -> fail "blif: cover row outside .names: %S" line
+          | Some (out, fanins, rows) ->
+            let plane, value =
+              match toks with
+              | [ v ] when fanins = [] -> ("", v)
+              | [ p; v ] -> (p, v)
+              | _ -> fail "blif: malformed cover row %S" line
+            in
+            if String.length value <> 1 || (value <> "0" && value <> "1")
+            then fail "blif: bad cover output %S" value;
+            if String.length plane <> List.length fanins then
+              fail "blif: cover row %S arity mismatch" line;
+            current := Some (out, fanins, (plane, value.[0]) :: rows)))
+    lines;
+  flush ();
+  let t = Ntk.create () in
+  let input_of = Hashtbl.create 97 in
+  List.iter
+    (fun name ->
+      if Hashtbl.mem input_of name then fail "blif: duplicate input %s" name;
+      Hashtbl.replace input_of name (Ntk.add_pi t))
+    !inputs;
+  let memo = Hashtbl.create 97 in
+  let visiting = Hashtbl.create 97 in
+  let rec resolve name =
+    match Hashtbl.find_opt input_of name with
+    | Some l -> l
+    | None -> (
+      match Hashtbl.find_opt memo name with
+      | Some l -> l
+      | None ->
+        (match Hashtbl.find_opt defs name with
+        | None -> fail "blif: undefined signal %s" name
+        | Some { fanins; rows } ->
+          if Hashtbl.mem visiting name then
+            fail "blif: combinational cycle through %s" name;
+          Hashtbl.replace visiting name ();
+          let lits = Array.of_list (List.map resolve fanins) in
+          let tt = tt_of_cover ~n:(Array.length lits) rows in
+          let l = Ntk.add_lut t tt lits in
+          Hashtbl.remove visiting name;
+          Hashtbl.replace memo name l;
+          l))
+  in
+  List.iter (fun name -> ignore (resolve name)) (List.rev !def_order);
+  List.iter (fun name -> ignore (Ntk.add_po t (resolve name))) !outputs;
+  t
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let name_of_var t v =
+  if Ntk.is_pi t v then Printf.sprintf "x%d" v else Printf.sprintf "n%d" v
+
+let to_string ?(model_name = "ntk") t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" model_name);
+  Buffer.add_string buf ".inputs";
+  for v = 1 to Ntk.num_pis t do
+    Buffer.add_string buf (" " ^ name_of_var t v)
+  done;
+  Buffer.add_string buf "\n.outputs";
+  Array.iteri
+    (fun i _ -> Buffer.add_string buf (Printf.sprintf " po%d" i))
+    (Ntk.outputs t);
+  Buffer.add_string buf "\n";
+  Ntk.iter_ands t (fun v ->
+      let f0 = Ntk.fanin0 t v and f1 = Ntk.fanin1 t v in
+      Buffer.add_string buf
+        (Printf.sprintf ".names %s %s %s\n%c%c 1\n"
+           (name_of_var t (Ntk.var_of_lit f0))
+           (name_of_var t (Ntk.var_of_lit f1))
+           (name_of_var t v)
+           (if Ntk.is_compl f0 then '0' else '1')
+           (if Ntk.is_compl f1 then '0' else '1')));
+  Array.iteri
+    (fun i l ->
+      let v = Ntk.var_of_lit l in
+      if Ntk.is_const_var v then
+        Buffer.add_string buf
+          (Printf.sprintf ".names po%d\n%s" i
+             (if Ntk.is_compl l then "1\n" else ""))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s po%d\n%c 1\n" (name_of_var t v) i
+             (if Ntk.is_compl l then '0' else '1')))
+    (Ntk.outputs t);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file ?model_name path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?model_name t))

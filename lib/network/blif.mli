@@ -1,0 +1,27 @@
+(** Structural BLIF reader/writer.
+
+    The supported subset is purely combinational single-model BLIF:
+    [.model], [.inputs], [.outputs], [.names] with an on-set or
+    off-set cover (don't-cares allowed), and [.end]. Latches,
+    subcircuits and library gates raise [Failure] with a clear
+    message. [.names] tables may appear in any order; each is
+    converted to a truth table over its fanins (at most
+    {!max_names_inputs} of them) and inserted through {!Ntk.add_lut},
+    so a parsed network is always a strashed AIG.
+
+    The writer emits one single-row [.names] per AND node (fanin
+    complements encoded in the row), buffers or inverters for the
+    outputs, and names signals [x1 …] (inputs), [n<var>] (nodes) and
+    [po<i>] (outputs). Output order and functions round-trip; writer
+    output re-parses to an identical network. *)
+
+val max_names_inputs : int
+(** Widest accepted [.names] table (15 inputs). *)
+
+val of_string : string -> Ntk.t
+
+val read_file : string -> Ntk.t
+
+val to_string : ?model_name:string -> Ntk.t -> string
+
+val write_file : ?model_name:string -> string -> Ntk.t -> unit

@@ -1,0 +1,100 @@
+module Tt = Stp_tt.Tt
+
+type cut = { leaves : int array; tt : Tt.t }
+
+let is_trivial c = Array.length c.leaves = 1 && Tt.equal c.tt (Tt.var 1 0)
+
+let trivial v = { leaves = [| v |]; tt = Tt.var 1 0 }
+
+(* Union of two sorted leaf arrays, None when it exceeds [k]. *)
+let merge_leaves k a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (min (la + lb) (k + 1)) 0 in
+  let rec go i j n =
+    if n > k then None
+    else if i = la && j = lb then Some (Array.sub out 0 n)
+    else if n = k && (i < la || j < lb) then None
+    else begin
+      let pick =
+        if i = la then (b.(j), i, j + 1)
+        else if j = lb then (a.(i), i + 1, j)
+        else if a.(i) < b.(j) then (a.(i), i + 1, j)
+        else if a.(i) > b.(j) then (b.(j), i, j + 1)
+        else (a.(i), i + 1, j + 1)
+      in
+      let v, i, j = pick in
+      out.(n) <- v;
+      go i j (n + 1)
+    end
+  in
+  go 0 0 0
+
+let is_subset a b =
+  (* both sorted *)
+  let la = Array.length a and lb = Array.length b in
+  let rec go i j =
+    if i = la then true
+    else if j = lb then false
+    else if a.(i) = b.(j) then go (i + 1) (j + 1)
+    else if a.(i) > b.(j) then go i (j + 1)
+    else false
+  in
+  go 0 0
+
+(* The fanin's cut function lifted onto the merged leaf set, with the
+   edge complement folded in. *)
+let lift union (c : cut) compl =
+  let n = Array.length union in
+  let placement =
+    Array.map
+      (fun leaf ->
+        let rec find i = if union.(i) = leaf then i else find (i + 1) in
+        find 0)
+      c.leaves
+  in
+  let f = Tt.expand c.tt n placement in
+  if compl then Tt.bnot f else f
+
+let enumerate ~k ?(limit = 8) t =
+  let k = max 2 (min 6 k) in
+  let cuts = Array.make (Ntk.num_vars t) [] in
+  for v = 1 to Ntk.num_pis t do
+    cuts.(v) <- [ trivial v ]
+  done;
+  Ntk.iter_ands t (fun v ->
+      let l0 = Ntk.fanin0 t v and l1 = Ntk.fanin1 t v in
+      let merged =
+        List.concat_map
+          (fun c0 ->
+            List.filter_map
+              (fun c1 ->
+                match merge_leaves k c0.leaves c1.leaves with
+                | None -> None
+                | Some union ->
+                  let f0 = lift union c0 (Ntk.is_compl l0) in
+                  let f1 = lift union c1 (Ntk.is_compl l1) in
+                  Some { leaves = union; tt = Tt.band f0 f1 })
+              cuts.(Ntk.var_of_lit l1))
+          cuts.(Ntk.var_of_lit l0)
+      in
+      (* dedup equal leaf sets, drop dominated (superset) cuts, keep the
+         smallest [limit] *)
+      let merged =
+        List.stable_sort
+          (fun a b -> compare (Array.length a.leaves) (Array.length b.leaves))
+          merged
+      in
+      let kept = ref [] in
+      List.iter
+        (fun c ->
+          if
+            not
+              (List.exists
+                 (fun c' -> is_subset c'.leaves c.leaves)
+                 !kept)
+          then kept := c :: !kept)
+        merged;
+      let kept = List.rev !kept in
+      let kept = List.filteri (fun i _ -> i < limit) kept in
+      cuts.(v) <- kept @ [ trivial v ]);
+  cuts

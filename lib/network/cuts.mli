@@ -1,0 +1,27 @@
+(** k-feasible priority cut enumeration with cut functions.
+
+    A cut of node [v] is a set of {e leaf} variables such that every
+    path from a primary input to [v] crosses a leaf; the cut function
+    is [v]'s function expressed over its leaves — the truth table the
+    rewriting pass hands to the exact-synthesis engines. Cuts are
+    enumerated bottom-up: the cuts of an AND node are the pairwise
+    merges of its fanins' cuts (unions of at most [k] leaves), plus
+    the trivial cut [{v}]. Per node, dominated cuts (supersets of
+    another cut) are dropped and at most [limit] non-trivial cuts are
+    kept, smallest first — the classic priority-cut bound on the
+    otherwise exponential cut space. *)
+
+type cut = {
+  leaves : int array; (** ascending variable indices *)
+  tt : Stp_tt.Tt.t;   (** the node's function over [leaves], variable
+                          [j] of [tt] reading [leaves.(j)] *)
+}
+
+val is_trivial : cut -> bool
+(** The singleton cut [{v}] of the node itself. *)
+
+val enumerate : k:int -> ?limit:int -> Ntk.t -> cut list array
+(** [enumerate ~k t] returns, indexed by variable, each node's cut
+    list (trivial cut last). [k] is clamped to [2 .. 6]; [limit]
+    (default 8) bounds the non-trivial cuts kept per node. Constant
+    and primary-input variables get their trivial cut only. *)

@@ -1,0 +1,287 @@
+module Tt = Stp_tt.Tt
+module Vec = Stp_util.Vec
+
+type lit = int
+
+type t = {
+  mutable pis : int;
+  fan0 : int Vec.t; (* per variable; -1 for the constant and PIs *)
+  fan1 : int Vec.t;
+  pos : int Vec.t; (* output literals *)
+  strash : (int * int, int) Hashtbl.t; (* ordered fanin pair -> var *)
+}
+
+let const_false = 0
+
+let const_true = 1
+
+let lit_of_var v c = (2 * v) + if c then 1 else 0
+
+let var_of_lit l = l lsr 1
+
+let is_compl l = l land 1 = 1
+
+let lit_not l = l lxor 1
+
+let lit_const b = if b then const_true else const_false
+
+let create ?(capacity = 64) () =
+  let fan0 = Vec.create ~capacity ~dummy:(-1) () in
+  let fan1 = Vec.create ~capacity ~dummy:(-1) () in
+  Vec.push fan0 (-1);
+  Vec.push fan1 (-1);
+  { pis = 0;
+    fan0;
+    fan1;
+    pos = Vec.create ~dummy:0 ();
+    strash = Hashtbl.create 257 }
+
+let num_pis t = t.pis
+
+let num_vars t = Vec.length t.fan0
+
+let num_ands t = num_vars t - 1 - t.pis
+
+let num_pos t = Vec.length t.pos
+
+let is_const_var v = v = 0
+
+let is_pi t v = v >= 1 && v <= t.pis
+
+let is_and t v = v > t.pis && v < num_vars t
+
+let check_lit t l =
+  if l < 0 || var_of_lit l >= num_vars t then invalid_arg "Ntk: unknown literal"
+
+let fanin0 t v =
+  if not (is_and t v) then invalid_arg "Ntk.fanin0: not an AND variable";
+  Vec.get t.fan0 v
+
+let fanin1 t v =
+  if not (is_and t v) then invalid_arg "Ntk.fanin1: not an AND variable";
+  Vec.get t.fan1 v
+
+let add_pi t =
+  if num_ands t > 0 then
+    invalid_arg "Ntk.add_pi: inputs must precede AND nodes";
+  Vec.push t.fan0 (-1);
+  Vec.push t.fan1 (-1);
+  t.pis <- t.pis + 1;
+  lit_of_var t.pis false
+
+let add_and t a b =
+  check_lit t a;
+  check_lit t b;
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = const_false then const_false
+  else if a = const_true then b
+  else if a = b then a
+  else if a = lit_not b then const_false
+  else
+    match Hashtbl.find_opt t.strash (a, b) with
+    | Some v -> lit_of_var v false
+    | None ->
+      let v = num_vars t in
+      Vec.push t.fan0 a;
+      Vec.push t.fan1 b;
+      Hashtbl.replace t.strash (a, b) v;
+      lit_of_var v false
+
+let add_or t a b = lit_not (add_and t (lit_not a) (lit_not b))
+
+let add_xor t a b =
+  (* a ^ b = ~(~(a & ~b) & ~(~a & b)); strashing shares the halves. *)
+  add_or t (add_and t a (lit_not b)) (add_and t (lit_not a) b)
+
+let add_gate t g a b =
+  match g with
+  | 0 -> const_false
+  | 1 -> lit_not (add_or t a b)
+  | 2 -> add_and t (lit_not a) b
+  | 3 -> lit_not a
+  | 4 -> add_and t a (lit_not b)
+  | 5 -> lit_not b
+  | 6 -> add_xor t a b
+  | 7 -> lit_not (add_and t a b)
+  | 8 -> add_and t a b
+  | 9 -> lit_not (add_xor t a b)
+  | 10 -> b
+  | 11 -> lit_not (add_and t a (lit_not b))
+  | 12 -> a
+  | 13 -> lit_not (add_and t (lit_not a) b)
+  | 14 -> add_or t a b
+  | 15 -> const_true
+  | _ -> invalid_arg "Ntk.add_gate: bad gate code"
+
+let add_lut t tt lits =
+  if Array.length lits <> Tt.num_vars tt then invalid_arg "Ntk.add_lut: arity";
+  Array.iter (check_lit t) lits;
+  let tt, support = Tt.shrink_to_support tt in
+  let lits = Array.of_list (List.map (fun i -> lits.(i)) support) in
+  let memo = Hashtbl.create 17 in
+  (* Shannon expansion over the highest live variable; the memo shares
+     identical sub-cofactors within this insertion. *)
+  let rec build tt =
+    match Tt.is_const_of tt with
+    | Some b -> lit_const b
+    | None -> (
+      match Hashtbl.find_opt memo tt with
+      | Some l -> l
+      | None ->
+        let i = List.fold_left max 0 (Tt.support tt) in
+        let f0 = Tt.cofactor tt i false and f1 = Tt.cofactor tt i true in
+        let x = lits.(i) in
+        let l =
+          (* x ? f1 : f0 *)
+          add_or t (add_and t x (build f1)) (add_and t (lit_not x) (build f0))
+        in
+        Hashtbl.replace memo tt l;
+        l)
+  in
+  build tt
+
+let lit_of_chain t (c : Stp_chain.Chain.t) leaves =
+  if Array.length leaves <> c.Stp_chain.Chain.n then
+    invalid_arg "Ntk.lit_of_chain: leaf count";
+  let n = c.Stp_chain.Chain.n in
+  let sigs = Array.make (n + Array.length c.Stp_chain.Chain.steps) const_false in
+  Array.blit leaves 0 sigs 0 n;
+  Array.iteri
+    (fun i (s : Stp_chain.Chain.step) ->
+      sigs.(n + i) <- add_gate t s.gate sigs.(s.fanin1) sigs.(s.fanin2))
+    c.Stp_chain.Chain.steps;
+  let out = sigs.(c.Stp_chain.Chain.output) in
+  if c.Stp_chain.Chain.output_negated then lit_not out else out
+
+let add_po t l =
+  check_lit t l;
+  Vec.push t.pos l;
+  Vec.length t.pos - 1
+
+let set_po t i l =
+  check_lit t l;
+  Vec.set t.pos i l
+
+let outputs t = Vec.to_array t.pos
+
+let iter_ands t f =
+  for v = t.pis + 1 to num_vars t - 1 do
+    f v
+  done
+
+let refcounts t =
+  let refs = Array.make (num_vars t) 0 in
+  iter_ands t (fun v ->
+      refs.(var_of_lit (Vec.get t.fan0 v)) <- refs.(var_of_lit (Vec.get t.fan0 v)) + 1;
+      refs.(var_of_lit (Vec.get t.fan1 v)) <- refs.(var_of_lit (Vec.get t.fan1 v)) + 1);
+  Vec.iter (fun l -> refs.(var_of_lit l) <- refs.(var_of_lit l) + 1) t.pos;
+  refs
+
+let count_live t =
+  let seen = Array.make (num_vars t) false in
+  let count = ref 0 in
+  let rec visit v =
+    if (not seen.(v)) && is_and t v then begin
+      seen.(v) <- true;
+      incr count;
+      visit (var_of_lit (Vec.get t.fan0 v));
+      visit (var_of_lit (Vec.get t.fan1 v))
+    end
+  in
+  Vec.iter (fun l -> visit (var_of_lit l)) t.pos;
+  !count
+
+let levels t =
+  let lv = Array.make (num_vars t) 0 in
+  iter_ands t (fun v ->
+      lv.(v) <-
+        1
+        + max
+            lv.(var_of_lit (Vec.get t.fan0 v))
+            lv.(var_of_lit (Vec.get t.fan1 v)));
+  lv
+
+let depth t =
+  let lv = levels t in
+  Vec.fold_left (fun acc l -> max acc lv.(var_of_lit l)) 0 t.pos
+
+let simulate t =
+  if t.pis > Tt.max_vars then invalid_arg "Ntk.simulate: too many inputs";
+  let n = max t.pis 1 in
+  let tts = Array.make (num_vars t) (Tt.zero n) in
+  for i = 1 to t.pis do
+    tts.(i) <- Tt.var n (i - 1)
+  done;
+  iter_ands t (fun v ->
+      let f l =
+        let x = tts.(var_of_lit l) in
+        if is_compl l then Tt.bnot x else x
+      in
+      tts.(v) <- Tt.band (f (Vec.get t.fan0 v)) (f (Vec.get t.fan1 v)));
+  Array.map
+    (fun l ->
+      let x = tts.(var_of_lit l) in
+      if is_compl l then Tt.bnot x else x)
+    (outputs t)
+
+let simulate_words t ws =
+  if Array.length ws <> t.pis then invalid_arg "Ntk.simulate_words";
+  let sigs = Array.make (num_vars t) 0L in
+  Array.blit ws 0 sigs 1 t.pis;
+  iter_ands t (fun v ->
+      let f l =
+        let x = sigs.(var_of_lit l) in
+        if is_compl l then Int64.lognot x else x
+      in
+      sigs.(v) <- Int64.logand (f (Vec.get t.fan0 v)) (f (Vec.get t.fan1 v)));
+  Array.map
+    (fun l ->
+      let x = sigs.(var_of_lit l) in
+      if is_compl l then Int64.lognot x else x)
+    (outputs t)
+
+let extract ?(repr = fun _ -> None) src =
+  let dst = create ~capacity:(num_vars src) () in
+  for _ = 1 to src.pis do
+    ignore (add_pi dst)
+  done;
+  let memo = Array.make (num_vars src) (-1) in
+  let visiting = Array.make (num_vars src) false in
+  let rec resolve_lit l =
+    let m = resolve_var (var_of_lit l) in
+    if is_compl l then lit_not m else m
+  and resolve_var v =
+    if memo.(v) >= 0 then memo.(v)
+    else begin
+      if visiting.(v) then invalid_arg "Ntk.extract: substitution cycle";
+      visiting.(v) <- true;
+      let m =
+        match repr v with
+        | Some l when l <> lit_of_var v false -> resolve_lit l
+        | _ ->
+          if is_const_var v then const_false
+          else if is_pi src v then lit_of_var v false
+          else
+            add_and dst
+              (resolve_lit (Vec.get src.fan0 v))
+              (resolve_lit (Vec.get src.fan1 v))
+      in
+      visiting.(v) <- false;
+      memo.(v) <- m;
+      m
+    end
+  in
+  Vec.iter (fun l -> ignore (add_po dst (resolve_lit l))) src.pos;
+  dst
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>aig: %d inputs, %d ands, %d outputs@," t.pis
+    (num_ands t) (num_pos t);
+  let pp_lit fmt l =
+    Format.fprintf fmt "%s%d" (if is_compl l then "~" else "") (var_of_lit l)
+  in
+  iter_ands t (fun v ->
+      Format.fprintf fmt "%d = %a & %a@," v pp_lit (Vec.get t.fan0 v) pp_lit
+        (Vec.get t.fan1 v));
+  Vec.iter (fun l -> Format.fprintf fmt "po %a@," pp_lit l) t.pos;
+  Format.fprintf fmt "@]"

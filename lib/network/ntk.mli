@@ -1,0 +1,158 @@
+(** Mutable And-Inverter networks with complemented edges.
+
+    The netlist counterpart of the single-output {!Stp_chain.Chain}: a
+    multi-output DAG of 2-input AND nodes connected by possibly
+    complemented edges, the representation shared by the AIGER format
+    and by ABC-style rewriting flows. Arbitrary k-LUTs enter through
+    {!add_lut} (Shannon-decomposed on insertion), so the same structure
+    serves as the target of the structural BLIF reader.
+
+    {b Variables and literals.} Node (variable) [0] is the constant
+    false; variables [1 .. num_pis] are the primary inputs, in creation
+    order; every later variable is an AND node. A {e literal} is
+    [2 * var + phase] where phase 1 complements — exactly AIGER's
+    encoding, so the readers and writers are transliterations. AND
+    nodes are created strictly after their fanins, hence ascending
+    variable order is a topological order and {!iter_ands} needs no
+    extra sort.
+
+    {b Structural hashing.} {!add_and} folds constants, absorbs
+    [a & a], [a & ~a], and returns the existing node for a repeated
+    fanin pair (operands are ordered first), so structurally duplicate
+    logic is never created. Nodes are therefore never mutated in place;
+    optimisation passes record replacements externally and rebuild with
+    {!extract}, which also sweeps dead nodes. *)
+
+type t
+
+type lit = int
+(** [2 * var + phase]; see above. *)
+
+(** {1 Literals} *)
+
+val const_false : lit
+val const_true : lit
+
+val lit_of_var : int -> bool -> lit
+(** [lit_of_var v c] is the literal for variable [v], complemented when
+    [c]. *)
+
+val var_of_lit : lit -> int
+
+val is_compl : lit -> bool
+
+val lit_not : lit -> lit
+
+val lit_const : bool -> lit
+
+(** {1 Construction} *)
+
+val create : ?capacity:int -> unit -> t
+
+val add_pi : t -> lit
+(** A fresh primary input, as a positive literal. Inputs must be
+    created before the first AND node so that the AIGER variable layout
+    is maintained.
+    @raise Invalid_argument after the first {!add_and}. *)
+
+val add_and : t -> lit -> lit -> lit
+(** Strashed AND of two literals (see the header).
+    @raise Invalid_argument on literals of unknown variables. *)
+
+val add_or : t -> lit -> lit -> lit
+val add_xor : t -> lit -> lit -> lit
+
+val add_gate : t -> Stp_chain.Gate.code -> lit -> lit -> lit
+(** [add_gate g a b] realises the 2-input gate [g] (bit [2*va + vb]
+    convention of {!Stp_chain.Gate}) over literals [a], [b]. All
+    non-XOR gates cost at most one AND node; XOR/XNOR cost three. *)
+
+val add_lut : t -> Stp_tt.Tt.t -> lit array -> lit
+(** [add_lut t tt lits] realises the function [tt] over the given
+    fanin literals (variable [i] of [tt] reads [lits.(i)]) by Shannon
+    decomposition into strashed AND nodes. The table is first shrunk
+    to its support, so irrelevant fanins cost nothing. *)
+
+val lit_of_chain : t -> Stp_chain.Chain.t -> lit array -> lit
+(** [lit_of_chain t c leaves] instantiates a Boolean chain over the
+    leaf literals ([Array.length leaves = c.n]) gate by gate via
+    {!add_gate} and returns the chain-output literal. *)
+
+val add_po : t -> lit -> int
+(** Appends a primary output pointing at the literal; returns its
+    index. *)
+
+val set_po : t -> int -> lit -> unit
+
+(** {1 Observation} *)
+
+val num_pis : t -> int
+
+val num_ands : t -> int
+
+val num_vars : t -> int
+(** [1 + num_pis + num_ands], including the constant node. *)
+
+val num_pos : t -> int
+
+val outputs : t -> lit array
+(** A fresh array of the output literals. *)
+
+val is_const_var : int -> bool
+
+val is_pi : t -> int -> bool
+
+val is_and : t -> int -> bool
+
+val fanin0 : t -> int -> lit
+(** Fanin literals of an AND variable, with [fanin0 <= fanin1] as
+    ordered by strashing.
+    @raise Invalid_argument on non-AND variables. *)
+
+val fanin1 : t -> int -> lit
+
+val iter_ands : t -> (int -> unit) -> unit
+(** All AND variables in ascending (= topological) order, dead or
+    alive. *)
+
+val refcounts : t -> int array
+(** Per variable, the number of AND fanin edges plus primary outputs
+    reading it (complemented or not). *)
+
+val count_live : t -> int
+(** AND nodes reachable from at least one output — the gate count
+    reported by the optimisation passes; dangling nodes awaiting
+    {!extract} are excluded. *)
+
+val levels : t -> int array
+(** Per variable, the longest path from a PI or constant, in AND
+    nodes. *)
+
+val depth : t -> int
+(** Maximum level over the output variables (0 for constant or
+    input-only outputs). *)
+
+(** {1 Semantics} *)
+
+val simulate : t -> Stp_tt.Tt.t array
+(** Output functions over the primary inputs, one table per output.
+    Requires [num_pis <= Stp_tt.Tt.max_vars]; networks without inputs
+    simulate over one dummy variable, like {!Stp_chain.Chain}. *)
+
+val simulate_words : t -> int64 array -> int64 array
+(** [simulate_words t ws] runs 64 random vectors bit-parallel: PI [i]
+    takes pattern [ws.(i)] and the result holds one signature word per
+    output — the sampling fallback when exhaustive {!simulate} is out
+    of reach. *)
+
+(** {1 Restructuring} *)
+
+val extract : ?repr:(int -> lit option) -> t -> t
+(** [extract ~repr t] rebuilds the network bottom-up from its outputs:
+    every variable [v] with [repr v = Some l] is replaced by (the
+    rebuilt image of) [l], dead and duplicate nodes disappear through
+    strashing, and inputs keep their indices. Without [repr] this is a
+    plain sweep + re-strash.
+    @raise Invalid_argument when replacements form a cycle. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,200 @@
+let fail fmt = Printf.ksprintf failwith fmt
+
+type token =
+  | Id of string
+  | Const of bool
+  | LParen | RParen
+  | Not | And | Xor | Or
+  | Eq | Semi | Comma
+  | Kw of string (* module, input, output, wire, assign, endmodule *)
+
+let keywords = [ "module"; "input"; "output"; "wire"; "assign"; "endmodule" ]
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_id_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_'
+  in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && s.[!i + 1] = '/' then begin
+      while !i < n && s.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && s.[!i + 1] = '*' then begin
+      i := !i + 2;
+      while !i + 1 < n && not (s.[!i] = '*' && s.[!i + 1] = '/') do incr i done;
+      if !i + 1 >= n then fail "verilog: unterminated comment";
+      i := !i + 2
+    end
+    else if c = '1' && !i + 3 < n && String.sub s !i 3 = "1'b" then begin
+      (match s.[!i + 3] with
+      | '0' -> toks := Const false :: !toks
+      | '1' -> toks := Const true :: !toks
+      | c -> fail "verilog: bad constant 1'b%c" c);
+      i := !i + 4
+    end
+    else if is_id_char c && not (c >= '0' && c <= '9') then begin
+      let j = ref !i in
+      while !j < n && is_id_char s.[!j] do incr j done;
+      let id = String.sub s !i (!j - !i) in
+      i := !j;
+      toks := (if List.mem id keywords then Kw id else Id id) :: !toks
+    end
+    else begin
+      (match c with
+      | '(' -> toks := LParen :: !toks
+      | ')' -> toks := RParen :: !toks
+      | '~' -> toks := Not :: !toks
+      | '&' -> toks := And :: !toks
+      | '^' -> toks := Xor :: !toks
+      | '|' -> toks := Or :: !toks
+      | '=' -> toks := Eq :: !toks
+      | ';' -> toks := Semi :: !toks
+      | ',' -> toks := Comma :: !toks
+      | c -> fail "verilog: unexpected character %C" c);
+      incr i
+    end
+  done;
+  List.rev !toks
+
+type expr =
+  | EVar of string
+  | EConst of bool
+  | ENot of expr
+  | EAnd of expr * expr
+  | EXor of expr * expr
+  | EOr of expr * expr
+
+(* Recursive descent over a mutable token list: | < ^ < & < ~. *)
+let parse_expr toks =
+  let rest = ref toks in
+  let peek () = match !rest with [] -> None | t :: _ -> Some t in
+  let advance () = match !rest with [] -> fail "verilog: unexpected end" | _ :: t -> rest := t in
+  let rec atom () =
+    match peek () with
+    | Some (Id x) -> advance (); EVar x
+    | Some (Const b) -> advance (); EConst b
+    | Some Not -> advance (); ENot (atom ())
+    | Some LParen ->
+      advance ();
+      let e = or_expr () in
+      (match peek () with
+      | Some RParen -> advance (); e
+      | _ -> fail "verilog: expected ')'")
+    | _ -> fail "verilog: expected an operand"
+  and and_expr () =
+    let e = ref (atom ()) in
+    let rec loop () =
+      match peek () with
+      | Some And -> advance (); e := EAnd (!e, atom ()); loop ()
+      | _ -> ()
+    in
+    loop (); !e
+  and xor_expr () =
+    let e = ref (and_expr ()) in
+    let rec loop () =
+      match peek () with
+      | Some Xor -> advance (); e := EXor (!e, and_expr ()); loop ()
+      | _ -> ()
+    in
+    loop (); !e
+  and or_expr () =
+    let e = ref (xor_expr ()) in
+    let rec loop () =
+      match peek () with
+      | Some Or -> advance (); e := EOr (!e, xor_expr ()); loop ()
+      | _ -> ()
+    in
+    loop (); !e
+  in
+  let e = or_expr () in
+  (e, !rest)
+
+let of_string s =
+  let toks = tokenize s in
+  let inputs = ref [] and outs = ref [] in
+  let assigns : (string, expr) Hashtbl.t = Hashtbl.create 97 in
+  let assign_names = ref [] in
+  (* statement-level scan *)
+  let rec stmts = function
+    | [] -> ()
+    | Kw "module" :: rest ->
+      (* skip to the closing ';' of the header *)
+      let rec skip = function
+        | Semi :: rest -> stmts rest
+        | _ :: rest -> skip rest
+        | [] -> fail "verilog: unterminated module header"
+      in
+      skip rest
+    | Kw "endmodule" :: rest -> stmts rest
+    | Kw (("input" | "output" | "wire") as kind) :: rest ->
+      let rec decl acc = function
+        | Id x :: rest -> decl (x :: acc) rest
+        | Comma :: rest -> decl acc rest
+        | Semi :: rest ->
+          let names = List.rev acc in
+          if kind = "input" then inputs := !inputs @ names
+          else if kind = "output" then outs := !outs @ names;
+          stmts rest
+        | _ -> fail "verilog: malformed %s declaration" kind
+      in
+      decl [] rest
+    | Kw "assign" :: Id lhs :: Eq :: rest ->
+      let e, rest = parse_expr rest in
+      (match rest with
+      | Semi :: rest ->
+        if Hashtbl.mem assigns lhs then fail "verilog: %s assigned twice" lhs;
+        Hashtbl.replace assigns lhs e;
+        assign_names := lhs :: !assign_names;
+        stmts rest
+      | _ -> fail "verilog: expected ';' after assign %s" lhs)
+    | _ -> fail "verilog: unsupported construct (structural subset only)"
+  in
+  stmts toks;
+  let t = Ntk.create () in
+  let input_of = Hashtbl.create 97 in
+  List.iter
+    (fun x ->
+      if Hashtbl.mem input_of x then fail "verilog: duplicate input %s" x;
+      Hashtbl.replace input_of x (Ntk.add_pi t))
+    !inputs;
+  let memo = Hashtbl.create 97 in
+  let visiting = Hashtbl.create 97 in
+  let rec resolve name =
+    match Hashtbl.find_opt input_of name with
+    | Some l -> l
+    | None -> (
+      match Hashtbl.find_opt memo name with
+      | Some l -> l
+      | None ->
+        (match Hashtbl.find_opt assigns name with
+        | None -> fail "verilog: undefined signal %s" name
+        | Some e ->
+          if Hashtbl.mem visiting name then
+            fail "verilog: combinational cycle through %s" name;
+          Hashtbl.replace visiting name ();
+          let l = build e in
+          Hashtbl.remove visiting name;
+          Hashtbl.replace memo name l;
+          l))
+  and build = function
+    | EVar x -> resolve x
+    | EConst b -> Ntk.lit_const b
+    | ENot e -> Ntk.lit_not (build e)
+    | EAnd (a, b) -> Ntk.add_and t (build a) (build b)
+    | EXor (a, b) -> Ntk.add_xor t (build a) (build b)
+    | EOr (a, b) -> Ntk.add_or t (build a) (build b)
+  in
+  List.iter (fun x -> ignore (resolve x)) (List.rev !assign_names);
+  List.iter (fun x -> ignore (Ntk.add_po t (resolve x))) !outs;
+  t
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,19 @@
+(** Reader for the structural Verilog subset that
+    {!Stp_chain.Export.to_verilog} emits.
+
+    Supported: one [module] with port, [input]/[output]/[wire]
+    declarations (comma lists allowed), and [assign] statements whose
+    right-hand sides use [~ & ^ |], parentheses, identifiers and the
+    constants [1'b0]/[1'b1]. Line ([//]) and block comments are
+    skipped. Anything else — [always], instances, vectors — raises
+    [Failure]. Assignments may appear in any order; combinational
+    cycles fail.
+
+    Primary inputs appear in declaration order; primary outputs in
+    [output]-declaration order. The result is a strashed {!Ntk} AIG,
+    so [of_string (Export.to_verilog c)] simulates exactly like the
+    chain [c]. *)
+
+val of_string : string -> Ntk.t
+
+val read_file : string -> Ntk.t

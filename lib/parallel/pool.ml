@@ -27,6 +27,8 @@ type t = {
 
 let default_domains () = max 1 (Domain.recommended_domain_count ())
 
+let default_jobs ?(cap = 8) () = max 1 (min cap (default_domains ()))
+
 let rec worker_loop pool =
   Mutex.lock pool.mutex;
   let rec dequeue () =

@@ -49,3 +49,8 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()], at least 1. *)
+
+val default_jobs : ?cap:int -> unit -> int
+(** [default_domains ()] capped at [cap] (default 8) — the shared
+    default of every [--jobs] CLI flag, conservative enough not to
+    oversubscribe shared CI runners while still using real cores. *)

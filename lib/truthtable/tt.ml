@@ -86,10 +86,14 @@ let hex_digit c =
   | '0' .. '9' -> Char.code c - Char.code '0'
   | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
   | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
-  | _ -> invalid_arg "Tt.of_hex: bad digit"
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Tt.of_hex: %C is not a hexadecimal digit" c)
 
 let of_hex ~n s =
-  if n < 0 || n > max_vars then invalid_arg "Tt.of_hex";
+  if n < 0 || n > max_vars then
+    invalid_arg
+      (Printf.sprintf "Tt.of_hex: arity %d is outside 0 .. %d" n max_vars);
   let s =
     if String.length s >= 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X')
     then String.sub s 2 (String.length s - 2)
@@ -97,14 +101,24 @@ let of_hex ~n s =
   in
   let digits = if n < 2 then 1 else 1 lsl (n - 2) in
   if String.length s <> digits then
-    invalid_arg "Tt.of_hex: wrong number of digits";
+    invalid_arg
+      (Printf.sprintf "Tt.of_hex: %d variable%s %s %d hex digit%s, got %d" n
+         (if n = 1 then "" else "s")
+         (if n = 1 then "takes" else "take")
+         digits
+         (if digits = 1 then "" else "s")
+         (String.length s));
   let bits_per_digit = if n >= 2 then 4 else 1 lsl n in
   let words = Array.make (num_words n) 0L in
   String.iteri
     (fun idx c ->
       let d = hex_digit c in
       if n < 2 && d lsr bits_per_digit <> 0 then
-        invalid_arg "Tt.of_hex: digit out of range";
+        invalid_arg
+          (Printf.sprintf
+             "Tt.of_hex: digit %C exceeds the %d-bit table of %d variable%s"
+             c bits_per_digit n
+             (if n = 1 then "" else "s"));
       (* Digit idx (from the left) covers the highest remaining bits. *)
       let lo = (digits - 1 - idx) * bits_per_digit in
       for b = 0 to bits_per_digit - 1 do

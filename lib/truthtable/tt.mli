@@ -50,8 +50,9 @@ val to_int : t -> int
 val of_hex : n:int -> string -> t
 (** [of_hex ~n s] parses a hexadecimal truth table (optionally prefixed
     with ["0x"]), most significant bits first, e.g. the paper's
-    [0x8ff8] with [n = 4].
-    @raise Invalid_argument on malformed input or wrong length. *)
+    [0x8ff8] with [n = 4]. Upper- and lowercase digits are accepted.
+    @raise Invalid_argument on malformed input, naming the offending
+    character or the expected vs. actual digit count. *)
 
 val to_hex : t -> string
 (** [to_hex t] prints the table as lowercase hex, most significant bits

@@ -3,6 +3,7 @@
 module Chain = Stp_chain.Chain
 module Export = Stp_chain.Export
 module Tt = Stp_tt.Tt
+module Prng = Stp_util.Prng
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
@@ -73,6 +74,48 @@ let test_blif_row_counts () =
     Alcotest.(check int) (Printf.sprintf "gate %d rows" g) expected !rows
   done
 
+(* Round trips: exported text, re-read with the netlist parsers, must
+   simulate exactly like the chain on all 2^n assignments. *)
+
+let random_chain rng ~n ~steps:k =
+  let steps =
+    List.init k (fun i ->
+        let hi = n + i in
+        let f1 = Prng.int rng hi in
+        let f2 = (f1 + 1 + Prng.int rng (hi - 1)) mod hi in
+        { Chain.fanin1 = f1; fanin2 = f2; gate = Prng.int rng 16 })
+  in
+  Chain.make ~n ~steps ~output:(n + k - 1)
+    ~output_negated:(Prng.bool rng) ()
+
+let check_chain_roundtrip msg parse export c =
+  let ntk = parse (export c) in
+  Alcotest.(check int) (msg ^ ": pis") c.Chain.n
+    (Stp_network.Ntk.num_pis ntk);
+  Alcotest.(check int) (msg ^ ": pos") 1 (Stp_network.Ntk.num_pos ntk);
+  Alcotest.(check bool) msg true
+    (Tt.equal (Chain.simulate c) (Stp_network.Ntk.simulate ntk).(0))
+
+let test_blif_roundtrip () =
+  let rng = Prng.create 41 in
+  for _ = 1 to 150 do
+    let n = 2 + Prng.int rng 5 in
+    let c = random_chain rng ~n ~steps:(1 + Prng.int rng 8) in
+    check_chain_roundtrip "blif" Stp_network.Blif.of_string
+      (fun c -> Export.to_blif c)
+      c
+  done
+
+let test_verilog_roundtrip () =
+  let rng = Prng.create 43 in
+  for _ = 1 to 150 do
+    let n = 2 + Prng.int rng 5 in
+    let c = random_chain rng ~n ~steps:(1 + Prng.int rng 8) in
+    check_chain_roundtrip "verilog" Stp_network.Verilog.of_string
+      (fun c -> Export.to_verilog c)
+      c
+  done
+
 let test_dot_shape () =
   let d = Export.to_dot sample in
   List.iter
@@ -90,5 +133,9 @@ let () =
       ( "blif",
         [ Alcotest.test_case "tables" `Quick test_blif_tables;
           Alcotest.test_case "row counts" `Quick test_blif_row_counts ] );
+      ( "roundtrip",
+        [ Alcotest.test_case "blif reparses" `Quick test_blif_roundtrip;
+          Alcotest.test_case "verilog reparses" `Quick test_verilog_roundtrip
+        ] );
       ( "dot",
         [ Alcotest.test_case "shape" `Quick test_dot_shape ] ) ]

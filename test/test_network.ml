@@ -1,0 +1,455 @@
+(* Tests for the netlist subsystem: AIG construction, AIGER/BLIF/Verilog
+   round-trips, cut enumeration and exact cut rewriting. *)
+
+module Tt = Stp_tt.Tt
+module Chain = Stp_chain.Chain
+module Prng = Stp_util.Prng
+module Ntk = Stp_network.Ntk
+module Aiger = Stp_network.Aiger
+module Blif = Stp_network.Blif
+module Verilog = Stp_network.Verilog
+module Cuts = Stp_network.Cuts
+module Rewrite = Stp_network.Rewrite
+
+let tt = Alcotest.testable Tt.pp Tt.equal
+
+(* ------------------------------------------------------------------ *)
+(* helpers                                                             *)
+
+let random_chain rng ~n ~steps:k =
+  let steps =
+    List.init k (fun i ->
+        let hi = n + i in
+        let f1 = Prng.int rng hi in
+        let f2 = (f1 + 1 + Prng.int rng (hi - 1)) mod hi in
+        { Chain.fanin1 = f1; fanin2 = f2; gate = Prng.int rng 16 })
+  in
+  Chain.make ~n ~steps ~output:(n + k - 1)
+    ~output_negated:(Prng.bool rng) ()
+
+(* A random strashed AIG: [ands] attempted AND insertions over random
+   (possibly complemented) existing literals, then [pos] random POs. *)
+let random_ntk rng ~pis ~ands ~pos =
+  let t = Ntk.create () in
+  let lits = ref [] in
+  for _ = 1 to pis do
+    lits := Ntk.add_pi t :: !lits
+  done;
+  let pick () =
+    let l = List.nth !lits (Prng.int rng (List.length !lits)) in
+    if Prng.bool rng then Ntk.lit_not l else l
+  in
+  for _ = 1 to ands do
+    let l = Ntk.add_and t (pick ()) (pick ()) in
+    if not (List.mem l !lits) then lits := l :: !lits
+  done;
+  for _ = 1 to pos do
+    ignore (Ntk.add_po t (pick ()))
+  done;
+  t
+
+let check_same_function msg a b =
+  Alcotest.(check int) (msg ^ ": pis") (Ntk.num_pis a) (Ntk.num_pis b);
+  Alcotest.(check int) (msg ^ ": pos") (Ntk.num_pos a) (Ntk.num_pos b);
+  let fa = Ntk.simulate a and fb = Ntk.simulate b in
+  Array.iteri (fun i f -> Alcotest.check tt (msg ^ ": po") f fb.(i)) fa
+
+(* ------------------------------------------------------------------ *)
+(* Ntk core                                                            *)
+
+let test_strash () =
+  let t = Ntk.create () in
+  let a = Ntk.add_pi t and b = Ntk.add_pi t in
+  let x = Ntk.add_and t a b in
+  Alcotest.(check int) "shared" x (Ntk.add_and t b a);
+  Alcotest.(check int) "a&a" a (Ntk.add_and t a a);
+  Alcotest.(check int) "a&~a" Ntk.const_false (Ntk.add_and t a (Ntk.lit_not a));
+  Alcotest.(check int) "a&1" a (Ntk.add_and t a Ntk.const_true);
+  Alcotest.(check int) "a&0" Ntk.const_false (Ntk.add_and t a Ntk.const_false);
+  Alcotest.(check int) "one node" 1 (Ntk.num_ands t);
+  Alcotest.check_raises "pi after and"
+    (Invalid_argument "Ntk.add_pi: inputs must precede AND nodes") (fun () ->
+      ignore (Ntk.add_pi t))
+
+let test_gates_simulate () =
+  (* every 2-input gate code against its defining truth-table bits *)
+  for g = 0 to 15 do
+    let t = Ntk.create () in
+    let a = Ntk.add_pi t and b = Ntk.add_pi t in
+    ignore (Ntk.add_po t (Ntk.add_gate t g a b));
+    let expected =
+      Tt.of_fun 2 (fun m ->
+          let va = m land 1 and vb = (m lsr 1) land 1 in
+          (g lsr ((2 * va) + vb)) land 1 = 1)
+    in
+    Alcotest.check tt (Printf.sprintf "gate %d" g) expected (Ntk.simulate t).(0)
+  done
+
+let test_add_lut () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 200 do
+    let n = 1 + Prng.int rng 4 in
+    let f = Tt.of_fun n (fun _ -> Prng.bool rng) in
+    let t = Ntk.create () in
+    let lits = Array.init n (fun _ -> Ntk.add_pi t) in
+    ignore (Ntk.add_po t (Ntk.add_lut t f lits));
+    Alcotest.check tt "lut" f (Ntk.simulate t).(0)
+  done
+
+let test_lit_of_chain () =
+  let rng = Prng.create 23 in
+  for _ = 1 to 200 do
+    let n = 2 + Prng.int rng 3 in
+    let c = random_chain rng ~n ~steps:(1 + Prng.int rng 6) in
+    let t = Ntk.create () in
+    let lits = Array.init n (fun _ -> Ntk.add_pi t) in
+    ignore (Ntk.add_po t (Ntk.lit_of_chain t c lits));
+    Alcotest.check tt "chain" (Chain.simulate c) (Ntk.simulate t).(0)
+  done
+
+let test_simulate_words () =
+  (* word-level simulation agrees with truth tables when the PI words
+     are the truth-table columns themselves *)
+  let rng = Prng.create 37 in
+  for _ = 1 to 50 do
+    let pis = 2 + Prng.int rng 5 in
+    let t = random_ntk rng ~pis ~ands:20 ~pos:3 in
+    let ws =
+      Array.init pis (fun i ->
+          let col = ref 0L in
+          for m = 63 downto 0 do
+            let v = (m lsr i) land 1 = 1 in
+            col := Int64.logor (Int64.shift_left !col 1) (if v then 1L else 0L)
+          done;
+          !col)
+    in
+    let words = Ntk.simulate_words t ws in
+    let tts = Ntk.simulate t in
+    Array.iteri
+      (fun o f ->
+        let bits = min 64 (Tt.num_bits f) in
+        for m = 0 to bits - 1 do
+          Alcotest.(check bool) "word bit" (Tt.get f m)
+            (Int64.logand (Int64.shift_right_logical words.(o) m) 1L = 1L)
+        done)
+      tts
+  done
+
+let test_extract_sweeps () =
+  let t = Ntk.create () in
+  let a = Ntk.add_pi t and b = Ntk.add_pi t and c = Ntk.add_pi t in
+  let x = Ntk.add_and t a b in
+  ignore (Ntk.add_and t x c);
+  (* dead *)
+  ignore (Ntk.add_po t x);
+  Alcotest.(check int) "two nodes" 2 (Ntk.num_ands t);
+  Alcotest.(check int) "one live" 1 (Ntk.count_live t);
+  let u = Ntk.extract t in
+  Alcotest.(check int) "swept" 1 (Ntk.num_ands u);
+  check_same_function "sweep" t u
+
+let test_extract_repr () =
+  let t = Ntk.create () in
+  let a = Ntk.add_pi t and b = Ntk.add_pi t in
+  let x = Ntk.add_and t a b in
+  let y = Ntk.add_and t x (Ntk.lit_not b) in
+  ignore (Ntk.add_po t y);
+  (* replace y by constant false: y = a & b & ~b is indeed 0 *)
+  let repr v =
+    if v = Ntk.var_of_lit y then Some Ntk.const_false else None
+  in
+  let u = Ntk.extract ~repr t in
+  Alcotest.(check int) "all gone" 0 (Ntk.num_ands u);
+  check_same_function "repr" t u;
+  (* substitution cycles are detected, not looped on *)
+  let cyclic v = if v = Ntk.var_of_lit y then Some (Ntk.lit_not y) else None in
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Ntk.extract: substitution cycle") (fun () ->
+      ignore (Ntk.extract ~repr:cyclic t))
+
+(* ------------------------------------------------------------------ *)
+(* AIGER                                                               *)
+
+let test_aiger_roundtrip () =
+  let rng = Prng.create 71 in
+  for _ = 1 to 60 do
+    let t =
+      random_ntk rng ~pis:(1 + Prng.int rng 6) ~ands:(Prng.int rng 40)
+        ~pos:(1 + Prng.int rng 4)
+    in
+    let ascii = Aiger.to_ascii t in
+    let binary = Aiger.to_binary t in
+    let ta = Aiger.of_string ascii and tb = Aiger.of_string binary in
+    check_same_function "ascii" t ta;
+    check_same_function "binary" t tb;
+    (* parse/write stabilises byte-for-byte on strashed networks *)
+    Alcotest.(check string) "ascii idempotent" ascii (Aiger.to_ascii ta);
+    Alcotest.(check string) "binary idempotent" binary (Aiger.to_binary tb)
+  done
+
+let test_aiger_ascii_basic () =
+  (* half adder in aag: s = a^b as ~(a&b) & ~(~a&~b), c = a&b, with the
+     AND definitions out of order and a symbol table to skip *)
+  let src =
+    "aag 5 2 0 2 3\n2\n4\n10\n6\n10 7 9\n6 2 4\n8 3 5\ni0 a\ni1 b\no0 s\n"
+  in
+  let t = Aiger.of_string src in
+  Alcotest.(check int) "pis" 2 (Ntk.num_pis t);
+  Alcotest.(check int) "pos" 2 (Ntk.num_pos t);
+  let f = Ntk.simulate t in
+  Alcotest.check tt "xor" (Tt.of_int 2 0b0110) f.(0);
+  Alcotest.check tt "and" (Tt.of_int 2 0b1000) f.(1)
+
+let test_aiger_rejects () =
+  let fails msg s =
+    match Aiger.of_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail msg
+  in
+  fails "bad magic" "agg 1 1 0 1 0\n2\n2\n";
+  fails "latch" "aag 2 1 1 1 0\n2\n4 2\n4\n";
+  fails "truncated binary" "aig 3 1 0 1 2\n6\n";
+  fails "cycle" "aag 3 1 0 1 2\n2\n6\n4 6 2\n6 4 2\n";
+  fails "garbage" "hello\n"
+
+let test_aiger_file_formats () =
+  let t = Ntk.create () in
+  let a = Ntk.add_pi t and b = Ntk.add_pi t in
+  ignore (Ntk.add_po t (Ntk.add_xor t a b));
+  let dir = Filename.temp_file "stp_network" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let aag = Filename.concat dir "t.aag" in
+      let aig = Filename.concat dir "t.aig" in
+      Aiger.write_file aag t;
+      Aiger.write_file aig t;
+      Alcotest.(check bool) "aag is ascii" true
+        (String.length (Aiger.to_ascii t) > 0
+        && String.sub (Aiger.to_ascii t) 0 3 = "aag");
+      check_same_function "aag file" t (Aiger.read_file aag);
+      check_same_function "aig file" t (Aiger.read_file aig))
+
+(* ------------------------------------------------------------------ *)
+(* BLIF / Verilog                                                      *)
+
+let test_blif_roundtrip () =
+  let rng = Prng.create 113 in
+  for _ = 1 to 40 do
+    let t =
+      random_ntk rng ~pis:(1 + Prng.int rng 5) ~ands:(Prng.int rng 25)
+        ~pos:(1 + Prng.int rng 3)
+    in
+    let s = Blif.to_string t in
+    let u = Blif.of_string s in
+    check_same_function "blif" t u;
+    Alcotest.(check string) "blif idempotent" s (Blif.to_string u)
+  done
+
+let test_blif_features () =
+  (* multi-input cover rows, off-set cover, don't-cares, out-of-order
+     definitions, comments and continuations *)
+  let src =
+    "# a comment\n\
+     .model maj\n\
+     .inputs a b \\\n\
+     c\n\
+     .outputs f g\n\
+     .names t f # buffer via on-set\n\
+     1 1\n\
+     .names a b c t\n\
+     11- 1\n\
+     1-1 1\n\
+     -11 1\n\
+     .names a b g\n\
+     00 0\n\
+     .end\n"
+  in
+  let t = Blif.of_string src in
+  let f = Ntk.simulate t in
+  Alcotest.check tt "maj" (Tt.of_int 3 0b11101000) f.(0);
+  Alcotest.check tt "or via off-set" (Tt.of_int 3 0b11101110) f.(1)
+
+let test_blif_rejects () =
+  let fails msg s =
+    match Blif.of_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail msg
+  in
+  fails "latch" ".model m\n.inputs a\n.outputs f\n.latch a f\n.end\n";
+  fails "subckt" ".model m\n.inputs a\n.outputs f\n.subckt n x=a y=f\n.end\n";
+  fails "unknown output" ".model m\n.inputs a\n.outputs f\n.end\n";
+  fails "bad row" ".model m\n.inputs a\n.outputs f\n.names a f\n2 1\n.end\n"
+
+let test_verilog_parse () =
+  let src =
+    "// half adder\n\
+     module top (a, b, s, c);\n\
+     input a, b;\n\
+     output s, c;\n\
+     wire w0;\n\
+     assign s = (a & ~b) | (~a & b);\n\
+     assign w0 = a & b;\n\
+     assign c = w0 | 1'b0;\n\
+     endmodule\n"
+  in
+  let t = Verilog.of_string src in
+  let f = Ntk.simulate t in
+  Alcotest.check tt "sum" (Tt.of_int 2 0b0110) f.(0);
+  Alcotest.check tt "carry" (Tt.of_int 2 0b1000) f.(1);
+  match Verilog.of_string "module m(a); always @(posedge a); endmodule" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "always accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Cuts                                                                *)
+
+(* Global (over-PI) function of every variable, by direct simulation. *)
+let node_functions t =
+  let n = max 1 (Ntk.num_pis t) in
+  let tts = Array.make (Ntk.num_vars t) (Tt.zero n) in
+  for i = 1 to Ntk.num_pis t do
+    tts.(i) <- Tt.var n (i - 1)
+  done;
+  Ntk.iter_ands t (fun v ->
+      let f l =
+        let x = tts.(Ntk.var_of_lit l) in
+        if Ntk.is_compl l then Tt.bnot x else x
+      in
+      tts.(v) <- Tt.band (f (Ntk.fanin0 t v)) (f (Ntk.fanin1 t v)));
+  tts
+
+let test_cut_truth_tables () =
+  let rng = Prng.create 131 in
+  for _ = 1 to 30 do
+    let pis = 2 + Prng.int rng 4 in
+    let t = random_ntk rng ~pis ~ands:25 ~pos:2 in
+    let k = 2 + Prng.int rng 3 in
+    let cuts = Cuts.enumerate ~k ~limit:6 t in
+    let global = node_functions t in
+    Ntk.iter_ands t (fun v ->
+        List.iter
+          (fun (c : Cuts.cut) ->
+            Alcotest.(check bool) "cut width" true (Array.length c.leaves <= k);
+            Alcotest.(check bool) "sorted" true
+              (Array.for_all
+                 (fun i -> i = 0 || c.leaves.(i - 1) < c.leaves.(i))
+                 (Array.init (Array.length c.leaves) Fun.id));
+            (* composing the cut function with the leaves' global
+               functions must give the node's global function; done in
+               a space wide enough for cuts wider than the PI count *)
+            let len = Array.length c.leaves in
+            let m = max pis len in
+            let widen f = Tt.expand f m (Array.init pis Fun.id) in
+            let leaf_funs = Array.map (fun l -> widen global.(l)) c.leaves in
+            let expanded = Tt.expand c.tt m (Array.init len Fun.id) in
+            let composed =
+              Tt.compose expanded
+                (Array.init m (fun i ->
+                     if i < len then leaf_funs.(i) else Tt.zero m))
+            in
+            Alcotest.check tt "cut function" (widen global.(v)) composed)
+          cuts.(v))
+  done
+
+let test_cut_trivial_and_limit () =
+  let rng = Prng.create 139 in
+  let t = random_ntk rng ~pis:4 ~ands:30 ~pos:2 in
+  let limit = 3 in
+  let cuts = Cuts.enumerate ~k:4 ~limit t in
+  Ntk.iter_ands t (fun v ->
+      let cs = cuts.(v) in
+      Alcotest.(check bool) "has trivial" true
+        (List.exists Cuts.is_trivial cs);
+      Alcotest.(check bool) "limit" true (List.length cs <= limit + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite                                                             *)
+
+let test_rewrite_mux_tree () =
+  (* a 2:1 mux written as its 4-minterm SOP: 11 ANDs where 3 suffice *)
+  let t = Ntk.create () in
+  let s = Ntk.add_pi t and a = Ntk.add_pi t and b = Ntk.add_pi t in
+  let lits = [| s; a; b |] in
+  let acc = ref Ntk.const_false in
+  for m = 0 to 7 do
+    let v i = m land (1 lsl i) <> 0 in
+    if (if v 0 then v 1 else v 2) then begin
+      let p = ref Ntk.const_true in
+      Array.iteri
+        (fun i l -> p := Ntk.add_and t !p (if v i then l else Ntk.lit_not l))
+        lits;
+      acc := Ntk.add_or t !acc !p
+    end
+  done;
+  ignore (Ntk.add_po t !acc);
+  let before = Ntk.count_live t in
+  Alcotest.(check bool) "redundant input" true (before > 3);
+  let options = { Rewrite.default_options with Rewrite.timeout = 2.0 } in
+  let out, r = Rewrite.run ~options t in
+  Alcotest.(check bool) "verified" true r.Rewrite.verified;
+  Alcotest.(check int) "ands_before" before r.Rewrite.ands_before;
+  Alcotest.(check int) "ands_after" (Ntk.count_live out) r.Rewrite.ands_after;
+  Alcotest.(check bool) "gain" true (Rewrite.gain r > 0);
+  check_same_function "mux" t out
+
+let test_rewrite_random_safe () =
+  (* rewriting random networks never changes their function *)
+  let rng = Prng.create 151 in
+  let cache = Stp_synth.Npn_cache.create () in
+  for _ = 1 to 5 do
+    let t = random_ntk rng ~pis:5 ~ands:40 ~pos:3 in
+    let options =
+      { Rewrite.default_options with Rewrite.timeout = 1.0; cut_size = 3 }
+    in
+    let out, r = Rewrite.run ~options ~cache t in
+    Alcotest.(check bool) "verified" true r.Rewrite.verified;
+    Alcotest.(check bool) "never worse" true (Rewrite.gain r >= 0);
+    check_same_function "random" t out
+  done
+
+let test_verify_equivalent () =
+  let t = Ntk.create () in
+  let a = Ntk.add_pi t and b = Ntk.add_pi t in
+  ignore (Ntk.add_po t (Ntk.add_and t a b));
+  let u = Ntk.create () in
+  let a' = Ntk.add_pi u and b' = Ntk.add_pi u in
+  ignore (Ntk.add_po u (Ntk.add_or u a' b'));
+  let ok, how = Rewrite.verify_equivalent t t in
+  Alcotest.(check bool) "same" true ok;
+  Alcotest.(check string) "exhaustive" "exhaustive" how;
+  let ok, _ = Rewrite.verify_equivalent t u in
+  Alcotest.(check bool) "different" false ok
+
+let () =
+  Alcotest.run "network"
+    [ ( "ntk",
+        [ Alcotest.test_case "strash" `Quick test_strash;
+          Alcotest.test_case "gates" `Quick test_gates_simulate;
+          Alcotest.test_case "add_lut" `Quick test_add_lut;
+          Alcotest.test_case "lit_of_chain" `Quick test_lit_of_chain;
+          Alcotest.test_case "simulate_words" `Quick test_simulate_words;
+          Alcotest.test_case "extract sweeps" `Quick test_extract_sweeps;
+          Alcotest.test_case "extract repr" `Quick test_extract_repr ] );
+      ( "aiger",
+        [ Alcotest.test_case "roundtrip" `Quick test_aiger_roundtrip;
+          Alcotest.test_case "ascii basic" `Quick test_aiger_ascii_basic;
+          Alcotest.test_case "rejects" `Quick test_aiger_rejects;
+          Alcotest.test_case "files" `Quick test_aiger_file_formats ] );
+      ( "blif",
+        [ Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
+          Alcotest.test_case "features" `Quick test_blif_features;
+          Alcotest.test_case "rejects" `Quick test_blif_rejects ] );
+      ( "verilog", [ Alcotest.test_case "parse" `Quick test_verilog_parse ] );
+      ( "cuts",
+        [ Alcotest.test_case "truth tables" `Quick test_cut_truth_tables;
+          Alcotest.test_case "trivial and limit" `Quick
+            test_cut_trivial_and_limit ] );
+      ( "rewrite",
+        [ Alcotest.test_case "mux tree" `Quick test_rewrite_mux_tree;
+          Alcotest.test_case "random safe" `Quick test_rewrite_random_safe;
+          Alcotest.test_case "verify" `Quick test_verify_equivalent ] ) ]

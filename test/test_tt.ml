@@ -41,11 +41,32 @@ let test_hex_roundtrip () =
     (Tt.to_hex (Tt.of_hex ~n:4 "0x8ff8"))
 
 let test_hex_invalid () =
-  Alcotest.check_raises "wrong length"
-    (Invalid_argument "Tt.of_hex: wrong number of digits") (fun () ->
-      ignore (Tt.of_hex ~n:4 "8ff"));
-  Alcotest.check_raises "bad digit" (Invalid_argument "Tt.of_hex: bad digit")
-    (fun () -> ignore (Tt.of_hex ~n:4 "8fzf"))
+  Alcotest.check_raises "too short"
+    (Invalid_argument "Tt.of_hex: 4 variables take 4 hex digits, got 3")
+    (fun () -> ignore (Tt.of_hex ~n:4 "8ff"));
+  Alcotest.check_raises "too long"
+    (Invalid_argument "Tt.of_hex: 3 variables take 2 hex digits, got 4")
+    (fun () -> ignore (Tt.of_hex ~n:3 "8ff8"));
+  Alcotest.check_raises "singular"
+    (Invalid_argument "Tt.of_hex: 1 variable takes 1 hex digit, got 2")
+    (fun () -> ignore (Tt.of_hex ~n:1 "00"));
+  Alcotest.check_raises "bad digit"
+    (Invalid_argument "Tt.of_hex: 'z' is not a hexadecimal digit") (fun () ->
+      ignore (Tt.of_hex ~n:4 "8fzf"));
+  Alcotest.check_raises "digit out of range"
+    (Invalid_argument "Tt.of_hex: digit '4' exceeds the 2-bit table of 1 variable")
+    (fun () -> ignore (Tt.of_hex ~n:1 "4"));
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Tt.of_hex: arity -1 is outside 0 .. 20") (fun () ->
+      ignore (Tt.of_hex ~n:(-1) "0"))
+
+let test_hex_case_insensitive () =
+  Alcotest.(check bool) "uppercase" true
+    (Tt.equal (Tt.of_hex ~n:4 "8FF8") (Tt.of_hex ~n:4 "8ff8"));
+  Alcotest.(check bool) "mixed with prefix" true
+    (Tt.equal (Tt.of_hex ~n:4 "0X8Ff8") (Tt.of_hex ~n:4 "8ff8"));
+  Alcotest.(check string) "to_hex is lowercase" "8ff8"
+    (Tt.to_hex (Tt.of_hex ~n:4 "8FF8"))
 
 let test_get_set () =
   let t = Tt.zero 5 in
@@ -289,6 +310,8 @@ let () =
           Alcotest.test_case "wide vars" `Quick test_var_wide;
           Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
           Alcotest.test_case "hex invalid" `Quick test_hex_invalid;
+          Alcotest.test_case "hex case insensitive" `Quick
+            test_hex_case_insensitive;
           Alcotest.test_case "get/set" `Quick test_get_set;
           Alcotest.test_case "boolean algebra" `Quick test_boolean_algebra;
           Alcotest.test_case "apply2 gates" `Quick test_apply2_gates;
