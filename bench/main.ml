@@ -237,7 +237,15 @@ let () =
     let doc = "Disable the NPN-class synthesis cache for Table I." in
     Arg.(value & flag & info [ "no-npn-cache" ] ~doc)
   in
-  let run jobs no_npn_cache =
+  let profile_arg =
+    let doc =
+      "Collect per-stage timers and hot-path counters for the Table I \
+       runs; embedded under $(b,profile) in BENCH_table1.json."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let run jobs no_npn_cache profile =
+    Stp_util.Profile.set_enabled profile;
     fig2 ();
     fig3 ();
     fig1 ();
@@ -251,6 +259,6 @@ let () =
   let cmd =
     Cmd.v
       (Cmd.info "bench" ~doc:"regenerate the paper's tables and figures")
-      Term.(const run $ jobs_arg $ no_cache_arg)
+      Term.(const run $ jobs_arg $ no_cache_arg $ profile_arg)
   in
   exit (Cmd.eval cmd)

@@ -2,10 +2,12 @@
 
 open Cmdliner
 
-let run collections timeout scale jobs no_npn_cache json_path csv cross_check =
+let run collections timeout scale jobs no_npn_cache json_path csv cross_check
+    profile limit =
   let jobs =
     if jobs <= 0 then Stp_parallel.Pool.default_jobs () else jobs
   in
+  Stp_util.Profile.set_enabled profile;
   let scale =
     match scale with
     | s when s <= 0.0 -> Stp_workloads.Collections.Default
@@ -38,6 +40,16 @@ let run collections timeout scale jobs no_npn_cache json_path csv cross_check =
         (fun (c : Stp_workloads.Collections.t) ->
           List.mem (String.lowercase_ascii c.name) names)
         available
+  in
+  let selected =
+    if limit <= 0 then selected
+    else
+      List.map
+        (fun (c : Stp_workloads.Collections.t) ->
+          { c with
+            Stp_workloads.Collections.functions =
+              List.filteri (fun i _ -> i < limit) c.functions })
+        selected
   in
   (* One NPN cache per engine, carried across collections: entries store
      the engine's own chain sets, so caches must not be shared between
@@ -92,6 +104,11 @@ let run collections timeout scale jobs no_npn_cache json_path csv cross_check =
                 (Stp_harness.Runner.speedup agg)
                 agg.cache_hits
                 (agg.cache_hits + agg.cache_misses);
+              (match agg.Stp_harness.Runner.profile with
+               | Some p ->
+                 Format.eprintf "[table1]   %s profile:@.%a@.%!" e.engine_name
+                   Stp_util.Profile.pp p
+               | None -> ());
               agg)
             Stp_harness.Runner.all_engines
         in
@@ -168,12 +185,29 @@ let cross_arg =
   let doc = "Warn when two engines disagree on an instance's optimum size." in
   Arg.(value & flag & info [ "cross-check" ] ~doc)
 
+let profile_arg =
+  let doc =
+    "Collect per-stage timers and hot-path counters (decompose, \
+     feasibility, verification, cube merges, memo hit rates) for every \
+     engine/collection run; printed to stderr and embedded under \
+     $(b,profile) in the JSON output."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let limit_arg =
+  let doc =
+    "Keep only the first $(docv) instances of each selected collection \
+     (0 = all); for smoke runs and CI."
+  in
+  Arg.(value & opt int 0 & info [ "limit" ] ~docv:"N" ~doc)
+
 let cmd =
   let doc = "regenerate Table I of the paper" in
   Cmd.v
     (Cmd.info "table1" ~doc)
     Term.(
       const run $ collections_arg $ timeout_arg $ scale_arg $ jobs_arg
-      $ no_cache_arg $ json_arg $ csv_arg $ cross_arg)
+      $ no_cache_arg $ json_arg $ csv_arg $ cross_arg $ profile_arg
+      $ limit_arg)
 
 let () = exit (Cmd.eval cmd)

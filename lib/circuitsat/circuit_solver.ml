@@ -7,32 +7,61 @@ let cube_merge a b =
     Some { mask = a.mask lor b.mask; value = a.value lor b.value }
   else None
 
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
 (* Merge two cube sets pairwise (the MERGE of Algorithm 1), deduplicating
-   and dropping cubes subsumed by another cube of the result. *)
+   and dropping cubes subsumed by another cube of the result.
+
+   Dedup is key-based on the packed (mask, value) pair. Subsumption — [d]
+   subsumes [c] when [d] assigns a subset of [c]'s positions with the
+   same values — is bucketed by [popcount mask]: after dedup, a subsuming
+   cube distinct from [c] necessarily fixes strictly fewer positions
+   (equal popcount + subset forces equal masks, hence equal keys), so
+   each cube only scans the buckets strictly below its own. Subsumption
+   is transitive, so testing against dropped subsumers too is sound. *)
 let merge_sets xs ys =
   let out = Hashtbl.create 64 in
+  let merges = ref 0 in
   List.iter
     (fun x ->
       List.iter
         (fun y ->
           match cube_merge x y with
-          | Some c -> Hashtbl.replace out (c.mask, c.value) c
+          | Some c ->
+            incr merges;
+            Hashtbl.replace out (c.mask, c.value) c
           | None -> ())
         ys)
     xs;
-  let cubes = Hashtbl.fold (fun _ c acc -> c :: acc) out [] in
-  (* Subsumption: c is subsumed by d when d assigns a subset of c's
-     positions with the same values. *)
-  let subsumed c =
-    List.exists
-      (fun d ->
-        d != c
-        && d.mask land c.mask = d.mask
-        && (d.value lxor c.value) land d.mask = 0
-        && not (d.mask = c.mask && d.value = c.value))
-      cubes
+  Stp_util.Profile.add Stp_util.Profile.Cube_merges !merges;
+  let buckets = Array.make 64 [] in
+  Hashtbl.iter
+    (fun _ c ->
+      let p = popcount c.mask in
+      buckets.(p) <- c :: buckets.(p))
+    out;
+  let checks = ref 0 in
+  let subsumed pc c =
+    let rec scan p =
+      p < pc
+      && (List.exists
+            (fun d ->
+              incr checks;
+              d.mask land c.mask = d.mask
+              && (d.value lxor c.value) land d.mask = 0)
+            buckets.(p)
+          || scan (p + 1))
+    in
+    scan 0
   in
-  List.filter (fun c -> not (subsumed c)) cubes
+  let acc = ref [] in
+  for p = 63 downto 0 do
+    List.iter (fun c -> if not (subsumed p c) then acc := c :: !acc) buckets.(p)
+  done;
+  Stp_util.Profile.add Stp_util.Profile.Cube_subsumption_checks !checks;
+  !acc
 
 let solve (net : Lut_network.t) ~targets =
   if Array.length targets <> Array.length net.outputs then

@@ -20,6 +20,11 @@ type cube = {
 val cube_compatible : cube -> cube -> bool
 val cube_merge : cube -> cube -> cube option
 
+val merge_sets : cube list -> cube list -> cube list
+(** The MERGE of Algorithm 1: all pairwise compatible merges of the two
+    sets, deduplicated on the packed (mask, value) key, with cubes
+    subsumed by a shorter cube of the result dropped. *)
+
 val solve : Lut_network.t -> targets:bool array -> cube list
 (** [solve net ~targets] returns all solution cubes. The list is empty
     exactly when the instance is UNSAT. [targets] must have one entry

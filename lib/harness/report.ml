@@ -67,9 +67,23 @@ let to_string j =
   to_buffer buf j;
   Buffer.contents buf
 
+let profile_json (p : Stp_util.Profile.snapshot) =
+  Obj
+    [ ("stages",
+       Obj
+         (List.map
+            (fun (st : Stp_util.Profile.stage_snapshot) ->
+              ( st.Stp_util.Profile.stage,
+                Obj
+                  [ ("calls", Int st.Stp_util.Profile.calls);
+                    ("self_s", Float st.Stp_util.Profile.self_s) ] ))
+            p.Stp_util.Profile.stages));
+      ("counters",
+       Obj (List.map (fun (k, v) -> (k, Int v)) p.Stp_util.Profile.counts)) ]
+
 let aggregate_json (a : Runner.aggregate) =
   Obj
-    [ ("engine", String a.Runner.name);
+    ([ ("engine", String a.Runner.name);
       ("solved", Int a.Runner.solved);
       ("timeouts", Int a.Runner.timeouts);
       ("mean_time_s", Float a.Runner.mean_time);
@@ -83,9 +97,13 @@ let aggregate_json (a : Runner.aggregate) =
          (List.map
             (fun (gates, count) -> List [ Int gates; Int count ])
             a.Runner.optima));
-      ("cache_hits", Int a.Runner.cache_hits);
-      ("cache_misses", Int a.Runner.cache_misses);
-      ("cache_hit_rate", Float (Runner.hit_rate a)) ]
+       ("cache_hits", Int a.Runner.cache_hits);
+       ("cache_misses", Int a.Runner.cache_misses);
+       ("cache_hit_rate", Float (Runner.hit_rate a)) ]
+     @
+     match a.Runner.profile with
+     | None -> []
+     | Some p -> [ ("profile", profile_json p) ])
 
 let rows_json rows =
   List

@@ -36,6 +36,7 @@ type aggregate = {
   optima : (int * int) list;
   cache_hits : int;
   cache_misses : int;
+  profile : Stp_util.Profile.snapshot option;
 }
 
 let speedup agg =
@@ -69,6 +70,9 @@ let run_collection ?(timeout = 5.0) ?(jobs = 1) ?cache ?on_instance engine
      are pure functions of their keys (see Factor.memo). *)
   let memo_key = Domain.DLS.new_key (fun () -> Stp_synth.Factor.create_memo ()) in
   let solve f = run ~options ~memo:(Domain.DLS.get memo_key) f in
+  (* The profiler's accumulators are global: reset per run so each
+     aggregate carries exactly its own run's counters. *)
+  if Stp_util.Profile.enabled () then Stp_util.Profile.reset ();
   let t0 = Stp_util.Unix_time.now () in
   let results =
     if jobs = 1 then List.map solve functions
@@ -121,4 +125,7 @@ let run_collection ?(timeout = 5.0) ?(jobs = 1) ?cache ?on_instance engine
     optima =
       List.sort Stdlib.compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) optima []);
     cache_hits;
-    cache_misses }
+    cache_misses;
+    profile =
+      (if Stp_util.Profile.enabled () then Some (Stp_util.Profile.snapshot ())
+       else None) }

@@ -41,6 +41,11 @@ type aggregate = {
   cache_hits : int;         (** NPN-cache hits during this run (0 when
                                 run without a cache) *)
   cache_misses : int;       (** NPN-cache misses during this run *)
+  profile : Stp_util.Profile.snapshot option;
+    (** per-stage timers and counters for this run, when
+        {!Stp_util.Profile.enabled} (e.g. under [table1 --profile]);
+        [None] otherwise. Timers sum self time across all domains of a
+        parallel run. *)
 }
 
 val speedup : aggregate -> float

@@ -7,54 +7,38 @@
    - merging a repeated variable (equation (3): x x = M_r x),
    - consuming a vacuous variable with the eliminator [1 1].
 
-   The right-multiplications by I ⊗ M_w ⊗ I, I ⊗ M_r ⊗ I and the
-   eliminator are implemented as direct column permutations / selections /
-   duplications, which the test suite checks against the general
-   [Matrix.stp] products. *)
+   The state is kept as a packed {!Tmat} row over the column-index
+   space: a 2 x 2^k logic matrix is determined by its first row, and all
+   of the identities above act on it as word-parallel column moves
+   ([Tmat.swap_vars] / [Tmat.reduce_dup] / [Tmat.insert_var]) or gate
+   composition ([Tmat.stp_compose]) — position [j] of the variable list
+   (0 = leftmost) is index bit [k - 1 - j]. The test suite checks the
+   exported column operations against the general [Matrix.stp]
+   products. *)
 
-(* [swap_cols m j k]: right-multiply the 2 x 2^k matrix [m] by
+module Profile = Stp_util.Profile
+
+(* [swap_cols m j k]: right-multiply the 2 x 2^k row [m] by
    I_{2^j} ⊗ M_w ⊗ I_{2^(k-j-2)}, i.e. swap the variables at positions j
    and j+1 (position 0 is the leftmost variable, the most significant bit
    of the column index). *)
 let swap_cols m j k =
   if j < 0 || j + 1 >= k then invalid_arg "Canonical.swap_cols";
-  let bit_a = k - 1 - j and bit_b = k - 2 - j in
-  Matrix.make 2 (1 lsl k) (fun r c ->
-      let ba = (c lsr bit_a) land 1 and bb = (c lsr bit_b) land 1 in
-      let c' =
-        c land lnot ((1 lsl bit_a) lor (1 lsl bit_b))
-        lor (bb lsl bit_a) lor (ba lsl bit_b)
-      in
-      Matrix.get m r c')
+  Tmat.swap_vars m (k - 1 - j) (k - 2 - j)
 
 (* [reduce_cols m j k]: right-multiply by I_{2^j} ⊗ M_r ⊗ I_{2^(k-j-2)},
    merging equal variables at positions j and j+1. The result has k-1
    variable positions; the surviving variable sits at position j. *)
 let reduce_cols m j k =
   if j < 0 || j + 1 >= k then invalid_arg "Canonical.reduce_cols";
-  let bit = k - 2 - j in
-  (* bit index of the surviving position in the smaller space *)
-  Matrix.make 2 (1 lsl (k - 1)) (fun r c ->
-      (* duplicate bit [bit] of c: low bits stay, the duplicated pair sits
-         at positions bit and bit+1 of the source column *)
-      let low = c land ((1 lsl bit) - 1) in
-      let b = (c lsr bit) land 1 in
-      let high = c lsr (bit + 1) in
-      let c' = (((high lsl 1) lor b) lsl (bit + 1)) lor (b lsl bit) lor low in
-      Matrix.get m r c')
+  Tmat.reduce_dup m (k - 2 - j)
 
 (* [expand_cols m j k]: insert a vacuous variable at position j of a
    matrix over k variables (the new variable's value does not matter), the
    inverse of consuming it with the eliminator [1 1]. *)
 let expand_cols m j k =
   if j < 0 || j > k then invalid_arg "Canonical.expand_cols";
-  let bit = k - j in
-  (* bit index of the inserted position in the larger space *)
-  Matrix.make 2 (1 lsl (k + 1)) (fun r c ->
-      let low = c land ((1 lsl bit) - 1) in
-      let high = c lsr (bit + 1) in
-      let c' = (high lsl bit) lor low in
-      Matrix.get m r c')
+  Tmat.insert_var m (k - j)
 
 (* Merge two sorted-distinct variable lists, rewriting the matrix with
    swaps and reductions. State: [m] over [done_ @ u @ v] where [done_] is
@@ -91,25 +75,42 @@ let merge_sorted m u v =
   in
   go m [] u v
 
-(* Canonical state: matrix over the sorted, distinct variable list. *)
-type state = { m : Matrix.t; vars : int list }
+(* Canonical state: packed matrix row over the sorted, distinct variable
+   list. *)
+type state = { m : Tmat.t; vars : int list }
 
-let id2 = Matrix.identity 2
+(* Identity on one variable: column 0 is the all-true assignment. *)
+let id2 = Tmat.of_fun 1 (fun c -> if c = 0 then Tmat.True else Tmat.False)
 
-let apply_unary op s = { s with m = Matrix.stp op s.m }
+let apply_unary op s =
+  (* A unary structural matrix is determined by its outputs on e_0 (the
+     operand true — column 0) and e_1. *)
+  let t1 = Matrix.get op 0 0 = 1 and t0 = Matrix.get op 0 1 = 1 in
+  let k = List.length s.vars in
+  let m =
+    match (t1, t0) with
+    | true, false -> s.m
+    | false, true ->
+      (* complement the row: NOT gate on the single operand *)
+      Tmat.apply_gate 0b0011 s.m (Tmat.const k false)
+    | b, _ when b = t0 -> Tmat.const k b
+    | _ -> assert false
+  in
+  { s with m }
 
 let apply_binary op a b =
-  let p = List.length a.vars in
-  (* op ⋉ A ⋉ x_u ⋉ B ⋉ x_v = (op ⋉ A) ⋉ (I_{2^p} ⊗ B) ⋉ x_u ⋉ x_v *)
-  let left = Matrix.stp op a.m in
-  let lifted = if p = 0 then b.m else Matrix.kron (Matrix.identity (1 lsl p)) b.m in
-  let m = Matrix.mul left lifted in
+  (* op ⋉ A ⋉ x_u ⋉ B ⋉ x_v = (op ⋉ A) ⋉ (I_{2^p} ⊗ B) ⋉ x_u ⋉ x_v:
+     the composed row has A on the high index bits and entries
+     op(A(ca), B(cb)) — one word-parallel gate application instead of
+     the 2^p-fold Kronecker expansion. *)
+  let code = Structural.to_gate_code op in
+  let m = Tmat.stp_compose code a.m b.m in
   let m, vars = merge_sorted m a.vars b.vars in
   { m; vars }
 
 let rec state_of_expr e =
   match e with
-  | Expr.Const b -> { m = Structural.of_bool b; vars = [] }
+  | Expr.Const b -> { m = Tmat.const 0 b; vars = [] }
   | Expr.Var i -> { m = id2; vars = [ i ] }
   | Expr.Not a -> apply_unary Structural.m_not (state_of_expr a)
   | Expr.And (a, b) ->
@@ -130,6 +131,7 @@ let rec state_of_expr e =
 let of_expr ~n e =
   if n <= Expr.max_var e then invalid_arg "Canonical.of_expr";
   if n < 0 then invalid_arg "Canonical.of_expr";
+  Profile.time Profile.Canonical @@ fun () ->
   let s = state_of_expr e in
   (* Insert the ambient variables the formula does not mention. *)
   let rec fill m vars j =
@@ -141,8 +143,8 @@ let of_expr ~n e =
         fill (expand_cols m pos (List.length vars)) (j :: vars) (j + 1)
   in
   let m = fill s.m s.vars 0 in
-  assert (Matrix.rows m = 2 && Matrix.cols m = 1 lsl n);
-  m
+  assert (Tmat.num_vars m = n);
+  Tmat.to_matrix m
 
 let column_of_minterm ~n m =
   let c = ref 0 in
@@ -158,14 +160,22 @@ let minterm_of_column ~n c =
   done;
   !m
 
-let of_tt t =
+(* Column c reads the truth table at the bit-reversed complement of c:
+   reverse the index bits, then complement every one of them — a handful
+   of word-parallel passes instead of a per-column closure. *)
+let tmat_of_tt t =
   let n = Stp_tt.Tt.num_vars t in
-  Matrix.make 2 (1 lsl n) (fun i c ->
-      let v = Stp_tt.Tt.get t (minterm_of_column ~n c) in
-      match (i, v) with
-      | 0, true | 1, false -> 1
-      | 0, false | 1, true -> 0
-      | _ -> assert false)
+  let tm = ref (Tmat.of_tt t) in
+  for i = 0 to (n / 2) - 1 do
+    tm := Tmat.swap_vars !tm i (n - 1 - i)
+  done;
+  for i = 0 to n - 1 do
+    tm := Tmat.negate_var !tm i
+  done;
+  !tm
+
+let of_tt t =
+  Profile.time Profile.Canonical @@ fun () -> Tmat.to_matrix (tmat_of_tt t)
 
 let to_tt m =
   if not (Matrix.is_logic_matrix m) then invalid_arg "Canonical.to_tt";
@@ -177,6 +187,36 @@ let to_tt m =
   if 1 lsl n <> w then invalid_arg "Canonical.to_tt: width not a power of 2";
   Stp_tt.Tt.of_fun n (fun mt -> Matrix.get m 0 (column_of_minterm ~n mt) = 1)
 
-let swap_positions m j k = swap_cols m j k
-let reduce_positions m j k = reduce_cols m j k
-let expand_positions m j k = expand_cols m j k
+(* The exported rewriting primitives work on arbitrary two-row integer
+   matrices (they are pure column moves, meaningful for the general STP
+   algebra, and the tests exercise them on non-logic matrices); the
+   packed kernels above are their restriction to logic-matrix rows. *)
+
+let swap_positions m j k =
+  if j < 0 || j + 1 >= k then invalid_arg "Canonical.swap_cols";
+  let bit_a = k - 1 - j and bit_b = k - 2 - j in
+  Matrix.make (Matrix.rows m) (1 lsl k) (fun r c ->
+      let ba = (c lsr bit_a) land 1 and bb = (c lsr bit_b) land 1 in
+      let c' =
+        c land lnot ((1 lsl bit_a) lor (1 lsl bit_b))
+        lor (bb lsl bit_a) lor (ba lsl bit_b)
+      in
+      Matrix.get m r c')
+
+let reduce_positions m j k =
+  if j < 0 || j + 1 >= k then invalid_arg "Canonical.reduce_cols";
+  let bit = k - 2 - j in
+  Matrix.make (Matrix.rows m) (1 lsl (k - 1)) (fun r c ->
+      let low = c land ((1 lsl bit) - 1) in
+      let b = (c lsr bit) land 1 in
+      let high = c lsr (bit + 1) in
+      let c' = (((high lsl 1) lor b) lsl (bit + 1)) lor (b lsl bit) lor low in
+      Matrix.get m r c')
+
+let expand_positions m j k =
+  if j < 0 || j > k then invalid_arg "Canonical.expand_cols";
+  let bit = k - j in
+  Matrix.make (Matrix.rows m) (1 lsl (k + 1)) (fun r c ->
+      let low = c land ((1 lsl bit) - 1) in
+      let high = c lsr (bit + 1) in
+      Matrix.get m r ((high lsl bit) lor low))

@@ -32,7 +32,16 @@ let identity n = make n n (fun i j -> if i = j then 1 else 0)
 let zero r c = make r c (fun _ _ -> 0)
 
 let equal a b =
-  a.rows = b.rows && a.cols = b.cols && a.data = b.data
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let len = Array.length a.data in
+  let rec eq i = i >= len || (a.data.(i) = b.data.(i) && eq (i + 1)) in
+  eq 0
+
+let hash m =
+  let h = ref ((m.rows * 31) + m.cols) in
+  Array.iter (fun v -> h := (((!h lsl 5) + !h) lxor v) land max_int) m.data;
+  !h
 
 let transpose m = make m.cols m.rows (fun i j -> get m j i)
 

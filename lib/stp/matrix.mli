@@ -31,6 +31,12 @@ val identity : int -> t
 val zero : int -> int -> t
 
 val equal : t -> t -> bool
+(** Structural equality: same dimensions, same entries. An explicit
+    entry-wise compare (not the polymorphic [=]), suitable for hot
+    paths. *)
+
+val hash : t -> int
+(** Mixes the dimensions and every entry; consistent with {!equal}. *)
 
 val transpose : t -> t
 

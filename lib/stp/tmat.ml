@@ -1,0 +1,586 @@
+module Tt = Stp_tt.Tt
+
+type t = {
+  n : int;
+  value : int64 array; (* bit c: the entry at position c when cared *)
+  care : int64 array;  (* bit c: 1 = determined, 0 = don't-care 'x' *)
+}
+(* Invariant: [value land care = value], and bits beyond 2^n are 0. *)
+
+type entry = True | False | Dontcare
+
+let max_vars = 20
+
+let num_vars t = t.n
+
+let width t = 1 lsl t.n
+
+let num_words n = if n <= 6 then 1 else 1 lsl (n - 6)
+
+(* Mask of significant bits in the (single) word of a small table; -1
+   for n >= 6, where every word is fully used. *)
+let small_mask n =
+  if n >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L
+
+let check_arity name a b =
+  if a.n <> b.n then invalid_arg ("Tmat." ^ name ^ ": arity mismatch")
+
+let check_n name n =
+  if n < 0 || n > max_vars then invalid_arg ("Tmat." ^ name)
+
+(* Pattern of index bit [i] inside one 64-bit word, for i < 6. *)
+let var_patterns =
+  [| 0xAAAAAAAAAAAAAAAAL; 0xCCCCCCCCCCCCCCCCL; 0xF0F0F0F0F0F0F0F0L;
+     0xFF00FF00FF00FF00L; 0xFFFF0000FFFF0000L; 0xFFFFFFFF00000000L |]
+
+let unknown n =
+  check_n "unknown" n;
+  { n; value = Array.make (num_words n) 0L; care = Array.make (num_words n) 0L }
+
+let const n b =
+  check_n "const" n;
+  let full = Array.make (num_words n) (small_mask n) in
+  { n;
+    value = (if b then Array.copy full else Array.make (num_words n) 0L);
+    care = full }
+
+let of_tt tt =
+  let n = Tt.num_vars tt in
+  { n; value = Tt.to_words tt; care = Array.make (num_words n) (small_mask n) }
+
+let of_tt_with_care v ~care =
+  if Tt.num_vars v <> Tt.num_vars care then
+    invalid_arg "Tmat.of_tt_with_care: arity mismatch";
+  let cw = Tt.to_words care in
+  { n = Tt.num_vars v;
+    value = Array.map2 Int64.logand (Tt.to_words v) cw;
+    care = cw }
+
+let get t c =
+  if c < 0 || c >= width t then invalid_arg "Tmat.get";
+  let k = c lsr 6 and o = c land 63 in
+  let bit w = Int64.(logand (shift_right_logical w o) 1L) = 1L in
+  if not (bit t.care.(k)) then Dontcare
+  else if bit t.value.(k) then True
+  else False
+
+let set t c e =
+  if c < 0 || c >= width t then invalid_arg "Tmat.set";
+  let value = Array.copy t.value and care = Array.copy t.care in
+  let k = c lsr 6 in
+  let bit = Int64.shift_left 1L (c land 63) in
+  let nbit = Int64.lognot bit in
+  (match e with
+   | True ->
+     value.(k) <- Int64.logor value.(k) bit;
+     care.(k) <- Int64.logor care.(k) bit
+   | False ->
+     value.(k) <- Int64.logand value.(k) nbit;
+     care.(k) <- Int64.logor care.(k) bit
+   | Dontcare ->
+     value.(k) <- Int64.logand value.(k) nbit;
+     care.(k) <- Int64.logand care.(k) nbit);
+  { t with value; care }
+
+let of_fun n f =
+  check_n "of_fun" n;
+  let value = Array.make (num_words n) 0L and care = Array.make (num_words n) 0L in
+  for c = 0 to (1 lsl n) - 1 do
+    match f c with
+    | Dontcare -> ()
+    | e ->
+      let k = c lsr 6 in
+      let bit = Int64.shift_left 1L (c land 63) in
+      care.(k) <- Int64.logor care.(k) bit;
+      if e = True then value.(k) <- Int64.logor value.(k) bit
+  done;
+  { n; value; care }
+
+let popcount64 x =
+  let rec loop x acc =
+    if Int64.equal x 0L then acc else loop Int64.(logand x (sub x 1L)) (acc + 1)
+  in
+  loop x 0
+
+let num_dontcares t =
+  let m = small_mask t.n in
+  Array.fold_left
+    (fun acc cw -> acc + popcount64 (Int64.logand m (Int64.lognot cw)))
+    0 t.care
+
+(* --- ternary lattice --- *)
+
+let equal a b =
+  a.n = b.n
+  && Array.for_all2 Int64.equal a.value b.value
+  && Array.for_all2 Int64.equal a.care b.care
+
+let compare a b =
+  let c = Stdlib.compare a.n b.n in
+  if c <> 0 then c
+  else
+    let rec arrays u v i =
+      if i < 0 then 0
+      else
+        let c = Int64.compare u.(i) v.(i) in
+        if c <> 0 then c else arrays u v (i - 1)
+    in
+    let c = arrays a.value b.value (Array.length a.value - 1) in
+    if c <> 0 then c else arrays a.care b.care (Array.length a.care - 1)
+
+let compatible a b =
+  check_arity "compatible" a b;
+  let ok = ref true in
+  for k = 0 to Array.length a.value - 1 do
+    let conflict =
+      Int64.(logand (logand (logxor a.value.(k) b.value.(k)) a.care.(k))
+               b.care.(k))
+    in
+    if not (Int64.equal conflict 0L) then ok := false
+  done;
+  !ok
+
+let refines a b =
+  check_arity "refines" a b;
+  let ok = ref true in
+  for k = 0 to Array.length a.value - 1 do
+    if not (Int64.equal (Int64.logand b.care.(k) (Int64.lognot a.care.(k))) 0L)
+       || not
+            (Int64.equal
+               (Int64.logand (Int64.logxor a.value.(k) b.value.(k)) b.care.(k))
+               0L)
+    then ok := false
+  done;
+  !ok
+
+let meet a b =
+  if not (compatible a b) then None
+  else
+    Some
+      { n = a.n;
+        value = Array.map2 Int64.logor a.value b.value;
+        care = Array.map2 Int64.logor a.care b.care }
+
+let completed t b =
+  let m = small_mask t.n in
+  let words =
+    if b then
+      Array.map2
+        (fun v c -> Int64.logor v (Int64.logand m (Int64.lognot c)))
+        t.value t.care
+    else Array.copy t.value
+  in
+  Tt.of_words t.n words
+
+let to_tt t =
+  let m = small_mask t.n in
+  if not (Array.for_all (fun c -> Int64.equal c m) t.care) then
+    invalid_arg "Tmat.to_tt: table has don't-care entries";
+  Tt.of_words t.n (Array.copy t.value)
+
+let completions t =
+  let xs = ref [] in
+  for c = width t - 1 downto 0 do
+    if get t c = Dontcare then xs := c :: !xs
+  done;
+  let xs = Array.of_list !xs in
+  let k = Array.length xs in
+  if k > Sys.int_size - 2 then
+    invalid_arg "Tmat.completions: too many don't-cares";
+  Seq.init (1 lsl k) (fun fill ->
+      let words = Array.copy t.value in
+      Array.iteri
+        (fun i c ->
+          if (fill lsr i) land 1 = 1 then begin
+            let w = c lsr 6 in
+            words.(w) <- Int64.logor words.(w) (Int64.shift_left 1L (c land 63))
+          end)
+        xs;
+      Tt.of_words t.n words)
+
+(* --- blocks and quartering --- *)
+
+(* Word-level cofactor kernel (same scheme as Tt.cofactor), applied to
+   both planes so don't-cares follow their entries. *)
+let cofactor_words n words i b =
+  if i < 6 then begin
+    let shift = 1 lsl i in
+    let p = var_patterns.(i) in
+    let m = small_mask n in
+    Array.map
+      (fun w ->
+        let w' =
+          if b then
+            let hi = Int64.logand w p in
+            Int64.logor hi (Int64.shift_right_logical hi shift)
+          else
+            let lo = Int64.logand w (Int64.lognot p) in
+            Int64.logor lo (Int64.shift_left lo shift)
+        in
+        Int64.logand w' m)
+      words
+  end
+  else begin
+    let bit = i - 6 in
+    Array.mapi
+      (fun k _ ->
+        let src = if b then k lor (1 lsl bit) else k land lnot (1 lsl bit) in
+        words.(src))
+      words
+  end
+
+let cofactor t i b =
+  if i < 0 || i >= t.n then invalid_arg "Tmat.cofactor";
+  { t with
+    value = cofactor_words t.n t.value i b;
+    care = cofactor_words t.n t.care i b }
+
+let quarter t i = (cofactor t i false, cofactor t i true)
+
+let distinct_blocks ?(cap = 3) t ~group =
+  let vars = ref [] in
+  for i = t.n - 1 downto 0 do
+    if (group lsr i) land 1 = 1 then vars := i :: !vars
+  done;
+  let vars = Array.of_list !vars in
+  let ng = Array.length vars in
+  (* Restrictions keep the full arity (the group bits become
+     irrelevant), so block equality is plain structural equality. *)
+  let seen = ref [] and count = ref 0 in
+  (try
+     for gi = 0 to (1 lsl ng) - 1 do
+       let block = ref t in
+       Array.iteri
+         (fun j v -> block := cofactor !block v ((gi lsr j) land 1 = 1))
+         vars;
+       if not (List.exists (equal !block) !seen) then begin
+         seen := !block :: !seen;
+         incr count;
+         if !count >= cap then raise Exit
+       end
+     done
+   with Exit -> ());
+  !count
+
+(* --- permutations --- *)
+
+let swap_vars t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then invalid_arg "Tmat.swap_vars";
+  if i = j then t
+  else begin
+    let i, j = if i < j then (i, j) else (j, i) in
+    let kernel words =
+      if j < 6 then begin
+        (* In-word delta swap: positions with bit i set and bit j clear
+           trade places with their images [delta = 2^j - 2^i] higher. *)
+        let d = (1 lsl j) - (1 lsl i) in
+        let m =
+          Int64.logand var_patterns.(i) (Int64.lognot var_patterns.(j))
+        in
+        Array.map
+          (fun w ->
+            let x =
+              Int64.logand (Int64.logxor w (Int64.shift_right_logical w d)) m
+            in
+            Int64.logxor (Int64.logxor w x) (Int64.shift_left x d))
+          words
+      end
+      else if i >= 6 then begin
+        let bi = i - 6 and bj = j - 6 in
+        Array.mapi
+          (fun k _ ->
+            let a = (k lsr bi) land 1 and b = (k lsr bj) land 1 in
+            let k' =
+              k land lnot ((1 lsl bi) lor (1 lsl bj))
+              lor (b lsl bi) lor (a lsl bj)
+            in
+            words.(k'))
+          words
+      end
+      else begin
+        (* Mixed: bit i lives inside the word, bit j selects the word. *)
+        let shift = 1 lsl i in
+        let p = var_patterns.(i) in
+        let np = Int64.lognot p in
+        let bj = 1 lsl (j - 6) in
+        Array.mapi
+          (fun k _ ->
+            if k land bj = 0 then
+              Int64.logor
+                (Int64.logand words.(k) np)
+                (Int64.shift_left (Int64.logand words.(k lor bj) np) shift)
+            else
+              Int64.logor
+                (Int64.logand words.(k) p)
+                (Int64.shift_right_logical
+                   (Int64.logand words.(k land lnot bj) p)
+                   shift))
+          words
+      end
+    in
+    { t with value = kernel t.value; care = kernel t.care }
+  end
+
+let negate_var t i =
+  if i < 0 || i >= t.n then invalid_arg "Tmat.negate_var";
+  let kernel words =
+    if i < 6 then begin
+      let shift = 1 lsl i in
+      let p = var_patterns.(i) in
+      let np = Int64.lognot p in
+      let m = small_mask t.n in
+      Array.map
+        (fun w ->
+          Int64.logand m
+            (Int64.logor
+               (Int64.shift_right_logical (Int64.logand w p) shift)
+               (Int64.shift_left (Int64.logand w np) shift)))
+        words
+    end
+    else
+      let bit = 1 lsl (i - 6) in
+      Array.mapi (fun k _ -> words.(k lxor bit)) words
+  in
+  { t with value = kernel t.value; care = kernel t.care }
+
+let permute t perm =
+  if Array.length perm <> t.n then invalid_arg "Tmat.permute";
+  let seen = Array.make t.n false in
+  Array.iter
+    (fun p ->
+      if p < 0 || p >= t.n || seen.(p) then invalid_arg "Tmat.permute";
+      seen.(p) <- true)
+    perm;
+  (* Shuffle tables: chunk the destination index into bytes and
+     precompute each byte's scattered source-index contribution, so the
+     per-position work is a few table lookups and one bit move. *)
+  let nchunks = (t.n + 7) / 8 in
+  let tables =
+    Array.init nchunks (fun ci ->
+        let bits = min 8 (t.n - (8 * ci)) in
+        Array.init (1 lsl bits) (fun byte ->
+            let src = ref 0 in
+            for b = 0 to bits - 1 do
+              if (byte lsr b) land 1 = 1 then
+                src := !src lor (1 lsl perm.((8 * ci) + b))
+            done;
+            !src))
+  in
+  let src_of m =
+    let s = ref 0 in
+    for ci = 0 to nchunks - 1 do
+      s := !s lor tables.(ci).((m lsr (8 * ci)) land 255)
+    done;
+    !s
+  in
+  let value = Array.make (Array.length t.value) 0L in
+  let care = Array.make (Array.length t.care) 0L in
+  for m = 0 to width t - 1 do
+    let s = src_of m in
+    let sk = s lsr 6 and so = s land 63 in
+    let mk = m lsr 6 in
+    let mbit = Int64.shift_left 1L (m land 63) in
+    if Int64.(logand (shift_right_logical t.care.(sk) so) 1L) = 1L then begin
+      care.(mk) <- Int64.logor care.(mk) mbit;
+      if Int64.(logand (shift_right_logical t.value.(sk) so) 1L) = 1L then
+        value.(mk) <- Int64.logor value.(mk) mbit
+    end
+  done;
+  { t with value; care }
+
+(* --- index-space rewrites --- *)
+
+(* [insert_words n words b]: duplicate-free vacuous-bit insertion at
+   index bit [b] of a table over [n] bits; the result has [n+1] bits.
+   Word-parallel for [b >= 6]; chunked shifts below that. *)
+let insert_words n words b =
+  let out = Array.make (num_words (n + 1)) 0L in
+  if b >= 6 then begin
+    let wb = b - 6 in
+    Array.iteri
+      (fun k _ ->
+        let src = (k land ((1 lsl wb) - 1)) lor ((k lsr (wb + 1)) lsl wb) in
+        out.(k) <- words.(src))
+      out
+  end
+  else begin
+    let s = 1 lsl b in
+    let chunk_mask = Int64.sub (Int64.shift_left 1L s) 1L in
+    let wwidth = min 64 (1 lsl (n + 1)) in
+    Array.iteri
+      (fun k _ ->
+        let sw = words.(k lsr 1) in
+        (* chunk index offset contributed by the dest word's low bit *)
+        let base = (k land 1) * (1 lsl (5 - b)) in
+        let acc = ref 0L in
+        let j = ref 0 in
+        while !j * s < wwidth do
+          let soff = s * ((!j lsr 1) + base) in
+          let c = Int64.logand (Int64.shift_right_logical sw soff) chunk_mask in
+          acc := Int64.logor !acc (Int64.shift_left c (!j * s));
+          incr j
+        done;
+        out.(k) <- !acc)
+      out
+  end;
+  let m = small_mask (n + 1) in
+  Array.map (fun w -> Int64.logand w m) out
+
+let insert_var t b =
+  if b < 0 || b > t.n then invalid_arg "Tmat.insert_var";
+  check_n "insert_var" (t.n + 1);
+  { n = t.n + 1;
+    value = insert_words t.n t.value b;
+    care = insert_words t.n t.care b }
+
+(* [reduce_words n words b]: merge equal index bits [b] and [b+1] into
+   bit [b]; the result has [n-1] bits. Entry [c] of the result is entry
+   [dup_b c] of the source. *)
+let reduce_words n words b =
+  let out = Array.make (num_words (n - 1)) 0L in
+  let fetch i = if i < Array.length words then words.(i) else 0L in
+  if b >= 6 then begin
+    let wb = b - 6 in
+    Array.iteri
+      (fun k _ ->
+        let low = k land ((1 lsl wb) - 1) in
+        let bit = (k lsr wb) land 1 in
+        let high = k lsr (wb + 1) in
+        let src =
+          (((high lsl 1) lor bit) lsl (wb + 1)) lor (bit lsl wb) lor low
+        in
+        out.(k) <- fetch src)
+      out
+  end
+  else begin
+    let s = 1 lsl b in
+    let chunk_mask = Int64.sub (Int64.shift_left 1L s) 1L in
+    let wwidth = min 64 (1 lsl (n - 1)) in
+    Array.iteri
+      (fun k _ ->
+        let acc = ref 0L in
+        let j = ref 0 in
+        while !j * s < wwidth do
+          (* dest chunk j reads the source at the index with dest bit b
+             duplicated: offset 3s per duplicated-bit, 4s per higher
+             chunk — possibly crossing into the odd word of the pair. *)
+          let soff = (3 * s * (!j land 1)) + (4 * s * (!j lsr 1)) in
+          let sw = fetch ((2 * k) + (soff / 64)) in
+          let c =
+            Int64.logand (Int64.shift_right_logical sw (soff land 63)) chunk_mask
+          in
+          acc := Int64.logor !acc (Int64.shift_left c (!j * s));
+          incr j
+        done;
+        out.(k) <- !acc)
+      out
+  end;
+  let m = small_mask (n - 1) in
+  Array.map (fun w -> Int64.logand w m) out
+
+let reduce_dup t b =
+  if b < 0 || b + 1 >= t.n then invalid_arg "Tmat.reduce_dup";
+  { n = t.n - 1;
+    value = reduce_words t.n t.value b;
+    care = reduce_words t.n t.care b }
+
+let repeat_low t q =
+  if q < 0 then invalid_arg "Tmat.repeat_low";
+  check_n "repeat_low" (t.n + q);
+  let r = ref t in
+  for _ = 1 to q do
+    r := insert_var !r 0
+  done;
+  !r
+
+let tile_high t p =
+  if p < 0 then invalid_arg "Tmat.tile_high";
+  check_n "tile_high" (t.n + p);
+  let r = ref t in
+  for _ = 1 to p do
+    r := insert_var !r (num_vars !r)
+  done;
+  !r
+
+(* --- gate composition --- *)
+
+let apply_gate code a b =
+  check_arity "apply_gate" a b;
+  if code < 0 || code > 15 then invalid_arg "Tmat.apply_gate";
+  let n = a.n in
+  let m = small_mask n in
+  let words = Array.length a.value in
+  let value = Array.make words 0L and care = Array.make words 0L in
+  for k = 0 to words - 1 do
+    (* Candidate sets per operand: an entry can be 1 if it is a cared 1
+       or a don't-care; it can be 0 unless it is a cared 1. *)
+    let a1 = Int64.logor a.value.(k) (Int64.logand m (Int64.lognot a.care.(k))) in
+    let a0 = Int64.logand m (Int64.lognot a.value.(k)) in
+    let b1 = Int64.logor b.value.(k) (Int64.logand m (Int64.lognot b.care.(k))) in
+    let b0 = Int64.logand m (Int64.lognot b.value.(k)) in
+    let pick va vb = Int64.logand (if va = 1 then a1 else a0) (if vb = 1 then b1 else b0) in
+    let can1 = ref 0L and can0 = ref 0L in
+    for va = 0 to 1 do
+      for vb = 0 to 1 do
+        let w = pick va vb in
+        if (code lsr ((2 * va) + vb)) land 1 = 1 then
+          can1 := Int64.logor !can1 w
+        else can0 := Int64.logor !can0 w
+      done
+    done;
+    (* Every position admits at least one consistent input pair, so
+       can0/can1 cover the mask; the output is determined exactly where
+       only one of them holds. *)
+    let c = Int64.logand m (Int64.lognot (Int64.logand !can1 !can0)) in
+    care.(k) <- c;
+    value.(k) <- Int64.logand !can1 c
+  done;
+  { n; value; care }
+
+let stp_compose code a b =
+  check_n "stp_compose" (a.n + b.n);
+  apply_gate code (repeat_low a b.n) (tile_high b a.n)
+
+(* --- hashing --- *)
+
+let mix h w =
+  let h = Int64.logxor h w in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let hash64 t =
+  let h = ref (Int64.mul (Int64.of_int (t.n + 1)) 0x9E3779B97F4A7C15L) in
+  Array.iter (fun w -> h := mix !h w) t.value;
+  Array.iter (fun w -> h := mix !h w) t.care;
+  !h
+
+let hash t = Int64.to_int (hash64 t) land max_int
+
+(* --- matrix interchange --- *)
+
+let of_matrix m =
+  if not (Matrix.is_logic_matrix m) then
+    invalid_arg "Tmat.of_matrix: not a logic matrix";
+  let w = Matrix.cols m in
+  let n =
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
+    log2 0 w
+  in
+  if 1 lsl n <> w then invalid_arg "Tmat.of_matrix: width not a power of 2";
+  of_fun n (fun c -> if Matrix.get m 0 c = 1 then True else False)
+
+let to_matrix t =
+  let m = small_mask t.n in
+  if not (Array.for_all (fun c -> Int64.equal c m) t.care) then
+    invalid_arg "Tmat.to_matrix: table has don't-care entries";
+  Matrix.make 2 (width t) (fun r c ->
+      let k = c lsr 6 and o = c land 63 in
+      let v = Int64.(logand (shift_right_logical t.value.(k) o) 1L) = 1L in
+      match (r, v) with 0, true | 1, false -> 1 | _ -> 0)
+
+let pp fmt t =
+  Format.fprintf fmt "%d'b" t.n;
+  for c = width t - 1 downto 0 do
+    Format.pp_print_char fmt
+      (match get t c with True -> '1' | False -> '0' | Dontcare -> 'x')
+  done

@@ -1,0 +1,196 @@
+(** Bit-packed ternary logic-matrix rows.
+
+    A value of type {!t} represents one row of a [2 x 2^n] logic matrix
+    whose entries may additionally be the paper's don't-care ['x']
+    (Property 3): a ternary table over [2^n] positions, packed as two
+    bitmask words per 64 positions —
+
+    - [care] bit [c] is 1 when entry [c] is determined (0 or 1);
+    - [value] bit [c] is the entry when determined, 0 otherwise.
+
+    The invariant [value land care = value] holds everywhere, so two
+    tables are structurally equal iff their word arrays are.
+
+    The module is convention-neutral about what a bit index means: the
+    truth-table modules index by minterm ({!of_tt} / {!to_tt}), the
+    canonical-form code by matrix column ({!of_matrix} / {!to_matrix},
+    where the column order complements the minterm order — see
+    {!Canonical.column_of_minterm}). All kernels below ("variable [i]" =
+    bit [i] of the position index) are valid under either reading.
+
+    Everything here is word-parallel: 64 entries per machine operation,
+    no per-entry closures or bounds checks on the hot paths. These are
+    the kernels behind [Factor.decompose]'s quartering test and block
+    solver, and behind [Canonical]'s M_w / M_r / eliminator rewrites. *)
+
+type t
+
+type entry = True | False | Dontcare
+
+val num_vars : t -> int
+(** Number of index bits; the table has [2^(num_vars t)] positions. *)
+
+val width : t -> int
+(** [2^(num_vars t)]. *)
+
+(** {1 Construction} *)
+
+val unknown : int -> t
+(** [unknown n]: every entry is don't-care. *)
+
+val const : int -> bool -> t
+(** [const n b]: every entry determined to [b]. *)
+
+val of_tt : Stp_tt.Tt.t -> t
+(** Fully-determined table; bit [m] of the truth table becomes entry
+    [m] (minterm indexing). *)
+
+val of_tt_with_care : Stp_tt.Tt.t -> care:Stp_tt.Tt.t -> t
+(** [of_tt_with_care v ~care]: entry [m] is determined to [v(m)] where
+    [care(m)] holds, don't-care elsewhere. Arities must agree. *)
+
+val of_fun : int -> (int -> entry) -> t
+
+(** {1 Access} *)
+
+val get : t -> int -> entry
+val set : t -> int -> entry -> t
+(** Functional update. *)
+
+val num_dontcares : t -> int
+
+(** {1 Ternary lattice}
+
+    [Dontcare] is the bottom of the information order: a table {e
+    refines} another when it determines at least the same entries to the
+    same values. *)
+
+val equal : t -> t -> bool
+(** Structural equality, including the care masks. *)
+
+val compare : t -> t -> int
+
+val compatible : t -> t -> bool
+(** No position is determined to different values by the two tables —
+    i.e. they admit a common refinement ({!meet}). This is the paper's
+    block-compatibility test under don't-cares. *)
+
+val refines : t -> t -> bool
+(** [refines a b]: [a] determines every entry [b] determines, to the
+    same value. *)
+
+val meet : t -> t -> t option
+(** Least common refinement: [Some] the union of the determined entries
+    when {!compatible}, [None] otherwise. *)
+
+val completed : t -> bool -> Stp_tt.Tt.t
+(** [completed t b] fills every don't-care with [b] (minterm
+    indexing). *)
+
+val completions : t -> Stp_tt.Tt.t Seq.t
+(** All [2^(num_dontcares t)] total completions, lazily, in increasing
+    order of the fill pattern over the don't-care positions (ascending
+    position order = ascending bit significance). *)
+
+val to_tt : t -> Stp_tt.Tt.t
+(** @raise Invalid_argument if any entry is don't-care. *)
+
+(** {1 Blocks and quartering} *)
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor t i b] fixes index bit [i] to [b]; the result still ranges
+    over [n] bits (bit [i] becomes irrelevant), as in [Tt.cofactor]. *)
+
+val quarter : t -> int -> t * t
+(** [quarter t i] is [(cofactor t i false, cofactor t i true)] — the two
+    blocks of the paper's quartering along index bit [i]. *)
+
+val distinct_blocks : ?cap:int -> t -> group:int -> int
+(** [distinct_blocks t ~group] counts the distinct blocks obtained by
+    restricting [t] to every assignment of the index bits in the bitmask
+    [group] — the multiplicity at the heart of the "two unique
+    quartering parts" test. Counting stops at [cap] (default 3): the
+    result is [min cap (true count)] and the scan exits early. *)
+
+(** {1 Permutations}
+
+    [swap_vars] is a word-parallel delta swap; [permute] goes through
+    precomputed shuffle tables mapping 8-bit chunks of the destination
+    index to their scattered source-index contributions. These implement
+    the right-multiplications by [I ⊗ M_w ⊗ I] (and their compositions)
+    as pure column moves. *)
+
+val swap_vars : t -> int -> int -> t
+val permute : t -> int array -> t
+(** [permute t perm]: entry [m] of the result is entry [m'] of [t] where
+    bit [perm.(i)] of [m'] equals bit [i] of [m] (same contract as
+    [Tt.permute]). *)
+
+val negate_var : t -> int -> t
+(** Complements index bit [i] (column complementation). *)
+
+(** {1 Index-space rewrites}
+
+    The canonical-form procedure's remaining column operations: variable
+    merge ([M_r], equation (3)) and the vacuous-variable eliminator
+    [\[1 1\]], plus the replication helpers behind structural-matrix
+    composition. *)
+
+val insert_var : t -> int -> t
+(** [insert_var t b] inserts a vacuous index bit at position [b]
+    ([0 <= b <= n]); the result has [n+1] bits and does not depend on
+    bit [b]. *)
+
+val reduce_dup : t -> int -> t
+(** [reduce_dup t b] merges the equal index bits [b] and [b+1] of [t]
+    into the single bit [b] of the result (which has [n-1] bits): entry
+    [c] of the result is the entry of [t] at [c] with bit [b]
+    duplicated into positions [b] and [b+1] — the column action of
+    [I ⊗ M_r ⊗ I]. *)
+
+val repeat_low : t -> int -> t
+(** [repeat_low t q]: [n+q] bits; entry [hi * 2^q + lo] is entry [hi] of
+    [t] — each entry replicated across [2^q] new low positions. *)
+
+val tile_high : t -> int -> t
+(** [tile_high t p]: [n+p] bits; the table repeated [2^p] times. *)
+
+(** {1 Gate composition} *)
+
+val apply_gate : int -> t -> t -> t
+(** [apply_gate code a b] applies the 2-input gate whose 4-bit truth
+    table is [code] (bit [2*va + vb] is the output on [(va, vb)], as in
+    [Tt.apply2]) entrywise, with exact ternary semantics: an output
+    entry is determined iff every input combination consistent with the
+    operands' entries yields the same output. *)
+
+val stp_compose : int -> t -> t -> t
+(** [stp_compose code a b] is the row of [M ⋉ A ⋉ (I ⊗ B)] where [M] is
+    the structural matrix of [code] — i.e.
+    [apply_gate code (repeat_low a q) (tile_high b p)] with [p], [q] the
+    arities of [a], [b]: entry [ca * 2^q + cb] is
+    [code (a ca) (b cb)]. [a] owns the high index bits. *)
+
+(** {1 Hashing} *)
+
+val hash64 : t -> int64
+(** Cheap 64-bit mixing hash over the packed words; the basis for memo
+    keys that previously went through polymorphic hashing. *)
+
+val hash : t -> int
+(** [hash64] folded to a non-negative [int]. *)
+
+(** {1 Matrix interchange} *)
+
+val of_matrix : Matrix.t -> t
+(** Packs a [2 x 2^n] logic matrix: entry [c] is determined to
+    [row 0, column c]. @raise Invalid_argument if the matrix is not a
+    logic matrix of power-of-two width. *)
+
+val to_matrix : t -> Matrix.t
+(** Unpacks to a [2 x 2^n] logic matrix.
+    @raise Invalid_argument if any entry is don't-care. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the entries, most significant position first, as [1]/[0]/[x]
+    (e.g. [4'b1x01]). *)

@@ -27,6 +27,7 @@ let expand_chain ~n ~support chain =
     ~output_negated:chain.Chain.output_negated ()
 
 let optimal_and_verified target chains =
+  Stp_util.Profile.time Stp_util.Profile.Verify @@ fun () ->
   let seen = Hashtbl.create 97 in
   List.filter
     (fun c ->
@@ -35,6 +36,7 @@ let optimal_and_verified target chains =
       if Hashtbl.mem seen key then false
       else begin
         Hashtbl.replace seen key ();
+        Stp_util.Profile.incr Stp_util.Profile.Chains_verified;
         Tt.equal (Chain.simulate c) target
         && Stp_circuitsat.Circuit_solver.verify_chain c target
       end)

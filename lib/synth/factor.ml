@@ -1,7 +1,9 @@
 module Tt = Stp_tt.Tt
+module Tmat = Stp_matrix.Tmat
 module Gate = Stp_chain.Gate
 module Chain = Stp_chain.Chain
 module Dag = Stp_topology.Dag
+module Profile = Stp_util.Profile
 
 type triple = { phi : Gate.code; g : Tt.t; h : Tt.t }
 
@@ -13,14 +15,98 @@ type fragment = { frag_gates : int array; frag_leaves : int array }
    (an int from the canon4 table), the compacted table otherwise. *)
 type feas_key = K4 of int | Kraw of Tt.t
 
+(* Memo tables are keyed through explicit structural equality and the
+   truth tables' own 64-bit mixing hashes — the generic polymorphic
+   hash walked every boxed int64 of every Tt.t on each of the millions
+   of lookups a collection run performs. *)
+
+let mix_int acc h = (((acc lsl 5) + acc) lxor h) land max_int
+
+module FactKey = struct
+  type t = Tt.t * Tt.t option * Tt.t option * int * int
+
+  let equal (t1, g1, h1, a1, b1) (t2, g2, h2, a2, b2) =
+    a1 = a2 && b1 = b2 && Tt.equal t1 t2
+    && Option.equal Tt.equal g1 g2
+    && Option.equal Tt.equal h1 h2
+
+  let hash (t, g, h, a, b) =
+    let opt = function None -> 0x9e3779b9 | Some x -> Tt.hash x in
+    mix_int (mix_int (mix_int (mix_int (Tt.hash t) (opt g)) (opt h)) a) b
+end
+
+module FactTbl = Hashtbl.Make (FactKey)
+
+module FeasKey = struct
+  type t = feas_key * int
+
+  let equal (k1, b1) (k2, b2) =
+    b1 = b2
+    && (match (k1, k2) with
+       | K4 c1, K4 c2 -> c1 = c2
+       | Kraw t1, Kraw t2 -> Tt.equal t1 t2
+       | (K4 _ | Kraw _), _ -> false)
+
+  let hash (k, b) =
+    mix_int (match k with K4 c -> (c lsl 1) lor 1 | Kraw t -> Tt.hash t lsl 1) b
+end
+
+module FeasTbl = Hashtbl.Make (FeasKey)
+
+module RealKey = struct
+  type t = string * Tt.t
+
+  let equal (s1, t1) (s2, t2) = String.equal s1 s2 && Tt.equal t1 t2
+
+  let hash (s, t) = mix_int (Hashtbl.hash s) (Tt.hash t)
+end
+
+module RealTbl = Hashtbl.Make (RealKey)
+
+module TtTbl = Hashtbl.Make (struct
+  type t = Tt.t
+
+  let equal = Tt.equal
+  let hash = Tt.hash
+end)
+
+module KeyTbl = Hashtbl.Make (struct
+  type t = feas_key
+
+  let equal k1 k2 =
+    match (k1, k2) with
+    | K4 c1, K4 c2 -> c1 = c2
+    | Kraw t1, Kraw t2 -> Tt.equal t1 t2
+    | (K4 _ | Kraw _), _ -> false
+
+  let hash = function
+    | K4 c -> ((c lsl 1) lor 1) land max_int
+    | Kraw t -> (Tt.hash t lsl 1) land max_int
+end)
+
+module QuadTbl = Hashtbl.Make (struct
+  type t = int * int * int * int
+
+  let equal (a1, b1, c1, d1) (a2, b2, c2, d2) =
+    a1 = a2 && b1 = b2 && c1 = c2 && d1 = d2
+
+  let hash (a, b, c, d) = mix_int (mix_int (mix_int a b) c) d
+end)
+
+(* Resolved knowledge about the minimal tree-leaf count of a function
+   class: either the exact minimum, or a bound below which every budget
+   has been refuted. [tree_ok] is monotone in the budget, so both facts
+   transfer to any later query. *)
+type leaves_bound = Exact of int | Refuted_to of int
+
 type memo = {
-  factorisations :
-    (Tt.t * Tt.t option * Tt.t option * int * int, triple list) Hashtbl.t;
-  feasibility : (feas_key * int, bool) Hashtbl.t;
+  factorisations : triple list FactTbl.t;
+  feasibility : bool FeasTbl.t;
       (* (target, leaf budget) -> some tree within budget realises it *)
-  realisations : (string * Tt.t, fragment list) Hashtbl.t;
-  key_cache : (Tt.t, feas_key) Hashtbl.t;
-  covers_cache : (int * int * int * int, (int * int) list) Hashtbl.t;
+  min_leaves : leaves_bound KeyTbl.t;
+  realisations : fragment list RealTbl.t;
+  key_cache : feas_key TtTbl.t;
+  covers_cache : (int * int) list QuadTbl.t;
   basis : int; (* bitmask over the 16 gate codes the engine may use *)
 }
 
@@ -43,11 +129,12 @@ let create_memo ?basis () : memo =
       m land full_basis
   in
   if basis = 0 then invalid_arg "Factor.create_memo: empty basis";
-  { factorisations = Hashtbl.create 997;
-    feasibility = Hashtbl.create 997;
-    realisations = Hashtbl.create 997;
-    key_cache = Hashtbl.create 997;
-    covers_cache = Hashtbl.create 997;
+  { factorisations = FactTbl.create 997;
+    feasibility = FeasTbl.create 997;
+    min_leaves = KeyTbl.create 997;
+    realisations = RealTbl.create 997;
+    key_cache = TtTbl.create 997;
+    covers_cache = QuadTbl.create 997;
     basis }
 
 type stats = {
@@ -75,6 +162,10 @@ let vars_of_mask mask n =
     else loop (i - 1) (if (mask lsr i) land 1 = 1 then i :: acc else acc)
   in
   loop (n - 1) []
+
+let lowest_bit_index x =
+  let rec go x i = if x land 1 = 1 then i else go (x lsr 1) (i + 1) in
+  go x 0
 
 exception Fail
 
@@ -107,41 +198,243 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
         Array.iteri (fun j p -> if (ui lsr p) land 1 = 1 then x := !x lor (1 lsl j)) sel;
         !x
       in
-      (* Disjoint covers admit the paper's quartering test: group the
-         minterms by the A-side assignment; more than two distinct blocks
-         (or a single one) rule out every factorisation, whatever the
-         gate. *)
+      (* Disjoint covers admit the paper's quartering test: grouping the
+         minterms by either side's assignment must leave exactly two
+         distinct blocks. Exactly two is necessary on BOTH sides: the
+         engine only emits non-degenerate gates over non-constant
+         factors, so every solution's blocks take precisely two values
+         over the A classes and two over the B classes. The packed
+         kernels compare whole blocks word-parallel. *)
       let quick_reject =
         amask land bmask = 0
+        && (Profile.incr Profile.Quarter_tests;
+            true)
         &&
-        (* Group by the side whose complement fits in an int block. *)
-        let group, content = if nb <= 5 then (avars, bvars) else (bvars, avars) in
-        let ng = Array.length group and nc = Array.length content in
-        let blocks = Hashtbl.create 8 in
-        let distinct = ref 0 in
-        (try
-           for gi = 0 to (1 lsl ng) - 1 do
-             let block = ref 0 in
-             for ci = 0 to (1 lsl nc) - 1 do
-               let m = ref 0 in
-               Array.iteri
-                 (fun j v -> if (gi lsr j) land 1 = 1 then m := !m lor (1 lsl v))
-                 group;
-               Array.iteri
-                 (fun j v -> if (ci lsr j) land 1 = 1 then m := !m lor (1 lsl v))
-                 content;
-               if Tt.get target !m then block := !block lor (1 lsl ci)
-             done;
-             if not (Hashtbl.mem blocks !block) then begin
-               Hashtbl.replace blocks !block ();
-               incr distinct;
-               if !distinct > 2 then raise Exit
-             end
-           done;
-           !distinct < 2
-         with Exit -> true)
+        let tm = Tmat.of_tt target in
+        Tmat.distinct_blocks tm ~group:amask <> 2
+        || Tmat.distinct_blocks tm ~group:bmask <> 2
       in
-      if quick_reject then []
+      if quick_reject then begin
+        Profile.incr Profile.Quarter_rejects;
+        []
+      end
+      else if na <= 5 && nb <= 5 && n <= 6 then begin
+        (* Packed path: each side's block values fit one machine word
+           (bit [alpha] of [ga_val]/[ga_care] is class alpha's value and
+           assignedness). Propagation computes whole masks of forced
+           partner classes per step, and factors are assembled by OR-ing
+           per-class indicator words instead of tabulating 2^n closures.
+           The search visits the same tree in the same order as the
+           list-based solver below, so caps cut the same deterministic
+           prefix and memo contents are engine-independent. *)
+        let wa = 1 lsl na and wb = 1 lsl nb in
+        let full_a = (1 lsl wa) - 1 and full_b = (1 lsl wb) - 1 in
+        (* Per A class alpha: the B classes jointly reachable with it
+           ([bm_a]) and, among those, the ones whose shared assignment
+           makes the target true ([tv_a]); [am_b]/[tv_b] transposed. *)
+        let bm_a = Array.make wa 0 and tv_a = Array.make wa 0 in
+        let am_b = Array.make wb 0 and tv_b = Array.make wb 0 in
+        for ui = 0 to (1 lsl nu) - 1 do
+          let m = ref 0 in
+          Array.iteri
+            (fun j v -> if (ui lsr j) land 1 = 1 then m := !m lor (1 lsl v))
+            uvars;
+          let alpha = gather asel ui and beta = gather bsel ui in
+          bm_a.(alpha) <- bm_a.(alpha) lor (1 lsl beta);
+          am_b.(beta) <- am_b.(beta) lor (1 lsl alpha);
+          if Tt.get target !m then begin
+            tv_a.(alpha) <- tv_a.(alpha) lor (1 lsl beta);
+            tv_b.(beta) <- tv_b.(beta) lor (1 lsl alpha)
+          end
+        done;
+        (* Indicator word of "the side's variables spell class [code]". *)
+        let word_mask =
+          if n = 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L
+        in
+        let patterns vars =
+          Array.map (fun v -> (Tt.to_words (Tt.var n v)).(0)) vars
+        in
+        let pat_a = patterns avars and pat_b = patterns bvars in
+        let indicators pats w =
+          Array.init w (fun code ->
+              let acc = ref word_mask in
+              Array.iteri
+                (fun j p ->
+                  acc :=
+                    Int64.logand !acc
+                      (if (code lsr j) land 1 = 1 then p else Int64.lognot p))
+                pats;
+              !acc)
+        in
+        let ind_a = indicators pat_a wa and ind_b = indicators pat_b wb in
+        let seed_row vars w fixed =
+          match fixed with
+          | None -> (0, 0)
+          | Some f ->
+            let value = ref 0 in
+            for code = 0 to w - 1 do
+              let m = ref 0 in
+              Array.iteri
+                (fun j v -> if (code lsr j) land 1 = 1 then m := !m lor (1 lsl v))
+                vars;
+              if Tt.get f !m then value := !value lor (1 lsl code)
+            done;
+            (!value, (1 lsl w) - 1)
+        in
+        let results = ref [] in
+        let count = ref 0 in
+        let solve_phi phi =
+          let bit a b = (phi lsr ((2 * a) + b)) land 1 in
+          let sv_a, sc_a = seed_row avars wa g_fixed in
+          let sv_b, sc_b = seed_row bvars wb h_fixed in
+          let ga_val = ref sv_a and ga_care = ref sc_a in
+          let hb_val = ref sv_b and hb_care = ref sc_b in
+          let pending_a = ref sc_a and pending_b = ref sc_b in
+          let trail = Stp_util.Vec.create ~dummy:(true, 0) () in
+          (* Consequences of A class [idx] being assigned: over its valid
+             partner classes, a partner value is forced wherever only one
+             gate input makes phi meet the target. *)
+          let force_from_a idx =
+            let v = (!ga_val lsr idx) land 1 in
+            let tv = tv_a.(idx) and valid = bm_a.(idx) in
+            let ok0 = if bit v 0 = 1 then tv else lnot tv in
+            let ok1 = if bit v 1 = 1 then tv else lnot tv in
+            if valid land lnot (ok0 lor ok1) <> 0 then raise Fail;
+            let forced0 = valid land ok0 land lnot ok1 in
+            let forced1 = valid land ok1 land lnot ok0 in
+            if forced0 land !hb_care land !hb_val <> 0 then raise Fail;
+            if forced1 land !hb_care land lnot !hb_val <> 0 then raise Fail;
+            let newly = (forced0 lor forced1) land lnot !hb_care in
+            if newly <> 0 then begin
+              hb_care := !hb_care lor newly;
+              hb_val := !hb_val lor (forced1 land newly);
+              Stp_util.Vec.push trail (false, newly);
+              pending_b := !pending_b lor newly
+            end
+          in
+          let force_from_b idx =
+            let v = (!hb_val lsr idx) land 1 in
+            let tv = tv_b.(idx) and valid = am_b.(idx) in
+            let ok0 = if bit 0 v = 1 then tv else lnot tv in
+            let ok1 = if bit 1 v = 1 then tv else lnot tv in
+            if valid land lnot (ok0 lor ok1) <> 0 then raise Fail;
+            let forced0 = valid land ok0 land lnot ok1 in
+            let forced1 = valid land ok1 land lnot ok0 in
+            if forced0 land !ga_care land !ga_val <> 0 then raise Fail;
+            if forced1 land !ga_care land lnot !ga_val <> 0 then raise Fail;
+            let newly = (forced0 lor forced1) land lnot !ga_care in
+            if newly <> 0 then begin
+              ga_care := !ga_care lor newly;
+              ga_val := !ga_val lor (forced1 land newly);
+              Stp_util.Vec.push trail (true, newly);
+              pending_a := !pending_a lor newly
+            end
+          in
+          let rec drain () =
+            if !pending_a <> 0 then begin
+              let idx = lowest_bit_index !pending_a in
+              pending_a := !pending_a land (!pending_a - 1);
+              force_from_a idx;
+              drain ()
+            end
+            else if !pending_b <> 0 then begin
+              let idx = lowest_bit_index !pending_b in
+              pending_b := !pending_b land (!pending_b - 1);
+              force_from_b idx;
+              drain ()
+            end
+          in
+          let set is_a idx v =
+            let b = 1 lsl idx in
+            if is_a then begin
+              ga_care := !ga_care lor b;
+              if v = 1 then ga_val := !ga_val lor b;
+              Stp_util.Vec.push trail (true, b);
+              pending_a := !pending_a lor b
+            end
+            else begin
+              hb_care := !hb_care lor b;
+              if v = 1 then hb_val := !hb_val lor b;
+              Stp_util.Vec.push trail (false, b);
+              pending_b := !pending_b lor b
+            end;
+            drain ()
+          in
+          (* Pending masks are always fully drained before a branch, so
+             clearing them wholesale on rollback is exact. *)
+          let rollback mark =
+            pending_a := 0;
+            pending_b := 0;
+            while Stp_util.Vec.length trail > mark do
+              let is_a, mask = Stp_util.Vec.pop trail in
+              if is_a then begin
+                ga_care := !ga_care land lnot mask;
+                ga_val := !ga_val land lnot mask
+              end
+              else begin
+                hb_care := !hb_care land lnot mask;
+                hb_val := !hb_val land lnot mask
+              end
+            done
+          in
+          let assemble w ind row =
+            let acc = ref 0L in
+            for code = 0 to w - 1 do
+              if (row lsr code) land 1 = 1 then
+                acc := Int64.logor !acc ind.(code)
+            done;
+            Tt.of_words n [| !acc |]
+          in
+          let emit () =
+            (* Reject constant factors. *)
+            if
+              not
+                (!ga_val = 0 || !ga_val = full_a || !hb_val = 0
+               || !hb_val = full_b)
+            then begin
+              results :=
+                { phi;
+                  g = assemble wa ind_a !ga_val;
+                  h = assemble wb ind_b !hb_val }
+                :: !results;
+              incr count
+            end
+          in
+          let rec search () =
+            if !count >= cap then ()
+            else begin
+              let una = full_a land lnot !ga_care in
+              let unb = full_b land lnot !hb_care in
+              if una = 0 && unb = 0 then emit ()
+              else begin
+                let is_a = una <> 0 in
+                let idx = lowest_bit_index (if is_a then una else unb) in
+                let mark = Stp_util.Vec.length trail in
+                (try
+                   set is_a idx 0;
+                   search ()
+                 with Fail -> ());
+                rollback mark;
+                if !count < cap then begin
+                  try
+                    set is_a idx 1;
+                    search ()
+                  with Fail -> ()
+                end;
+                rollback mark
+              end
+            end
+          in
+          match drain () with
+          | () -> search ()
+          | exception Fail -> ()
+        in
+        List.iter
+          (fun phi ->
+            if (allowed lsr phi) land 1 = 1 && !count < cap then solve_phi phi)
+          Gate.nontrivial;
+        List.rev !results
+      end
       else begin
       (* Constraints: per (alpha, beta) the required target value. *)
       let a_cons = Array.make (1 lsl na) [] in
@@ -346,8 +639,10 @@ let rec take n = function
 let decompose ?memo ?g_fixed ?h_fixed ~cap ~target ~amask ~bmask () =
   match memo with
   | None ->
-    decompose_uncached ?g_fixed ?h_fixed ~allowed:full_basis ~cap ~target
-      ~amask ~bmask ()
+    Profile.incr Profile.Decompose_calls;
+    Profile.time Profile.Decompose (fun () ->
+        decompose_uncached ?g_fixed ?h_fixed ~allowed:full_basis ~cap ~target
+          ~amask ~bmask ())
   | Some memo ->
     (* The cached value is always the full (decompose_cap-bounded)
        enumeration, truncated per call: this keeps the cache contents —
@@ -356,14 +651,18 @@ let decompose ?memo ?g_fixed ?h_fixed ~cap ~target ~amask ~bmask () =
        memo be reused across the instances of a collection run. *)
     let key = (target, g_fixed, h_fixed, amask, bmask) in
     let full =
-      match Hashtbl.find_opt memo.factorisations key with
-      | Some r -> r
+      match FactTbl.find_opt memo.factorisations key with
+      | Some r ->
+        Profile.incr Profile.Decompose_cache_hits;
+        r
       | None ->
+        Profile.incr Profile.Decompose_calls;
         let r =
-          decompose_uncached ?g_fixed ?h_fixed ~allowed:memo.basis
-            ~cap:(max cap decompose_cap) ~target ~amask ~bmask ()
+          Profile.time Profile.Decompose (fun () ->
+              decompose_uncached ?g_fixed ?h_fixed ~allowed:memo.basis
+                ~cap:(max cap decompose_cap) ~target ~amask ~bmask ())
         in
-        Hashtbl.replace memo.factorisations key r;
+        FactTbl.replace memo.factorisations key r;
         r
     in
     if List.compare_length_with full cap <= 0 then full else take cap full
@@ -413,7 +712,7 @@ let decompose_tracked ?g_fixed ?h_fixed ~memo ~stats ~target ~amask ~bmask () =
 let covers_ordered ?(max_shared = max_int) ~memo ~support ~slots_a ~slots_b () =
   let smask = List.fold_left (fun m v -> m lor (1 lsl v)) 0 support in
   let key = (smask, slots_a, slots_b, max_shared) in
-  match Hashtbl.find_opt memo.covers_cache key with
+  match QuadTbl.find_opt memo.covers_cache key with
   | Some cs -> cs
   | None ->
     let cs = covers ~max_shared ~support ~slots_a ~slots_b () in
@@ -421,7 +720,7 @@ let covers_ordered ?(max_shared = max_int) ~memo ~support ~slots_a ~slots_b () =
     let cs =
       List.stable_sort (fun c1 c2 -> Stdlib.compare (overlap c1) (overlap c2)) cs
     in
-    Hashtbl.replace memo.covers_cache key cs;
+    QuadTbl.replace memo.covers_cache key cs;
     cs
 
 let proj_var_of tt =
@@ -441,7 +740,7 @@ let proj_var_of tt =
    the precomputed table, larger supports fall back to the raw
    support-compacted table. *)
 let feasibility_key memo t =
-  match Hashtbl.find_opt memo.key_cache t with
+  match TtTbl.find_opt memo.key_cache t with
   | Some k -> k
   | None ->
     let shrunk, _ = Tt.shrink_to_support t in
@@ -458,7 +757,7 @@ let feasibility_key memo t =
         K4 (Stp_tt.Npn.canon4 (Tt.to_int embedded))
       else Kraw shrunk
     in
-    Hashtbl.replace memo.key_cache t key;
+    TtTbl.replace memo.key_cache t key;
     key
 
 (* Bounded tree feasibility: can ANY tree chain with at most [budget]
@@ -479,25 +778,31 @@ let rec tree_ok ~memo ~stats ~deadline t budget =
     (* ample room: do not spend time *)
   else begin
     let key = (feasibility_key memo t, budget) in
-    match Hashtbl.find_opt memo.feasibility key with
-    | Some r -> r
+    match FeasTbl.find_opt memo.feasibility key with
+    | Some r ->
+      Profile.incr Profile.Feasibility_cache_hits;
+      r
     | None ->
       Stp_util.Deadline.check deadline;
       stats.feasibility_checks <- stats.feasibility_checks + 1;
+      Profile.incr Profile.Feasibility_checks;
       let support = Tt.support t in
       let result =
-        List.exists
-          (fun (amask, bmask) ->
+        Profile.time Profile.Feasibility (fun () ->
             List.exists
-              (fun { phi = _; g; h } ->
-                match min_tree_leaves ~memo ~stats ~deadline g (budget - 1) with
-                | None -> false
-                | Some la -> tree_ok ~memo ~stats ~deadline h (budget - la))
-              (decompose ~memo ~cap:decompose_cap ~target:t ~amask ~bmask ()))
-          (covers_ordered ~max_shared:(budget - k) ~memo ~support
-             ~slots_a:(budget - 1) ~slots_b:(budget - 1) ())
+              (fun (amask, bmask) ->
+                List.exists
+                  (fun { phi = _; g; h } ->
+                    match
+                      min_tree_leaves ~memo ~stats ~deadline g (budget - 1)
+                    with
+                    | None -> false
+                    | Some la -> tree_ok ~memo ~stats ~deadline h (budget - la))
+                  (decompose ~memo ~cap:decompose_cap ~target:t ~amask ~bmask ()))
+              (covers_ordered ~max_shared:(budget - k) ~memo ~support
+                 ~slots_a:(budget - 1) ~slots_b:(budget - 1) ()))
       in
-      Hashtbl.replace memo.feasibility key result;
+      FeasTbl.replace memo.feasibility key result;
       result
   end
 
@@ -517,15 +822,40 @@ and single_gate_realises memo t =
   | _ -> false
 
 (* Smallest leaf budget at most [upper] under which [t] is
-   tree-realisable. *)
+   tree-realisable.  The answer is a function of the NPN feasibility key
+   alone ([tree_ok] is monotone in the budget), so the scan's outcome is
+   cached per key: an [Exact] minimum answers every later query with one
+   lookup, and a [Refuted_to] bound lets a later scan with a larger
+   budget resume where the previous one stopped instead of re-probing
+   the per-(key, budget) feasibility memo for every budget. *)
 and min_tree_leaves ~memo ~stats ~deadline t upper =
   let k = Tt.support_size t in
-  let rec scan l =
-    if l > upper then None
-    else if tree_ok ~memo ~stats ~deadline t l then Some l
-    else scan (l + 1)
-  in
-  scan (max k 1)
+  let start = max k 1 in
+  if upper < start then None
+  else begin
+    let key = feasibility_key memo t in
+    match KeyTbl.find_opt memo.min_leaves key with
+    | Some (Exact m) -> if m <= upper then Some m else None
+    | cached ->
+      let refuted =
+        match cached with Some (Refuted_to r) -> r | _ -> start - 1
+      in
+      if refuted >= upper then None
+      else begin
+        let rec scan l =
+          if l > upper then begin
+            KeyTbl.replace memo.min_leaves key (Refuted_to upper);
+            None
+          end
+          else if tree_ok ~memo ~stats ~deadline t l then begin
+            KeyTbl.replace memo.min_leaves key (Exact l);
+            Some l
+          end
+          else scan (l + 1)
+        in
+        scan (max start (refuted + 1))
+      end
+  end
 
 (* Per-node structural data used for pruning and memoisation: distinct
    and tree-expansion gate/leaf counts, plus two signatures of the
@@ -662,11 +992,15 @@ let solve_shape ?(deadline = Stp_util.Deadline.never) ?memo ?stats ~cap ~shape
     if k < 2 || infos.(j).tree_leaves < k || infos.(j).tree_gates < k - 1 then []
     else begin
       let key = (infos.(j).sig_ordered, t) in
-      match Hashtbl.find_opt memo.realisations key with
-      | Some r -> r
+      match RealTbl.find_opt memo.realisations key with
+      | Some r ->
+        Profile.incr Profile.Realisation_cache_hits;
+        r
       | None ->
+        Profile.incr Profile.Realisation_cache_misses;
         let fa, fb = shape.Dag.fanins.(j) in
         let result =
+          Profile.time Profile.Realise @@ fun () ->
           match (fa, fb) with
           | Dag.L _, Dag.L _ ->
             if k = 2 then begin
@@ -742,7 +1076,7 @@ let solve_shape ?(deadline = Stp_util.Deadline.never) ?memo ?stats ~cap ~shape
             if List.length !acc >= cap then stats.truncated <- true;
             List.rev !acc
         in
-        Hashtbl.replace memo.realisations key result;
+        RealTbl.replace memo.realisations key result;
         result
     end
   in
@@ -761,7 +1095,8 @@ let solve_shape ?(deadline = Stp_util.Deadline.never) ?memo ?stats ~cap ~shape
     let chain = Chain.make ~n ~steps ~output:(n + num - 1) () in
     chains := chain :: !chains;
     incr count;
-    stats.candidates_emitted <- stats.candidates_emitted + 1
+    stats.candidates_emitted <- stats.candidates_emitted + 1;
+    Profile.incr Profile.Chains_emitted
   in
   let fixed_target = function
     | Dag.N j -> targets.(j)
@@ -834,7 +1169,7 @@ let solve_shape ?(deadline = Stp_util.Deadline.never) ?memo ?stats ~cap ~shape
             let both_internal =
               match (fa, fb) with Dag.N _, Dag.N _ -> true | _ -> false
             in
-            if both_internal && (Tt.equal g h || Tt.equal g (Tt.bnot h)) then ()
+            if both_internal && (Tt.equal g h || Tt.equal_bnot g h) then ()
             else
               match bind fa g with
               | None -> ()

@@ -181,6 +181,18 @@ let bxor = map2 Int64.logxor
 
 let equal a b = a.n = b.n && Array.for_all2 Int64.equal a.words b.words
 
+(* [equal a (bnot b)] without materialising the complement. *)
+let equal_bnot a b =
+  a.n = b.n
+  &&
+  let m = small_mask a.n in
+  let rec loop i =
+    i < 0
+    || (Int64.equal a.words.(i) (Int64.logand (Int64.lognot b.words.(i)) m)
+       && loop (i - 1))
+  in
+  loop (Array.length a.words - 1)
+
 let compare a b =
   let c = Stdlib.compare a.n b.n in
   if c <> 0 then c
@@ -370,5 +382,14 @@ let expand t n placement =
         (fun i p -> if (m lsr p) land 1 = 1 then src := !src lor (1 lsl i))
         placement;
       get t !src)
+
+let to_words t = Array.copy t.words
+
+let of_words n words =
+  if n < 0 || n > max_vars then invalid_arg "Tt.of_words";
+  if Array.length words <> num_words n then
+    invalid_arg "Tt.of_words: wrong word count";
+  let m = small_mask n in
+  { n; words = Array.map (fun w -> Int64.logand w m) words }
 
 let pp fmt t = Format.fprintf fmt "%d'h%s" t.n (to_hex t)

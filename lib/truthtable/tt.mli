@@ -85,6 +85,11 @@ val band : t -> t -> t
 val bor : t -> t -> t
 val bxor : t -> t -> t
 val equal : t -> t -> bool
+
+val equal_bnot : t -> t -> bool
+(** [equal_bnot a b] is [equal a (bnot b)] without allocating the
+    complement table. *)
+
 val compare : t -> t -> int
 val hash : t -> int
 
@@ -138,6 +143,19 @@ val shrink_to_support : t -> t * int list
 val expand : t -> int -> int array -> t
 (** [expand t n placement] lifts a table to [n] variables, reading input
     [i] of [t] from variable [placement.(i)] of the result. *)
+
+(** {1 Packed interchange}
+
+    The raw 64-bit words behind the table, minterm bit [m] at bit
+    [m land 63] of word [m lsr 6] — the interchange format shared with
+    the packed ternary kernels ([Stp_matrix.Tmat]). *)
+
+val to_words : t -> int64 array
+(** A fresh copy of the packed words ([ceil(2^n / 64)] of them). *)
+
+val of_words : int -> int64 array -> t
+(** [of_words n words] builds a table from packed words; bits beyond
+    [2^n] are cleared. @raise Invalid_argument on a wrong word count. *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints [<n>'h<hex>]. *)

@@ -1,0 +1,166 @@
+external now_ns : unit -> int = "stp_profile_now_ns" [@@noalloc]
+
+type stage = Decompose | Feasibility | Realise | Verify | Canonical
+
+let num_stages = 5
+
+let stage_index = function
+  | Decompose -> 0
+  | Feasibility -> 1
+  | Realise -> 2
+  | Verify -> 3
+  | Canonical -> 4
+
+let stage_name = function
+  | Decompose -> "decompose"
+  | Feasibility -> "feasibility"
+  | Realise -> "realise"
+  | Verify -> "verify"
+  | Canonical -> "canonical"
+
+let all_stages = [ Decompose; Feasibility; Realise; Verify; Canonical ]
+
+type counter =
+  | Decompose_calls
+  | Decompose_cache_hits
+  | Quarter_tests
+  | Quarter_rejects
+  | Feasibility_checks
+  | Feasibility_cache_hits
+  | Realisation_cache_hits
+  | Realisation_cache_misses
+  | Chains_emitted
+  | Chains_verified
+  | Cube_merges
+  | Cube_subsumption_checks
+
+let num_counters = 12
+
+let counter_index = function
+  | Decompose_calls -> 0
+  | Decompose_cache_hits -> 1
+  | Quarter_tests -> 2
+  | Quarter_rejects -> 3
+  | Feasibility_checks -> 4
+  | Feasibility_cache_hits -> 5
+  | Realisation_cache_hits -> 6
+  | Realisation_cache_misses -> 7
+  | Chains_emitted -> 8
+  | Chains_verified -> 9
+  | Cube_merges -> 10
+  | Cube_subsumption_checks -> 11
+
+let counter_name = function
+  | Decompose_calls -> "decompose_calls"
+  | Decompose_cache_hits -> "decompose_cache_hits"
+  | Quarter_tests -> "quarter_tests"
+  | Quarter_rejects -> "quarter_rejects"
+  | Feasibility_checks -> "feasibility_checks"
+  | Feasibility_cache_hits -> "feasibility_cache_hits"
+  | Realisation_cache_hits -> "realisation_cache_hits"
+  | Realisation_cache_misses -> "realisation_cache_misses"
+  | Chains_emitted -> "chains_emitted"
+  | Chains_verified -> "chains_verified"
+  | Cube_merges -> "cube_merges"
+  | Cube_subsumption_checks -> "cube_subsumption_checks"
+
+let all_counters =
+  [ Decompose_calls; Decompose_cache_hits; Quarter_tests; Quarter_rejects;
+    Feasibility_checks; Feasibility_cache_hits; Realisation_cache_hits;
+    Realisation_cache_misses; Chains_emitted; Chains_verified; Cube_merges;
+    Cube_subsumption_checks ]
+
+(* Cross-domain accumulators. Parallel collection runs fan instances
+   over domains; counters and timers sum over all of them. *)
+let counters = Array.init num_counters (fun _ -> Atomic.make 0)
+let stage_calls = Array.init num_stages (fun _ -> Atomic.make 0)
+let stage_self_ns = Array.init num_stages (fun _ -> Atomic.make 0)
+
+let enabled_flag = ref false
+
+let enabled () = !enabled_flag
+
+let set_enabled b = enabled_flag := b
+
+let reset () =
+  Array.iter (fun a -> Atomic.set a 0) counters;
+  Array.iter (fun a -> Atomic.set a 0) stage_calls;
+  Array.iter (fun a -> Atomic.set a 0) stage_self_ns
+
+let incr c =
+  if !enabled_flag then
+    ignore (Atomic.fetch_and_add counters.(counter_index c) 1)
+
+let add c n =
+  if !enabled_flag && n <> 0 then
+    ignore (Atomic.fetch_and_add counters.(counter_index c) n)
+
+(* Exclusive (self) time per stage: a per-domain stack of frames; each
+   frame accumulates the time of its nested stage calls, which is
+   subtracted from the enclosing stage's elapsed time. *)
+type frame = { mutable child_ns : int }
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let time stage f =
+  if not !enabled_flag then f ()
+  else begin
+    let idx = stage_index stage in
+    let stack = Domain.DLS.get stack_key in
+    let frame = { child_ns = 0 } in
+    stack := frame :: !stack;
+    let t0 = now_ns () in
+    let finish () =
+      let dt = now_ns () - t0 in
+      (match !stack with
+       | _ :: tl ->
+         stack := tl;
+         (match tl with
+          | parent :: _ -> parent.child_ns <- parent.child_ns + dt
+          | [] -> ())
+       | [] -> ());
+      ignore (Atomic.fetch_and_add stage_self_ns.(idx) (dt - frame.child_ns));
+      ignore (Atomic.fetch_and_add stage_calls.(idx) 1)
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+type stage_snapshot = { stage : string; calls : int; self_s : float }
+
+type snapshot = {
+  stages : stage_snapshot list;
+  counts : (string * int) list;
+}
+
+let snapshot () =
+  { stages =
+      List.map
+        (fun s ->
+          let i = stage_index s in
+          { stage = stage_name s;
+            calls = Atomic.get stage_calls.(i);
+            self_s = float_of_int (Atomic.get stage_self_ns.(i)) /. 1e9 })
+        all_stages;
+    counts =
+      List.map
+        (fun c -> (counter_name c, Atomic.get counters.(counter_index c)))
+        all_counters }
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>";
+  Format.fprintf fmt "%-14s %12s %12s@," "stage" "calls" "self (s)";
+  List.iter
+    (fun st ->
+      Format.fprintf fmt "%-14s %12d %12.3f@," st.stage st.calls st.self_s)
+    s.stages;
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "%-28s %12d@," name v)
+    s.counts;
+  Format.fprintf fmt "@]"

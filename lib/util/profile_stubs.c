@@ -1,0 +1,13 @@
+#include <caml/mlvalues.h>
+#include <time.h>
+
+/* CLOCK_MONOTONIC nanoseconds as an OCaml int (63 bits: wraps after
+   ~146 years of uptime). Used for per-stage profiling timers, where
+   Unix.gettimeofday would go backwards under NTP adjustment. */
+CAMLprim value stp_profile_now_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + (long)ts.tv_nsec);
+}

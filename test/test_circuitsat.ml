@@ -67,6 +67,42 @@ let test_cube_merge () =
   let conflicting = { Solver.mask = 0b001; value = 0b000 } in
   Alcotest.(check bool) "conflict" false (Solver.cube_compatible a conflicting)
 
+let test_duplicate_cubes_dedup () =
+  (* Two identical LUTs as two outputs: the per-output cube sets are
+     identical, so every pairwise merge re-derives the same cubes — the
+     key-based dedup must collapse them to one copy each. *)
+  let or2 = Tt.of_int 2 0b1110 in
+  let net =
+    Net.make ~num_inputs:2
+      ~luts:
+        [ { Net.tt = or2; fanins = [| 0; 1 |] };
+          { Net.tt = or2; fanins = [| 0; 1 |] } ]
+      ~outputs:[ 2; 3 ]
+  in
+  let cubes = Solver.solve net ~targets:[| true; true |] in
+  let keys = List.map (fun c -> (c.Solver.mask, c.Solver.value)) cubes in
+  Alcotest.(check bool) "no duplicate cubes" true
+    (List.length keys = List.length (List.sort_uniq compare keys));
+  Alcotest.(check int) "or onset" 3
+    (Solver.count_solutions net ~targets:[| true; true |]);
+  Alcotest.(check bool) "onset = or" true
+    (Tt.equal (Solver.onset net ~targets:[| true; true |]) or2);
+  (* Subsumption: merging against {a=1} yields both the short cube
+     {a=1} and the longer {a=1,b=1}; the latter is subsumed and must be
+     dropped. (Network traversal alone cannot trigger this — every cube
+     of a per-signal set fixes the signal's whole input cone, so those
+     sets are mask-uniform — but MERGE is also used to combine arbitrary
+     sets.) *)
+  let a1 = { Solver.mask = 0b01; value = 0b01 } in
+  let ab = { Solver.mask = 0b11; value = 0b11 } in
+  let merged = Solver.merge_sets [ a1 ] [ a1; ab ] in
+  Alcotest.(check int) "subsumed to a single cube" 1 (List.length merged);
+  (match merged with
+   | [ c ] ->
+     Alcotest.(check int) "survivor mask" 0b01 c.Solver.mask;
+     Alcotest.(check int) "survivor value" 0b01 c.Solver.value
+   | _ -> ())
+
 let test_example8 () =
   (* The paper finds ten satisfying assignments for the Example 7 chain. *)
   let net = Net.of_chain example7_chain in
@@ -177,6 +213,8 @@ let () =
           Alcotest.test_case "fanouts" `Quick test_fanouts ] );
       ( "solver",
         [ Alcotest.test_case "cube merge" `Quick test_cube_merge;
+          Alcotest.test_case "duplicate cubes dedup" `Quick
+            test_duplicate_cubes_dedup;
           Alcotest.test_case "example 8" `Quick test_example8;
           Alcotest.test_case "onset = simulation" `Quick
             test_onset_equals_simulation;

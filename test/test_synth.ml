@@ -70,6 +70,73 @@ let test_decompose_fixed_side () =
       Alcotest.(check bool) "recomposes" true (Tt.equal (Tt.apply2 phi g h) f))
     triples
 
+let test_decompose_exhaustive () =
+  (* Completeness of the packed block solver: on 4-variable targets with
+     the disjoint cover {a,b} | {c,d}, compare against direct enumeration
+     of every (phi, g, h) with non-constant sides. Half the targets are
+     built to factor, so both empty and non-empty answers are checked —
+     including that the sharpened quartering reject never drops a
+     solution. *)
+  let nontrivial = Stp_chain.Gate.nontrivial in
+  let rng = Prng.create 2024 in
+  let g_of gv = Tt.of_fun 4 (fun m -> (gv lsr (m land 3)) land 1 = 1) in
+  let h_of hv = Tt.of_fun 4 (fun m -> (hv lsr (m lsr 2)) land 1 = 1) in
+  for i = 1 to 30 do
+    let f =
+      if i mod 2 = 0 then Tt.of_int 4 (Prng.int rng 0x10000)
+      else
+        Tt.apply2
+          (List.nth nontrivial (Prng.int rng (List.length nontrivial)))
+          (g_of (1 + Prng.int rng 14))
+          (h_of (1 + Prng.int rng 14))
+    in
+    let got =
+      Factor.decompose ~cap:100000 ~target:f ~amask:0b0011 ~bmask:0b1100 ()
+      |> List.map (fun { Factor.phi; g; h } -> (phi, Tt.to_hex g, Tt.to_hex h))
+      |> List.sort compare
+    in
+    let expected = ref [] in
+    List.iter
+      (fun phi ->
+        for gv = 1 to 14 do
+          for hv = 1 to 14 do
+            let g = g_of gv and h = h_of hv in
+            if Tt.equal (Tt.apply2 phi g h) f then
+              expected := (phi, Tt.to_hex g, Tt.to_hex h) :: !expected
+          done
+        done)
+      nontrivial;
+    let expected = List.sort compare !expected in
+    Alcotest.(check (list (triple int string string))) "same solution set"
+      expected got
+  done
+
+let test_decompose_memo_regression () =
+  (* The cached value is the full enumeration, truncated per call: the
+     answer for a given cap must not depend on which cap populated the
+     entry, and a cache hit must return the same list. *)
+  let f = Tt.of_hex ~n:4 "8ff8" in
+  let key { Factor.phi; g; h } = (phi, Tt.to_hex g, Tt.to_hex h) in
+  let call memo cap =
+    List.map key
+      (Factor.decompose ~memo ~cap ~target:f ~amask:0b0011 ~bmask:0b1100 ())
+  in
+  let m1 = Factor.create_memo () in
+  let full1 = call m1 1000 in
+  let capped1 = call m1 3 in
+  let m2 = Factor.create_memo () in
+  let capped2 = call m2 3 in
+  let full2 = call m2 1000 in
+  let tst = Alcotest.(list (triple int string string)) in
+  Alcotest.check tst "full independent of call order" full1 full2;
+  Alcotest.check tst "capped independent of call order" capped1 capped2;
+  Alcotest.check tst "cap truncates the full enumeration" capped1
+    (List.filteri (fun i _ -> i < 3) full1);
+  Alcotest.check tst "cache hit returns the same list" full1 (call m1 1000);
+  Alcotest.check tst "memoised = unmemoised" full1
+    (List.map key
+       (Factor.decompose ~cap:1000 ~target:f ~amask:0b0011 ~bmask:0b1100 ()))
+
 let qcheck_decompose_sound =
   QCheck.Test.make ~name:"decompose recomposes (random targets/covers)"
     ~count:150
@@ -310,6 +377,10 @@ let () =
           Alcotest.test_case "rejects" `Quick test_decompose_rejects;
           Alcotest.test_case "overlapping" `Quick test_decompose_overlapping;
           Alcotest.test_case "fixed side" `Quick test_decompose_fixed_side;
+          Alcotest.test_case "exhaustive agreement" `Quick
+            test_decompose_exhaustive;
+          Alcotest.test_case "memo regression" `Quick
+            test_decompose_memo_regression;
           QCheck_alcotest.to_alcotest qcheck_decompose_sound ] );
       ( "solve_shape",
         [ Alcotest.test_case "xor3" `Quick test_solve_shape_xor3;

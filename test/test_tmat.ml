@@ -1,0 +1,461 @@
+(* Property tests for the packed ternary kernels (Tmat): every
+   word-parallel operation is compared against a naive entry-by-entry
+   reference model over random tables with random don't-care masks, and
+   against Tt / Matrix / Canonical on fully-determined tables. *)
+
+module Tmat = Stp_matrix.Tmat
+module Matrix = Stp_matrix.Matrix
+module Canonical = Stp_matrix.Canonical
+module Tt = Stp_tt.Tt
+module Prng = Stp_util.Prng
+
+(* --- reference model: plain entry arrays --- *)
+
+let random_entries rng n =
+  Array.init (1 lsl n) (fun _ ->
+      match Prng.int rng 3 with
+      | 0 -> Tmat.True
+      | 1 -> Tmat.False
+      | _ -> Tmat.Dontcare)
+
+let pack n arr = Tmat.of_fun n (fun c -> arr.(c))
+
+let check_entries name tm arr =
+  let n = Tmat.num_vars tm in
+  Alcotest.(check int) (name ^ ": width") (Array.length arr) (1 lsl n);
+  for c = 0 to (1 lsl n) - 1 do
+    if Tmat.get tm c <> arr.(c) then Alcotest.failf "%s: entry %d differs" name c
+  done
+
+let ref_compatible a b =
+  let ok = ref true in
+  Array.iteri
+    (fun c x ->
+      match (x, b.(c)) with
+      | Tmat.True, Tmat.False | Tmat.False, Tmat.True -> ok := false
+      | _ -> ())
+    a;
+  !ok
+
+let ref_refines a b =
+  let ok = ref true in
+  Array.iteri
+    (fun c y ->
+      if y <> Tmat.Dontcare && a.(c) <> y then ok := false)
+    b;
+  !ok
+
+(* --- construction and access --- *)
+
+let test_roundtrip () =
+  let rng = Prng.create 1 in
+  for n = 0 to 8 do
+    for _ = 1 to 10 do
+      let arr = random_entries rng n in
+      let tm = pack n arr in
+      check_entries "of_fun/get" tm arr;
+      let dc =
+        Array.fold_left
+          (fun acc e -> if e = Tmat.Dontcare then acc + 1 else acc)
+          0 arr
+      in
+      Alcotest.(check int) "num_dontcares" dc (Tmat.num_dontcares tm);
+      (* functional set *)
+      let c = Prng.int rng (1 lsl n) in
+      let tm' = Tmat.set tm c Tmat.Dontcare in
+      Alcotest.(check bool) "set" true (Tmat.get tm' c = Tmat.Dontcare);
+      check_entries "set leaves rest" tm arr
+    done
+  done
+
+let test_of_tt_with_care () =
+  let rng = Prng.create 2 in
+  for _ = 1 to 50 do
+    let n = Prng.int rng 9 in
+    let v = Tt.of_fun n (fun _ -> Prng.bool rng) in
+    let care = Tt.of_fun n (fun _ -> Prng.bool rng) in
+    let tm = Tmat.of_tt_with_care v ~care in
+    let arr =
+      Array.init (1 lsl n) (fun m ->
+          if not (Tt.get care m) then Tmat.Dontcare
+          else if Tt.get v m then Tmat.True
+          else Tmat.False)
+    in
+    check_entries "of_tt_with_care" tm arr;
+    (* full-care roundtrip through Tt *)
+    Alcotest.(check bool) "of_tt/to_tt" true
+      (Tt.equal v (Tmat.to_tt (Tmat.of_tt v)))
+  done
+
+(* --- ternary lattice --- *)
+
+let test_lattice () =
+  let rng = Prng.create 3 in
+  for _ = 1 to 200 do
+    let n = Prng.int rng 7 in
+    let a = random_entries rng n in
+    (* bias towards related pairs: sometimes derive b from a *)
+    let b =
+      if Prng.bool rng then random_entries rng n
+      else
+        Array.map
+          (fun e -> if Prng.int rng 3 = 0 then Tmat.Dontcare else e)
+          a
+    in
+    let ta = pack n a and tb = pack n b in
+    Alcotest.(check bool) "compatible" (ref_compatible a b)
+      (Tmat.compatible ta tb);
+    Alcotest.(check bool) "refines" (ref_refines a b) (Tmat.refines ta tb);
+    (match Tmat.meet ta tb with
+     | None ->
+       Alcotest.(check bool) "meet none iff incompatible" false
+         (ref_compatible a b)
+     | Some m ->
+       Alcotest.(check bool) "meet some iff compatible" true
+         (ref_compatible a b);
+       let expect =
+         Array.mapi
+           (fun c x -> if x = Tmat.Dontcare then b.(c) else x)
+           a
+       in
+       check_entries "meet entries" m expect;
+       Alcotest.(check bool) "meet refines both" true
+         (Tmat.refines m ta && Tmat.refines m tb));
+    Alcotest.(check bool) "equal reflexive" true (Tmat.equal ta (pack n a));
+    Alcotest.(check int) "compare reflexive" 0 (Tmat.compare ta (pack n a))
+  done
+
+(* --- blocks and quartering --- *)
+
+let ref_cofactor arr n i b =
+  Array.init (1 lsl n) (fun c ->
+      let c' = if b then c lor (1 lsl i) else c land lnot (1 lsl i) in
+      arr.(c'))
+
+let test_cofactor_quarter () =
+  let rng = Prng.create 4 in
+  for _ = 1 to 100 do
+    let n = 1 + Prng.int rng 8 in
+    let arr = random_entries rng n in
+    let tm = pack n arr in
+    let i = Prng.int rng n in
+    check_entries "cofactor 0" (Tmat.cofactor tm i false)
+      (ref_cofactor arr n i false);
+    check_entries "cofactor 1" (Tmat.cofactor tm i true)
+      (ref_cofactor arr n i true);
+    let q0, q1 = Tmat.quarter tm i in
+    check_entries "quarter lo" q0 (ref_cofactor arr n i false);
+    check_entries "quarter hi" q1 (ref_cofactor arr n i true)
+  done
+
+let ref_distinct_blocks arr n group =
+  (* restrict to every assignment of the group bits; count distinct
+     restricted entry vectors *)
+  let rest = ref [] in
+  for i = n - 1 downto 0 do
+    if (group lsr i) land 1 = 0 then rest := i :: !rest
+  done;
+  let rest = Array.of_list !rest in
+  let gvars = ref [] in
+  for i = n - 1 downto 0 do
+    if (group lsr i) land 1 = 1 then gvars := i :: !gvars
+  done;
+  let gvars = Array.of_list !gvars in
+  let blocks = Hashtbl.create 16 in
+  for gi = 0 to (1 lsl Array.length gvars) - 1 do
+    let block =
+      Array.to_list
+        (Array.init
+           (1 lsl Array.length rest)
+           (fun ri ->
+             let c = ref 0 in
+             Array.iteri
+               (fun j v -> if (gi lsr j) land 1 = 1 then c := !c lor (1 lsl v))
+               gvars;
+             Array.iteri
+               (fun j v -> if (ri lsr j) land 1 = 1 then c := !c lor (1 lsl v))
+               rest;
+             arr.(!c)))
+    in
+    Hashtbl.replace blocks block ()
+  done;
+  Hashtbl.length blocks
+
+let test_distinct_blocks () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 150 do
+    let n = 1 + Prng.int rng 7 in
+    let arr = random_entries rng n in
+    let tm = pack n arr in
+    let group = Prng.int rng (1 lsl n) in
+    let expect = ref_distinct_blocks arr n group in
+    Alcotest.(check int) "distinct (default cap 3)" (min 3 expect)
+      (Tmat.distinct_blocks tm ~group);
+    Alcotest.(check int) "distinct (uncapped)" expect
+      (Tmat.distinct_blocks ~cap:max_int tm ~group);
+    Alcotest.(check int) "distinct (cap 2)" (min 2 expect)
+      (Tmat.distinct_blocks ~cap:2 tm ~group)
+  done
+
+(* --- permutations --- *)
+
+let random_perm rng n =
+  let p = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let ref_permute arr n perm =
+  Array.init (1 lsl n) (fun m ->
+      let m' = ref 0 in
+      for i = 0 to n - 1 do
+        if (m lsr i) land 1 = 1 then m' := !m' lor (1 lsl perm.(i))
+      done;
+      arr.(!m'))
+
+let test_permutations () =
+  let rng = Prng.create 6 in
+  for _ = 1 to 100 do
+    let n = 1 + Prng.int rng 8 in
+    let arr = random_entries rng n in
+    let tm = pack n arr in
+    let perm = random_perm rng n in
+    check_entries "permute" (Tmat.permute tm perm) (ref_permute arr n perm);
+    let i = Prng.int rng n and j = Prng.int rng n in
+    let swap_perm = Array.init n (fun v -> v) in
+    swap_perm.(i) <- j;
+    swap_perm.(j) <- i;
+    check_entries "swap_vars" (Tmat.swap_vars tm i j)
+      (ref_permute arr n swap_perm);
+    let k = Prng.int rng n in
+    check_entries "negate_var" (Tmat.negate_var tm k)
+      (Array.init (1 lsl n) (fun c -> arr.(c lxor (1 lsl k))));
+    (* full-care tables must track Tt exactly *)
+    let f = Tt.of_fun n (fun _ -> Prng.bool rng) in
+    Alcotest.(check bool) "permute = Tt.permute" true
+      (Tt.equal (Tt.permute f perm) (Tmat.to_tt (Tmat.permute (Tmat.of_tt f) perm)));
+    Alcotest.(check bool) "swap = Tt.swap_vars" true
+      (Tt.equal (Tt.swap_vars f i j)
+         (Tmat.to_tt (Tmat.swap_vars (Tmat.of_tt f) i j)))
+  done
+
+(* --- index-space rewrites --- *)
+
+let ref_insert arr n b =
+  Array.init (1 lsl (n + 1)) (fun c ->
+      let low = c land ((1 lsl b) - 1) in
+      let high = c lsr (b + 1) in
+      arr.((high lsl b) lor low))
+
+let ref_reduce arr n b =
+  Array.init (1 lsl (n - 1)) (fun c ->
+      let low = c land ((1 lsl b) - 1) in
+      let bit = (c lsr b) land 1 in
+      let high = c lsr (b + 1) in
+      arr.((high lsl (b + 2)) lor (bit lsl (b + 1)) lor (bit lsl b) lor low))
+
+let test_insert_reduce () =
+  let rng = Prng.create 7 in
+  for _ = 1 to 100 do
+    let n = 1 + Prng.int rng 7 in
+    let arr = random_entries rng n in
+    let tm = pack n arr in
+    let b = Prng.int rng (n + 1) in
+    check_entries "insert_var" (Tmat.insert_var tm b) (ref_insert arr n b);
+    if n >= 2 then begin
+      let b = Prng.int rng (n - 1) in
+      check_entries "reduce_dup" (Tmat.reduce_dup tm b) (ref_reduce arr n b)
+    end;
+    let q = Prng.int rng 3 in
+    check_entries "repeat_low" (Tmat.repeat_low tm q)
+      (Array.init (1 lsl (n + q)) (fun c -> arr.(c lsr q)));
+    let p = Prng.int rng 3 in
+    check_entries "tile_high" (Tmat.tile_high tm p)
+      (Array.init (1 lsl (n + p)) (fun c -> arr.(c land ((1 lsl n) - 1))))
+  done
+
+let test_rewrites_match_canonical_primitives () =
+  (* On logic matrices the packed rewrites must agree with the exported
+     general column operations (which the canonical tests in turn check
+     against explicit STP products). insert_var b = expand at position
+     k - b; reduce_dup b = reduce at position k - 2 - b. *)
+  let rng = Prng.create 8 in
+  for _ = 1 to 50 do
+    let k = 1 + Prng.int rng 5 in
+    let row = Array.init (1 lsl k) (fun _ -> Prng.int rng 2) in
+    let m =
+      Matrix.make 2 (1 lsl k) (fun r c -> if r = 0 then row.(c) else 1 - row.(c))
+    in
+    let tm = Tmat.of_matrix m in
+    let b = Prng.int rng (k + 1) in
+    Alcotest.(check bool) "insert = expand_positions" true
+      (Matrix.equal
+         (Tmat.to_matrix (Tmat.insert_var tm b))
+         (Canonical.expand_positions m (k - b) k));
+    if k >= 2 then begin
+      let b = Prng.int rng (k - 1) in
+      Alcotest.(check bool) "reduce = reduce_positions" true
+        (Matrix.equal
+           (Tmat.to_matrix (Tmat.reduce_dup tm b))
+           (Canonical.reduce_positions m (k - 2 - b) k))
+    end
+  done
+
+(* --- gate composition --- *)
+
+let entry_values = function
+  | Tmat.True -> [ 1 ]
+  | Tmat.False -> [ 0 ]
+  | Tmat.Dontcare -> [ 0; 1 ]
+
+let ref_gate code ea eb =
+  let outs =
+    List.concat_map
+      (fun va ->
+        List.map (fun vb -> (code lsr ((2 * va) + vb)) land 1) (entry_values eb))
+      (entry_values ea)
+  in
+  match List.sort_uniq compare outs with
+  | [ 0 ] -> Tmat.False
+  | [ 1 ] -> Tmat.True
+  | _ -> Tmat.Dontcare
+
+let test_apply_gate () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 60 do
+    let n = Prng.int rng 7 in
+    let a = random_entries rng n and b = random_entries rng n in
+    let ta = pack n a and tb = pack n b in
+    for code = 0 to 15 do
+      let expect = Array.init (1 lsl n) (fun c -> ref_gate code a.(c) b.(c)) in
+      check_entries "apply_gate ternary" (Tmat.apply_gate code ta tb) expect
+    done;
+    (* fully-determined operands track Tt.apply2 *)
+    let fa = Tt.of_fun n (fun _ -> Prng.bool rng)
+    and fb = Tt.of_fun n (fun _ -> Prng.bool rng) in
+    for code = 0 to 15 do
+      Alcotest.(check bool) "apply_gate = Tt.apply2" true
+        (Tt.equal (Tt.apply2 code fa fb)
+           (Tmat.to_tt (Tmat.apply_gate code (Tmat.of_tt fa) (Tmat.of_tt fb))))
+    done
+  done
+
+let test_stp_compose () =
+  let rng = Prng.create 10 in
+  for _ = 1 to 100 do
+    let p = Prng.int rng 4 and q = Prng.int rng 4 in
+    let a = random_entries rng p and b = random_entries rng q in
+    let code = Prng.int rng 16 in
+    let composed = Tmat.stp_compose code (pack p a) (pack q b) in
+    let expect =
+      Array.init (1 lsl (p + q)) (fun c ->
+          ref_gate code a.(c lsr q) b.(c land ((1 lsl q) - 1)))
+    in
+    check_entries "stp_compose" composed expect
+  done
+
+(* --- completions --- *)
+
+let test_completions () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 60 do
+    let n = Prng.int rng 4 in
+    let arr = random_entries rng n in
+    let tm = pack n arr in
+    let dontcares = ref [] in
+    Array.iteri
+      (fun c e -> if e = Tmat.Dontcare then dontcares := c :: !dontcares)
+      arr;
+    let dontcares = Array.of_list (List.rev !dontcares) in
+    let k = Array.length dontcares in
+    let expect =
+      List.init (1 lsl k) (fun fill ->
+          Tt.of_fun n (fun m ->
+              match arr.(m) with
+              | Tmat.True -> true
+              | Tmat.False -> false
+              | Tmat.Dontcare ->
+                let j = ref 0 in
+                Array.iteri (fun i c -> if c = m then j := i) dontcares;
+                (fill lsr !j) land 1 = 1))
+    in
+    let got = List.of_seq (Tmat.completions tm) in
+    Alcotest.(check int) "completion count" (1 lsl k) (List.length got);
+    List.iter2
+      (fun e g ->
+        Alcotest.(check bool) "completion order and value" true (Tt.equal e g))
+      expect got;
+    (* completed fills uniformly *)
+    Alcotest.(check bool) "completed false" true
+      (Tt.equal (Tmat.completed tm false)
+         (Tt.of_fun n (fun m -> arr.(m) = Tmat.True)));
+    Alcotest.(check bool) "completed true" true
+      (Tt.equal (Tmat.completed tm true)
+         (Tt.of_fun n (fun m -> arr.(m) <> Tmat.False)))
+  done
+
+(* --- matrix interchange and hashing --- *)
+
+let test_matrix_interchange () =
+  let rng = Prng.create 12 in
+  for _ = 1 to 50 do
+    let k = Prng.int rng 6 in
+    let row = Array.init (1 lsl k) (fun _ -> Prng.int rng 2) in
+    let m =
+      Matrix.make 2 (1 lsl k) (fun r c -> if r = 0 then row.(c) else 1 - row.(c))
+    in
+    Alcotest.(check bool) "of_matrix/to_matrix" true
+      (Matrix.equal m (Tmat.to_matrix (Tmat.of_matrix m)))
+  done;
+  Alcotest.check_raises "to_matrix rejects dontcare"
+    (Invalid_argument "Tmat.to_matrix: table has don't-care entries") (fun () ->
+      ignore (Tmat.to_matrix (Tmat.unknown 1)))
+
+let test_hash () =
+  let rng = Prng.create 13 in
+  for _ = 1 to 100 do
+    let n = Prng.int rng 8 in
+    let arr = random_entries rng n in
+    let a = pack n arr and b = pack n (Array.copy arr) in
+    Alcotest.(check bool) "equal -> hash64 equal" true
+      (Tmat.hash64 a = Tmat.hash64 b);
+    Alcotest.(check bool) "hash non-negative" true (Tmat.hash a >= 0);
+    (* a deterministic perturbation must change this hash *)
+    let c = Prng.int rng (1 lsl n) in
+    let flipped =
+      Tmat.set a c
+        (match Tmat.get a c with
+         | Tmat.True -> Tmat.False
+         | _ -> Tmat.True)
+    in
+    Alcotest.(check bool) "perturbation changes hash" true
+      (Tmat.hash64 flipped <> Tmat.hash64 a)
+  done
+
+let () =
+  Alcotest.run "tmat"
+    [ ( "construction",
+        [ Alcotest.test_case "of_fun/get/set" `Quick test_roundtrip;
+          Alcotest.test_case "of_tt_with_care" `Quick test_of_tt_with_care;
+          Alcotest.test_case "matrix interchange" `Quick test_matrix_interchange
+        ] );
+      ( "lattice",
+        [ Alcotest.test_case "compatible/refines/meet" `Quick test_lattice;
+          Alcotest.test_case "completions" `Quick test_completions;
+          Alcotest.test_case "hash" `Quick test_hash ] );
+      ( "blocks",
+        [ Alcotest.test_case "cofactor/quarter" `Quick test_cofactor_quarter;
+          Alcotest.test_case "distinct_blocks" `Quick test_distinct_blocks ] );
+      ( "rewrites",
+        [ Alcotest.test_case "permutations" `Quick test_permutations;
+          Alcotest.test_case "insert/reduce/repeat/tile" `Quick
+            test_insert_reduce;
+          Alcotest.test_case "match canonical primitives" `Quick
+            test_rewrites_match_canonical_primitives ] );
+      ( "gates",
+        [ Alcotest.test_case "apply_gate" `Quick test_apply_gate;
+          Alcotest.test_case "stp_compose" `Quick test_stp_compose ] ) ]
