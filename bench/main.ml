@@ -52,7 +52,7 @@ let table1 ~jobs ~npn_cache () =
   let caches =
     List.map
       (fun (e : Runner.engine) ->
-        ( e.Runner.engine_name,
+        ( Runner.engine_name e,
           if npn_cache then Some (Stp_synth.Npn_cache.create ()) else None ))
       Runner.all_engines
   in
@@ -64,10 +64,10 @@ let table1 ~jobs ~npn_cache () =
         let aggs =
           List.map
             (fun (e : Runner.engine) ->
-              Printf.eprintf "[bench]   engine %s...\n%!" e.Runner.engine_name;
+              Printf.eprintf "[bench]   engine %s...\n%!" (Runner.engine_name e);
               let agg =
                 Runner.run_collection ~timeout:bench_timeout ~jobs
-                  ?cache:(List.assoc e.Runner.engine_name caches)
+                  ?cache:(List.assoc (Runner.engine_name e) caches)
                   e c.Collections.functions
               in
               Printf.eprintf
@@ -225,25 +225,7 @@ let ablations () =
 
 let () =
   let open Cmdliner in
-  let jobs_arg =
-    let doc =
-      "Domains to fan Table I instances over (0 = auto: the recommended \
-       domain count capped at 8; 1 = sequential). The effective value is \
-       printed in the Table I header."
-    in
-    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-  in
-  let no_cache_arg =
-    let doc = "Disable the NPN-class synthesis cache for Table I." in
-    Arg.(value & flag & info [ "no-npn-cache" ] ~doc)
-  in
-  let profile_arg =
-    let doc =
-      "Collect per-stage timers and hot-path counters for the Table I \
-       runs; embedded under $(b,profile) in BENCH_table1.json."
-    in
-    Arg.(value & flag & info [ "profile" ] ~doc)
-  in
+  let module Cli = Stp_harness.Cli in
   let run jobs no_npn_cache profile =
     Stp_util.Profile.set_enabled profile;
     fig2 ();
@@ -251,14 +233,11 @@ let () =
     fig1 ();
     micro ();
     ablations ();
-    let jobs =
-      if jobs <= 0 then Stp_parallel.Pool.default_jobs () else jobs
-    in
-    table1 ~jobs ~npn_cache:(not no_npn_cache) ()
+    table1 ~jobs:(Cli.resolve_jobs jobs) ~npn_cache:(not no_npn_cache) ()
   in
   let cmd =
     Cmd.v
       (Cmd.info "bench" ~doc:"regenerate the paper's tables and figures")
-      Term.(const run $ jobs_arg $ no_cache_arg $ profile_arg)
+      Term.(const run $ Cli.jobs $ Cli.no_npn_cache $ Cli.profile)
   in
   exit (Cmd.eval cmd)

@@ -4,6 +4,8 @@ open Cmdliner
 module Ntk = Stp_network.Ntk
 module Rewrite = Stp_network.Rewrite
 module Report = Stp_harness.Report
+module Cli = Stp_harness.Cli
+module Store = Stp_store.Store
 
 let read_network path =
   let sniff () =
@@ -49,7 +51,7 @@ let row_json path ntk (r : Rewrite.report) =
       ("elapsed_s", Float r.elapsed) ]
 
 let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
-    out_path =
+    out_path store_path =
   if files = [] then begin
     prerr_endline "rewrite: no input files";
     exit 124
@@ -58,7 +60,7 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
     prerr_endline "rewrite: --out needs exactly one input file";
     exit 124
   end;
-  let jobs = if jobs <= 0 then Stp_parallel.Pool.default_jobs () else jobs in
+  let jobs = Cli.resolve_jobs jobs in
   Printf.eprintf
     "[rewrite] lut-size %d, cut-limit %d, timeout %.1fs/class, %d job%s, \
      basis %s\n%!"
@@ -74,8 +76,29 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
       basis = (if full_basis then None else Some Rewrite.and_basis) }
   in
   (* One cache for the whole batch: classes solved on one benchmark are
-     replays on the next. *)
+     replays on the next. Chains live in the selected gate basis, so the
+     persistent store keys them under a basis-distinct section — an
+     AND-basis chain set must never answer a full-basis run. *)
+  let section = if full_basis then "STP" else "STP+and" in
+  let store =
+    match store_path with
+    | "" -> None
+    | path ->
+      let s = Store.load ~path in
+      let st = Store.stats s in
+      Printf.eprintf "[rewrite] store %s: %d classes in %d sections%s\n%!" path
+        st.Store.classes st.Store.sections
+        (if st.Store.skipped = 0 then ""
+         else Printf.sprintf " (%d corrupt records skipped)" st.Store.skipped);
+      Some s
+  in
   let cache = Stp_synth.Npn_cache.create () in
+  (match store with
+   | Some s ->
+     let seeded = Store.seed s ~section cache in
+     if seeded > 0 then
+       Printf.eprintf "[rewrite] store: seeded %d %s classes\n%!" seeded section
+   | None -> ());
   let all_ok = ref true in
   let total_gain = ref 0 in
   let rows =
@@ -115,6 +138,13 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
         row_json path ntk r)
       files
   in
+  (match store with
+   | None -> ()
+   | Some s ->
+     let fresh = Store.absorb s ~section cache in
+     Store.flush s;
+     Printf.eprintf "[rewrite] store: flushed %d classes (%d new) to %s\n%!"
+       (Store.stats s).Store.classes fresh (Store.path s));
   Printf.eprintf "[rewrite] total: %d gate%s saved over %d benchmark%s\n%!"
     !total_gain
     (if !total_gain = 1 then "" else "s")
@@ -154,17 +184,6 @@ let cut_limit_arg =
   let doc = "Priority cuts kept per node." in
   Arg.(value & opt int 8 & info [ "cut-limit" ] ~docv:"N" ~doc)
 
-let timeout_arg =
-  let doc = "Per-NPN-class synthesis timeout in seconds." in
-  Arg.(value & opt float 5.0 & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc)
-
-let jobs_arg =
-  let doc =
-    "Domains to fan class synthesis over (0 = auto: recommended domain \
-     count capped at 8)."
-  in
-  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
 let full_basis_arg =
   let doc =
     "Synthesize replacement chains over all ten 2-input gates instead of \
@@ -175,10 +194,6 @@ let full_basis_arg =
 let max_chains_arg =
   let doc = "Optimum chains tried per cut (the engine returns all of them)." in
   Arg.(value & opt int 8 & info [ "max-chains" ] ~docv:"N" ~doc)
-
-let json_arg =
-  let doc = "Write machine-readable per-benchmark results to this file." in
-  Arg.(value & opt string "" & info [ "json" ] ~docv:"PATH" ~doc)
 
 let out_arg =
   let doc =
@@ -192,7 +207,9 @@ let cmd =
   Cmd.v
     (Cmd.info "rewrite" ~doc)
     Term.(
-      const run $ files_arg $ lut_size_arg $ cut_limit_arg $ timeout_arg
-      $ jobs_arg $ full_basis_arg $ max_chains_arg $ json_arg $ out_arg)
+      const run $ files_arg $ lut_size_arg $ cut_limit_arg
+      $ Cli.timeout ~doc:"Per-NPN-class synthesis timeout in seconds." ()
+      $ Cli.jobs $ full_basis_arg $ max_chains_arg
+      $ Cli.json () $ out_arg $ Cli.store)
 
 let () = exit (Cmd.eval cmd)

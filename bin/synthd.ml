@@ -1,0 +1,90 @@
+(* Batch synthesis daemon: JSON-lines requests (truth table in, optimum
+   2-LUT chains out) over stdin/stdout or a Unix socket, backed by the
+   persistent NPN cache store. *)
+
+open Cmdliner
+module Cli = Stp_harness.Cli
+module Store = Stp_store.Store
+module Daemon = Stp_store.Daemon
+
+let run jobs timeout store_path socket no_npn_cache profile sends =
+  Stp_util.Profile.set_enabled profile;
+  match sends with
+  | _ :: _ ->
+    (* Client mode: round-trip request lines through a serving daemon. *)
+    if socket = "" then begin
+      prerr_endline "synthd: --send needs --socket";
+      exit 124
+    end;
+    (match Daemon.client ~socket sends with
+     | responses -> List.iter print_endline responses
+     | exception Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "synthd: cannot reach daemon at %s: %s\n" socket
+         (Unix.error_message e);
+       exit 1)
+  | [] ->
+    let jobs = Cli.resolve_jobs jobs in
+    let store =
+      match store_path with
+      | "" -> None
+      | path ->
+        let s = Store.load ~path in
+        let st = Store.stats s in
+        Printf.eprintf "[synthd] store %s: %d classes in %d sections%s\n%!"
+          path st.Store.classes st.Store.sections
+          (if st.Store.skipped = 0 then ""
+           else Printf.sprintf " (%d corrupt records skipped)" st.Store.skipped);
+        Some s
+    in
+    Printf.eprintf "[synthd] serving %s: %d job%s, default timeout %.1fs%s\n%!"
+      (if socket = "" then "stdin" else socket)
+      jobs
+      (if jobs = 1 then "" else "s")
+      timeout
+      (if no_npn_cache then ", npn-cache off" else "");
+    Daemon.serve
+      { Daemon.jobs; timeout; store; socket; no_npn_cache };
+    (match store with
+     | Some s ->
+       Printf.eprintf "[synthd] store: %d classes flushed to %s\n%!"
+         (Store.stats s).Store.classes (Store.path s)
+     | None -> ());
+    if profile then
+      Format.eprintf "[synthd] profile:@.%a@.%!" Stp_util.Profile.pp
+        (Stp_util.Profile.snapshot ())
+
+let socket_arg =
+  let doc =
+    "Serve a Unix domain socket at this path instead of stdin/stdout \
+     (created on start, unlinked on shutdown)."
+  in
+  Arg.(value & opt string "" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let send_arg =
+  let doc =
+    "Act as a client: send this JSON request line (repeatable) to the \
+     daemon at --socket, print the responses, and exit."
+  in
+  Arg.(value & opt_all string [] & info [ "send" ] ~docv:"JSON" ~doc)
+
+let cmd =
+  let doc = "batch exact-synthesis daemon over the persistent NPN store" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Reads JSON-lines synthesis requests — one object per line, e.g. \
+         {\"id\": 1, \"n\": 4, \"tt\": \"8ff8\", \"timeout\": 2.0} — and \
+         answers each with the optimum 2-LUT chains, a cache replay when \
+         the function's NPN class is already known, or a verified upper \
+         bound when the per-request deadline expires. Buffered request \
+         backlogs are fanned out over --jobs domains. SIGTERM/SIGINT \
+         finish the current batch and flush the store." ]
+  in
+  Cmd.v
+    (Cmd.info "synthd" ~doc ~man)
+    Term.(
+      const run $ Cli.jobs
+      $ Cli.timeout ~doc:"Default per-request deadline in seconds." ()
+      $ Cli.store $ socket_arg $ Cli.no_npn_cache $ Cli.profile $ send_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,12 +1,13 @@
 (* Regenerate Table I: four engines over the five function collections. *)
 
 open Cmdliner
+module Runner = Stp_harness.Runner
+module Cli = Stp_harness.Cli
+module Store = Stp_store.Store
 
 let run collections timeout scale jobs no_npn_cache json_path csv cross_check
-    profile limit =
-  let jobs =
-    if jobs <= 0 then Stp_parallel.Pool.default_jobs () else jobs
-  in
+    profile limit store_path =
+  let jobs = Cli.resolve_jobs jobs in
   Stp_util.Profile.set_enabled profile;
   let scale =
     match scale with
@@ -51,16 +52,42 @@ let run collections timeout scale jobs no_npn_cache json_path csv cross_check
               List.filteri (fun i _ -> i < limit) c.functions })
         selected
   in
+  let store =
+    match store_path with
+    | "" -> None
+    | path ->
+      let s = Store.load ~path in
+      let st = Store.stats s in
+      Printf.eprintf "[table1] store %s: %d classes in %d sections%s\n%!" path
+        st.Store.classes st.Store.sections
+        (if st.Store.skipped = 0 then ""
+         else Printf.sprintf " (%d corrupt records skipped)" st.Store.skipped);
+      Some s
+  in
   (* One NPN cache per engine, carried across collections: entries store
      the engine's own chain sets, so caches must not be shared between
-     engines. *)
+     engines. A persistent store seeds each cache from the section named
+     after its engine and absorbs it back at the end of the run. *)
   let caches =
     List.map
-      (fun (e : Stp_harness.Runner.engine) ->
-        ( e.Stp_harness.Runner.engine_name,
+      (fun (e : Runner.engine) ->
+        let name = Runner.engine_name e in
+        let cache =
           if no_npn_cache then None
-          else Some (Stp_synth.Npn_cache.create ()) ))
-      Stp_harness.Runner.all_engines
+          else begin
+            let c = Stp_synth.Npn_cache.create () in
+            (match store with
+             | Some s ->
+               let seeded = Store.seed s ~section:name c in
+               if seeded > 0 then
+                 Printf.eprintf "[table1] store: seeded %d %s classes\n%!"
+                   seeded name
+             | None -> ());
+            Some c
+          end
+        in
+        (name, cache))
+      Runner.all_engines
   in
   let rows =
     List.map
@@ -87,34 +114,48 @@ let run collections timeout scale jobs no_npn_cache json_path csv cross_check
         in
         let aggs =
           List.map
-            (fun (e : Stp_harness.Runner.engine) ->
+            (fun (e : Runner.engine) ->
+              let name = Runner.engine_name e in
               let on_instance i _f r =
-                if cross_check then check_optimum e.engine_name i r
+                if cross_check then check_optimum name i r
               in
-              let cache = List.assoc e.engine_name caches in
+              let cache = List.assoc name caches in
               let agg =
-                Stp_harness.Runner.run_collection ~timeout ~jobs ?cache
-                  ~on_instance e c.functions
+                Runner.run_collection ~timeout ~jobs ?cache ~on_instance e
+                  c.functions
               in
               Printf.eprintf
                 "[table1]   %s: mean %.3fs, %d t/o, %d ok, wall %.2fs \
                  (speedup %.2fx, cache %d/%d hits)\n%!"
-                e.engine_name agg.mean_time agg.timeouts agg.solved
-                agg.wall_time
-                (Stp_harness.Runner.speedup agg)
-                agg.cache_hits
+                name agg.mean_time agg.timeouts agg.solved agg.wall_time
+                (Runner.speedup agg) agg.cache_hits
                 (agg.cache_hits + agg.cache_misses);
-              (match agg.Stp_harness.Runner.profile with
+              (match agg.Runner.profile with
                | Some p ->
-                 Format.eprintf "[table1]   %s profile:@.%a@.%!" e.engine_name
+                 Format.eprintf "[table1]   %s profile:@.%a@.%!" name
                    Stp_util.Profile.pp p
                | None -> ());
               agg)
-            Stp_harness.Runner.all_engines
+            Runner.all_engines
         in
         (c.name, List.length c.functions, aggs))
       selected
   in
+  (match store with
+   | None -> ()
+   | Some s ->
+     let fresh =
+       List.fold_left
+         (fun acc (section, cache) ->
+           match cache with
+           | None -> acc
+           | Some c -> acc + Store.absorb s ~section c)
+         0 caches
+     in
+     Store.flush s;
+     let st = Store.stats s in
+     Printf.eprintf "[table1] store: flushed %d classes (%d new) to %s\n%!"
+       st.Store.classes fresh (Store.path s));
   let table_rows = List.map (fun (name, _, aggs) -> (name, aggs)) rows in
   if csv then Stp_harness.Table.render_csv Format.std_formatter ~rows:table_rows
   else Stp_harness.Table.render Format.std_formatter ~rows:table_rows;
@@ -139,43 +180,12 @@ let collections_arg =
   in
   Arg.(value & opt_all string [] & info [ "c"; "collection" ] ~docv:"NAME" ~doc)
 
-let timeout_arg =
-  let doc = "Per-instance timeout in seconds (the paper used 180)." in
-  Arg.(value & opt float 5.0 & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc)
-
 let scale_arg =
   let doc =
     "Instance-count scale: 0 = reduced defaults, 1 = paper scale, other \
      values multiply the paper's counts."
   in
   Arg.(value & opt float 0.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
-
-let jobs_arg =
-  let doc =
-    "Number of domains to fan instances over (0 = auto: the recommended \
-     domain count capped at 8; 1 = sequential). Aggregates are identical \
-     across job counts; only wall-clock changes. The effective value is \
-     printed in each collection header."
-  in
-  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-let no_cache_arg =
-  let doc =
-    "Disable the NPN-class synthesis cache (enabled by default: optimum \
-     chains found for one member of an NPN class are replayed, \
-     transform-adjusted and re-verified, for every other member)."
-  in
-  Arg.(value & flag & info [ "no-npn-cache" ] ~doc)
-
-let json_arg =
-  let doc =
-    "Write machine-readable aggregates to this file (empty string \
-     disables)."
-  in
-  Arg.(
-    value
-    & opt string "BENCH_table1.json"
-    & info [ "json" ] ~docv:"PATH" ~doc)
 
 let csv_arg =
   let doc = "Emit CSV instead of the formatted table." in
@@ -184,15 +194,6 @@ let csv_arg =
 let cross_arg =
   let doc = "Warn when two engines disagree on an instance's optimum size." in
   Arg.(value & flag & info [ "cross-check" ] ~doc)
-
-let profile_arg =
-  let doc =
-    "Collect per-stage timers and hot-path counters (decompose, \
-     feasibility, verification, cube merges, memo hit rates) for every \
-     engine/collection run; printed to stderr and embedded under \
-     $(b,profile) in the JSON output."
-  in
-  Arg.(value & flag & info [ "profile" ] ~doc)
 
 let limit_arg =
   let doc =
@@ -206,8 +207,11 @@ let cmd =
   Cmd.v
     (Cmd.info "table1" ~doc)
     Term.(
-      const run $ collections_arg $ timeout_arg $ scale_arg $ jobs_arg
-      $ no_cache_arg $ json_arg $ csv_arg $ cross_arg $ profile_arg
-      $ limit_arg)
+      const run $ collections_arg
+      $ Cli.timeout ~doc:"Per-instance timeout in seconds (the paper used 180)."
+          ()
+      $ scale_arg $ Cli.jobs $ Cli.no_npn_cache
+      $ Cli.json ~default:"BENCH_table1.json" ()
+      $ csv_arg $ cross_arg $ Cli.profile $ limit_arg $ Cli.store)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,46 @@
+open Cmdliner
+
+let jobs =
+  let doc =
+    "Number of domains to fan work over (0 = auto: the recommended domain \
+     count capped at 8; 1 = sequential). Aggregates are identical across \
+     job counts; only wall-clock changes."
+  in
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs j = if j <= 0 then Stp_parallel.Pool.default_jobs () else j
+
+let timeout ?(default = 5.0) ?(doc = "Per-instance timeout in seconds.") () =
+  Arg.(value & opt float default & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc)
+
+let json ?(default = "") () =
+  let doc =
+    "Write machine-readable results to this file (empty string disables)."
+  in
+  Arg.(value & opt string default & info [ "json" ] ~docv:"PATH" ~doc)
+
+let profile =
+  let doc =
+    "Collect per-stage timers and hot-path counters (decompose, \
+     feasibility, verification, cube merges, memo hit rates, request \
+     counters) for the run; printed to stderr and embedded under \
+     $(b,profile) in JSON output."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let no_npn_cache =
+  let doc =
+    "Disable the NPN-class synthesis cache (enabled by default: optimum \
+     chains found for one member of an NPN class are replayed, \
+     transform-adjusted and re-simulated, for every other member)."
+  in
+  Arg.(value & flag & info [ "no-npn-cache" ] ~doc)
+
+let store =
+  let doc =
+    "Load the persistent NPN cache store from this file before the run and \
+     flush solved classes back to it afterwards (crash-safe atomic \
+     rename; empty string disables). A warm store answers every \
+     previously-solved class without a solver call."
+  in
+  Arg.(value & opt string "" & info [ "store" ] ~docv:"PATH" ~doc)

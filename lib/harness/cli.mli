@@ -1,0 +1,32 @@
+(** Shared [Cmdliner] flags of the experiment CLIs.
+
+    [bin/table1], [bin/rewrite], [bench/main] and [bin/synthd] accept
+    the same knobs — [--jobs], [--timeout], [--json], [--profile],
+    [--no-npn-cache], [--store] — with identical names, defaults and
+    documentation. Each term is defined once here; a CLI composes the
+    subset it needs into its own [Term.t]. *)
+
+val jobs : int Cmdliner.Term.t
+(** [-j]/[--jobs N]; 0 (the default) means auto — resolve with
+    {!resolve_jobs}. *)
+
+val resolve_jobs : int -> int
+(** Map the raw [--jobs] value to an effective domain count:
+    non-positive values become {!Stp_parallel.Pool.default_jobs}. *)
+
+val timeout : ?default:float -> ?doc:string -> unit -> float Cmdliner.Term.t
+(** [-t]/[--timeout SECONDS]; default 5.0 unless overridden. *)
+
+val json : ?default:string -> unit -> string Cmdliner.Term.t
+(** [--json PATH]; empty string (the default unless overridden)
+    disables. *)
+
+val profile : bool Cmdliner.Term.t
+(** [--profile]: enable the stage profiler for the run. *)
+
+val no_npn_cache : bool Cmdliner.Term.t
+(** [--no-npn-cache]: solve every instance directly. *)
+
+val store : string Cmdliner.Term.t
+(** [--store PATH]: persistent NPN cache store to load before and flush
+    after the run; empty string disables. *)

@@ -19,6 +19,19 @@ val to_string : json -> string
 (** Compact (single-line) rendering. NaN/infinite floats become
     [null]. *)
 
+val of_string : string -> (json, string) Stdlib.result
+(** Parse one JSON document (the dual of {!to_string}); trailing
+    non-whitespace is an error. Numbers with a fraction or exponent
+    read back as [Float], all others as [Int]. Used by the synthesis
+    daemon's JSON-lines request protocol. *)
+
+val member : string -> json -> json option
+(** [member k (Obj fields)] is the value bound to [k]; [None] on
+    missing keys and non-objects. *)
+
+val to_float_opt : json -> float option
+(** Numeric coercion: [Float f] and [Int i] both read as floats. *)
+
 val aggregate_json : Runner.aggregate -> json
 (** One engine's aggregate as an object: solved/timeout counts, mean,
     total and wall time, realised speedup, the optimum-size histogram,

@@ -1,28 +1,17 @@
 module Spec = Stp_synth.Spec
+module Engine = Stp_synth.Engine
 module Npn_cache = Stp_synth.Npn_cache
 
-type engine = {
-  engine_name : string;
-  run : Npn_cache.solver;
-}
+type engine = (module Engine.S)
 
-let stp_engine =
-  { engine_name = "STP";
-    run = (fun ~options ?memo f -> Stp_synth.Stp_exact.synthesize ~options ?memo f) }
+let stp_engine = Engine.stp
+let bms_engine = Engine.bms
+let fen_engine = Engine.fen
+let abc_engine = Engine.lutexact
 
-let bms_engine =
-  { engine_name = "BMS";
-    run = (fun ~options ?memo:_ f -> Stp_synth.Baselines.bms ~options f) }
+let all_engines = Engine.all
 
-let fen_engine =
-  { engine_name = "FEN";
-    run = (fun ~options ?memo:_ f -> Stp_synth.Baselines.fen ~options f) }
-
-let abc_engine =
-  { engine_name = "ABC";
-    run = (fun ~options ?memo:_ f -> Stp_synth.Baselines.abc ~options f) }
-
-let all_engines = [ bms_engine; fen_engine; abc_engine; stp_engine ]
+let engine_name = Engine.name
 
 type aggregate = {
   name : string;
@@ -56,10 +45,8 @@ let run_collection ?(timeout = 5.0) ?(jobs = 1) ?cache ?on_instance engine
      timing should not pay for table construction either. *)
   ignore (Stp_tt.Npn.canon4 0);
   let options = Spec.with_timeout timeout in
-  let run =
-    match cache with
-    | None -> engine.run
-    | Some c -> Npn_cache.wrap c engine.run
+  let (module E : Engine.S) =
+    match cache with None -> engine | Some c -> Npn_cache.wrap c engine
   in
   let cache_before = Option.map Npn_cache.stats cache in
   (* One Factor.memo per domain, reused across the instances that domain
@@ -69,7 +56,16 @@ let run_collection ?(timeout = 5.0) ?(jobs = 1) ?cache ?on_instance engine
      independent. Sharing across instances is sound because memo entries
      are pure functions of their keys (see Factor.memo). *)
   let memo_key = Domain.DLS.new_key (fun () -> Stp_synth.Factor.create_memo ()) in
-  let solve f = run ~options ~memo:(Domain.DLS.get memo_key) f in
+  let solve f =
+    let t0 = Stp_util.Unix_time.now () in
+    let deadline = Spec.deadline_of options in
+    let r =
+      E.synthesize
+        (Engine.spec ~options ~memo:(Domain.DLS.get memo_key) f)
+        ~deadline
+    in
+    Engine.to_spec_result ~elapsed:(Stp_util.Unix_time.now () -. t0) r
+  in
   (* The profiler's accumulators are global: reset per run so each
      aggregate carries exactly its own run's counters. *)
   if Stp_util.Profile.enabled () then Stp_util.Profile.reset ();
@@ -114,7 +110,7 @@ let run_collection ?(timeout = 5.0) ?(jobs = 1) ?cache ?on_instance engine
         after.Npn_cache.misses - before.Npn_cache.misses )
     | _ -> (0, 0)
   in
-  { name = engine.engine_name;
+  { name = E.name;
     solved = !solved;
     timeouts = !timeouts;
     mean_time;

@@ -12,12 +12,10 @@
     is a sequential pass over the results in input order, identical to
     the sequential path. *)
 
-type engine = {
-  engine_name : string;
-  run : Stp_synth.Npn_cache.solver;
-    (** engines accept an optional {!Stp_synth.Factor.memo}; the CNF
-        baselines ignore it *)
-}
+type engine = (module Stp_synth.Engine.S)
+(** Engines are consumed through the unified {!Stp_synth.Engine.S}
+    signature; the runner constructs each instance's deadline and
+    threads a per-domain {!Stp_synth.Factor.memo} through the spec. *)
 
 val stp_engine : engine
 val bms_engine : engine
@@ -26,6 +24,8 @@ val abc_engine : engine
 
 val all_engines : engine list
 (** BMS, FEN, ABC, STP — the paper's column order. *)
+
+val engine_name : engine -> string
 
 type aggregate = {
   name : string;            (** engine name *)

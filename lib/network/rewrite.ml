@@ -117,18 +117,23 @@ let run ?(options = default_options) ?cache ntk =
           cuts.(v));
 
   (* Phase B: synthesize each class once, fanned over the pool; the
-     shared cache makes phase C replay-only. *)
-  let synth_options =
-    { Spec.default_options with
-      Spec.timeout = Some options.timeout;
-      basis = options.basis }
+     shared cache makes phase C replay-only. Classes are solved through
+     the unified Engine API with an explicit per-class deadline. *)
+  let synth_options = { Spec.default_options with Spec.basis = options.basis } in
+  let (module E : Stp_synth.Engine.S) =
+    Npn_cache.wrap cache Stp_synth.Engine.stp
+  in
+  let synth target =
+    E.synthesize
+      (Stp_synth.Engine.spec ~options:synth_options target)
+      ~deadline:(Stp_util.Deadline.after options.timeout)
   in
   let rep_list =
     Hashtbl.fold (fun rep () acc -> rep :: acc) reps []
     |> List.sort Tt.compare
   in
   let solve rep =
-    (Npn_cache.synthesize ~options:synth_options cache rep).Spec.status
+    match synth rep with Stp_synth.Engine.Solved _ -> true | _ -> false
   in
   let statuses =
     if options.jobs > 1 then Pool.map ~domains:options.jobs solve rep_list
@@ -136,7 +141,7 @@ let run ?(options = default_options) ?cache ntk =
   in
   let solved_class = Hashtbl.create 97 in
   List.iter2
-    (fun rep status -> Hashtbl.replace solved_class rep (status = Spec.Solved))
+    (fun rep ok -> Hashtbl.replace solved_class rep ok)
     rep_list statuses;
 
   (* Phase C: greedy topological apply with ABC-style reference
@@ -250,17 +255,15 @@ let run ?(options = default_options) ?cache ntk =
               consider wire)
           | Some rep ->
             if Hashtbl.find_opt solved_class rep = Some true then begin
-              let result =
-                Npn_cache.synthesize ~options:synth_options cache cand.cand_tt
-              in
-              if result.Spec.status = Spec.Solved then
-                List.filteri (fun i _ -> i < options.max_chains)
-                  result.Spec.chains
+              match synth cand.cand_tt with
+              | Stp_synth.Engine.Solved chains ->
+                List.filteri (fun i _ -> i < options.max_chains) chains
                 |> List.iter (fun chain ->
                        (* window re-verification: the chain must compute
                           the cut function exactly *)
                        if Tt.equal (Chain.simulate chain) cand.cand_tt then
                          consider (Ntk.lit_of_chain ntk chain leaf_lits))
+              | Stp_synth.Engine.Timeout | Stp_synth.Engine.Infeasible -> ()
             end)
         node_cands.(v);
       match !best with

@@ -1,0 +1,288 @@
+module Tt = Stp_tt.Tt
+module Chain = Stp_chain.Chain
+module Engine = Stp_synth.Engine
+module Npn_cache = Stp_synth.Npn_cache
+module Report = Stp_harness.Report
+module Profile = Stp_util.Profile
+module Deadline = Stp_util.Deadline
+
+type config = {
+  jobs : int;
+  timeout : float;
+  store : Store.t option;
+  socket : string;
+  no_npn_cache : bool;
+}
+
+let default_config =
+  { jobs = 1; timeout = 5.0; store = None; socket = ""; no_npn_cache = false }
+
+(* {2 Request handling} *)
+
+let find_cache caches name =
+  List.find_opt (fun (n, _) -> String.lowercase_ascii n = String.lowercase_ascii name) caches
+  |> Option.map snd
+
+let chain_json c = Report.String (Format.asprintf "%a" Chain.pp_compact c)
+
+let respond ?id fields =
+  let id_field = match id with Some v -> [ ("id", v) ] | None -> [] in
+  Report.to_string (Report.Obj (id_field @ fields))
+
+let error_response ?id msg =
+  Profile.incr Profile.Requests_failed;
+  respond ?id [ ("status", Report.String "error"); ("error", Report.String msg) ]
+
+(* One Factor.memo per domain (its hash tables are not thread-safe);
+   shared across every batch a domain serves. *)
+let memo_key = Domain.DLS.new_key (fun () -> Stp_synth.Factor.create_memo ())
+
+let handle config caches line =
+  Profile.incr Profile.Requests_received;
+  match Report.of_string line with
+  | Error msg -> error_response ("bad JSON: " ^ msg)
+  | Ok json -> (
+    let id = Report.member "id" json in
+    let field name = Report.member name json in
+    match (field "n", field "tt") with
+    | Some (Report.Int n), Some (Report.String hex) -> (
+      let engine_name =
+        match field "engine" with Some (Report.String e) -> e | _ -> "STP"
+      in
+      let timeout =
+        match Option.bind (field "timeout") Report.to_float_opt with
+        | Some t when t > 0.0 -> t
+        | _ -> config.timeout
+      in
+      match Engine.find engine_name with
+      | None -> error_response ?id (Printf.sprintf "unknown engine %S" engine_name)
+      | Some engine -> (
+        match Tt.of_hex ~n hex with
+        | exception Invalid_argument msg -> error_response ?id msg
+        | target ->
+          let cache = find_cache caches (Engine.name engine) in
+          let (module E : Engine.S) =
+            match cache with None -> engine | Some c -> Npn_cache.wrap c engine
+          in
+          (* Attribution is advisory: another domain may store the class
+             between this check and the lookup, which only flips the
+             reported [source], never the answer. *)
+          let was_cached =
+            match cache with Some c -> Npn_cache.cached c target | None -> false
+          in
+          let t0 = Stp_util.Unix_time.now () in
+          let result =
+            E.synthesize
+              (Engine.spec ~memo:(Domain.DLS.get memo_key) target)
+              ~deadline:(Deadline.after timeout)
+          in
+          let elapsed = Stp_util.Unix_time.now () -. t0 in
+          let elapsed_field = ("elapsed_s", Report.Float elapsed) in
+          (match result with
+           | Engine.Solved chains ->
+             Profile.incr Profile.Requests_solved;
+             if was_cached then Profile.incr Profile.Requests_cached;
+             respond ?id
+               [ ("status", Report.String "solved");
+                 ("gates", Report.Int (Chain.size (List.hd chains)));
+                 ("chains", Report.List (List.map chain_json chains));
+                 ("source", Report.String (if was_cached then "cache" else "solver"));
+                 elapsed_field ]
+           | Engine.Infeasible ->
+             respond ?id
+               [ ("status", Report.String "infeasible");
+                 ("source", Report.String "solver");
+                 elapsed_field ]
+           | Engine.Timeout -> (
+             Profile.incr Profile.Requests_timed_out;
+             (* Graceful degradation: a verified, non-optimal chain beats
+                an empty answer for netlist callers. *)
+             match Stp_synth.Baselines.upper_bound target with
+             | chain ->
+               Profile.incr Profile.Requests_degraded;
+               respond ?id
+                 [ ("status", Report.String "upper_bound");
+                   ("gates", Report.Int (Chain.size chain));
+                   ("chains", Report.List [ chain_json chain ]);
+                   ("source", Report.String "upper_bound");
+                   elapsed_field ]
+             | exception Invalid_argument _ ->
+               respond ?id
+                 [ ("status", Report.String "timeout"); elapsed_field ]))))
+    | _ -> error_response ?id "request needs an integer \"n\" and a string \"tt\"")
+
+let request ?id ?timeout ?engine ~n tt =
+  let open Report in
+  let opt name f v = Option.map (fun v -> (name, f v)) v |> Option.to_list in
+  to_string
+    (Obj
+       (opt "id" (fun i -> Int i) id
+       @ [ ("n", Int n); ("tt", String tt) ]
+       @ opt "timeout" (fun t -> Float t) timeout
+       @ opt "engine" (fun e -> String e) engine))
+
+(* {2 Line transport} *)
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+  mutable eof : bool;
+}
+
+let reader fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 4096; eof = false }
+
+(* Complete lines currently buffered; the partial tail stays buffered. *)
+let extract_lines r =
+  let s = Buffer.contents r.buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some i ->
+    Buffer.clear r.buf;
+    Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
+    String.split_on_char '\n' (String.sub s 0 i)
+
+let readable_now fd =
+  match Unix.select [ fd ] [] [] 0.0 with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let fill r =
+  match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+  | 0 -> r.eof <- true
+  | n -> Buffer.add_subbytes r.buf r.chunk 0 n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+(* Block until at least one complete line (or EOF/stop), then also
+   drain every further line that has already arrived: pipelined clients
+   get their whole backlog fanned out as one pool batch. *)
+let rec read_batch ~stop r =
+  match extract_lines r with
+  | _ :: _ as lines ->
+    while (not r.eof) && readable_now r.fd && not (Atomic.get stop) do
+      fill r
+    done;
+    lines @ extract_lines r
+  | [] ->
+    if r.eof || Atomic.get stop then []
+    else begin
+      fill r;
+      read_batch ~stop r
+    end
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let written = ref 0 in
+  while !written < len do
+    match Unix.write fd b !written (len - !written) with
+    | n -> written := !written + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* {2 The daemon} *)
+
+let sync_store config caches =
+  match config.store with
+  | None -> ()
+  | Some store ->
+    List.iter
+      (fun (section, cache) -> ignore (Store.absorb store ~section cache))
+      caches;
+    Store.flush store
+
+let serve ?(input = Unix.stdin) ?(output = Unix.stdout) config =
+  let caches =
+    if config.no_npn_cache then []
+    else
+      List.map (fun e -> (Engine.name e, Npn_cache.create ())) Engine.all
+  in
+  (match config.store with
+   | None -> ()
+   | Some store ->
+     List.iter
+       (fun (section, cache) -> ignore (Store.seed store ~section cache))
+       caches);
+  (* Force lazily built global tables (NPN4 canonicalisation) before any
+     fan-out: racing domains on an unforced [lazy] is an error. *)
+  ignore (Stp_tt.Npn.canon4 0);
+  let stop = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  let old_term = Sys.signal Sys.sigterm handler in
+  let old_int = Sys.signal Sys.sigint handler in
+  let pool = Stp_parallel.Pool.create ~domains:(max 1 config.jobs) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Stp_parallel.Pool.shutdown pool;
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int;
+      (* The shutdown flush: a SIGTERM mid-batch still persists every
+         class solved by completed batches (and this final absorb). *)
+      sync_store config caches)
+    (fun () ->
+      let serve_stream in_fd out_fd =
+        let r = reader in_fd in
+        let rec loop () =
+          match read_batch ~stop r with
+          | [] -> () (* end of input or shutdown requested *)
+          | lines -> (
+            match List.filter (fun l -> String.trim l <> "") lines with
+            | [] -> loop ()
+            | batch ->
+              let responses = Stp_parallel.Pool.exec pool (handle config caches) batch in
+              write_all out_fd (String.concat "\n" responses ^ "\n");
+              (* Absorb + flush per batch: crash durability never trails
+                 the answers already sent. *)
+              sync_store config caches;
+              loop ())
+        in
+        loop ()
+      in
+      match config.socket with
+      | "" -> serve_stream input output
+      | path ->
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 8;
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.close sock with Unix.Unix_error _ -> ());
+            try Unix.unlink path with Unix.Unix_error _ -> ())
+          (fun () ->
+            let rec accept_loop () =
+              if not (Atomic.get stop) then begin
+                (match Unix.accept sock with
+                 | client, _ ->
+                   Fun.protect
+                     ~finally:(fun () ->
+                       try Unix.close client with Unix.Unix_error _ -> ())
+                     (fun () -> serve_stream client client)
+                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                accept_loop ()
+              end
+            in
+            accept_loop ()))
+
+let client ~socket lines =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_UNIX socket);
+      write_all sock (String.concat "\n" lines ^ "\n");
+      Unix.shutdown sock Unix.SHUTDOWN_SEND;
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Buffer.contents buf |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> ""))

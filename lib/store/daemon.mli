@@ -1,0 +1,81 @@
+(** Batch synthesis daemon: truth tables in, optimum 2-LUT chains out.
+
+    The daemon serves a JSON-lines protocol over stdin/stdout or a Unix
+    domain socket. One request per line:
+
+    {v
+    {"id": 1, "n": 4, "tt": "8ff8", "timeout": 2.0, "engine": "STP"}
+    v}
+
+    - [id] (any JSON value, optional) is echoed back verbatim so
+      clients can match pipelined responses to requests.
+    - [n] and [tt] give the target as an arity and a hex truth table
+      (the format of {!Stp_tt.Tt.of_hex}).
+    - [timeout] (seconds, optional) overrides the daemon's default
+      per-request deadline.
+    - [engine] (optional, default ["STP"]) picks any engine of
+      {!Stp_synth.Engine.all} by name, case-insensitively.
+
+    One response per request, in request order:
+
+    {v
+    {"id": 1, "status": "solved", "gates": 3, "chains": ["x5=6(x1,x2); ..."],
+     "source": "solver", "elapsed_s": 0.004}
+    v}
+
+    [status] is ["solved"] (optimum chains), ["upper_bound"] (the
+    deadline expired; [chains] holds one verified non-optimal chain
+    from {!Stp_synth.Baselines.upper_bound} — graceful degradation),
+    ["infeasible"] (no chain within the gate budget; constants),
+    ["timeout"] (deadline expired and no upper bound exists), or
+    ["error"] (malformed request; see the [error] field). [source]
+    attributes an answer to ["cache"], ["solver"] or ["upper_bound"].
+
+    Requests are batched: every complete line already buffered is fanned
+    out over a {!Stp_parallel.Pool} together, so pipelined clients get
+    core-parallel synthesis while responses stay in request order. Each
+    engine consults its own NPN-class cache, seeded from the optional
+    persistent {!Store} and absorbed back after every batch; the store
+    is flushed (atomic rename) after each batch and on shutdown, so a
+    SIGTERM mid-batch never loses previously flushed classes.
+
+    SIGTERM and SIGINT request an orderly shutdown: the current batch
+    finishes, caches are absorbed, the store is flushed, and {!serve}
+    returns. The [Requests_*] counters of {!Stp_util.Profile} count
+    received/solved/cached/timed-out/degraded/failed requests. *)
+
+type config = {
+  jobs : int;          (** domains for batch fan-out (>= 1) *)
+  timeout : float;     (** default per-request deadline, seconds *)
+  store : Store.t option;  (** persistent cache store, if any *)
+  socket : string;     (** Unix socket path; [""] serves stdin/stdout *)
+  no_npn_cache : bool; (** disable the NPN cache (every request solves) *)
+}
+
+val default_config : config
+(** [jobs = 1], [timeout = 5.0], no store, stdio, cache enabled. *)
+
+val handle : config -> (string * Stp_synth.Npn_cache.t) list -> string -> string
+(** [handle config caches line] processes one request line to one
+    response line (no trailing newline) — the pure core of {!serve},
+    exposed for tests. [caches] maps engine names to their caches; pass
+    [[]] to solve uncached. *)
+
+val serve :
+  ?input:Unix.file_descr -> ?output:Unix.file_descr -> config -> unit
+(** Run the daemon until end-of-input or SIGTERM/SIGINT. With
+    [config.socket = ""], serves [input]/[output] (default stdin and
+    stdout — tests pass pipes); otherwise binds the socket path,
+    accepts connections sequentially, and serves each until the peer
+    closes. Installs SIGTERM/SIGINT handlers for the duration and
+    restores the previous ones on return. *)
+
+val request :
+  ?id:int -> ?timeout:float -> ?engine:string -> n:int -> string -> string
+(** [request ~n tt_hex] formats one request line (no newline). *)
+
+val client : socket:string -> string list -> string list
+(** [client ~socket lines] connects to a serving daemon, sends the
+    request lines, shuts down the writing side, and returns the
+    response lines — the CI smoke test's transport.
+    @raise Unix.Unix_error when the daemon is not listening. *)

@@ -1,0 +1,291 @@
+module Tt = Stp_tt.Tt
+module Chain = Stp_chain.Chain
+module Npn_cache = Stp_synth.Npn_cache
+
+(* File layout (see DESIGN.md):
+
+     magic   8 bytes  "STPNPNS1" (format version baked into the magic)
+     record* until EOF
+
+   Each record is independently recoverable:
+
+     u32le payload_len
+     u32le FNV-1a-32 of the payload bytes
+     payload
+
+   and the payload encodes one solved NPN class:
+
+     u8    section length, section bytes (engine/basis key)
+     u8    n                (canonical arity)
+     i64le * ceil(2^n/64)   packed truth-table words (Tt.to_words)
+     u8    gates            (the class optimum)
+     u16le chain count
+     per chain:
+       u8 n', u8 steps,
+       per step: u8 fanin1, u8 fanin2, u8 gate code,
+       u8 output, u8 output_negated *)
+
+let magic = "STPNPNS1"
+
+type record = { section : string; canon : Tt.t; entry : Npn_cache.entry }
+
+type t = {
+  path : string;
+  table : (string, record) Hashtbl.t;
+  lock : Mutex.t;
+  mutable skipped : int;
+}
+
+type stats = { classes : int; sections : int; skipped : int }
+
+let path t = t.path
+
+let create ~path =
+  { path; table = Hashtbl.create 64; lock = Mutex.create (); skipped = 0 }
+
+let key ~section canon =
+  Printf.sprintf "%s\x00%d\x00%s" section (Tt.num_vars canon) (Tt.to_hex canon)
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* FNV-1a, 32-bit. Not cryptographic — it guards against torn writes and
+   bit rot, while [Npn_cache.add_entry] re-validates the decoded chains
+   semantically. *)
+let fnv1a_32 s =
+  let h = ref 0x811c9dc5 in
+  String.iter (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff) s;
+  !h
+
+(* {2 Encoding} *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u16 buf v =
+  add_u8 buf v;
+  add_u8 buf (v lsr 8)
+
+let add_u32 buf v =
+  add_u16 buf (v land 0xffff);
+  add_u16 buf ((v lsr 16) land 0xffff)
+
+let encode_chain buf (c : Chain.t) =
+  add_u8 buf c.Chain.n;
+  add_u8 buf (Array.length c.Chain.steps);
+  Array.iter
+    (fun (s : Chain.step) ->
+      add_u8 buf s.Chain.fanin1;
+      add_u8 buf s.Chain.fanin2;
+      add_u8 buf s.Chain.gate)
+    c.Chain.steps;
+  add_u8 buf c.Chain.output;
+  add_u8 buf (if c.Chain.output_negated then 1 else 0)
+
+let encode_record r =
+  let buf = Buffer.create 128 in
+  add_u8 buf (String.length r.section);
+  Buffer.add_string buf r.section;
+  add_u8 buf (Tt.num_vars r.canon);
+  Array.iter (fun w -> Buffer.add_int64_le buf w) (Tt.to_words r.canon);
+  add_u8 buf r.entry.Npn_cache.gates;
+  add_u16 buf (List.length r.entry.Npn_cache.chains);
+  List.iter (encode_chain buf) r.entry.Npn_cache.chains;
+  Buffer.contents buf
+
+(* {2 Decoding} *)
+
+exception Corrupt of string
+
+let decode_record payload =
+  let len = String.length payload in
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > len then raise (Corrupt "truncated payload")
+  in
+  let u8 () =
+    need 1;
+    let v = Char.code payload.[!pos] in
+    incr pos;
+    v
+  in
+  let u16 () =
+    let lo = u8 () in
+    let hi = u8 () in
+    lo lor (hi lsl 8)
+  in
+  let i64 () =
+    need 8;
+    let v = String.get_int64_le payload !pos in
+    pos := !pos + 8;
+    v
+  in
+  let str n =
+    need n;
+    let s = String.sub payload !pos n in
+    pos := !pos + n;
+    s
+  in
+  let section = str (u8 ()) in
+  let n = u8 () in
+  if n > Tt.max_vars then raise (Corrupt "arity out of range");
+  let nwords = ((1 lsl n) + 63) / 64 in
+  let words = Array.make nwords 0L in
+  for i = 0 to nwords - 1 do
+    words.(i) <- i64 ()
+  done;
+  let canon = Tt.of_words n words in
+  let gates = u8 () in
+  let count = u16 () in
+  let chain () =
+    let cn = u8 () in
+    let nsteps = u8 () in
+    let step () =
+      let fanin1 = u8 () in
+      let fanin2 = u8 () in
+      let gate = u8 () in
+      if gate > 15 then raise (Corrupt "gate code out of range");
+      { Chain.fanin1; fanin2; gate }
+    in
+    let steps = ref [] in
+    for _ = 1 to nsteps do
+      steps := step () :: !steps
+    done;
+    let steps = List.rev !steps in
+    let output = u8 () in
+    let output_negated = u8 () <> 0 in
+    match Chain.make ~n:cn ~steps ~output ~output_negated () with
+    | c -> c
+    | exception Invalid_argument m -> raise (Corrupt ("bad chain: " ^ m))
+  in
+  let chains = ref [] in
+  for _ = 1 to count do
+    chains := chain () :: !chains
+  done;
+  let chains = List.rev !chains in
+  if !pos <> len then raise (Corrupt "trailing bytes in payload");
+  { section; canon; entry = { Npn_cache.gates; chains } }
+
+(* {2 Load} *)
+
+let warn fmt = Printf.eprintf ("store: warning: " ^^ fmt ^^ "\n%!")
+
+let load_channel t ic =
+  let header = really_input_string ic (String.length magic) in
+  if header <> magic then begin
+    warn "%s: bad magic, ignoring file" t.path;
+    raise Exit
+  end;
+  let read_u32 () =
+    let b = really_input_string ic 4 in
+    Char.code b.[0]
+    lor (Char.code b.[1] lsl 8)
+    lor (Char.code b.[2] lsl 16)
+    lor (Char.code b.[3] lsl 24)
+  in
+  let rec loop () =
+    match read_u32 () with
+    | exception End_of_file -> ()
+    | payload_len ->
+      let checksum = read_u32 () in
+      let payload = really_input_string ic payload_len in
+      (if fnv1a_32 payload <> checksum then begin
+         t.skipped <- t.skipped + 1;
+         warn "%s: checksum mismatch, skipping record" t.path
+       end
+       else
+         match decode_record payload with
+         | r -> Hashtbl.replace t.table (key ~section:r.section r.canon) r
+         | exception Corrupt msg ->
+           t.skipped <- t.skipped + 1;
+           warn "%s: undecodable record (%s), skipping" t.path msg);
+      loop ()
+  in
+  try loop ()
+  with End_of_file ->
+    (* A record header or body was cut short — keep what loaded. *)
+    t.skipped <- t.skipped + 1;
+    warn "%s: truncated record at end of file" t.path
+
+let load ~path =
+  let t = create ~path in
+  (match open_in_bin path with
+   | exception Sys_error _ -> () (* first run: no store yet *)
+   | ic ->
+     Fun.protect
+       ~finally:(fun () -> close_in_noerr ic)
+       (fun () ->
+         try load_channel t ic with
+         | Exit -> ()
+         | End_of_file ->
+           t.skipped <- t.skipped + 1;
+           warn "%s: file shorter than its header" path));
+  t
+
+(* {2 Flush} *)
+
+let flush_counter = Atomic.make 0
+
+let flush t =
+  let records = with_lock t (fun () -> Hashtbl.fold (fun _ r acc -> r :: acc) t.table []) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  List.iter
+    (fun r ->
+      let payload = encode_record r in
+      add_u32 buf (String.length payload);
+      add_u32 buf (fnv1a_32 payload);
+      Buffer.add_string buf payload)
+    records;
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" t.path (Unix.getpid ())
+      (Atomic.fetch_and_add flush_counter 1)
+  in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let bytes = Buffer.to_bytes buf in
+      let len = Bytes.length bytes in
+      let written = ref 0 in
+      while !written < len do
+        written := !written + Unix.write fd bytes !written (len - !written)
+      done;
+      Unix.fsync fd);
+  Unix.rename tmp t.path
+
+(* {2 Cache interchange} *)
+
+let seed t ~section cache =
+  let records =
+    with_lock t (fun () ->
+        Hashtbl.fold
+          (fun _ r acc -> if r.section = section then r :: acc else acc)
+          t.table [])
+  in
+  List.fold_left
+    (fun admitted r ->
+      if Npn_cache.add_entry cache r.canon r.entry then admitted + 1
+      else admitted)
+    0 records
+
+let absorb t ~section cache =
+  let entries = Npn_cache.entries cache in
+  with_lock t (fun () ->
+      List.fold_left
+        (fun fresh (canon, entry) ->
+          let k = key ~section canon in
+          if Hashtbl.mem t.table k then fresh
+          else begin
+            Hashtbl.replace t.table k { section; canon; entry };
+            fresh + 1
+          end)
+        0 entries)
+
+let stats t =
+  with_lock t (fun () ->
+      let sections = Hashtbl.create 8 in
+      Hashtbl.iter (fun _ r -> Hashtbl.replace sections r.section ()) t.table;
+      { classes = Hashtbl.length t.table;
+        sections = Hashtbl.length sections;
+        skipped = t.skipped })

@@ -1,0 +1,62 @@
+(** Crash-safe on-disk persistence for the NPN synthesis cache.
+
+    A store file holds solved NPN classes — canonical truth table in,
+    optimum 2-LUT chains out — partitioned into named {e sections}
+    (one per engine/basis combination, since chain sets are not
+    interchangeable across engines). [table1], [rewrite] and the
+    [synthd] daemon all share this format via [--store]: a warm store
+    answers every previously-solved class without a solver call.
+
+    Durability discipline:
+
+    - {b Versioned binary format} with a magic header and a per-record
+      FNV-1a checksum (see DESIGN.md for the byte layout).
+    - {b Atomic flush}: {!flush} serialises to a unique temp file,
+      [fsync]s it, and [rename]s it over the store path — readers and
+      crashes never observe a half-written store.
+    - {b Corrupt-record skip-and-warn on load}: a record with a bad
+      checksum or an undecodable payload is skipped (counted in
+      {!stats}) and loading continues with the next record; a
+      truncated tail loses only the records it cut short. A wrong
+      magic abandons the file (no records load) rather than guessing.
+    - Imported entries are re-validated by
+      {!Stp_synth.Npn_cache.add_entry} before use, so even a
+      checksum-colliding corruption cannot poison synthesis results.
+
+    The store is mutex-protected: domains of a parallel run may
+    {!absorb} and {!flush} concurrently. *)
+
+type t
+
+val create : path:string -> t
+(** An empty store that will flush to [path]; nothing is read. *)
+
+val load : path:string -> t
+(** Read [path], skipping corrupt records. A missing file yields an
+    empty store (first run); an unreadable or wrong-magic file warns on
+    stderr and yields an empty store. *)
+
+val path : t -> string
+
+type stats = {
+  classes : int;   (** records currently held, over all sections *)
+  sections : int;  (** distinct section names *)
+  skipped : int;   (** corrupt records skipped by {!load} *)
+}
+
+val stats : t -> stats
+
+val seed : t -> section:string -> Stp_synth.Npn_cache.t -> int
+(** [seed t ~section cache] imports every class of [section] into
+    [cache] via {!Stp_synth.Npn_cache.add_entry} (which re-validates
+    chains); returns the number of classes actually admitted. *)
+
+val absorb : t -> section:string -> Stp_synth.Npn_cache.t -> int
+(** [absorb t ~section cache] records every class of [cache] into
+    [section], keeping existing records on key collision; returns the
+    number of new classes recorded. Call before {!flush}. *)
+
+val flush : t -> unit
+(** Atomically persist the store to its path (write temp, fsync,
+    rename). Safe to call concurrently and repeatedly; a crash between
+    flushes leaves the previous complete store on disk. *)

@@ -17,31 +17,40 @@ let flip_output negated (chain : Chain.t) =
       ~output:chain.Chain.output
       ~output_negated:(not chain.Chain.output_negated) ()
 
-let finish ~f ~n ~support ~negated ~elapsed chain gates =
+let finish ~f ~n ~support ~negated chain =
   let chain = flip_output negated chain in
   let chain = Common.expand_chain ~n ~support chain in
   assert (Tt.equal (Chain.simulate chain) f);
-  Spec.solved ~chains:[ chain ] ~gates ~elapsed
+  chain
 
-let run_engine ~options ~engine f =
-  let start = Stp_util.Unix_time.now () in
-  let deadline = Spec.deadline_of options in
-  let elapsed () = Stp_util.Unix_time.now () -. start in
+let run_outcome ~options ~deadline ~engine f =
   match Common.prepare f with
-  | `Trivial chain -> Spec.solved ~chains:[ chain ] ~gates:0 ~elapsed:(elapsed ())
+  | `Trivial chain -> `Solved ([ chain ], 0)
   | `Reduced (target, support) -> (
     let n = Tt.num_vars f in
     let target, negated = normalise target in
     let s = Tt.num_vars target in
     let rec loop r =
-      if r > options.Spec.max_gates then Spec.timed_out ~elapsed:(elapsed ())
+      if r > options.Spec.max_gates then `Infeasible
       else
         match engine ~options ~deadline ~target ~r with
-        | `Sat chain -> finish ~f ~n ~support ~negated ~elapsed:(elapsed ()) chain r
+        | `Sat chain -> `Solved ([ finish ~f ~n ~support ~negated chain ], r)
         | `Unsat -> loop (r + 1)
-        | `Unknown -> Spec.timed_out ~elapsed:(elapsed ())
+        | `Unknown -> `Timeout
     in
     loop (max 1 (s - 1)))
+
+let run_engine ~options ~engine f =
+  let start = Stp_util.Unix_time.now () in
+  let deadline = Spec.deadline_of options in
+  match run_outcome ~options ~deadline ~engine f with
+  | `Solved (chains, gates) ->
+    Spec.solved ~chains ~gates ~elapsed:(Stp_util.Unix_time.now () -. start)
+  | `Timeout | `Infeasible ->
+    (* The public [Spec] surface keeps its historical two-state shape:
+       a refuted gate budget reads as a timeout, as it always has.
+       {!Engine} exposes the distinction. *)
+    Spec.timed_out ~elapsed:(Stp_util.Unix_time.now () -. start)
 
 (* BMS: the plain encoding with all minterms. *)
 let bms_engine ~options ~deadline ~target ~r =
@@ -142,4 +151,96 @@ let abc ?(options = Spec.default_options) f =
   in
   run_engine ~options ~engine f
 
+type outcome = [ `Solved of Chain.t list * int | `Timeout | `Infeasible ]
+
+let bms_outcome ~options ~deadline f =
+  let engine =
+    if options.Spec.max_depth = None then bms_engine else fen_engine
+  in
+  run_outcome ~options ~deadline ~engine f
+
+let fen_outcome ~options ~deadline f =
+  run_outcome ~options ~deadline ~engine:fen_engine f
+
+let abc_outcome ~options ~deadline f =
+  let engine =
+    if options.Spec.max_depth = None then abc_engine else fen_engine
+  in
+  run_outcome ~options ~deadline ~engine f
+
 let all = [ ("BMS", bms); ("FEN", fen); ("ABC", abc) ]
+
+module Gate = Stp_chain.Gate
+
+(* A constructive (non-optimal) chain: recursive Shannon expansion with
+   constant-cofactor folds and single-gate base cases. Cheap enough to
+   serve as the graceful-degrade answer when an exact engine's deadline
+   expires: every non-constant target gets *some* verified chain. *)
+let upper_bound f =
+  match Common.prepare f with
+  | `Trivial chain -> chain
+  | `Reduced (target, support) ->
+    let n = Tt.num_vars f in
+    let m = Tt.num_vars target in
+    let steps = ref [] (* reversed *) in
+    let count = ref 0 in
+    let emit fanin1 fanin2 gate =
+      steps := { Chain.fanin1; fanin2; gate } :: !steps;
+      let s = m + !count in
+      incr count;
+      s
+    in
+    (* [gate_of (s, neg) (s', neg')]: fold literal complements of the
+       operands into the gate code, as chains have no inverters. *)
+    let emit_lit code (s1, neg1) (s2, neg2) =
+      let code = if neg1 then Gate.negate_first code else code in
+      let code = if neg2 then Gate.negate_second code else code in
+      (emit s1 s2 code, false)
+    in
+    let memo = Hashtbl.create 64 in
+    (* Build a literal (signal, complemented) computing the non-constant
+       [g]; sharing identical subfunctions through [memo]. *)
+    let rec build g =
+      match Hashtbl.find_opt memo g with
+      | Some lit -> lit
+      | None ->
+        let lit = build_uncached g in
+        Hashtbl.replace memo g lit;
+        lit
+    and build_uncached g =
+      match Tt.support g with
+      | [ i ] -> (i, not (Tt.equal g (Tt.var m i)))
+      | [ i; j ] ->
+        (* the ten nontrivial gate codes are exactly the functions
+           depending on both of two variables *)
+        let xi = Tt.var m i and xj = Tt.var m j in
+        let c =
+          List.find (fun c -> Tt.equal g (Tt.apply2 c xi xj)) Gate.nontrivial
+        in
+        (emit i j c, false)
+      | sup ->
+        let i = List.hd (List.rev sup) in
+        let g0 = Tt.cofactor g i false and g1 = Tt.cofactor g i true in
+        let xi = (i, false) in
+        (match (Tt.is_const_of g0, Tt.is_const_of g1) with
+         | Some true, _ -> emit_lit 11 xi (build g1) (* ~xi OR g1 *)
+         | Some false, _ -> emit_lit 8 xi (build g1) (* xi AND g1 *)
+         | _, Some true -> emit_lit 14 xi (build g0) (* xi OR g0 *)
+         | _, Some false -> emit_lit 2 xi (build g0) (* ~xi AND g0 *)
+         | None, None ->
+           if Tt.equal_bnot g0 g1 then emit_lit 9 xi (build g1) (* XNOR *)
+           else begin
+             let hi = emit_lit 8 xi (build g1) in
+             let lo = emit_lit 2 xi (build g0) in
+             emit_lit 14 hi lo
+           end)
+    in
+    let output, output_negated = build target in
+    let chain =
+      Chain.make ~n:m
+        ~steps:(List.rev !steps)
+        ~output ~output_negated ()
+    in
+    let chain = Common.expand_chain ~n ~support chain in
+    assert (Tt.equal (Chain.simulate chain) f);
+    chain

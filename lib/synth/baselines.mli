@@ -20,3 +20,31 @@ val abc : ?options:Spec.options -> Stp_tt.Tt.t -> Spec.result
 
 val all : (string * (?options:Spec.options -> Stp_tt.Tt.t -> Spec.result)) list
 (** [("BMS", bms); ("FEN", fen); ("ABC", abc)]. *)
+
+(** {1 Explicit-deadline outcomes}
+
+    The same engines under a caller-supplied deadline
+    ([options.timeout] is ignored), reporting the three-way outcome the
+    unified {!Engine} API exposes: [`Infeasible] when every gate count
+    up to [options.max_gates] is refuted, [`Timeout] when the deadline
+    expired first. *)
+
+type outcome = [ `Solved of Stp_chain.Chain.t list * int | `Timeout | `Infeasible ]
+
+val bms_outcome :
+  options:Spec.options -> deadline:Stp_util.Deadline.t -> Stp_tt.Tt.t -> outcome
+
+val fen_outcome :
+  options:Spec.options -> deadline:Stp_util.Deadline.t -> Stp_tt.Tt.t -> outcome
+
+val abc_outcome :
+  options:Spec.options -> deadline:Stp_util.Deadline.t -> Stp_tt.Tt.t -> outcome
+
+val upper_bound : Stp_tt.Tt.t -> Stp_chain.Chain.t
+(** A verified but non-optimal chain for any non-constant target, built
+    by recursive Shannon expansion (constant-cofactor folds, single-gate
+    base cases, shared subfunctions) over the full 2-LUT library —
+    milliseconds even at 16 variables. The synthesis daemon returns this
+    as the best-known upper bound when an exact engine's deadline
+    expires.
+    @raise Invalid_argument on constant targets. *)

@@ -1,0 +1,68 @@
+module Tt = Stp_tt.Tt
+module Chain = Stp_chain.Chain
+
+type spec = {
+  target : Tt.t;
+  options : Spec.options;
+  memo : Factor.memo option;
+}
+
+let spec ?(options = Spec.default_options) ?memo target =
+  { target; options; memo }
+
+type result =
+  | Solved of Chain.t list
+  | Timeout
+  | Infeasible
+
+module type S = sig
+  val name : string
+
+  val synthesize : spec -> deadline:Stp_util.Deadline.t -> result
+end
+
+let of_outcome = function
+  | `Solved (chains, _gates) -> Solved chains
+  | `Timeout -> Timeout
+  | `Infeasible -> Infeasible
+
+module Stp_engine : S = struct
+  let name = "STP"
+
+  let synthesize { target; options; memo } ~deadline =
+    of_outcome (Stp_exact.synthesize_outcome ~options ?memo ~deadline target)
+end
+
+(* The CNF baselines raise on constant targets ([Common.prepare]); the
+   Engine contract reports them as [Infeasible] instead. *)
+let baseline name outcome : (module S) =
+  (module struct
+    let name = name
+
+    let synthesize { target; options; memo = _ } ~deadline =
+      if Tt.is_const target then Infeasible
+      else of_outcome (outcome ~options ~deadline target)
+  end)
+
+let stp = (module Stp_engine : S)
+let bms = baseline "BMS" Baselines.bms_outcome
+let fen = baseline "FEN" Baselines.fen_outcome
+let lutexact = baseline "ABC" Baselines.abc_outcome
+
+let all = [ bms; fen; lutexact; stp ]
+
+let name (module E : S) = E.name
+
+let find n =
+  let n = String.uppercase_ascii n in
+  List.find_opt (fun (module E : S) -> String.uppercase_ascii E.name = n) all
+
+let gates = function
+  | Solved (c :: _) -> Some (Chain.size c)
+  | Solved [] | Timeout | Infeasible -> None
+
+let to_spec_result ~elapsed = function
+  | Solved chains ->
+    let gates = match chains with c :: _ -> Chain.size c | [] -> 0 in
+    Spec.solved ~chains ~gates ~elapsed
+  | Timeout | Infeasible -> Spec.timed_out ~elapsed

@@ -2,8 +2,7 @@ module Tt = Stp_tt.Tt
 module Npn = Stp_tt.Npn
 module Chain = Stp_chain.Chain
 
-type solver =
-  options:Spec.options -> ?memo:Factor.memo -> Stp_tt.Tt.t -> Spec.result
+type solver = Engine.spec -> deadline:Stp_util.Deadline.t -> Engine.result
 
 type stats = { hits : int; misses : int; bypassed : int; failures : int }
 
@@ -55,68 +54,135 @@ let store t canon entry =
   locked t (fun () ->
       if not (Hashtbl.mem t.table canon) then Hashtbl.replace t.table canon entry)
 
+let cached t f =
+  (* Mirrors [wrap_solver]'s lookup path without touching the stats:
+     would this target be answered by a replay right now? *)
+  if Tt.is_const f then false
+  else
+    match Common.prepare f with
+    | `Trivial _ -> false
+    | `Reduced (target, _) ->
+      Tt.num_vars target <= t.max_support
+      &&
+      let canon, _ = Npn.canonical target in
+      locked t (fun () -> Hashtbl.mem t.table canon)
+
+let entries t =
+  locked t (fun () ->
+      Hashtbl.fold (fun canon entry acc -> (canon, entry) :: acc) t.table [])
+
+let add_entry t canon entry =
+  (* Entries arriving from outside the solving path (a persisted store)
+     are sanitised rather than trusted: only chains that simulate to
+     the key survive, sizes must agree, and the key must really be a
+     cacheable canonical representative. A corrupt or stale record can
+     therefore never poison replays — it is simply dropped. *)
+  if Tt.num_vars canon > t.max_support || not (Npn.is_canonical canon) then
+    false
+  else
+    let chains =
+      List.filter
+        (fun c ->
+          c.Chain.n = Tt.num_vars canon
+          && Chain.size c = entry.gates
+          && Tt.equal (Chain.simulate c) canon)
+        entry.chains
+    in
+    match chains with
+    | [] -> false
+    | chains ->
+      locked t (fun () ->
+          if Hashtbl.mem t.table canon then false
+          else begin
+            Hashtbl.replace t.table canon { entry with chains };
+            true
+          end)
+
 (* Map the cached optimum chains of the class representative back onto
    the concrete target: [tr] satisfies [Npn.apply target tr = canon], so
    replaying [Npn.inverse tr] onto a chain computing [canon] yields a
    chain of identical size computing [target] (input negations and the
    output negation fold into gate codes, the permutation relabels
-   fanins). The replayed chains then pass the same
-   [Common.optimal_and_verified] gate as a cold synthesis — the paper's
-   step (iv) — before being lifted back to the original variable
-   space. *)
+   fanins). Cached chains were verified against the canonical target
+   once, when the entry was stored; each replay only re-simulates the
+   transformed chain (a cheap bit-parallel check) instead of re-running
+   the full dedup + circuit-SAT verification per class member. *)
 let replay ~n ~support ~target ~tr entry =
   let inv = Npn.inverse tr in
-  let replayed = List.map (fun c -> Chain.apply_npn c inv) entry.chains in
-  match Common.optimal_and_verified target replayed with
-  | [] -> None
-  | verified -> Some (List.map (Common.expand_chain ~n ~support) verified)
+  let replayed =
+    List.filter_map
+      (fun c ->
+        let c = Chain.apply_npn c inv in
+        if Tt.equal (Chain.simulate c) target then
+          Some (Common.expand_chain ~n ~support c)
+        else None)
+      entry.chains
+  in
+  match replayed with [] -> None | chains -> Some chains
 
-let wrap t (solve : solver) : solver =
- fun ~options ?memo f ->
-  let start = Stp_util.Unix_time.now () in
-  let elapsed () = Stp_util.Unix_time.now () -. start in
-  match Common.prepare f with
-  | `Trivial chain ->
-    Spec.solved ~chains:[ chain ] ~gates:0 ~elapsed:(elapsed ())
-  | `Reduced (target, support) ->
-    if Tt.num_vars target > t.max_support then begin
-      (* Exhaustive canonicalisation is impractical this wide; solve
-         directly. *)
-      locked t (fun () -> t.bypassed <- t.bypassed + 1);
-      solve ~options ?memo f
-    end
-    else begin
-      let n = Tt.num_vars f in
-      let canon, tr = Npn.canonical target in
-      match lookup t canon with
-      | Some entry -> (
-        locked t (fun () -> t.hits <- t.hits + 1);
-        match replay ~n ~support ~target ~tr entry with
-        | Some chains ->
-          Spec.solved ~chains ~gates:entry.gates ~elapsed:(elapsed ())
-        | None ->
-          (* A cached chain failing verification after replay would be a
-             bug in the transform algebra; never let it corrupt results —
-             fall back to a direct solve and record the event. *)
-          locked t (fun () -> t.failures <- t.failures + 1);
-          solve ~options ?memo f)
-      | None -> (
-        locked t (fun () -> t.misses <- t.misses + 1);
-        (* Solve the class representative so the cached entry serves
-           every member of the class, then replay onto this member. *)
-        let r = solve ~options ?memo canon in
-        match r.Spec.status with
-        | Spec.Timeout -> Spec.timed_out ~elapsed:(elapsed ())
-        | Spec.Solved -> (
-          let gates = Option.value ~default:0 r.Spec.gates in
-          store t canon { gates; chains = r.Spec.chains };
-          match replay ~n ~support ~target ~tr { gates; chains = r.Spec.chains } with
-          | Some chains -> Spec.solved ~chains ~gates ~elapsed:(elapsed ())
+let wrap_solver t (solve : solver) : solver =
+ fun spec ~deadline ->
+  let f = spec.Engine.target in
+  if Tt.is_const f then solve spec ~deadline
+  else
+    match Common.prepare f with
+    | `Trivial chain -> Engine.Solved [ chain ]
+    | `Reduced (target, support) ->
+      if Tt.num_vars target > t.max_support then begin
+        (* Exhaustive canonicalisation is impractical this wide; solve
+           directly. *)
+        locked t (fun () -> t.bypassed <- t.bypassed + 1);
+        solve spec ~deadline
+      end
+      else begin
+        let n = Tt.num_vars f in
+        let canon, tr = Npn.canonical target in
+        match lookup t canon with
+        | Some entry -> (
+          locked t (fun () -> t.hits <- t.hits + 1);
+          match replay ~n ~support ~target ~tr entry with
+          | Some chains -> Engine.Solved chains
           | None ->
+            (* A cached chain failing replay would be a bug in the
+               transform algebra; never let it corrupt results — fall
+               back to a direct solve and record the event. *)
             locked t (fun () -> t.failures <- t.failures + 1);
-            solve ~options ?memo f))
-    end
+            solve spec ~deadline)
+        | None -> (
+          locked t (fun () -> t.misses <- t.misses + 1);
+          (* Solve the class representative so the cached entry serves
+             every member of the class, then replay onto this member. *)
+          match solve { spec with Engine.target = canon } ~deadline with
+          | (Engine.Timeout | Engine.Infeasible) as r -> r
+          | Engine.Solved chains -> (
+            (* The paper's step (iv), run once per class: dedup and
+               verify against the canonical target before storing. *)
+            match Common.optimal_and_verified canon chains with
+            | [] ->
+              locked t (fun () -> t.failures <- t.failures + 1);
+              solve spec ~deadline
+            | verified -> (
+              let entry =
+                { gates = Chain.size (List.hd verified); chains = verified }
+              in
+              store t canon entry;
+              match replay ~n ~support ~target ~tr entry with
+              | Some chains -> Engine.Solved chains
+              | None ->
+                locked t (fun () -> t.failures <- t.failures + 1);
+                solve spec ~deadline)))
+      end
+
+let wrap t (module E : Engine.S) : (module Engine.S) =
+  (module struct
+    let name = E.name
+
+    let synthesize spec ~deadline = wrap_solver t E.synthesize spec ~deadline
+  end)
 
 let synthesize ?(options = Spec.default_options) ?memo t f =
-  (wrap t (fun ~options ?memo f -> Stp_exact.synthesize ~options ?memo f))
-    ~options ?memo f
+  let start = Stp_util.Unix_time.now () in
+  let deadline = Spec.deadline_of options in
+  let (module E : Engine.S) = wrap t Engine.stp in
+  let r = E.synthesize (Engine.spec ~options ?memo f) ~deadline in
+  Engine.to_spec_result ~elapsed:(Stp_util.Unix_time.now () -. start) r

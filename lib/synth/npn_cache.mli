@@ -7,9 +7,14 @@
     canonicalised with {!Stp_tt.Npn.canonical}; on a cache hit the
     stored optimum chains of the class representative are replayed
     through the inverse transform (fanins permuted/negated into gate
-    codes, output negation folded in) instead of re-searching, and the
-    replayed chains are re-verified with
-    {!Common.optimal_and_verified} before being returned.
+    codes, output negation folded in) instead of re-searching.
+
+    Verification discipline: the full dedup + circuit-SAT check
+    ({!Common.optimal_and_verified}) runs {e once per class}, against
+    the canonical target, when the entry is stored. Each subsequent
+    replay only re-simulates the transformed chain — a cheap
+    bit-parallel equality that still catches any transform-algebra bug
+    without re-paying the paper's step (iv) per class member.
 
     The cache is protected by a mutex and may be shared between the
     domains of a parallel collection run: a class solved by one domain
@@ -22,35 +27,41 @@
 
     Functions whose support exceeds [max_support] (default 6, the
     practical bound of exhaustive canonicalisation) bypass the cache
-    and are solved directly. *)
+    and are solved directly.
+
+    Entries can be exported ({!entries}) and re-imported
+    ({!add_entry}), which is how {!Stp_store.Store} persists a cache
+    across processes. *)
 
 type t
 
 val create : ?max_support:int -> unit -> t
 
-type solver =
-  options:Spec.options -> ?memo:Factor.memo -> Stp_tt.Tt.t -> Spec.result
-(** The shape shared by {!Stp_exact.synthesize} and the baselines once
-    partially applied — what the harness calls an engine. *)
+type solver = Engine.spec -> deadline:Stp_util.Deadline.t -> Engine.result
+(** The shape of {!Engine.S.synthesize} as a plain function. *)
 
-val wrap : t -> solver -> solver
-(** [wrap t solve] is a solver with identical per-instance semantics
-    that consults the cache first. Cache misses solve the {e class
+val wrap : t -> (module Engine.S) -> (module Engine.S)
+(** [wrap t e] is an engine with identical per-instance semantics that
+    consults the cache first. Cache misses solve the {e class
     representative} (so the entry serves the whole class) and replay
     the result onto the concrete target. Keep one cache per engine:
-    entries store the wrapped solver's chain sets, and engines differ
+    entries store the wrapped engine's chain sets, and engines differ
     in how many optimum chains they return. *)
+
+val wrap_solver : t -> solver -> solver
+(** [wrap] at the function level, for callers not holding a module. *)
 
 val synthesize :
   ?options:Spec.options -> ?memo:Factor.memo -> t -> Stp_tt.Tt.t -> Spec.result
-(** [wrap] applied to {!Stp_exact.synthesize}. *)
+(** [wrap] applied to {!Engine.stp}, with the deadline taken from
+    [options.timeout] — the pre-[Engine] convenience entry point. *)
 
 type stats = {
   hits : int;      (** lookups answered by replaying a cached class *)
   misses : int;    (** lookups that had to run a full synthesis *)
   bypassed : int;  (** instances too wide to canonicalise *)
   failures : int;
-    (** replayed chains that failed re-verification (a transform-algebra
+    (** replayed chains that failed re-simulation (a transform-algebra
         bug surfaced — the instance was re-solved directly) *)
 }
 
@@ -61,3 +72,30 @@ val hit_rate : t -> float
 
 val classes : t -> int
 (** Number of distinct NPN classes currently cached. *)
+
+val cached : t -> Stp_tt.Tt.t -> bool
+(** Would this target be answered by a cache replay right now? (Its
+    class representative is cached and it is neither constant, trivial,
+    nor too wide.) Advisory under concurrency — used by the daemon to
+    attribute a response to cache vs. solver — and does not count as a
+    lookup in {!stats}. *)
+
+(** {1 Persistence hooks} *)
+
+type entry = {
+  gates : int;  (** the class's optimum gate count *)
+  chains : Stp_chain.Chain.t list;
+      (** optimum chains over the canonical function's variable space *)
+}
+
+val entries : t -> (Stp_tt.Tt.t * entry) list
+(** Snapshot of every cached class, keyed by canonical representative
+    (unordered). *)
+
+val add_entry : t -> Stp_tt.Tt.t -> entry -> bool
+(** [add_entry t canon entry] seeds the cache with an externally
+    persisted class. The entry is sanitised, not trusted: the key must
+    be a canonical representative within [max_support], and only chains
+    of the recorded size that simulate to the key are kept. Returns
+    [false] (and stores nothing) when nothing survives or the class is
+    already cached. *)

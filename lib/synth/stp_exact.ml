@@ -174,6 +174,22 @@ let synthesize_reduced ~options ~deadline ~memo target =
   let cache = Hashtbl.create 97 in
   synth ~options ~deadline ~memo ~stats ~cache target
 
+let synthesize_outcome ?(options = Spec.default_options) ?memo ~deadline f =
+  if Tt.is_const f then `Infeasible
+  else
+    match Common.prepare f with
+    | `Trivial chain -> `Solved ([ chain ], 0)
+    | `Reduced (target, support) -> (
+      let n = Tt.num_vars f in
+      match synthesize_reduced ~options ~deadline ~memo target with
+      | Some (gates, chains) ->
+        `Solved (List.map (Common.expand_chain ~n ~support) chains, gates)
+      | None ->
+        (* [try_size] only returns [None] when the gate budget is
+           exhausted with every size refuted — deadline expiry raises. *)
+        `Infeasible
+      | exception Stp_util.Deadline.Timeout -> `Timeout)
+
 let synthesize ?(options = Spec.default_options) ?memo f =
   let start = Stp_util.Unix_time.now () in
   let deadline = Spec.deadline_of options in

@@ -8,6 +8,19 @@
     with verified chains is optimum, and every optimum chain of that
     size is returned in one pass. *)
 
+val synthesize_outcome :
+  ?options:Spec.options ->
+  ?memo:Factor.memo ->
+  deadline:Stp_util.Deadline.t ->
+  Stp_tt.Tt.t ->
+  [ `Solved of Stp_chain.Chain.t list * int | `Timeout | `Infeasible ]
+(** The engine under an explicit deadline (ignoring [options.timeout]):
+    [`Solved (chains, gates)] carries all optimum chains over the
+    target's full variable space; [`Timeout] means the deadline expired
+    mid-search; [`Infeasible] means no chain exists within the options
+    (a constant target, or every size up to [options.max_gates]
+    refuted). The building block behind {!Engine.stp}. *)
+
 val synthesize :
   ?options:Spec.options -> ?memo:Factor.memo -> Stp_tt.Tt.t -> Spec.result
 (** All optimum chains for the target. The result chains range over the

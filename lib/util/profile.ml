@@ -33,8 +33,14 @@ type counter =
   | Chains_verified
   | Cube_merges
   | Cube_subsumption_checks
+  | Requests_received
+  | Requests_solved
+  | Requests_cached
+  | Requests_timed_out
+  | Requests_degraded
+  | Requests_failed
 
-let num_counters = 12
+let num_counters = 18
 
 let counter_index = function
   | Decompose_calls -> 0
@@ -49,6 +55,12 @@ let counter_index = function
   | Chains_verified -> 9
   | Cube_merges -> 10
   | Cube_subsumption_checks -> 11
+  | Requests_received -> 12
+  | Requests_solved -> 13
+  | Requests_cached -> 14
+  | Requests_timed_out -> 15
+  | Requests_degraded -> 16
+  | Requests_failed -> 17
 
 let counter_name = function
   | Decompose_calls -> "decompose_calls"
@@ -63,12 +75,19 @@ let counter_name = function
   | Chains_verified -> "chains_verified"
   | Cube_merges -> "cube_merges"
   | Cube_subsumption_checks -> "cube_subsumption_checks"
+  | Requests_received -> "requests_received"
+  | Requests_solved -> "requests_solved"
+  | Requests_cached -> "requests_cached"
+  | Requests_timed_out -> "requests_timed_out"
+  | Requests_degraded -> "requests_degraded"
+  | Requests_failed -> "requests_failed"
 
 let all_counters =
   [ Decompose_calls; Decompose_cache_hits; Quarter_tests; Quarter_rejects;
     Feasibility_checks; Feasibility_cache_hits; Realisation_cache_hits;
     Realisation_cache_misses; Chains_emitted; Chains_verified; Cube_merges;
-    Cube_subsumption_checks ]
+    Cube_subsumption_checks; Requests_received; Requests_solved;
+    Requests_cached; Requests_timed_out; Requests_degraded; Requests_failed ]
 
 (* Cross-domain accumulators. Parallel collection runs fan instances
    over domains; counters and timers sum over all of them. *)

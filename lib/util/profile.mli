@@ -36,6 +36,12 @@ type counter =
   | Chains_verified          (** chains passed to circuit-SAT verification *)
   | Cube_merges              (** pairwise cube merges in the AllSAT solver *)
   | Cube_subsumption_checks  (** cube-pair subsumption tests *)
+  | Requests_received        (** synthesis requests accepted by a service *)
+  | Requests_solved          (** requests answered with optimum chains *)
+  | Requests_cached          (** requests answered from the NPN cache *)
+  | Requests_timed_out       (** requests whose deadline expired *)
+  | Requests_degraded        (** timed-out requests answered with an upper bound *)
+  | Requests_failed          (** malformed or erroring requests *)
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool

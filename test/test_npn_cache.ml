@@ -133,13 +133,22 @@ let test_wrapped_baseline_agrees () =
      its optima on class members. *)
   let f = Tt.of_hex ~n:4 "6996" (* xor4 *) in
   let cache = Npn_cache.create () in
-  let run =
-    Npn_cache.wrap cache (fun ~options ?memo:_ g ->
-        Stp_synth.Baselines.bms ~options g)
+  let (module E : Stp_synth.Engine.S) =
+    Npn_cache.wrap cache Stp_synth.Engine.bms
   in
-  let r1 = run ~options f in
+  let run g =
+    let t0 = Stp_util.Unix_time.now () in
+    let r =
+      E.synthesize (Stp_synth.Engine.spec ~options g)
+        ~deadline:(Spec.deadline_of options)
+    in
+    Stp_synth.Engine.to_spec_result
+      ~elapsed:(Stp_util.Unix_time.now () -. t0)
+      r
+  in
+  let r1 = run f in
   let g = Npn.apply f { Npn.perm = [| 3; 1; 0; 2 |]; input_neg = 5; output_neg = true } in
-  let r2 = run ~options g in
+  let r2 = run g in
   check_solved "bms miss" r1;
   check_solved "bms hit" r2;
   Alcotest.(check int) "same optimum" (gates_of r1) (gates_of r2);

@@ -1,0 +1,266 @@
+(* Tests for the persistent NPN cache store and the batch synthesis
+   daemon: save/load round-trips, corrupt-record rejection, concurrent
+   flushes under the domain pool, and the daemon's request protocol
+   including SIGTERM survival with a reloadable store. *)
+
+module Tt = Stp_tt.Tt
+module Chain = Stp_chain.Chain
+module Spec = Stp_synth.Spec
+module Engine = Stp_synth.Engine
+module Npn_cache = Stp_synth.Npn_cache
+module Report = Stp_harness.Report
+module Store = Stp_store.Store
+module Daemon = Stp_store.Daemon
+
+let options = Spec.with_timeout 60.0
+
+let solve_into cache f =
+  let (module E : Engine.S) = Npn_cache.wrap cache Engine.stp in
+  match
+    E.synthesize (Engine.spec ~options f) ~deadline:(Spec.deadline_of options)
+  with
+  | Engine.Solved _ -> ()
+  | Engine.Timeout | Engine.Infeasible -> Alcotest.fail "expected Solved"
+
+let temp_path () =
+  let path = Filename.temp_file "stp_store_test" ".npn" in
+  Sys.remove path;
+  path
+
+(* Four functions from four distinct NPN classes. *)
+let targets =
+  [ Tt.of_hex ~n:3 "e8";
+    Tt.of_hex ~n:3 "96";
+    Tt.of_hex ~n:4 "8ff8";
+    Tt.of_hex ~n:4 "6996" ]
+
+let populated_store path =
+  let cache = Npn_cache.create () in
+  List.iter (solve_into cache) targets;
+  Alcotest.(check int) "four classes solved" 4 (Npn_cache.classes cache);
+  let store = Store.create ~path in
+  let fresh = Store.absorb store ~section:"STP" cache in
+  Alcotest.(check int) "all classes absorbed" 4 fresh;
+  Alcotest.(check int) "re-absorb is a no-op" 0
+    (Store.absorb store ~section:"STP" cache);
+  Store.flush store;
+  store
+
+let test_round_trip () =
+  let path = temp_path () in
+  ignore (populated_store path);
+  let store = Store.load ~path in
+  let st = Store.stats store in
+  Alcotest.(check int) "classes survive the round trip" 4 st.Store.classes;
+  Alcotest.(check int) "one section" 1 st.Store.sections;
+  Alcotest.(check int) "nothing skipped" 0 st.Store.skipped;
+  (* A cache seeded from the store must answer every target by replay. *)
+  let cache = Npn_cache.create () in
+  Alcotest.(check int) "all classes seeded" 4
+    (Store.seed store ~section:"STP" cache);
+  List.iter
+    (fun f -> Alcotest.(check bool) "target is cached" true (Npn_cache.cached cache f))
+    targets;
+  List.iter (solve_into cache) targets;
+  let s = Npn_cache.stats cache in
+  Alcotest.(check int) "warm run: zero solver calls" 0 s.Npn_cache.misses;
+  Alcotest.(check int) "warm run: all hits" 4 s.Npn_cache.hits;
+  Alcotest.(check int) "no replay failures" 0 s.Npn_cache.failures;
+  Sys.remove path
+
+let test_missing_file_is_empty () =
+  let store = Store.load ~path:"/nonexistent/dir/stp.npn" in
+  Alcotest.(check int) "no classes" 0 (Store.stats store).Store.classes
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let test_truncated_file () =
+  let path = temp_path () in
+  ignore (populated_store path);
+  let bytes = read_file path in
+  write_file path (String.sub bytes 0 (String.length bytes - 3));
+  let store = Store.load ~path in
+  let st = Store.stats store in
+  Alcotest.(check int) "only the cut record is lost" 3 st.Store.classes;
+  Alcotest.(check int) "truncation counted" 1 st.Store.skipped;
+  Sys.remove path
+
+let test_bad_checksum () =
+  let path = temp_path () in
+  ignore (populated_store path);
+  let bytes = Bytes.of_string (read_file path) in
+  (* Offset 16 is the first payload byte of the first record (after the
+     8-byte magic and the record's length + checksum words). *)
+  Bytes.set bytes 16 (Char.chr (Char.code (Bytes.get bytes 16) lxor 0xff));
+  write_file path (Bytes.to_string bytes);
+  let store = Store.load ~path in
+  let st = Store.stats store in
+  Alcotest.(check int) "corrupt record skipped, rest kept" 3 st.Store.classes;
+  Alcotest.(check int) "skip counted" 1 st.Store.skipped;
+  Sys.remove path
+
+let test_bad_magic () =
+  let path = temp_path () in
+  ignore (populated_store path);
+  let bytes = Bytes.of_string (read_file path) in
+  Bytes.set bytes 0 'X';
+  write_file path (Bytes.to_string bytes);
+  let store = Store.load ~path in
+  Alcotest.(check int) "wrong magic loads nothing" 0
+    (Store.stats store).Store.classes;
+  Sys.remove path
+
+let test_sanitised_seed_rejects_corruption () =
+  (* Even a record that passes its checksum is re-validated at seed
+     time: a wrong gate count or non-simulating chain must not poison
+     the cache. *)
+  let cache = Npn_cache.create () in
+  List.iter (solve_into cache) targets;
+  let entries = Npn_cache.entries cache in
+  let corrupt = Npn_cache.create () in
+  List.iter
+    (fun (canon, (entry : Npn_cache.entry)) ->
+      Alcotest.(check bool) "wrong gate count rejected" false
+        (Npn_cache.add_entry corrupt canon
+           { entry with Npn_cache.gates = entry.Npn_cache.gates + 1 }))
+    entries;
+  Alcotest.(check int) "nothing seeded" 0 (Npn_cache.classes corrupt)
+
+let test_concurrent_flush_under_pool () =
+  let path = temp_path () in
+  let store = Store.create ~path in
+  (* Eight domains race absorb+flush on one store; every intermediate
+     file must stay a valid store and the final flush must hold every
+     class. *)
+  let sections = List.init 8 (fun i -> Printf.sprintf "S%d" i) in
+  let results =
+    Stp_parallel.Pool.map ~domains:4
+      (fun section ->
+        let cache = Npn_cache.create () in
+        List.iter (solve_into cache) targets;
+        let fresh = Store.absorb store ~section cache in
+        Store.flush store;
+        fresh)
+      sections
+  in
+  List.iter (Alcotest.(check int) "each section absorbed its classes" 4) results;
+  (* The on-disk file is some complete flush: valid, never torn. *)
+  let mid = Store.load ~path in
+  Alcotest.(check int) "no corrupt records after racing flushes" 0
+    (Store.stats mid).Store.skipped;
+  Store.flush store;
+  let final = Store.load ~path in
+  let st = Store.stats final in
+  Alcotest.(check int) "final flush holds every class" 32 st.Store.classes;
+  Alcotest.(check int) "all sections present" 8 st.Store.sections;
+  Sys.remove path
+
+(* {2 The daemon's request protocol (in-process)} *)
+
+let get_string key json =
+  match Report.member key json with
+  | Some (Report.String s) -> Some s
+  | _ -> None
+
+let parse_response line =
+  match Report.of_string line with
+  | Ok json -> json
+  | Error msg -> Alcotest.failf "unparseable response %S: %s" line msg
+
+let test_handle_solves () =
+  let resp =
+    parse_response
+      (Daemon.handle Daemon.default_config [] (Daemon.request ~id:7 ~n:4 "8ff8"))
+  in
+  Alcotest.(check (option string)) "status" (Some "solved")
+    (get_string "status" resp);
+  Alcotest.(check (option string)) "source" (Some "solver")
+    (get_string "source" resp);
+  Alcotest.(check bool) "id echoed" true
+    (Report.member "id" resp = Some (Report.Int 7));
+  (match Report.member "gates" resp with
+   | Some (Report.Int 3) -> ()
+   | _ -> Alcotest.fail "8ff8 needs 3 gates");
+  match Report.member "chains" resp with
+  | Some (Report.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "chains missing"
+
+let test_handle_cache_attribution () =
+  let cache = Npn_cache.create () in
+  solve_into cache (Tt.of_hex ~n:4 "8ff8");
+  let resp =
+    parse_response
+      (Daemon.handle Daemon.default_config
+         [ ("STP", cache) ]
+         (Daemon.request ~n:4 "8ff8"))
+  in
+  Alcotest.(check (option string)) "cache-answered" (Some "cache")
+    (get_string "source" resp)
+
+let test_handle_degrades_on_timeout () =
+  (* A dense 6-variable function under a microscopic deadline: the exact
+     engine cannot finish, so the daemon must return the Shannon upper
+     bound instead of an empty timeout. *)
+  let resp =
+    parse_response
+      (Daemon.handle Daemon.default_config []
+         (Daemon.request ~timeout:1e-6 ~n:6 "b4d2693996c85a17"))
+  in
+  Alcotest.(check (option string)) "degraded status" (Some "upper_bound")
+    (get_string "status" resp);
+  Alcotest.(check (option string)) "degraded source" (Some "upper_bound")
+    (get_string "source" resp);
+  match Report.member "gates" resp with
+  | Some (Report.Int g) -> Alcotest.(check bool) "has gates" true (g > 0)
+  | _ -> Alcotest.fail "upper bound carries a gate count"
+
+let test_handle_rejects_malformed () =
+  let status line = get_string "status" (parse_response (Daemon.handle Daemon.default_config [] line)) in
+  Alcotest.(check (option string)) "bad JSON" (Some "error") (status "{nope");
+  Alcotest.(check (option string)) "missing tt" (Some "error")
+    (status {|{"n": 4}|});
+  Alcotest.(check (option string)) "bad hex" (Some "error")
+    (status {|{"n": 4, "tt": "xyzw"}|});
+  Alcotest.(check (option string)) "unknown engine" (Some "error")
+    (status {|{"n": 4, "tt": "8ff8", "engine": "zchaff"}|})
+
+let test_handle_infeasible_constant () =
+  let resp =
+    parse_response
+      (Daemon.handle Daemon.default_config [] (Daemon.request ~n:3 "00"))
+  in
+  Alcotest.(check (option string)) "constant is infeasible" (Some "infeasible")
+    (get_string "status" resp)
+
+let () =
+  Alcotest.run "store"
+    [ ( "store",
+        [ Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "missing file is empty" `Quick
+            test_missing_file_is_empty;
+          Alcotest.test_case "truncated file" `Quick test_truncated_file;
+          Alcotest.test_case "bad checksum" `Quick test_bad_checksum;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "seed sanitises entries" `Quick
+            test_sanitised_seed_rejects_corruption;
+          Alcotest.test_case "concurrent flush under pool" `Slow
+            test_concurrent_flush_under_pool ] );
+      ( "protocol",
+        [ Alcotest.test_case "solves a request" `Quick test_handle_solves;
+          Alcotest.test_case "attributes cache answers" `Quick
+            test_handle_cache_attribution;
+          Alcotest.test_case "degrades to an upper bound" `Quick
+            test_handle_degrades_on_timeout;
+          Alcotest.test_case "rejects malformed requests" `Quick
+            test_handle_rejects_malformed;
+          Alcotest.test_case "constants are infeasible" `Quick
+            test_handle_infeasible_constant ] ) ]
