@@ -190,23 +190,31 @@ let micro () =
   Format.printf "@."
 
 (* Ablations over the engine's design choices (DESIGN.md section 3):
-   DSD peeling, and first-topology vs exhaustive all-solutions. *)
+   DSD peeling, and first-topology vs exhaustive all-solutions. All
+   timing below reads the one monotonic source, [Profile.now_ns]. *)
 let ablations () =
   Format.printf "=== ABLATIONS ===@.@.";
   let run name options fns =
-    let t0 = Stp_util.Unix_time.now () in
+    let t0 = Stp_util.Profile.now_ns () in
     let solved = ref 0 and sols = ref 0 in
-    List.iter
-      (fun f ->
-        match Stp_synth.Stp_exact.synthesize ~options f with
-        | { Stp_synth.Spec.status = Stp_synth.Spec.Solved; chains; _ } ->
-          incr solved;
-          sols := !sols + List.length chains
-        | _ -> ())
-      fns;
+    Stp_telemetry.Trace.span "bench.ablation" ~args:[ ("name", name) ]
+      (fun () ->
+        List.iter
+          (fun f ->
+            match Stp_synth.Stp_exact.synthesize ~options f with
+            | { Stp_synth.Spec.status = Stp_synth.Spec.Solved; chains; _ } ->
+              incr solved;
+              sols := !sols + List.length chains
+            | _ -> ())
+          fns);
+    let elapsed =
+      float_of_int (Stp_util.Profile.now_ns () - t0) *. 1e-9
+    in
+    Stp_telemetry.Hist.observe_s
+      (Stp_telemetry.Hist.get "bench/ablation")
+      elapsed;
     Format.printf "%-36s solved %2d/%2d, %5d chains, %6.2fs@." name !solved
-      (List.length fns) !sols
-      (Stp_util.Unix_time.now () -. t0)
+      (List.length fns) !sols elapsed
   in
   let pdsd6 = Stp_workloads.Dsd_gen.pdsd_collection ~n:6 ~count:10 ~seed:303 in
   let base = Stp_synth.Spec.with_timeout bench_timeout in
@@ -226,7 +234,8 @@ let ablations () =
 let () =
   let open Cmdliner in
   let module Cli = Stp_harness.Cli in
-  let run jobs no_npn_cache profile =
+  let run jobs no_npn_cache profile trace metrics =
+    Cli.with_telemetry ~trace ~metrics @@ fun () ->
     Stp_util.Profile.set_enabled profile;
     fig2 ();
     fig3 ();
@@ -238,6 +247,8 @@ let () =
   let cmd =
     Cmd.v
       (Cmd.info "bench" ~doc:"regenerate the paper's tables and figures")
-      Term.(const run $ Cli.jobs $ Cli.no_npn_cache $ Cli.profile)
+      Term.(
+        const run $ Cli.jobs $ Cli.no_npn_cache $ Cli.profile $ Cli.trace
+        $ Cli.metrics)
   in
   exit (Cmd.eval cmd)

@@ -1,30 +1,47 @@
 (* Fence and DAG-shape statistics: the data behind Figs. 2 and 3. *)
 
 open Cmdliner
+module Trace = Stp_telemetry.Trace
 
 let max_fence_k = 8
 
 let max_dag_k = 7
 
+(* Per-row elapsed seconds come from the monotonic [Profile.now_ns]
+   clock — the same source every other timer of the repo reads. *)
+let timed name k f =
+  Trace.span name ~args:[ ("k", string_of_int k) ] @@ fun () ->
+  let t0 = Stp_util.Profile.now_ns () in
+  let v = f () in
+  (v, float_of_int (Stp_util.Profile.now_ns () - t0) *. 1e-9)
+
 let fence_rows () =
   List.init max_fence_k (fun i ->
       let k = i + 1 in
-      let all = Stp_topology.Fence.generate k in
-      let pruned = Stp_topology.Fence.prune all in
-      (k, List.length all, List.length pruned))
+      let (all, pruned), elapsed =
+        timed "fence.generate" k (fun () ->
+            let all = Stp_topology.Fence.generate k in
+            (all, Stp_topology.Fence.prune all))
+      in
+      (k, List.length all, List.length pruned, elapsed))
 
 let dag_rows () =
   List.init max_dag_k (fun i ->
       let k = i + 1 in
-      let shapes = Stp_topology.Dag.enumerate k in
-      let trees = List.filter (fun s -> s.Stp_topology.Dag.is_tree) shapes in
-      (k, List.length shapes, List.length trees))
+      let (shapes, trees), elapsed =
+        timed "dag.enumerate" k (fun () ->
+            let shapes = Stp_topology.Dag.enumerate k in
+            ( shapes,
+              List.filter (fun s -> s.Stp_topology.Dag.is_tree) shapes ))
+      in
+      (k, List.length shapes, List.length trees, elapsed))
 
 let print_text () =
   Format.printf "Fence families F_k (Fig. 2):@.";
-  Format.printf "%4s %10s %10s@." "k" "fences" "pruned";
+  Format.printf "%4s %10s %10s %10s@." "k" "fences" "pruned" "secs";
   List.iter
-    (fun (k, fences, pruned) -> Format.printf "%4d %10d %10d@." k fences pruned)
+    (fun (k, fences, pruned, elapsed) ->
+      Format.printf "%4d %10d %10d %10.4f@." k fences pruned elapsed)
     (fence_rows ());
   Format.printf "@.Pruned fences of F_3 (Fig. 2b):@.";
   List.iter
@@ -35,9 +52,10 @@ let print_text () =
     (fun s -> Format.printf "  %a@." Stp_topology.Dag.pp s)
     (Stp_topology.Dag.enumerate 3);
   Format.printf "@.DAG shapes per gate count:@.";
-  Format.printf "%4s %10s %10s@." "k" "shapes" "trees";
+  Format.printf "%4s %10s %10s %10s@." "k" "shapes" "trees" "secs";
   List.iter
-    (fun (k, shapes, trees) -> Format.printf "%4d %10d %10d@." k shapes trees)
+    (fun (k, shapes, trees, elapsed) ->
+      Format.printf "%4d %10d %10d %10.4f@." k shapes trees elapsed)
     (dag_rows ())
 
 let write_json path =
@@ -48,19 +66,22 @@ let write_json path =
         ( "fences",
           List
             (List.map
-               (fun (k, fences, pruned) ->
+               (fun (k, fences, pruned, elapsed) ->
                  Obj
                    [ ("k", Int k);
                      ("fences", Int fences);
-                     ("pruned", Int pruned) ])
+                     ("pruned", Int pruned);
+                     ("elapsed_s", Float elapsed) ])
                (fence_rows ())) );
         ( "dag_shapes",
           List
             (List.map
-               (fun (k, shapes, trees) ->
+               (fun (k, shapes, trees, elapsed) ->
                  Obj
-                   [ ("k", Int k); ("shapes", Int shapes); ("trees", Int trees)
-                   ])
+                   [ ("k", Int k);
+                     ("shapes", Int shapes);
+                     ("trees", Int trees);
+                     ("elapsed_s", Float elapsed) ])
                (dag_rows ())) ) ]
   in
   let oc = open_out path in
@@ -69,7 +90,8 @@ let write_json path =
   close_out oc;
   Printf.eprintf "[fence_stats] wrote %s\n%!" path
 
-let run json_path =
+let run json_path trace metrics =
+  Stp_harness.Cli.with_telemetry ~trace ~metrics @@ fun () ->
   print_text ();
   match json_path with "" -> () | path -> write_json path
 
@@ -79,6 +101,8 @@ let json_arg =
 
 let cmd =
   let doc = "fence and DAG-shape statistics behind Figs. 2 and 3" in
-  Cmd.v (Cmd.info "fence_stats" ~doc) Term.(const run $ json_arg)
+  Cmd.v (Cmd.info "fence_stats" ~doc)
+    Term.(
+      const run $ json_arg $ Stp_harness.Cli.trace $ Stp_harness.Cli.metrics)
 
 let () = exit (Cmd.eval cmd)

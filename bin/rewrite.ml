@@ -95,9 +95,10 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
   let cache = Stp_synth.Npn_cache.create () in
   (match store with
    | Some s ->
-     let seeded = Store.seed s ~section cache in
-     if seeded > 0 then
-       Printf.eprintf "[rewrite] store: seeded %d %s classes\n%!" seeded section
+     let st = Store.seed s ~section cache in
+     if st.Store.seeded > 0 then
+       Printf.eprintf "[rewrite] store: seeded %d %s classes\n%!" st.Store.seeded
+         section
    | None -> ());
   let all_ok = ref true in
   let total_gain = ref 0 in
@@ -141,10 +142,10 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
   (match store with
    | None -> ()
    | Some s ->
-     let fresh = Store.absorb s ~section cache in
+     let ab = Store.absorb s ~section cache in
      Store.flush s;
      Printf.eprintf "[rewrite] store: flushed %d classes (%d new) to %s\n%!"
-       (Store.stats s).Store.classes fresh (Store.path s));
+       (Store.stats s).Store.classes ab.Store.absorbed (Store.path s));
   Printf.eprintf "[rewrite] total: %d gate%s saved over %d benchmark%s\n%!"
     !total_gain
     (if !total_gain = 1 then "" else "s")

@@ -7,7 +7,9 @@ module Cli = Stp_harness.Cli
 module Store = Stp_store.Store
 module Daemon = Stp_store.Daemon
 
-let run jobs timeout store_path socket no_npn_cache profile sends =
+let run jobs timeout store_path socket no_npn_cache profile heartbeat trace
+    metrics sends =
+  Cli.with_telemetry ~trace ~metrics @@ fun () ->
   Stp_util.Profile.set_enabled profile;
   match sends with
   | _ :: _ ->
@@ -36,22 +38,39 @@ let run jobs timeout store_path socket no_npn_cache profile sends =
            else Printf.sprintf " (%d corrupt records skipped)" st.Store.skipped);
         Some s
     in
-    Printf.eprintf "[synthd] serving %s: %d job%s, default timeout %.1fs%s\n%!"
+    Printf.eprintf
+      "[synthd] v%s serving %s: %d job%s, default timeout %.1fs%s%s\n%!"
+      Daemon.version
       (if socket = "" then "stdin" else socket)
       jobs
       (if jobs = 1 then "" else "s")
       timeout
-      (if no_npn_cache then ", npn-cache off" else "");
+      (if no_npn_cache then ", npn-cache off" else "")
+      (if heartbeat > 0.0 then
+         Printf.sprintf ", heartbeat every %gs" heartbeat
+       else "");
     Daemon.serve
-      { Daemon.jobs; timeout; store; socket; no_npn_cache };
+      { Daemon.jobs; timeout; store; socket; no_npn_cache;
+        heartbeat_s = heartbeat };
     (match store with
      | Some s ->
-       Printf.eprintf "[synthd] store: %d classes flushed to %s\n%!"
-         (Store.stats s).Store.classes (Store.path s)
+       let st = Store.stats s in
+       Printf.eprintf
+         "[synthd] store: %d classes flushed to %s (%d flush%s, %d bytes)\n%!"
+         st.Store.classes (Store.path s) st.Store.flushes
+         (if st.Store.flushes = 1 then "" else "es")
+         st.Store.flush_bytes
      | None -> ());
     if profile then
       Format.eprintf "[synthd] profile:@.%a@.%!" Stp_util.Profile.pp
         (Stp_util.Profile.snapshot ())
+
+let heartbeat_arg =
+  let doc =
+    "While idle, print a one-line status (uptime, request/batch counts, \
+     store size) to stderr every $(docv) seconds (0 disables)."
+  in
+  Arg.(value & opt float 0.0 & info [ "heartbeat" ] ~docv:"SECONDS" ~doc)
 
 let socket_arg =
   let doc =
@@ -85,6 +104,7 @@ let cmd =
     Term.(
       const run $ Cli.jobs
       $ Cli.timeout ~doc:"Default per-request deadline in seconds." ()
-      $ Cli.store $ socket_arg $ Cli.no_npn_cache $ Cli.profile $ send_arg)
+      $ Cli.store $ socket_arg $ Cli.no_npn_cache $ Cli.profile
+      $ heartbeat_arg $ Cli.trace $ Cli.metrics $ send_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -6,7 +6,8 @@ module Cli = Stp_harness.Cli
 module Store = Stp_store.Store
 
 let run collections timeout scale jobs no_npn_cache json_path csv cross_check
-    profile limit store_path =
+    profile limit store_path trace metrics =
+  Cli.with_telemetry ~trace ~metrics @@ fun () ->
   let jobs = Cli.resolve_jobs jobs in
   Stp_util.Profile.set_enabled profile;
   let scale =
@@ -62,6 +63,7 @@ let run collections timeout scale jobs no_npn_cache json_path csv cross_check
         st.Store.classes st.Store.sections
         (if st.Store.skipped = 0 then ""
          else Printf.sprintf " (%d corrupt records skipped)" st.Store.skipped);
+      Store.attach_telemetry s;
       Some s
   in
   (* One NPN cache per engine, carried across collections: entries store
@@ -78,10 +80,14 @@ let run collections timeout scale jobs no_npn_cache json_path csv cross_check
             let c = Stp_synth.Npn_cache.create () in
             (match store with
              | Some s ->
-               let seeded = Store.seed s ~section:name c in
-               if seeded > 0 then
-                 Printf.eprintf "[table1] store: seeded %d %s classes\n%!"
-                   seeded name
+               let st = Store.seed s ~section:name c in
+               if st.Store.seeded > 0 || st.Store.seed_rejected > 0 then
+                 Printf.eprintf "[table1] store: seeded %d %s classes%s\n%!"
+                   st.Store.seeded name
+                   (if st.Store.seed_rejected = 0 then ""
+                    else
+                      Printf.sprintf " (%d rejected by re-validation)"
+                        st.Store.seed_rejected)
              | None -> ());
             Some c
           end
@@ -144,18 +150,22 @@ let run collections timeout scale jobs no_npn_cache json_path csv cross_check
   (match store with
    | None -> ()
    | Some s ->
-     let fresh =
+     let fresh, dup =
        List.fold_left
-         (fun acc (section, cache) ->
+         (fun (fresh, dup) (section, cache) ->
            match cache with
-           | None -> acc
-           | Some c -> acc + Store.absorb s ~section c)
-         0 caches
+           | None -> (fresh, dup)
+           | Some c ->
+             let st = Store.absorb s ~section c in
+             (fresh + st.Store.absorbed, dup + st.Store.duplicates))
+         (0, 0) caches
      in
      Store.flush s;
      let st = Store.stats s in
-     Printf.eprintf "[table1] store: flushed %d classes (%d new) to %s\n%!"
-       st.Store.classes fresh (Store.path s));
+     Printf.eprintf
+       "[table1] store: flushed %d classes (%d new, %d already known, %d \
+        bytes) to %s\n%!"
+       st.Store.classes fresh dup st.Store.flush_bytes (Store.path s));
   let table_rows = List.map (fun (name, _, aggs) -> (name, aggs)) rows in
   if csv then Stp_harness.Table.render_csv Format.std_formatter ~rows:table_rows
   else Stp_harness.Table.render Format.std_formatter ~rows:table_rows;
@@ -168,7 +178,11 @@ let run collections timeout scale jobs no_npn_cache json_path csv cross_check
         [ ("source", String "bin/table1");
           ("timeout_s", Float timeout);
           ("jobs", Int jobs);
-          ("npn_cache", Bool (not no_npn_cache)) ]
+          ("npn_cache", Bool (not no_npn_cache));
+          ("store",
+           match store with
+           | None -> Null
+           | Some s -> Store.stats_json s) ]
       ~rows;
     Printf.eprintf "[table1] wrote %s\n%!" path
 
@@ -212,6 +226,7 @@ let cmd =
           ()
       $ scale_arg $ Cli.jobs $ Cli.no_npn_cache
       $ Cli.json ~default:"BENCH_table1.json" ()
-      $ csv_arg $ cross_arg $ Cli.profile $ limit_arg $ Cli.store)
+      $ csv_arg $ cross_arg $ Cli.profile $ limit_arg $ Cli.store
+      $ Cli.trace $ Cli.metrics)
 
 let () = exit (Cmd.eval cmd)

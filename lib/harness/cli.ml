@@ -36,6 +36,43 @@ let no_npn_cache =
   in
   Arg.(value & flag & info [ "no-npn-cache" ] ~doc)
 
+let trace =
+  let doc =
+    "Record a span for every pool task, engine call, store flush and \
+     daemon request, and write them as Chrome trace-event JSON to this \
+     file on exit (empty string disables). Load the file in \
+     chrome://tracing or https://ui.perfetto.dev: one track per domain."
+  in
+  Arg.(value & opt string "" & info [ "trace" ] ~docv:"PATH" ~doc)
+
+let metrics =
+  let doc =
+    "Record latency histograms (per engine, per outcome) and print the \
+     unified telemetry snapshot — profile counters, histograms with \
+     p50/p90/p99, pool utilisation, store persistence stats — as JSON \
+     on stderr when the run ends."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let with_telemetry ~trace:trace_path ~metrics:metrics_on f =
+  if trace_path <> "" then Stp_telemetry.Trace.set_enabled true;
+  if metrics_on then Stp_telemetry.Telemetry.set_metrics_enabled true;
+  let finish () =
+    if trace_path <> "" then begin
+      let n = Stp_telemetry.Trace.write ~path:trace_path in
+      Printf.eprintf "[telemetry] wrote %d span%s to %s%s\n%!" n
+        (if n = 1 then "" else "s")
+        trace_path
+        (match Stp_telemetry.Trace.dropped () with
+         | 0 -> ""
+         | d -> Printf.sprintf " (%d dropped)" d)
+    end;
+    if metrics_on then
+      Printf.eprintf "[telemetry] %s\n%!"
+        (Stp_telemetry.Json.to_string (Stp_telemetry.Telemetry.snapshot_json ()))
+  in
+  Fun.protect ~finally:finish f
+
 let store =
   let doc =
     "Load the persistent NPN cache store from this file before the run and \

@@ -30,3 +30,20 @@ val no_npn_cache : bool Cmdliner.Term.t
 val store : string Cmdliner.Term.t
 (** [--store PATH]: persistent NPN cache store to load before and flush
     after the run; empty string disables. *)
+
+val trace : string Cmdliner.Term.t
+(** [--trace PATH]: enable {!Stp_telemetry.Trace} span recording for
+    the run and export Chrome trace-event JSON to [PATH] on exit;
+    empty string (the default) disables. *)
+
+val metrics : bool Cmdliner.Term.t
+(** [--metrics]: enable {!Stp_telemetry.Telemetry.metrics_enabled}
+    (latency histograms at instrumented call sites) and print the
+    unified snapshot JSON on stderr when the run ends. *)
+
+val with_telemetry : trace:string -> metrics:bool -> (unit -> 'a) -> 'a
+(** [with_telemetry ~trace ~metrics f] applies the two flags around
+    [f]: enables span recording and/or metrics before, and on exit
+    (also on exception) writes the trace file and prints the metrics
+    snapshot as each flag requests. The shared epilogue of [table1],
+    [synthd], [bench] and [fence_stats]. *)

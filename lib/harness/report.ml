@@ -1,4 +1,10 @@
-type json =
+(* The JSON value type and its printer/parser live in
+   Stp_telemetry.Json (telemetry sits below every instrumented layer);
+   Report re-exports them so harness callers keep one import. *)
+
+module Json = Stp_telemetry.Json
+
+type json = Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -7,247 +13,12 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
-let escape_string buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
+let to_string = Json.to_string
+let of_string = Json.of_string
+let member = Json.member
+let to_float_opt = Json.to_float_opt
 
-let float_repr f =
-  (* JSON has no inf/nan literals; the metrics never legitimately
-     produce them, so map the degenerate cases to null. *)
-  if Float.is_nan f || Float.abs f = infinity then None
-  else
-    let s = Printf.sprintf "%.12g" f in
-    (* Ensure the token reads back as a float, not an integer. *)
-    Some
-      (if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
-       else s ^ ".0")
-
-let rec to_buffer buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f -> (
-    match float_repr f with
-    | None -> Buffer.add_string buf "null"
-    | Some s -> Buffer.add_string buf s)
-  | String s -> escape_string buf s
-  | List items ->
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i item ->
-        if i > 0 then Buffer.add_char buf ',';
-        to_buffer buf item)
-      items;
-    Buffer.add_char buf ']'
-  | Obj fields ->
-    Buffer.add_char buf '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char buf ',';
-        escape_string buf k;
-        Buffer.add_char buf ':';
-        to_buffer buf v)
-      fields;
-    Buffer.add_char buf '}'
-
-let to_string j =
-  let buf = Buffer.create 1024 in
-  to_buffer buf j;
-  Buffer.contents buf
-
-(* A minimal recursive-descent JSON reader, the dual of [to_buffer] —
-   the daemon's request protocol is JSON lines and the container
-   deliberately has no JSON dependency. Numbers with a fraction or
-   exponent become [Float], others [Int]. *)
-exception Parse_error of string
-
-let of_string s =
-  let len = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < len then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %C" c)
-  in
-  let literal word value =
-    if !pos + String.length word <= len
-       && String.sub s !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      value
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec loop () =
-      if !pos >= len then fail "unterminated string";
-      let c = s.[!pos] in
-      advance ();
-      match c with
-      | '"' -> Buffer.contents buf
-      | '\\' -> (
-        if !pos >= len then fail "unterminated escape";
-        let e = s.[!pos] in
-        advance ();
-        (match e with
-         | '"' -> Buffer.add_char buf '"'
-         | '\\' -> Buffer.add_char buf '\\'
-         | '/' -> Buffer.add_char buf '/'
-         | 'n' -> Buffer.add_char buf '\n'
-         | 'r' -> Buffer.add_char buf '\r'
-         | 't' -> Buffer.add_char buf '\t'
-         | 'b' -> Buffer.add_char buf '\b'
-         | 'f' -> Buffer.add_char buf '\012'
-         | 'u' ->
-           if !pos + 4 > len then fail "truncated \\u escape";
-           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-           pos := !pos + 4;
-           (* non-ASCII code points are re-encoded as UTF-8 *)
-           if code < 0x80 then Buffer.add_char buf (Char.chr code)
-           else if code < 0x800 then begin
-             Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
-             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
-           end
-           else begin
-             Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
-             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
-             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
-           end
-         | _ -> fail "bad escape");
-        loop ())
-      | c ->
-        Buffer.add_char buf c;
-        loop ()
-    in
-    loop ()
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    while !pos < len && is_num_char s.[!pos] do
-      advance ()
-    done;
-    let tok = String.sub s start (!pos - start) in
-    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
-      match float_of_string_opt tok with
-      | Some f -> Float f
-      | None -> fail "bad number"
-    else
-      match int_of_string_opt tok with
-      | Some i -> Int i
-      | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | None -> fail "unexpected end of input"
-    | Some '"' -> String (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        List []
-      end
-      else begin
-        let items = ref [ parse_value () ] in
-        skip_ws ();
-        while peek () = Some ',' do
-          advance ();
-          items := parse_value () :: !items;
-          skip_ws ()
-        done;
-        expect ']';
-        List (List.rev !items)
-      end
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let field () =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          (k, v)
-        in
-        let fields = ref [ field () ] in
-        skip_ws ();
-        while peek () = Some ',' do
-          advance ();
-          fields := field () :: !fields;
-          skip_ws ()
-        done;
-        expect '}';
-        Obj (List.rev !fields)
-      end
-    | Some _ -> parse_number ()
-  in
-  match parse_value () with
-  | v ->
-    skip_ws ();
-    if !pos <> len then Error "trailing garbage"
-    else Ok v
-  | exception Parse_error msg -> Error msg
-
-let member key = function
-  | Obj fields -> List.assoc_opt key fields
-  | _ -> None
-
-let to_float_opt = function
-  | Float f -> Some f
-  | Int i -> Some (float_of_int i)
-  | _ -> None
-
-let profile_json (p : Stp_util.Profile.snapshot) =
-  Obj
-    [ ("stages",
-       Obj
-         (List.map
-            (fun (st : Stp_util.Profile.stage_snapshot) ->
-              ( st.Stp_util.Profile.stage,
-                Obj
-                  [ ("calls", Int st.Stp_util.Profile.calls);
-                    ("self_s", Float st.Stp_util.Profile.self_s) ] ))
-            p.Stp_util.Profile.stages));
-      ("counters",
-       Obj (List.map (fun (k, v) -> (k, Int v)) p.Stp_util.Profile.counts)) ]
+let profile_json = Stp_telemetry.Telemetry.profile_json
 
 let aggregate_json (a : Runner.aggregate) =
   Obj
@@ -267,7 +38,8 @@ let aggregate_json (a : Runner.aggregate) =
             a.Runner.optima));
        ("cache_hits", Int a.Runner.cache_hits);
        ("cache_misses", Int a.Runner.cache_misses);
-       ("cache_hit_rate", Float (Runner.hit_rate a)) ]
+       ("cache_hit_rate", Float (Runner.hit_rate a));
+       ("latency", Stp_telemetry.Hist.snapshot_json a.Runner.latency) ]
      @
      match a.Runner.profile with
      | None -> []

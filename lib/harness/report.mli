@@ -1,12 +1,16 @@
 (** Machine-readable run reports (BENCH_table1.json).
 
-    A minimal hand-rolled JSON emitter — the container deliberately has
-    no JSON dependency — plus the writer used by [bin/table1] and
-    [bench/main] to persist each run's aggregates, so the performance
-    trajectory (wall-clock, speedup, cache hit-rate) is tracked across
-    PRs by diffing one file. *)
+    The JSON value itself lives in {!Stp_telemetry.Json} (telemetry
+    sits below every instrumented layer) and is re-exported here with
+    its constructors, so harness callers keep one import; this module
+    adds the writer used by [bin/table1] and [bench/main] to persist
+    each run's aggregates, so the performance trajectory (wall-clock,
+    speedup, cache hit-rate, latency quantiles) is tracked across PRs
+    by diffing one file. *)
 
-type json =
+module Json = Stp_telemetry.Json
+
+type json = Json.t =
   | Null
   | Bool of bool
   | Int of int
@@ -35,7 +39,9 @@ val to_float_opt : json -> float option
 val aggregate_json : Runner.aggregate -> json
 (** One engine's aggregate as an object: solved/timeout counts, mean,
     total and wall time, realised speedup, the optimum-size histogram,
-    and the NPN-cache hit/miss counts and rate. *)
+    the NPN-cache hit/miss counts and rate, and a [latency] block —
+    the per-instance latency histogram with p50/p90/p99
+    ({!Stp_telemetry.Hist.snapshot_json}). *)
 
 val write :
   path:string ->

@@ -26,6 +26,7 @@ type aggregate = {
   cache_hits : int;
   cache_misses : int;
   profile : Stp_util.Profile.snapshot option;
+  latency : Stp_telemetry.Hist.snapshot;
 }
 
 let speedup agg =
@@ -45,8 +46,12 @@ let run_collection ?(timeout = 5.0) ?(jobs = 1) ?cache ?on_instance engine
      timing should not pay for table construction either. *)
   ignore (Stp_tt.Npn.canon4 0);
   let options = Spec.with_timeout timeout in
+  (* [observed] is outermost, so its spans and latency histograms cover
+     cache replays as well as solver calls — the per-instance cost a
+     caller actually experiences. *)
   let (module E : Engine.S) =
-    match cache with None -> engine | Some c -> Npn_cache.wrap c engine
+    Engine.observed
+      (match cache with None -> engine | Some c -> Npn_cache.wrap c engine)
   in
   let cache_before = Option.map Npn_cache.stats cache in
   (* One Factor.memo per domain, reused across the instances that domain
@@ -82,9 +87,11 @@ let run_collection ?(timeout = 5.0) ?(jobs = 1) ?cache ?on_instance engine
   let solved_time = ref 0.0 and total_time = ref 0.0 in
   let solutions = ref 0 in
   let optima = Hashtbl.create 16 in
+  let latency = Stp_telemetry.Hist.make E.name in
   List.iteri
     (fun i (f, result) ->
       (match on_instance with Some obs -> obs i f result | None -> ());
+      Stp_telemetry.Hist.observe_s latency result.Spec.elapsed;
       total_time := !total_time +. result.Spec.elapsed;
       match result.Spec.status with
       | Spec.Solved ->
@@ -124,4 +131,5 @@ let run_collection ?(timeout = 5.0) ?(jobs = 1) ?cache ?on_instance engine
     cache_misses;
     profile =
       (if Stp_util.Profile.enabled () then Some (Stp_util.Profile.snapshot ())
-       else None) }
+       else None);
+    latency = Stp_telemetry.Hist.snapshot latency }

@@ -46,6 +46,10 @@ type aggregate = {
         {!Stp_util.Profile.enabled} (e.g. under [table1 --profile]);
         [None] otherwise. Timers sum self time across all domains of a
         parallel run. *)
+  latency : Stp_telemetry.Hist.snapshot;
+    (** per-instance latency histogram over {e every} instance of the
+        run (solved and timed out), with exact p50/p90/p99 — always
+        collected (one lock-free observation per instance). *)
 }
 
 val speedup : aggregate -> float

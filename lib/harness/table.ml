@@ -1,9 +1,10 @@
 let render fmt ~rows =
   Format.fprintf fmt
-    "%-8s | %-8s %5s %5s | %-8s %5s %5s | %-8s %5s %5s | %-8s %5s %5s %9s %7s@."
+    "%-8s | %-8s %5s %5s | %-8s %5s %5s | %-8s %5s %5s | %-8s %5s %5s %9s %7s \
+     %8s %8s@."
     "Func" "BMS(s)" "#t/o" "#ok" "FEN(s)" "#t/o" "#ok" "ABC(s)" "#t/o" "#ok"
-    "STP(s)" "#t/o" "#ok" "Total(s)" "#sols";
-  Format.fprintf fmt "%s@." (String.make 130 '-');
+    "STP(s)" "#t/o" "#ok" "Total(s)" "#sols" "p50(s)" "p99(s)";
+  Format.fprintf fmt "%s@." (String.make 148 '-');
   List.iter
     (fun (name, aggs) ->
       let find n =
@@ -24,22 +25,27 @@ let render fmt ~rows =
       Format.fprintf fmt " | ";
       (match find "STP" with
        | Some a ->
-         Format.fprintf fmt "%-8.3f %5d %5d %9.3f %7.1f" a.mean_time a.timeouts
-           a.solved a.total_time a.mean_solutions
-       | None -> Format.fprintf fmt "%-8s %5s %5s %9s %7s" "-" "-" "-" "-" "-");
+         Format.fprintf fmt "%-8.3f %5d %5d %9.3f %7.1f %8.3f %8.3f"
+           a.mean_time a.timeouts a.solved a.total_time a.mean_solutions
+           a.latency.Stp_telemetry.Hist.p50_s a.latency.Stp_telemetry.Hist.p99_s
+       | None ->
+         Format.fprintf fmt "%-8s %5s %5s %9s %7s %8s %8s" "-" "-" "-" "-" "-"
+           "-" "-");
       Format.fprintf fmt "@.")
     rows
 
 let render_csv fmt ~rows =
   Format.fprintf fmt
     "collection,engine,mean_s,timeouts,solved,total_s,wall_s,mean_solutions,\
-     cache_hits,cache_misses@.";
+     cache_hits,cache_misses,p50_s,p90_s,p99_s@.";
   List.iter
     (fun (name, aggs) ->
       List.iter
         (fun (a : Runner.aggregate) ->
-          Format.fprintf fmt "%s,%s,%.4f,%d,%d,%.3f,%.3f,%.2f,%d,%d@." name
-            a.name a.mean_time a.timeouts a.solved a.total_time a.wall_time
-            a.mean_solutions a.cache_hits a.cache_misses)
+          Format.fprintf fmt "%s,%s,%.4f,%d,%d,%.3f,%.3f,%.2f,%d,%d,%.4f,%.4f,%.4f@."
+            name a.name a.mean_time a.timeouts a.solved a.total_time a.wall_time
+            a.mean_solutions a.cache_hits a.cache_misses
+            a.latency.Stp_telemetry.Hist.p50_s a.latency.Stp_telemetry.Hist.p90_s
+            a.latency.Stp_telemetry.Hist.p99_s)
         aggs)
     rows

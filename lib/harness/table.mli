@@ -6,8 +6,9 @@ val render :
   unit
 (** [render fmt ~rows] prints one aligned row per collection; each row
     carries the aggregates of the four engines in the given order, with
-    the STP engine's extra columns (total time, per-solution mean,
-    average solution count) appended, mirroring the paper's layout. *)
+    the STP engine's extra columns (total time, average solution count,
+    and the p50/p99 of its per-instance latency histogram) appended,
+    mirroring the paper's layout. *)
 
 val render_csv :
   Format.formatter ->

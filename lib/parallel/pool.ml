@@ -15,6 +15,63 @@
 
 type job = unit -> unit
 
+(* {2 Utilisation telemetry}
+
+   Per-domain accumulators — tasks run, busy time, queue wait — kept
+   always-on (a handful of atomic adds per task, and tasks here are
+   whole synthesis instances) and surfaced as the ["pool"] probe of
+   {!Stp_telemetry.Telemetry.snapshot_json}. A domain's record is
+   created on its first task and survives the domain, so utilisation
+   of short-lived per-run pools accumulates over the process. *)
+
+type domain_stat = {
+  dom_id : int;
+  tasks : int Atomic.t;
+  busy_ns : int Atomic.t;
+  wait_ns : int Atomic.t;
+}
+
+let domain_stats : domain_stat list ref = ref []
+let domain_stats_lock = Mutex.create ()
+
+let domain_stat_key : domain_stat Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let d =
+        { dom_id = (Domain.self () :> int);
+          tasks = Atomic.make 0;
+          busy_ns = Atomic.make 0;
+          wait_ns = Atomic.make 0 }
+      in
+      Mutex.lock domain_stats_lock;
+      domain_stats := d :: !domain_stats;
+      Mutex.unlock domain_stats_lock;
+      d)
+
+let stats_json () =
+  let open Stp_telemetry in
+  Mutex.lock domain_stats_lock;
+  let ds = !domain_stats in
+  Mutex.unlock domain_stats_lock;
+  let ds = List.sort (fun a b -> compare a.dom_id b.dom_id) ds in
+  let sum f = List.fold_left (fun acc d -> acc + Atomic.get (f d)) 0 ds in
+  let s ns = float_of_int ns /. 1e9 in
+  Json.Obj
+    [ ("tasks_run", Json.Int (sum (fun d -> d.tasks)));
+      ("busy_s", Json.Float (s (sum (fun d -> d.busy_ns))));
+      ("queue_wait_s", Json.Float (s (sum (fun d -> d.wait_ns))));
+      ("domains",
+       Json.List
+         (List.map
+            (fun d ->
+              Json.Obj
+                [ ("id", Json.Int d.dom_id);
+                  ("tasks", Json.Int (Atomic.get d.tasks));
+                  ("busy_s", Json.Float (s (Atomic.get d.busy_ns)));
+                  ("queue_wait_s", Json.Float (s (Atomic.get d.wait_ns))) ])
+            ds)) ]
+
+let () = Stp_telemetry.Telemetry.register_probe "pool" stats_json
+
 type t = {
   mutex : Mutex.t;
   work_available : Condition.t;
@@ -83,11 +140,23 @@ let exec pool f items =
     let results = Array.make n None in
     let failures = Array.make n None in
     let pending = ref n in
+    let submitted_ns = Stp_util.Profile.now_ns () in
     let job i () =
-      (match f items.(i) with
+      let t_deq = Stp_util.Profile.now_ns () in
+      let stat = Domain.DLS.get domain_stat_key in
+      ignore (Atomic.fetch_and_add stat.wait_ns (t_deq - submitted_ns));
+      let run () =
+        if Stp_telemetry.Trace.enabled () then
+          Stp_telemetry.Trace.span "pool.task" (fun () -> f items.(i))
+        else f items.(i)
+      in
+      (match run () with
        | v -> results.(i) <- Some v
        | exception e ->
          failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+      ignore
+        (Atomic.fetch_and_add stat.busy_ns (Stp_util.Profile.now_ns () - t_deq));
+      ignore (Atomic.fetch_and_add stat.tasks 1);
       Mutex.lock pool.mutex;
       decr pending;
       if !pending = 0 then Condition.broadcast pool.batch_done;

@@ -54,3 +54,12 @@ val default_jobs : ?cap:int -> unit -> int
 (** [default_domains ()] capped at [cap] (default 8) — the shared
     default of every [--jobs] CLI flag, conservative enough not to
     oversubscribe shared CI runners while still using real cores. *)
+
+val stats_json : unit -> Stp_telemetry.Json.t
+(** Cumulative pool utilisation for this process: total and per-domain
+    tasks run, busy seconds, and queue-wait seconds (time between a
+    batch's submission and each task's dequeue). Always collected —
+    a few atomic adds per task — and registered as the ["pool"] probe
+    of {!Stp_telemetry.Telemetry.snapshot_json} at module load. Each
+    task additionally carries a [pool.task] {!Stp_telemetry.Trace}
+    span when tracing is enabled. *)

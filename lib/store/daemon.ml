@@ -5,6 +5,9 @@ module Npn_cache = Stp_synth.Npn_cache
 module Report = Stp_harness.Report
 module Profile = Stp_util.Profile
 module Deadline = Stp_util.Deadline
+module Trace = Stp_telemetry.Trace
+module Hist = Stp_telemetry.Hist
+module Telemetry = Stp_telemetry.Telemetry
 
 type config = {
   jobs : int;
@@ -12,10 +15,30 @@ type config = {
   store : Store.t option;
   socket : string;
   no_npn_cache : bool;
+  heartbeat_s : float;
 }
 
 let default_config =
-  { jobs = 1; timeout = 5.0; store = None; socket = ""; no_npn_cache = false }
+  { jobs = 1;
+    timeout = 5.0;
+    store = None;
+    socket = "";
+    no_npn_cache = false;
+    heartbeat_s = 0.0 }
+
+let version = "1"
+
+(* Module load happens once, at process start — close enough to serve
+   as the uptime origin for ping/stats/heartbeat reporting. *)
+let start_ns = Profile.now_ns ()
+
+let uptime_s () = float_of_int (Profile.now_ns () - start_ns) *. 1e-9
+
+(* Daemon-local counters: [Profile] counters are gated on [--profile],
+   but heartbeats and stats must count unconditionally. *)
+let requests_total = Atomic.make 0
+
+let batches_total = Atomic.make 0
 
 (* {2 Request handling} *)
 
@@ -37,13 +60,51 @@ let error_response ?id msg =
    shared across every batch a domain serves. *)
 let memo_key = Domain.DLS.new_key (fun () -> Stp_synth.Factor.create_memo ())
 
+let store_json config =
+  match config.store with
+  | None -> Report.Null
+  | Some store -> Store.stats_json store
+
+let pong config =
+  [ ("status", Report.String "pong");
+    ("version", Report.String version);
+    ("uptime_s", Report.Float (uptime_s ()));
+    ("store",
+     match config.store with
+     | None -> Report.Null
+     | Some store -> Report.String (Store.path store)) ]
+
+let stats_response config =
+  [ ("status", Report.String "ok");
+    ("version", Report.String version);
+    ("uptime_s", Report.Float (uptime_s ()));
+    ("requests", Report.Int (Atomic.get requests_total));
+    ("batches", Report.Int (Atomic.get batches_total));
+    ("store", store_json config);
+    ("telemetry", Telemetry.snapshot_json ()) ]
+
+(* Histogram per answer provenance: [synthd/source/cache] is a replay,
+   [synthd/source/solver] a real solve, [synthd/source/degraded] a
+   timeout answered with a verified upper bound, [synthd/source/timeout]
+   an empty-handed timeout. *)
+let observe_source source elapsed =
+  Hist.observe_s (Hist.get ("synthd/source/" ^ source)) elapsed
+
 let handle config caches line =
+  Atomic.incr requests_total;
   Profile.incr Profile.Requests_received;
   match Report.of_string line with
   | Error msg -> error_response ("bad JSON: " ^ msg)
   | Ok json -> (
     let id = Report.member "id" json in
     let field name = Report.member name json in
+    match field "type" with
+    | Some (Report.String "ping") -> respond ?id (pong config)
+    | Some (Report.String "stats") -> respond ?id (stats_response config)
+    | Some (Report.String other) ->
+      error_response ?id (Printf.sprintf "unknown request type %S" other)
+    | Some _ -> error_response ?id "\"type\" must be a string"
+    | None -> (
     match (field "n", field "tt") with
     | Some (Report.Int n), Some (Report.String hex) -> (
       let engine_name =
@@ -61,8 +122,13 @@ let handle config caches line =
         | exception Invalid_argument msg -> error_response ?id msg
         | target ->
           let cache = find_cache caches (Engine.name engine) in
+          (* [observed] outermost: the per-engine histogram and span
+             cover cache replays too, like the collection runner's. *)
           let (module E : Engine.S) =
-            match cache with None -> engine | Some c -> Npn_cache.wrap c engine
+            Engine.observed
+              (match cache with
+               | None -> engine
+               | Some c -> Npn_cache.wrap c engine)
           in
           (* Attribution is advisory: another domain may store the class
              between this check and the lookup, which only flips the
@@ -70,6 +136,14 @@ let handle config caches line =
           let was_cached =
             match cache with Some c -> Npn_cache.cached c target | None -> false
           in
+          let span_args =
+            ("engine", Engine.name engine)
+            :: ("n", string_of_int n)
+            :: (match id with
+                | Some v -> [ ("id", Report.to_string v) ]
+                | None -> [])
+          in
+          Trace.span "synthd.request" ~args:span_args @@ fun () ->
           let t0 = Stp_util.Unix_time.now () in
           let result =
             E.synthesize
@@ -82,6 +156,7 @@ let handle config caches line =
            | Engine.Solved chains ->
              Profile.incr Profile.Requests_solved;
              if was_cached then Profile.incr Profile.Requests_cached;
+             observe_source (if was_cached then "cache" else "solver") elapsed;
              respond ?id
                [ ("status", Report.String "solved");
                  ("gates", Report.Int (Chain.size (List.hd chains)));
@@ -89,6 +164,7 @@ let handle config caches line =
                  ("source", Report.String (if was_cached then "cache" else "solver"));
                  elapsed_field ]
            | Engine.Infeasible ->
+             observe_source "solver" elapsed;
              respond ?id
                [ ("status", Report.String "infeasible");
                  ("source", Report.String "solver");
@@ -100,6 +176,7 @@ let handle config caches line =
              match Stp_synth.Baselines.upper_bound target with
              | chain ->
                Profile.incr Profile.Requests_degraded;
+               observe_source "degraded" elapsed;
                respond ?id
                  [ ("status", Report.String "upper_bound");
                    ("gates", Report.Int (Chain.size chain));
@@ -107,9 +184,18 @@ let handle config caches line =
                    ("source", Report.String "upper_bound");
                    elapsed_field ]
              | exception Invalid_argument _ ->
+               observe_source "timeout" elapsed;
                respond ?id
                  [ ("status", Report.String "timeout"); elapsed_field ]))))
-    | _ -> error_response ?id "request needs an integer \"n\" and a string \"tt\"")
+    | _ ->
+      error_response ?id "request needs an integer \"n\" and a string \"tt\""))
+
+let control ?id ty =
+  let open Report in
+  to_string
+    (Obj
+       ((match id with Some i -> [ ("id", Int i) ] | None -> [])
+       @ [ ("type", String ty) ]))
 
 let request ?id ?timeout ?engine ~n tt =
   let open Report in
@@ -142,11 +228,13 @@ let extract_lines r =
     Buffer.add_substring r.buf s (i + 1) (String.length s - i - 1);
     String.split_on_char '\n' (String.sub s 0 i)
 
-let readable_now fd =
-  match Unix.select [ fd ] [] [] 0.0 with
+let readable ?(timeout = 0.0) fd =
+  match Unix.select [ fd ] [] [] timeout with
   | [], _, _ -> false
   | _ -> true
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let readable_now fd = readable fd
 
 let fill r =
   match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
@@ -156,8 +244,10 @@ let fill r =
 
 (* Block until at least one complete line (or EOF/stop), then also
    drain every further line that has already arrived: pipelined clients
-   get their whole backlog fanned out as one pool batch. *)
-let rec read_batch ~stop r =
+   get their whole backlog fanned out as one pool batch. While idle
+   with a heartbeat configured, wake every [period] seconds to run
+   [beat] instead of blocking in [read]. *)
+let rec read_batch ~stop ?idle r =
   match extract_lines r with
   | _ :: _ as lines ->
     while (not r.eof) && readable_now r.fd && not (Atomic.get stop) do
@@ -167,8 +257,11 @@ let rec read_batch ~stop r =
   | [] ->
     if r.eof || Atomic.get stop then []
     else begin
-      fill r;
-      read_batch ~stop r
+      (match idle with
+       | Some (period, beat) ->
+         if readable ~timeout:period r.fd then fill r else beat ()
+       | None -> fill r);
+      read_batch ~stop ?idle r
     end
 
 let write_all fd s =
@@ -192,7 +285,30 @@ let sync_store config caches =
       caches;
     Store.flush store
 
+let heartbeat config =
+  let store =
+    match config.store with
+    | None -> ""
+    | Some store ->
+      let st = Store.stats store in
+      Printf.sprintf " store_classes=%d flushes=%d" st.Store.classes
+        st.Store.flushes
+  in
+  Printf.eprintf "[synthd] heartbeat uptime_s=%.1f requests=%d batches=%d%s\n%!"
+    (uptime_s ()) (Atomic.get requests_total) (Atomic.get batches_total) store
+
+(* [None] disables idle wake-ups entirely; the read loop then blocks in
+   [read] as before. *)
+let idle_of config =
+  if config.heartbeat_s > 0.0 then
+    Some (config.heartbeat_s, fun () -> heartbeat config)
+  else None
+
 let serve ?(input = Unix.stdin) ?(output = Unix.stdout) config =
+  (* The daemon always collects latency histograms: a live process must
+     answer {"type":"stats"} with populated quantiles whether or not it
+     was launched with --metrics. *)
+  Telemetry.set_metrics_enabled true;
   let caches =
     if config.no_npn_cache then []
     else
@@ -201,6 +317,7 @@ let serve ?(input = Unix.stdin) ?(output = Unix.stdout) config =
   (match config.store with
    | None -> ()
    | Some store ->
+     Store.attach_telemetry store;
      List.iter
        (fun (section, cache) -> ignore (Store.seed store ~section cache))
        caches);
@@ -221,16 +338,26 @@ let serve ?(input = Unix.stdin) ?(output = Unix.stdout) config =
          class solved by completed batches (and this final absorb). *)
       sync_store config caches)
     (fun () ->
+      let idle = idle_of config in
       let serve_stream in_fd out_fd =
         let r = reader in_fd in
         let rec loop () =
-          match read_batch ~stop r with
+          match read_batch ~stop ?idle r with
           | [] -> () (* end of input or shutdown requested *)
           | lines -> (
             match List.filter (fun l -> String.trim l <> "") lines with
             | [] -> loop ()
             | batch ->
-              let responses = Stp_parallel.Pool.exec pool (handle config caches) batch in
+              Atomic.incr batches_total;
+              let t0 = Profile.now_ns () in
+              let responses =
+                Trace.span "synthd.batch"
+                  ~args:[ ("requests", string_of_int (List.length batch)) ]
+                  (fun () ->
+                    Stp_parallel.Pool.exec pool (handle config caches) batch)
+              in
+              Hist.observe_ns (Hist.get "synthd/batch")
+                (Profile.now_ns () - t0);
               write_all out_fd (String.concat "\n" responses ^ "\n");
               (* Absorb + flush per batch: crash durability never trails
                  the answers already sent. *)
@@ -253,13 +380,22 @@ let serve ?(input = Unix.stdin) ?(output = Unix.stdout) config =
           (fun () ->
             let rec accept_loop () =
               if not (Atomic.get stop) then begin
-                (match Unix.accept sock with
-                 | client, _ ->
-                   Fun.protect
-                     ~finally:(fun () ->
-                       try Unix.close client with Unix.Unix_error _ -> ())
-                     (fun () -> serve_stream client client)
-                 | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                let ready =
+                  match idle with
+                  | None -> true
+                  | Some (period, beat) ->
+                    let ready = readable ~timeout:period sock in
+                    if not ready then beat ();
+                    ready
+                in
+                (if ready then
+                   match Unix.accept sock with
+                   | client, _ ->
+                     Fun.protect
+                       ~finally:(fun () ->
+                         try Unix.close client with Unix.Unix_error _ -> ())
+                       (fun () -> serve_stream client client)
+                   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
                 accept_loop ()
               end
             in

@@ -39,10 +39,27 @@
     is flushed (atomic rename) after each batch and on shutdown, so a
     SIGTERM mid-batch never loses previously flushed classes.
 
+    Two control request types bypass synthesis (satisfying [n]/[tt] is
+    not required):
+
+    - [{"type": "ping"}] answers with [status = "pong"], the protocol
+      {!version}, [uptime_s] and the store path (or [null]) — a cheap
+      liveness probe.
+    - [{"type": "stats"}] answers with [status = "ok"], uptime, total
+      request/batch counts, the store persistence stats, and the full
+      {!Stp_telemetry.Telemetry.snapshot_json} — including the
+      [synthd/source/*] latency histograms (one per answer provenance:
+      [solver], [cache], [degraded], [timeout]) and [synthd/batch],
+      each with populated p50/p90/p99.
+
     SIGTERM and SIGINT request an orderly shutdown: the current batch
     finishes, caches are absorbed, the store is flushed, and {!serve}
     returns. The [Requests_*] counters of {!Stp_util.Profile} count
-    received/solved/cached/timed-out/degraded/failed requests. *)
+    received/solved/cached/timed-out/degraded/failed requests;
+    {!serve} additionally enables telemetry metrics unconditionally and
+    records every request under a {!Stp_telemetry.Trace} span when
+    tracing is on. With [heartbeat_s > 0] the daemon prints a one-line
+    status to stderr whenever it has been idle that long. *)
 
 type config = {
   jobs : int;          (** domains for batch fan-out (>= 1) *)
@@ -50,10 +67,19 @@ type config = {
   store : Store.t option;  (** persistent cache store, if any *)
   socket : string;     (** Unix socket path; [""] serves stdin/stdout *)
   no_npn_cache : bool; (** disable the NPN cache (every request solves) *)
+  heartbeat_s : float; (** idle seconds between stderr heartbeats;
+                           [<= 0] disables *)
 }
 
 val default_config : config
-(** [jobs = 1], [timeout = 5.0], no store, stdio, cache enabled. *)
+(** [jobs = 1], [timeout = 5.0], no store, stdio, cache enabled, no
+    heartbeat. *)
+
+val version : string
+(** Protocol version echoed by ping/stats responses. *)
+
+val uptime_s : unit -> float
+(** Seconds since the daemon process loaded this module. *)
 
 val handle : config -> (string * Stp_synth.Npn_cache.t) list -> string -> string
 (** [handle config caches line] processes one request line to one
@@ -73,6 +99,10 @@ val serve :
 val request :
   ?id:int -> ?timeout:float -> ?engine:string -> n:int -> string -> string
 (** [request ~n tt_hex] formats one request line (no newline). *)
+
+val control : ?id:int -> string -> string
+(** [control ty] formats a control request line, e.g.
+    [control "ping"] or [control "stats"]. *)
 
 val client : socket:string -> string list -> string list
 (** [client ~socket lines] connects to a serving daemon, sends the

@@ -1,6 +1,8 @@
 module Tt = Stp_tt.Tt
 module Chain = Stp_chain.Chain
 module Npn_cache = Stp_synth.Npn_cache
+module Trace = Stp_telemetry.Trace
+module Json = Stp_telemetry.Json
 
 (* File layout (see DESIGN.md):
 
@@ -34,14 +36,31 @@ type t = {
   table : (string, record) Hashtbl.t;
   lock : Mutex.t;
   mutable skipped : int;
+  mutable flushes : int;
+  mutable flush_bytes : int;
 }
 
-type stats = { classes : int; sections : int; skipped : int }
+type stats = {
+  classes : int;
+  sections : int;
+  skipped : int;
+  flushes : int;
+  flush_bytes : int;
+}
+
+type seed_stats = { seeded : int; seed_rejected : int }
+
+type absorb_stats = { absorbed : int; duplicates : int }
 
 let path t = t.path
 
 let create ~path =
-  { path; table = Hashtbl.create 64; lock = Mutex.create (); skipped = 0 }
+  { path;
+    table = Hashtbl.create 64;
+    lock = Mutex.create ();
+    skipped = 0;
+    flushes = 0;
+    flush_bytes = 0 }
 
 let key ~section canon =
   Printf.sprintf "%s\x00%d\x00%s" section (Tt.num_vars canon) (Tt.to_hex canon)
@@ -208,6 +227,7 @@ let load_channel t ic =
     warn "%s: truncated record at end of file" t.path
 
 let load ~path =
+  Trace.span "store.load" ~args:[ ("path", path) ] @@ fun () ->
   let t = create ~path in
   (match open_in_bin path with
    | exception Sys_error _ -> () (* first run: no store yet *)
@@ -227,6 +247,7 @@ let load ~path =
 let flush_counter = Atomic.make 0
 
 let flush t =
+  Trace.span "store.flush" ~args:[ ("path", t.path) ] @@ fun () ->
   let records = with_lock t (fun () -> Hashtbl.fold (fun _ r acc -> r :: acc) t.table []) in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
@@ -252,11 +273,15 @@ let flush t =
         written := !written + Unix.write fd bytes !written (len - !written)
       done;
       Unix.fsync fd);
-  Unix.rename tmp t.path
+  Unix.rename tmp t.path;
+  with_lock t (fun () ->
+      t.flushes <- t.flushes + 1;
+      t.flush_bytes <- t.flush_bytes + Buffer.length buf)
 
 (* {2 Cache interchange} *)
 
 let seed t ~section cache =
+  Trace.span "store.seed" ~args:[ ("section", section) ] @@ fun () ->
   let records =
     with_lock t (fun () ->
         Hashtbl.fold
@@ -264,23 +289,28 @@ let seed t ~section cache =
           t.table [])
   in
   List.fold_left
-    (fun admitted r ->
-      if Npn_cache.add_entry cache r.canon r.entry then admitted + 1
-      else admitted)
-    0 records
+    (fun st r ->
+      if Npn_cache.add_entry cache r.canon r.entry then
+        { st with seeded = st.seeded + 1 }
+      else { st with seed_rejected = st.seed_rejected + 1 })
+    { seeded = 0; seed_rejected = 0 }
+    records
 
 let absorb t ~section cache =
+  Trace.span "store.absorb" ~args:[ ("section", section) ] @@ fun () ->
   let entries = Npn_cache.entries cache in
   with_lock t (fun () ->
       List.fold_left
-        (fun fresh (canon, entry) ->
+        (fun st (canon, entry) ->
           let k = key ~section canon in
-          if Hashtbl.mem t.table k then fresh
+          if Hashtbl.mem t.table k then
+            { st with duplicates = st.duplicates + 1 }
           else begin
             Hashtbl.replace t.table k { section; canon; entry };
-            fresh + 1
+            { st with absorbed = st.absorbed + 1 }
           end)
-        0 entries)
+        { absorbed = 0; duplicates = 0 }
+        entries)
 
 let stats t =
   with_lock t (fun () ->
@@ -288,4 +318,19 @@ let stats t =
       Hashtbl.iter (fun _ r -> Hashtbl.replace sections r.section ()) t.table;
       { classes = Hashtbl.length t.table;
         sections = Hashtbl.length sections;
-        skipped = t.skipped })
+        skipped = t.skipped;
+        flushes = t.flushes;
+        flush_bytes = t.flush_bytes })
+
+let stats_json t =
+  let st = stats t in
+  Json.Obj
+    [ ("path", Json.String t.path);
+      ("classes", Json.Int st.classes);
+      ("sections", Json.Int st.sections);
+      ("skipped", Json.Int st.skipped);
+      ("flushes", Json.Int st.flushes);
+      ("flush_bytes", Json.Int st.flush_bytes) ]
+
+let attach_telemetry t =
+  Stp_telemetry.Telemetry.register_probe "store" (fun () -> stats_json t)

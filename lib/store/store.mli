@@ -39,22 +39,43 @@ val load : path:string -> t
 val path : t -> string
 
 type stats = {
-  classes : int;   (** records currently held, over all sections *)
-  sections : int;  (** distinct section names *)
-  skipped : int;   (** corrupt records skipped by {!load} *)
+  classes : int;     (** records currently held, over all sections *)
+  sections : int;    (** distinct section names *)
+  skipped : int;     (** corrupt records skipped by {!load} *)
+  flushes : int;     (** completed {!flush} calls on this handle *)
+  flush_bytes : int; (** bytes written across those flushes *)
 }
 
 val stats : t -> stats
 
-val seed : t -> section:string -> Stp_synth.Npn_cache.t -> int
+val stats_json : t -> Stp_telemetry.Json.t
+(** {!stats} plus the store path as a JSON object — the shape the
+    [synthd] stats response and the [--metrics] snapshot embed. *)
+
+val attach_telemetry : t -> unit
+(** Register this store as the ["store"] probe of
+    {!Stp_telemetry.Telemetry.snapshot_json}. Latest call wins; stores
+    are process-lifetime objects so no detach is provided. *)
+
+type seed_stats = {
+  seeded : int;         (** classes admitted into the cache *)
+  seed_rejected : int;  (** classes refused by re-validation or collision *)
+}
+
+type absorb_stats = {
+  absorbed : int;    (** new classes recorded into the section *)
+  duplicates : int;  (** classes already present (kept, not overwritten) *)
+}
+
+val seed : t -> section:string -> Stp_synth.Npn_cache.t -> seed_stats
 (** [seed t ~section cache] imports every class of [section] into
     [cache] via {!Stp_synth.Npn_cache.add_entry} (which re-validates
-    chains); returns the number of classes actually admitted. *)
+    chains); reports how many were admitted vs rejected. *)
 
-val absorb : t -> section:string -> Stp_synth.Npn_cache.t -> int
+val absorb : t -> section:string -> Stp_synth.Npn_cache.t -> absorb_stats
 (** [absorb t ~section cache] records every class of [cache] into
-    [section], keeping existing records on key collision; returns the
-    number of new classes recorded. Call before {!flush}. *)
+    [section], keeping existing records on key collision; reports how
+    many were new vs already present. Call before {!flush}. *)
 
 val flush : t -> unit
 (** Atomically persist the store to its path (write temp, fsync,

@@ -61,6 +61,45 @@ let gates = function
   | Solved (c :: _) -> Some (Chain.size c)
   | Solved [] | Timeout | Infeasible -> None
 
+let outcome_label = function
+  | Solved _ -> "solved"
+  | Timeout -> "timeout"
+  | Infeasible -> "infeasible"
+
+(* Telemetry decorator: a span per synthesize call (one flame-graph
+   block per engine invocation, tagged with the target arity) and, when
+   metrics are on, latency histograms per engine and per outcome. The
+   engine itself stays uninstrumented; everything that consumes engines
+   through [S] (runner, daemon, rewriter) wraps with [observed] so the
+   measurements agree across entry points. *)
+let observed (module E : S) : (module S) =
+  (module struct
+    let name = E.name
+
+    let span_name = "synth." ^ E.name
+    let hist_engine = lazy (Stp_telemetry.Hist.get ("engine/" ^ E.name))
+
+    let synthesize spec ~deadline =
+      let run () =
+        if not (Stp_telemetry.Trace.enabled ()) then E.synthesize spec ~deadline
+        else
+          Stp_telemetry.Trace.span span_name
+            ~args:[ ("n", string_of_int (Tt.num_vars spec.target)) ]
+            (fun () -> E.synthesize spec ~deadline)
+      in
+      if not (Stp_telemetry.Telemetry.metrics_enabled ()) then run ()
+      else begin
+        let t0 = Stp_util.Profile.now_ns () in
+        let r = run () in
+        let dt = Stp_util.Profile.now_ns () - t0 in
+        Stp_telemetry.Hist.observe_ns (Lazy.force hist_engine) dt;
+        Stp_telemetry.Hist.observe_ns
+          (Stp_telemetry.Hist.get ("engine/" ^ E.name ^ "/" ^ outcome_label r))
+          dt;
+        r
+      end
+  end)
+
 let to_spec_result ~elapsed = function
   | Solved chains ->
     let gates = match chains with c :: _ -> Chain.size c | [] -> 0 in

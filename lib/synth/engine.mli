@@ -65,6 +65,19 @@ val gates : result -> int option
 (** The optimum gate count of a [Solved] result (the size of its
     chains); [None] otherwise. *)
 
+val outcome_label : result -> string
+(** ["solved"], ["timeout"] or ["infeasible"] — the histogram and
+    response-status vocabulary shared by the harness and the daemon. *)
+
+val observed : (module S) -> (module S)
+(** Telemetry decorator: the same engine, with a
+    {!Stp_telemetry.Trace} span per [synthesize] call (named
+    [synth.<engine>], tagged with the target arity) and — when
+    {!Stp_telemetry.Telemetry.metrics_enabled} — call latencies
+    recorded into the registered histograms [engine/<name>] and
+    [engine/<name>/<outcome>]. Free when tracing and metrics are both
+    off (two [ref] reads per call). *)
+
 val to_spec_result : elapsed:float -> result -> Spec.result
 (** Bridge to the record shape of the pre-[Engine] API: [Solved]
     becomes {!Spec.solved}; [Timeout] {e and} [Infeasible] become

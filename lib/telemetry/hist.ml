@@ -1,0 +1,194 @@
+(* Fixed-bucket log-scale latency histograms.
+
+   Buckets are base-2 octaves refined by 4 linear sub-buckets (2
+   significant bits, HDR-histogram style): values below 4 ns get exact
+   unit buckets, every other bucket spans at most +25% of its lower
+   bound. 160 buckets cover 1 ns to ~37 minutes; larger values clamp
+   into the last bucket. All mutation is lock-free (atomic buckets and
+   accumulators), so domains of a pool record concurrently without
+   coordination; quantile extraction reads a consistent-enough snapshot
+   for reporting (each bucket is individually exact). *)
+
+let num_buckets = 160
+
+let bucket_of_ns ns =
+  if ns <= 0 then 0
+  else if ns < 4 then ns
+  else begin
+    (* position of the highest set bit *)
+    let e = ref 2 and v = ref (ns lsr 2) in
+    while !v > 1 do
+      incr e;
+      v := !v lsr 1
+    done;
+    let e = !e in
+    let idx = ((e - 1) * 4) + ((ns lsr (e - 2)) land 3) in
+    if idx >= num_buckets then num_buckets - 1 else idx
+  end
+
+(* Inclusive lower bound of a bucket, in ns: the inverse of
+   [bucket_of_ns] on bucket boundaries. *)
+let bucket_lower_ns idx =
+  if idx < 4 then idx
+  else
+    let e = (idx / 4) + 1 and s = idx land 3 in
+    (4 + s) lsl (e - 2)
+
+type t = {
+  name : string;
+  buckets : int Atomic.t array;
+  count : int Atomic.t;
+  sum_ns : int Atomic.t;
+  min_ns : int Atomic.t;
+  max_ns : int Atomic.t;
+}
+
+let make name =
+  { name;
+    buckets = Array.init num_buckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    sum_ns = Atomic.make 0;
+    min_ns = Atomic.make max_int;
+    max_ns = Atomic.make 0 }
+
+let name t = t.name
+
+let rec update_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then update_min a v
+
+let rec update_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then update_max a v
+
+let observe_ns t ns =
+  let ns = if ns < 0 then 0 else ns in
+  ignore (Atomic.fetch_and_add t.buckets.(bucket_of_ns ns) 1);
+  ignore (Atomic.fetch_and_add t.count 1);
+  ignore (Atomic.fetch_and_add t.sum_ns ns);
+  update_min t.min_ns ns;
+  update_max t.max_ns ns
+
+let observe_s t s = observe_ns t (int_of_float (s *. 1e9))
+
+let count t = Atomic.get t.count
+
+let reset t =
+  Array.iter (fun a -> Atomic.set a 0) t.buckets;
+  Atomic.set t.count 0;
+  Atomic.set t.sum_ns 0;
+  Atomic.set t.min_ns max_int;
+  Atomic.set t.max_ns 0
+
+(* Quantiles from a point-in-time copy of the buckets: the answer is
+   exact up to bucket resolution (<= 25%); a bucket's representative is
+   its midpoint, except the unit buckets (exact) and the overflow
+   bucket (its lower bound). *)
+let quantile_of_buckets buckets total q =
+  if total = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int total)) in
+      if r < 1 then 1 else if r > total then total else r
+    in
+    let idx = ref 0 and seen = ref 0 in
+    (try
+       for i = 0 to num_buckets - 1 do
+         seen := !seen + buckets.(i);
+         if !seen >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let i = !idx in
+    if i < 4 then float_of_int i
+    else if i = num_buckets - 1 then float_of_int (bucket_lower_ns i)
+    else
+      float_of_int (bucket_lower_ns i + bucket_lower_ns (i + 1)) /. 2.0
+  end
+
+let quantile_ns t q =
+  let buckets = Array.map Atomic.get t.buckets in
+  quantile_of_buckets buckets (Array.fold_left ( + ) 0 buckets) q
+
+type snapshot = {
+  sname : string;
+  scount : int;
+  sum_s : float;
+  mean_s : float;
+  min_s : float;
+  max_s : float;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+  sbuckets : (float * int) list;  (** non-empty buckets: lower bound (s), count *)
+}
+
+let snapshot t =
+  let buckets = Array.map Atomic.get t.buckets in
+  let total = Array.fold_left ( + ) 0 buckets in
+  let sum_ns = Atomic.get t.sum_ns in
+  let q p = quantile_of_buckets buckets total p /. 1e9 in
+  { sname = t.name;
+    scount = total;
+    sum_s = float_of_int sum_ns /. 1e9;
+    mean_s = (if total = 0 then 0.0 else float_of_int sum_ns /. 1e9 /. float_of_int total);
+    min_s = (if total = 0 then 0.0 else float_of_int (Atomic.get t.min_ns) /. 1e9);
+    max_s = float_of_int (Atomic.get t.max_ns) /. 1e9;
+    p50_s = q 0.5;
+    p90_s = q 0.9;
+    p99_s = q 0.99;
+    sbuckets =
+      (let acc = ref [] in
+       for i = num_buckets - 1 downto 0 do
+         if buckets.(i) > 0 then
+           acc := (float_of_int (bucket_lower_ns i) /. 1e9, buckets.(i)) :: !acc
+       done;
+       !acc) }
+
+let snapshot_json s =
+  Json.Obj
+    [ ("count", Json.Int s.scount);
+      ("sum_s", Json.Float s.sum_s);
+      ("mean_s", Json.Float s.mean_s);
+      ("min_s", Json.Float s.min_s);
+      ("max_s", Json.Float s.max_s);
+      ("p50_s", Json.Float s.p50_s);
+      ("p90_s", Json.Float s.p90_s);
+      ("p99_s", Json.Float s.p99_s);
+      ("buckets",
+       Json.List
+         (List.map
+            (fun (lo, c) -> Json.List [ Json.Float lo; Json.Int c ])
+            s.sbuckets)) ]
+
+let to_json t = snapshot_json (snapshot t)
+
+(* {2 The named-histogram registry} *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+let registry_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let get name =
+  with_lock (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+        let h = make name in
+        Hashtbl.add registry name h;
+        h)
+
+let find name = with_lock (fun () -> Hashtbl.find_opt registry name)
+
+let registered () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun _ h acc -> h :: acc) registry []
+      |> List.sort (fun a b -> compare a.name b.name))
+
+let reset_registry () =
+  with_lock (fun () -> Hashtbl.iter (fun _ h -> reset h) registry)

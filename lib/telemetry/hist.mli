@@ -1,0 +1,88 @@
+(** Fixed-bucket log-scale latency histograms with lock-free recording.
+
+    A histogram is 160 atomic buckets: base-2 octaves refined by 4
+    linear sub-buckets, so every bucket spans at most +25% of its lower
+    bound (values below 4 ns are exact). This covers 1 ns to ~37
+    minutes — the full latency range of a synthesis request, from an
+    NPN-cache hit to a paper-scale 180 s timeout — in a few hundred
+    bytes. {!observe_ns} is wait-free (three atomic adds and two CAS
+    races), so every domain of a pool records into the same histogram
+    without coordination.
+
+    Quantiles ({!quantile_ns}, the [p50_s]/[p90_s]/[p99_s] fields of
+    {!snapshot}) are extracted exactly from the bucket counts; the
+    answer is the hit bucket's midpoint, i.e. exact up to the <= 25%
+    bucket resolution.
+
+    Histograms are either {!make}d standalone (a collection runner's
+    per-run latency histogram) or named into the process-global
+    registry with {!get} (engine and daemon instrumentation) — the
+    registry is what {!Telemetry.snapshot_json} reports. *)
+
+type t
+
+val make : string -> t
+(** A fresh, unregistered histogram. *)
+
+val name : t -> string
+
+val observe_ns : t -> int -> unit
+(** Record one latency in nanoseconds (negative values clamp to 0). *)
+
+val observe_s : t -> float -> unit
+(** [observe_ns] on [seconds *. 1e9]. *)
+
+val count : t -> int
+
+val quantile_ns : t -> float -> float
+(** [quantile_ns t q] for [q] in [0, 1]: the latency (ns) at rank
+    [ceil (q * count)]; 0 when empty. *)
+
+val reset : t -> unit
+
+type snapshot = {
+  sname : string;
+  scount : int;
+  sum_s : float;
+  mean_s : float;
+  min_s : float;
+  max_s : float;
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+  sbuckets : (float * int) list;
+      (** non-empty buckets only: (inclusive lower bound in seconds,
+          count), ascending *)
+}
+
+val snapshot : t -> snapshot
+
+val snapshot_json : snapshot -> Json.t
+(** [{"count": ..., "p50_s": ..., "p99_s": ..., "buckets": [[lo_s,
+    count], ...]}] — the histogram block format of
+    [BENCH_table1.json] and the daemon's [stats] response. *)
+
+val to_json : t -> Json.t
+(** [snapshot_json (snapshot t)]. *)
+
+(** {2 The named registry} *)
+
+val get : string -> t
+(** The registered histogram of that name, created on first use.
+    Conventional names are path-shaped: ["engine/STP"],
+    ["synthd/source/cache"], ["synthd/batch"]. *)
+
+val find : string -> t option
+
+val registered : unit -> t list
+(** Every registered histogram, sorted by name. *)
+
+val reset_registry : unit -> unit
+(** Reset every registered histogram (registration survives). *)
+
+(**/**)
+
+val num_buckets : int
+val bucket_of_ns : int -> int
+val bucket_lower_ns : int -> int
+(** Exposed for tests. *)

@@ -1,0 +1,36 @@
+(** A minimal hand-rolled JSON value — the container deliberately has no
+    JSON dependency. This module is the single JSON implementation of
+    the repo: the harness ({!Stp_harness.Report}) re-exports the type
+    with its constructors, the daemon's request protocol parses with
+    {!of_string}, and the telemetry registry ({!Telemetry}) and trace
+    writer ({!Trace}) emit with {!to_string}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. NaN/infinite floats become
+    [null]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Append the compact rendering — the streaming half of {!to_string},
+    used by writers that emit many values without intermediate
+    strings. *)
+
+val of_string : string -> (t, string) Stdlib.result
+(** Parse one JSON document (the dual of {!to_string}); trailing
+    non-whitespace is an error. Numbers with a fraction or exponent
+    read back as [Float], all others as [Int]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the value bound to [k]; [None] on
+    missing keys and non-objects. *)
+
+val to_float_opt : t -> float option
+(** Numeric coercion: [Float f] and [Int i] both read as floats. *)

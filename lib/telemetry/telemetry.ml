@@ -1,0 +1,74 @@
+module Profile = Stp_util.Profile
+
+(* The one-stop metrics surface: Profile's stage timers and counters,
+   every registered histogram, and the probes pushed in by subsystems
+   that own their own state (pool utilisation, store persistence),
+   unified into one JSON snapshot. *)
+
+let metrics_flag = ref false
+
+let metrics_enabled () = !metrics_flag
+
+let set_metrics_enabled b = metrics_flag := b
+
+(* {2 Probes} *)
+
+let probes : (string, unit -> Json.t) Hashtbl.t = Hashtbl.create 8
+let probes_lock = Mutex.create ()
+
+let register_probe name f =
+  Mutex.lock probes_lock;
+  Hashtbl.replace probes name f;
+  Mutex.unlock probes_lock
+
+let unregister_probe name =
+  Mutex.lock probes_lock;
+  Hashtbl.remove probes name;
+  Mutex.unlock probes_lock
+
+(* {2 Snapshot} *)
+
+let profile_json (p : Profile.snapshot) =
+  Json.Obj
+    [ ("stages",
+       Json.Obj
+         (List.map
+            (fun (st : Profile.stage_snapshot) ->
+              ( st.Profile.stage,
+                Json.Obj
+                  [ ("calls", Json.Int st.Profile.calls);
+                    ("self_s", Json.Float st.Profile.self_s) ] ))
+            p.Profile.stages));
+      ("counters",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) p.Profile.counts)) ]
+
+let snapshot_json () =
+  let probe_fields =
+    Mutex.lock probes_lock;
+    let fs = Hashtbl.fold (fun name f acc -> (name, f) :: acc) probes [] in
+    Mutex.unlock probes_lock;
+    List.sort (fun (a, _) (b, _) -> compare a b) fs
+    |> List.map (fun (name, f) ->
+           ( name,
+             match f () with
+             | j -> j
+             | exception e -> Json.String ("probe error: " ^ Printexc.to_string e) ))
+  in
+  Json.Obj
+    ([ ("metrics_enabled", Json.Bool !metrics_flag);
+       ("profile", profile_json (Profile.snapshot ()));
+       ("histograms",
+        Json.Obj
+          (List.map
+             (fun h -> (Hist.name h, Hist.to_json h))
+             (Hist.registered ())));
+       ("trace",
+        Json.Obj
+          [ ("enabled", Json.Bool (Trace.enabled ()));
+            ("dropped", Json.Int (Trace.dropped ())) ]) ]
+    @ probe_fields)
+
+let reset () =
+  Profile.reset ();
+  Hist.reset_registry ();
+  Trace.reset ()

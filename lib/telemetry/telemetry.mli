@@ -1,0 +1,45 @@
+(** The unified metrics registry: one snapshot for everything the stack
+    measures.
+
+    {!snapshot_json} gathers, into a single JSON object:
+
+    - the {!Stp_util.Profile} stage timers and hot-path counters;
+    - every histogram registered through {!Hist.get} (engine
+      latencies, daemon per-source latencies, batch times);
+    - the {!Trace} ring state (enabled, dropped spans);
+    - every registered {e probe} — a named callback contributed by a
+      subsystem that owns its own counters: the domain pool registers a
+      ["pool"] probe (per-domain busy time, tasks run, queue wait), a
+      persistent store registers a ["store"] probe (records, flushes,
+      bytes, corrupt-record counts).
+
+    This is the payload behind [table1 --metrics] and the daemon's
+    [{"type": "stats"}] request.
+
+    {!metrics_enabled} is the global gate consulted by instrumentation
+    call sites whose recording is not already free (engine-latency
+    histograms, store spans): disabled — the default — they cost one
+    [ref] read. The daemon enables it unconditionally; the harness
+    CLIs enable it under [--metrics]. *)
+
+val metrics_enabled : unit -> bool
+val set_metrics_enabled : bool -> unit
+
+val register_probe : string -> (unit -> Json.t) -> unit
+(** [register_probe name f] adds [f]'s value under [name] in every
+    later {!snapshot_json}; re-registering a name replaces the probe.
+    A probe that raises reports the exception as its value rather than
+    failing the snapshot. *)
+
+val unregister_probe : string -> unit
+
+val profile_json : Stp_util.Profile.snapshot -> Json.t
+(** The profile block: [{"stages": {...}, "counters": {...}}] — shared
+    by {!snapshot_json} and the harness report writer. *)
+
+val snapshot_json : unit -> Json.t
+
+val reset : unit -> unit
+(** Zero the profiler, every registered histogram, and the trace
+    rings. Probe registrations survive (their backing counters are
+    owned by the registering subsystem). *)

@@ -1,0 +1,180 @@
+module Profile = Stp_util.Profile
+
+(* Off-by-default span tracing, [Profile]-style: when disabled, a probe
+   is one [ref] read. When enabled, each domain appends completed spans
+   to its own ring buffer (no cross-domain coordination on the record
+   path); buffers stay registered after their domain terminates, so a
+   pool's worker spans survive to the end-of-run export. *)
+
+type event = {
+  name : string;
+  args : (string * string) list;
+  t_start_ns : int;
+  t_end_ns : int;
+  domain_id : int;
+}
+
+type buf = {
+  mutable events : event array;
+  mutable size : int;     (* valid events *)
+  mutable next : int;     (* write cursor *)
+  mutable dropped : int;  (* overwritten once the ring is full *)
+}
+
+let dummy_event =
+  { name = ""; args = []; t_start_ns = 0; t_end_ns = 0; domain_id = 0 }
+
+let default_capacity = 65536
+let capacity = ref default_capacity
+
+let set_capacity n = capacity := max 16 n
+
+let registry : buf list ref = ref []
+let registry_lock = Mutex.create ()
+
+let enabled_flag = ref false
+let epoch_ns = ref 0
+
+let enabled () = !enabled_flag
+
+let set_enabled b =
+  if b && not !enabled_flag then epoch_ns := Profile.now_ns ();
+  enabled_flag := b
+
+(* Buffers start small and double up to [capacity]; a long-lived domain
+   costs memory proportional to the spans it actually recorded. *)
+let buf_key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { events = Array.make (min 1024 !capacity) dummy_event;
+          size = 0;
+          next = 0;
+          dropped = 0 }
+      in
+      Mutex.lock registry_lock;
+      registry := b :: !registry;
+      Mutex.unlock registry_lock;
+      b)
+
+let record name args t_start_ns t_end_ns =
+  let b = Domain.DLS.get buf_key in
+  let ev =
+    { name; args; t_start_ns; t_end_ns;
+      domain_id = (Domain.self () :> int) }
+  in
+  let cap = !capacity in
+  let len = Array.length b.events in
+  if b.size = len && len < cap then begin
+    let grown = Array.make (min (2 * len) cap) dummy_event in
+    Array.blit b.events 0 grown 0 len;
+    b.events <- grown
+  end;
+  let len = Array.length b.events in
+  if b.size < len then begin
+    b.events.(b.next) <- ev;
+    b.next <- (b.next + 1) mod len;
+    b.size <- b.size + 1
+  end
+  else begin
+    (* ring full: overwrite the oldest span *)
+    b.events.(b.next) <- ev;
+    b.next <- (b.next + 1) mod len;
+    b.dropped <- b.dropped + 1
+  end
+
+let span ?(args = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = Profile.now_ns () in
+    match f () with
+    | r ->
+      record name args t0 (Profile.now_ns ());
+      r
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      record name (("exception", Printexc.to_string e) :: args) t0
+        (Profile.now_ns ());
+      Printexc.raise_with_backtrace e bt
+  end
+
+let instant ?(args = []) name =
+  if !enabled_flag then
+    let t = Profile.now_ns () in
+    record name args t t
+
+(* Collection runs while recording domains are quiescent (between pool
+   batches / after a run); a torn read could at worst misreport one
+   in-flight span. *)
+let buf_events b =
+  let len = Array.length b.events in
+  if b.size < len then Array.to_list (Array.sub b.events 0 b.size)
+  else List.init len (fun i -> b.events.((b.next + i) mod len))
+
+let events () =
+  Mutex.lock registry_lock;
+  let bufs = !registry in
+  Mutex.unlock registry_lock;
+  List.concat_map buf_events bufs
+  |> List.sort (fun a b -> compare a.t_start_ns b.t_start_ns)
+
+let dropped () =
+  Mutex.lock registry_lock;
+  let bufs = !registry in
+  Mutex.unlock registry_lock;
+  List.fold_left (fun acc b -> acc + b.dropped) 0 bufs
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter
+    (fun b ->
+      b.size <- 0;
+      b.next <- 0;
+      b.dropped <- 0)
+    !registry;
+  Mutex.unlock registry_lock;
+  epoch_ns := Profile.now_ns ()
+
+(* {2 Chrome trace-event export}
+
+   The "JSON Array Format" of the trace-event spec: complete ("X")
+   events with microsecond [ts]/[dur], [tid] = OCaml domain id. Loads
+   directly in chrome://tracing and https://ui.perfetto.dev. *)
+
+let event_json epoch pid ev =
+  Json.Obj
+    ([ ("name", Json.String ev.name);
+       ("cat", Json.String "stp");
+       ("ph", Json.String "X");
+       ("ts", Json.Float (float_of_int (ev.t_start_ns - epoch) /. 1e3));
+       ("dur", Json.Float (float_of_int (ev.t_end_ns - ev.t_start_ns) /. 1e3));
+       ("pid", Json.Int pid);
+       ("tid", Json.Int ev.domain_id) ]
+    @
+    match ev.args with
+    | [] -> []
+    | args ->
+      [ ("args",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)) ])
+
+let write ~path =
+  let evs = events () in
+  let epoch = !epoch_ns in
+  let pid = Unix.getpid () in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+      List.iteri
+        (fun i ev ->
+          if i > 0 then Buffer.add_char buf ',';
+          Json.to_buffer buf (event_json epoch pid ev);
+          if Buffer.length buf > 1 lsl 20 then begin
+            Buffer.output_buffer oc buf;
+            Buffer.clear buf
+          end)
+        evs;
+      Buffer.add_string buf "]}\n";
+      Buffer.output_buffer oc buf);
+  List.length evs

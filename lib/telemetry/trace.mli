@@ -1,0 +1,64 @@
+(** Low-overhead span tracing with Chrome trace-event export.
+
+    A span is one timed region — [(name, args, t_start_ns, t_end_ns,
+    domain_id)] — recorded at completion into a ring buffer local to
+    the recording domain, so the hot path takes no locks and never
+    contends across domains. Buffers stay registered after their domain
+    terminates: spans recorded by a pool's workers survive to the
+    end-of-run {!write}.
+
+    Tracing is {e off by default} and, like {!Stp_util.Profile}, costs
+    one [ref] read per probe when disabled, so instrumentation stays in
+    the hot path permanently. Enable with {!set_enabled} (the harness
+    [--trace out.json] flag), export with {!write}, and load the file
+    in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}: one
+    track per domain, nested spans rendered as flame stacks.
+
+    Each ring holds {!set_capacity} spans (default 65536); once full,
+    the oldest spans are overwritten and counted in {!dropped} — a
+    bounded-memory guarantee for long daemon runs. *)
+
+type event = {
+  name : string;
+  args : (string * string) list;
+  t_start_ns : int;
+  t_end_ns : int;
+  domain_id : int;
+}
+
+val set_enabled : bool -> unit
+(** Enabling (re)captures the trace epoch: exported timestamps are
+    relative to the moment tracing was switched on. *)
+
+val enabled : unit -> bool
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and records one event covering it.
+    Exceptions propagate; the span is still recorded, with an
+    ["exception"] arg. No-op (one [ref] read) when disabled. *)
+
+val instant : ?args:(string * string) list -> string -> unit
+(** A zero-duration event marking a point in time. *)
+
+val events : unit -> event list
+(** Every buffered span, across all domains, sorted by start time.
+    Call between batches / after a run, while recording domains are
+    quiescent. *)
+
+val dropped : unit -> int
+(** Spans overwritten because a ring was full. *)
+
+val reset : unit -> unit
+(** Empty every ring and restart the epoch. *)
+
+val set_capacity : int -> unit
+(** Ring capacity (spans per domain) for buffers created afterwards;
+    clamped to at least 16. *)
+
+val default_capacity : int
+(** 65536 spans per domain (~4 MB) unless {!set_capacity} overrode it. *)
+
+val write : path:string -> int
+(** Export every buffered span as Chrome trace-event JSON ([{"traceEvents":
+    [{"ph": "X", "ts": ..., "dur": ..., "tid": <domain>, ...}, ...]}])
+    and return the number of events written. *)

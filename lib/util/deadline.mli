@@ -5,13 +5,10 @@
     the paper's per-instance timeout without threads or signals.
 
     Monotonicity note: every time read goes through {!Unix_time.now},
-    which is wall-clock ([Unix.gettimeofday]) rather than a monotonic
-    clock. A backwards wall-clock step (NTP adjustment, manual reset)
-    while a deadline is live therefore extends it, and a forwards step
-    shortens it. This is accepted for the harness — per-instance budgets
-    are seconds-scale and the aggregate metrics are themselves wall-clock
-    — but deadlines must not be used as a hard real-time bound. Swapping
-    [Unix_time.now] for a monotonic source fixes every caller at once. *)
+    which is CLOCK_MONOTONIC (via {!Profile.now_ns}) — a deadline is
+    immune to NTP adjustments and manual clock resets. It is still a
+    cooperative bound, not a hard real-time one: expiry is only observed
+    when the solver polls. *)
 
 type t
 

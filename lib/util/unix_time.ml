@@ -1,1 +1,7 @@
-let now () = Unix.gettimeofday ()
+(* One time source for the whole repo: CLOCK_MONOTONIC via
+   Profile.now_ns, as float seconds. Every elapsed/deadline/wall-clock
+   number across the binaries is a difference of these, so switching
+   the source here (away from Unix.gettimeofday, which goes backwards
+   under NTP adjustment) fixes every caller at once. The origin is
+   arbitrary: only differences are meaningful. *)
+let now () = float_of_int (Profile.now_ns ()) *. 1e-9

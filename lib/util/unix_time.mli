@@ -1,4 +1,12 @@
-(** Wall-clock time. *)
+(** The repo's single time source: monotonic seconds.
+
+    [now] reads CLOCK_MONOTONIC (via {!Profile.now_ns}) as float
+    seconds from an {e arbitrary origin} — it is not the Unix epoch,
+    and only differences of two reads are meaningful. Every elapsed
+    measurement, deadline and wall-clock aggregate in the repo is such
+    a difference, so they all share one source that never goes
+    backwards under NTP adjustment. *)
 
 val now : unit -> float
-(** [now ()] is the current wall-clock time in seconds since the epoch. *)
+(** Monotonic time in seconds; subtract two reads for an elapsed
+    duration. *)

@@ -87,6 +87,91 @@ let test_daemon_end_to_end () =
   Alcotest.(check bool) "daemon exits on EOF" true (status = Unix.WEXITED 0);
   Sys.remove store_path
 
+let get_float key json =
+  Option.bind (Report.member key json) Report.to_float_opt
+
+let member_path json path =
+  List.fold_left
+    (fun acc key -> Option.bind acc (Report.member key))
+    (Some json) path
+
+let test_daemon_ping_and_stats () =
+  let store_path = temp_path () in
+  let pid, req, resp = spawn_daemon ~store_path in
+  let ask line =
+    output_string req (line ^ "\n");
+    flush req;
+    parse_response (input_line resp)
+  in
+  (* Ping: liveness, version, uptime, store path. *)
+  let pong = ask (Daemon.control ~id:1 "ping") in
+  Alcotest.(check (option string)) "pong" (Some "pong")
+    (get_string "status" pong);
+  Alcotest.(check (option string)) "version" (Some Daemon.version)
+    (get_string "version" pong);
+  Alcotest.(check bool) "uptime present" true
+    (match get_float "uptime_s" pong with Some u -> u >= 0.0 | None -> false);
+  Alcotest.(check (option string)) "store path echoed" (Some store_path)
+    (get_string "store" pong);
+  Alcotest.(check bool) "ping id echoed" true
+    (Report.member "id" pong = Some (Report.Int 1));
+  (* One solver answer and one cache replay populate the per-source
+     latency histograms. *)
+  let r1 = ask (Daemon.request ~id:2 ~n:4 "8ff8") in
+  Alcotest.(check (option string)) "first solve" (Some "solver")
+    (get_string "source" r1);
+  let r2 = ask (Daemon.request ~id:3 ~n:4 "8ff8") in
+  Alcotest.(check (option string)) "replayed" (Some "cache")
+    (get_string "source" r2);
+  (* Stats: uptime, counts, store block, per-source histograms with
+     populated quantiles. *)
+  let stats = ask (Daemon.control ~id:4 "stats") in
+  Alcotest.(check (option string)) "stats ok" (Some "ok")
+    (get_string "status" stats);
+  (match Report.member "requests" stats with
+   | Some (Report.Int n) ->
+     Alcotest.(check bool) "requests counted" true (n >= 4)
+   | _ -> Alcotest.fail "requests count missing");
+  (match member_path stats [ "store"; "classes" ] with
+   | Some (Report.Int 1) -> ()
+   | _ -> Alcotest.fail "store stats must report the one absorbed class");
+  let hist_quantile source q =
+    match
+      member_path stats [ "telemetry"; "histograms"; "synthd/source/" ^ source; q ]
+    with
+    | Some v -> Report.to_float_opt v
+    | None -> None
+  in
+  List.iter
+    (fun source ->
+      (match hist_quantile source "p50_s" with
+       | Some p ->
+         Alcotest.(check bool)
+           (Printf.sprintf "%s p50 populated" source)
+           true (p > 0.0)
+       | None -> Alcotest.failf "histogram synthd/source/%s missing p50" source);
+      match hist_quantile source "p99_s" with
+      | Some p ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s p99 populated" source)
+          true (p > 0.0)
+      | None -> Alcotest.failf "histogram synthd/source/%s missing p99" source)
+    [ "solver"; "cache" ];
+  (match
+     member_path stats [ "telemetry"; "histograms"; "synthd/batch"; "count" ]
+   with
+   | Some (Report.Int n) ->
+     Alcotest.(check bool) "batch histogram populated" true (n >= 1)
+   | _ -> Alcotest.fail "synthd/batch histogram missing");
+  (* Unknown control types are rejected, not treated as synthesis. *)
+  let bad = ask (Daemon.control ~id:5 "frobnicate") in
+  Alcotest.(check (option string)) "unknown type errors" (Some "error")
+    (get_string "status" bad);
+  close_out req;
+  let _, status = Unix.waitpid [] pid in
+  Alcotest.(check bool) "daemon exits on EOF" true (status = Unix.WEXITED 0);
+  Sys.remove store_path
+
 let test_daemon_socket_round_trip () =
   let sock_path = Filename.temp_file "stp_synthd" ".sock" in
   Sys.remove sock_path;
@@ -128,5 +213,6 @@ let () =
     [ ( "daemon",
         [ Alcotest.test_case "stdin end-to-end with SIGTERM" `Slow
             test_daemon_end_to_end;
+          Alcotest.test_case "ping and stats" `Slow test_daemon_ping_and_stats;
           Alcotest.test_case "socket round trip" `Slow
             test_daemon_socket_round_trip ] ) ]

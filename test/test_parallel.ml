@@ -70,6 +70,71 @@ let test_heavy_items_balance () =
     "deterministic results" (List.map f items)
     (Pool.map ~domains:4 f items)
 
+(* --- Profile self-time semantics under the pool --- *)
+
+module Profile = Stp_util.Profile
+
+let spin_ns ns =
+  let t0 = Profile.now_ns () in
+  while Profile.now_ns () - t0 < ns do
+    ()
+  done
+
+let test_profile_self_time_under_pool () =
+  (* Nested stages on pool workers: counters must sum exactly across
+     domains, and a stage's time must be *self* time — the nested
+     stage's share is attributed to the inner stage only. Each task
+     busy-waits 2 ms inside [Verify] and 5 ms inside a nested
+     [Canonical]; if nesting were not subtracted, Verify would read
+     >= 16 * 7 ms = 112 ms instead of ~32 ms. *)
+  Profile.reset ();
+  Profile.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Profile.set_enabled false;
+      Profile.reset ())
+    (fun () ->
+      let items = List.init 16 Fun.id in
+      ignore
+        (Pool.map ~domains:4
+           (fun _ ->
+             Profile.time Profile.Verify (fun () ->
+                 Profile.incr Profile.Chains_verified;
+                 spin_ns 2_000_000;
+                 Profile.time Profile.Canonical (fun () ->
+                     Profile.incr Profile.Cube_merges;
+                     spin_ns 5_000_000)))
+           items);
+      let snap = Profile.snapshot () in
+      let count name = List.assoc name snap.Profile.counts in
+      Alcotest.(check int) "Chains_verified sums exactly" 16
+        (count (Profile.counter_name Profile.Chains_verified));
+      Alcotest.(check int) "Cube_merges sums exactly" 16
+        (count (Profile.counter_name Profile.Cube_merges));
+      let stage s =
+        List.find
+          (fun (st : Profile.stage_snapshot) ->
+            st.Profile.stage = Profile.stage_name s)
+          snap.Profile.stages
+      in
+      let verify = stage Profile.Verify and canon = stage Profile.Canonical in
+      Alcotest.(check int) "verify called once per item" 16 verify.Profile.calls;
+      Alcotest.(check int) "canonical called once per item" 16
+        canon.Profile.calls;
+      (* Hard lower bounds: the busy-waits are measured with the same
+         clock the profiler reads. *)
+      Alcotest.(check bool) "verify self time covers its own spin" true
+        (verify.Profile.self_s >= 0.032);
+      Alcotest.(check bool) "canonical self time covers its spin" true
+        (canon.Profile.self_s >= 0.080);
+      (* The nesting property, with a wide scheduling-noise margin:
+         well under the 0.112 s a non-self accounting would report. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "verify excludes nested canonical (self %.3fs)"
+           verify.Profile.self_s)
+        true
+        (verify.Profile.self_s < 0.08))
+
 (* --- the harness property: parallel == sequential aggregates --- *)
 
 let small_collection () =
@@ -127,7 +192,9 @@ let () =
           Alcotest.test_case "reuse and shutdown" `Quick
             test_pool_reuse_and_shutdown;
           Alcotest.test_case "uneven load, ordered results" `Quick
-            test_heavy_items_balance ] );
+            test_heavy_items_balance;
+          Alcotest.test_case "profile self time under pool" `Quick
+            test_profile_self_time_under_pool ] );
       ( "runner",
         [ Alcotest.test_case "parallel == sequential" `Slow
             test_parallel_aggregate_equals_sequential;

@@ -39,10 +39,12 @@ let populated_store path =
   List.iter (solve_into cache) targets;
   Alcotest.(check int) "four classes solved" 4 (Npn_cache.classes cache);
   let store = Store.create ~path in
-  let fresh = Store.absorb store ~section:"STP" cache in
-  Alcotest.(check int) "all classes absorbed" 4 fresh;
-  Alcotest.(check int) "re-absorb is a no-op" 0
-    (Store.absorb store ~section:"STP" cache);
+  let ab = Store.absorb store ~section:"STP" cache in
+  Alcotest.(check int) "all classes absorbed" 4 ab.Store.absorbed;
+  Alcotest.(check int) "nothing already present" 0 ab.Store.duplicates;
+  let again = Store.absorb store ~section:"STP" cache in
+  Alcotest.(check int) "re-absorb is a no-op" 0 again.Store.absorbed;
+  Alcotest.(check int) "re-absorb counts duplicates" 4 again.Store.duplicates;
   Store.flush store;
   store
 
@@ -56,8 +58,9 @@ let test_round_trip () =
   Alcotest.(check int) "nothing skipped" 0 st.Store.skipped;
   (* A cache seeded from the store must answer every target by replay. *)
   let cache = Npn_cache.create () in
-  Alcotest.(check int) "all classes seeded" 4
-    (Store.seed store ~section:"STP" cache);
+  let sd = Store.seed store ~section:"STP" cache in
+  Alcotest.(check int) "all classes seeded" 4 sd.Store.seeded;
+  Alcotest.(check int) "none rejected" 0 sd.Store.seed_rejected;
   List.iter
     (fun f -> Alcotest.(check bool) "target is cached" true (Npn_cache.cached cache f))
     targets;
@@ -149,7 +152,7 @@ let test_concurrent_flush_under_pool () =
         List.iter (solve_into cache) targets;
         let fresh = Store.absorb store ~section cache in
         Store.flush store;
-        fresh)
+        fresh.Store.absorbed)
       sections
   in
   List.iter (Alcotest.(check int) "each section absorbed its classes" 4) results;

@@ -1,0 +1,286 @@
+(* Tests for the telemetry subsystem: histogram bucketing and
+   quantiles (also under concurrent recording), the span tracer's ring
+   buffer and Chrome trace-event export, and the unified metrics
+   snapshot. *)
+
+module Json = Stp_telemetry.Json
+module Hist = Stp_telemetry.Hist
+module Trace = Stp_telemetry.Trace
+module Telemetry = Stp_telemetry.Telemetry
+
+let reset () =
+  Trace.set_enabled false;
+  Telemetry.set_metrics_enabled false;
+  Telemetry.reset ()
+
+(* {2 Histograms} *)
+
+let test_bucket_bounds () =
+  (* Buckets partition the non-negative integers: every value falls in
+     exactly the bucket whose lower bound is the largest one <= it. *)
+  let check_value ns =
+    let idx = Hist.bucket_of_ns ns in
+    let lo = Hist.bucket_lower_ns idx in
+    Alcotest.(check bool)
+      (Printf.sprintf "%d >= lower bound %d (bucket %d)" ns lo idx)
+      true (ns >= lo);
+    if idx + 1 < Hist.num_buckets then
+      Alcotest.(check bool)
+        (Printf.sprintf "%d < next lower bound (bucket %d)" ns idx)
+        true
+        (ns < Hist.bucket_lower_ns (idx + 1))
+  in
+  List.iter check_value
+    [ 0; 1; 2; 3; 4; 5; 7; 8; 15; 16; 17; 100; 1_000; 12_345; 1_000_000;
+      999_999_999; 123_456_789_012 ];
+  (* Lower bounds are strictly increasing — no empty or inverted
+     buckets. *)
+  for i = 0 to Hist.num_buckets - 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "bound %d < bound %d" i (i + 1))
+      true
+      (Hist.bucket_lower_ns i < Hist.bucket_lower_ns (i + 1))
+  done
+
+let test_bucket_resolution () =
+  (* Two significant bits: the relative bucket width stays <= 25%
+     beyond the exact range. *)
+  List.iter
+    (fun i ->
+      let lo = Hist.bucket_lower_ns i and hi = Hist.bucket_lower_ns (i + 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d width %d <= 25%% of %d" i (hi - lo) lo)
+        true
+        (4 * (hi - lo) <= lo))
+    (List.init 100 (fun i -> i + 4))
+
+let test_quantiles_exact_small () =
+  reset ();
+  let h = Hist.get "test/exact" in
+  (* Values < 4ns land in exact unit buckets, so quantiles are exact. *)
+  List.iter (fun ns -> Hist.observe_ns h ns) [ 1; 1; 2; 3 ];
+  let s = Hist.snapshot h in
+  Alcotest.(check int) "count" 4 s.Hist.scount;
+  Alcotest.(check (float 1e-12)) "p50 = 1ns" 1e-9 s.Hist.p50_s;
+  Alcotest.(check (float 1e-12)) "p99 = 3ns" 3e-9 s.Hist.p99_s;
+  Alcotest.(check (float 1e-12)) "min" 1e-9 s.Hist.min_s;
+  Alcotest.(check (float 1e-12)) "max" 3e-9 s.Hist.max_s
+
+let test_quantiles_log_scale () =
+  reset ();
+  let h = Hist.get "test/log" in
+  (* 1000 observations of 1..1000 µs: p50 within a bucket of 500µs. *)
+  for i = 1 to 1000 do
+    Hist.observe_ns h (i * 1000)
+  done;
+  let s = Hist.snapshot h in
+  Alcotest.(check int) "count" 1000 s.Hist.scount;
+  let within q lo hi =
+    Alcotest.(check bool)
+      (Printf.sprintf "%g in [%g, %g]" q lo hi)
+      true
+      (q >= lo && q <= hi)
+  in
+  (* A bucket is at most 25% wide, so the midpoint estimate is within
+     ~12.5% of the true quantile plus the rank rounding. *)
+  within s.Hist.p50_s (350e-6) (650e-6);
+  within s.Hist.p90_s (700e-6) (1100e-6);
+  within s.Hist.p99_s (850e-6) (1200e-6);
+  Alcotest.(check bool) "p50 <= p90 <= p99" true
+    (s.Hist.p50_s <= s.Hist.p90_s && s.Hist.p90_s <= s.Hist.p99_s)
+
+let test_concurrent_observe () =
+  reset ();
+  let h = Hist.get "test/concurrent" in
+  let per_domain = 10_000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Hist.observe_ns h ((i mod 100) + (d * 10))
+            done))
+  in
+  List.iter Domain.join domains;
+  let s = Hist.snapshot h in
+  Alcotest.(check int) "no lost updates" (4 * per_domain) s.Hist.scount;
+  let bucket_total = List.fold_left (fun a (_, c) -> a + c) 0 s.Hist.sbuckets in
+  Alcotest.(check int) "bucket counts sum to count" s.Hist.scount bucket_total
+
+let test_registry () =
+  reset ();
+  let a = Hist.get "test/a" in
+  let a' = Hist.get "test/a" in
+  Alcotest.(check bool) "get is idempotent" true (a == a');
+  ignore (Hist.get "test/b");
+  let names = List.map (fun h -> (Hist.snapshot h).Hist.sname) (Hist.registered ()) in
+  Alcotest.(check bool) "both registered" true
+    (List.mem "test/a" names && List.mem "test/b" names);
+  Alcotest.(check bool) "find" true (Hist.find "test/a" <> None);
+  Alcotest.(check bool) "find missing" true (Hist.find "test/absent" = None)
+
+(* {2 Span tracer} *)
+
+let test_trace_disabled_records_nothing () =
+  reset ();
+  Trace.span "should-not-appear" (fun () -> ()) |> ignore;
+  Alcotest.(check int) "no events when disabled" 0 (List.length (Trace.events ()))
+
+let test_trace_spans_and_export () =
+  reset ();
+  Trace.set_enabled true;
+  let v =
+    Trace.span "outer" ~args:[ ("k", "1") ] (fun () ->
+        Trace.span "inner" (fun () -> 21) * 2)
+  in
+  Trace.set_enabled false;
+  Alcotest.(check int) "span returns the body's value" 42 v;
+  let events = Trace.events () in
+  Alcotest.(check int) "two spans" 2 (List.length events);
+  let inner = List.find (fun e -> e.Trace.name = "inner") events in
+  let outer = List.find (fun e -> e.Trace.name = "outer") events in
+  Alcotest.(check bool) "inner nested in outer" true
+    (inner.Trace.t_start_ns >= outer.Trace.t_start_ns
+    && inner.Trace.t_end_ns <= outer.Trace.t_end_ns);
+  Alcotest.(check bool) "args kept" true (outer.Trace.args = [ ("k", "1") ]);
+  (* The Chrome export is parseable JSON of the right shape. *)
+  let path = Filename.temp_file "stp_trace" ".json" in
+  let n = Trace.write ~path in
+  Alcotest.(check int) "export count" 2 n;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (match Json.of_string contents with
+   | Error msg -> Alcotest.failf "trace JSON does not parse: %s" msg
+   | Ok json -> (
+     match Json.member "traceEvents" json with
+     | Some (Json.List evs) ->
+       Alcotest.(check int) "two trace events" 2 (List.length evs);
+       List.iter
+         (fun ev ->
+           (match Json.member "ph" ev with
+            | Some (Json.String "X") -> ()
+            | _ -> Alcotest.fail "ph must be \"X\"");
+           (match Option.bind (Json.member "dur" ev) Json.to_float_opt with
+            | Some d -> Alcotest.(check bool) "dur >= 0" true (d >= 0.0)
+            | None -> Alcotest.fail "dur missing");
+           match Option.bind (Json.member "ts" ev) Json.to_float_opt with
+           | Some ts -> Alcotest.(check bool) "ts >= 0" true (ts >= 0.0)
+           | None -> Alcotest.fail "ts missing")
+         evs
+     | _ -> Alcotest.fail "traceEvents missing"))
+
+let test_trace_exception_passthrough () =
+  reset ();
+  Trace.set_enabled true;
+  Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+      Trace.span "failing" (fun () -> failwith "boom"));
+  Trace.set_enabled false;
+  let events = Trace.events () in
+  Alcotest.(check int) "failed span still recorded" 1 (List.length events);
+  let e = List.hd events in
+  Alcotest.(check bool) "exception noted in args" true
+    (List.mem_assoc "exception" e.Trace.args)
+
+let test_trace_multi_domain () =
+  reset ();
+  Trace.set_enabled true;
+  let domains =
+    List.init 3 (fun d ->
+        Domain.spawn (fun () ->
+            Trace.span (Printf.sprintf "d%d" d) (fun () -> Unix.sleepf 0.002)))
+  in
+  List.iter Domain.join domains;
+  Trace.span "main" (fun () -> ());
+  Trace.set_enabled false;
+  let events = Trace.events () in
+  (* Buffers survive domain termination: all four spans visible. *)
+  Alcotest.(check int) "spans from every domain" 4 (List.length events);
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.Trace.domain_id) events)
+  in
+  Alcotest.(check bool) "at least two distinct domain ids" true
+    (List.length tids >= 2)
+
+let test_trace_ring_overflow () =
+  reset ();
+  Trace.set_enabled true;
+  (* Overflow the default capacity: old events are dropped, counted,
+     and recording never fails. *)
+  for i = 1 to Trace.default_capacity + 100 do
+    Trace.instant (Printf.sprintf "e%d" i)
+  done;
+  Trace.set_enabled false;
+  Alcotest.(check int) "ring keeps capacity events" Trace.default_capacity
+    (List.length (Trace.events ()));
+  Alcotest.(check int) "drops counted" 100 (Trace.dropped ())
+
+(* {2 The unified snapshot} *)
+
+let test_snapshot_shape () =
+  reset ();
+  Telemetry.set_metrics_enabled true;
+  Hist.observe_s (Hist.get "test/snap") 0.001;
+  Telemetry.register_probe "test_probe" (fun () -> Json.Int 7);
+  let json = Telemetry.snapshot_json () in
+  Telemetry.unregister_probe "test_probe";
+  Telemetry.set_metrics_enabled false;
+  (match Json.member "histograms" json with
+   | Some (Json.Obj hists) ->
+     (match List.assoc_opt "test/snap" hists with
+      | Some h ->
+        (match Option.bind (Json.member "p50_s" h) Json.to_float_opt with
+         | Some p ->
+           (* One 1 ms observation: the reported quantile is its
+              bucket's midpoint, within the <= 25% resolution. *)
+           Alcotest.(check bool) "p50 populated" true
+             (p >= 0.00075 && p <= 0.00125)
+         | None -> Alcotest.fail "p50_s missing")
+      | None -> Alcotest.fail "histogram missing from snapshot")
+   | _ -> Alcotest.fail "histograms object missing");
+  (match Json.member "profile" json with
+   | Some (Json.Obj _) -> ()
+   | _ -> Alcotest.fail "profile object missing");
+  (match Json.member "test_probe" json with
+   | Some (Json.Int 7) -> ()
+   | _ -> Alcotest.fail "probe output missing");
+  (* The snapshot round-trips through the printer and parser. *)
+  match Json.of_string (Json.to_string json) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "snapshot does not round-trip: %s" msg
+
+let test_probe_exception_is_reported () =
+  reset ();
+  Telemetry.register_probe "bad_probe" (fun () -> failwith "probe broke");
+  let json = Telemetry.snapshot_json () in
+  Telemetry.unregister_probe "bad_probe";
+  match Json.member "bad_probe" json with
+  | Some (Json.String s) ->
+    Alcotest.(check bool) "failure message captured" true
+      (String.length s > 0)
+  | _ -> Alcotest.fail "failing probe must yield an error string"
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "hist",
+        [ Alcotest.test_case "bucket bounds" `Quick test_bucket_bounds;
+          Alcotest.test_case "bucket resolution" `Quick test_bucket_resolution;
+          Alcotest.test_case "exact small quantiles" `Quick
+            test_quantiles_exact_small;
+          Alcotest.test_case "log-scale quantiles" `Quick
+            test_quantiles_log_scale;
+          Alcotest.test_case "concurrent observe" `Quick test_concurrent_observe;
+          Alcotest.test_case "registry" `Quick test_registry ] );
+      ( "trace",
+        [ Alcotest.test_case "disabled records nothing" `Quick
+            test_trace_disabled_records_nothing;
+          Alcotest.test_case "spans and chrome export" `Quick
+            test_trace_spans_and_export;
+          Alcotest.test_case "exception passthrough" `Quick
+            test_trace_exception_passthrough;
+          Alcotest.test_case "multi-domain spans" `Quick test_trace_multi_domain;
+          Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow ] );
+      ( "snapshot",
+        [ Alcotest.test_case "unified shape" `Quick test_snapshot_shape;
+          Alcotest.test_case "probe exception reported" `Quick
+            test_probe_exception_is_reported ] ) ]
