@@ -134,7 +134,11 @@ let snapshot t =
     scount = total;
     sum_s = float_of_int sum_ns /. 1e9;
     mean_s = (if total = 0 then 0.0 else float_of_int sum_ns /. 1e9 /. float_of_int total);
-    min_s = (if total = 0 then 0.0 else float_of_int (Atomic.get t.min_ns) /. 1e9);
+    min_s =
+      (* [observe_ns] updates [min_ns] last, so a racing snapshot can
+         see buckets populated while [min_ns] is still the sentinel. *)
+      (let m = Atomic.get t.min_ns in
+       if total = 0 || m = max_int then 0.0 else float_of_int m /. 1e9);
     max_s = float_of_int (Atomic.get t.max_ns) /. 1e9;
     p50_s = q 0.5;
     p90_s = q 0.9;

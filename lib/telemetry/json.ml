@@ -123,17 +123,58 @@ let of_string s =
          | 'b' -> Buffer.add_char buf '\b'
          | 'f' -> Buffer.add_char buf '\012'
          | 'u' ->
-           if !pos + 4 > len then fail "truncated \\u escape";
-           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
-           pos := !pos + 4;
+           (* Strictly 4 hex digits: [int_of_string "0x…"] would raise
+              [Failure] (escaping [of_string]'s Error return) on bad
+              input and accept OCaml-isms like underscores. *)
+           let hex4 () =
+             if !pos + 4 > len then fail "truncated \\u escape";
+             let v = ref 0 in
+             for i = !pos to !pos + 3 do
+               let d =
+                 match s.[i] with
+                 | '0' .. '9' as c -> Char.code c - Char.code '0'
+                 | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                 | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                 | _ -> fail "bad \\u escape"
+               in
+               v := (!v lsl 4) lor d
+             done;
+             pos := !pos + 4;
+             !v
+           in
+           let code = hex4 () in
+           let code =
+             if code >= 0xd800 && code <= 0xdbff then
+               (* High surrogate: consume the mandatory low half and
+                  combine, so astral characters round-trip as real
+                  UTF-8 rather than CESU-8 surrogate bytes. *)
+               if !pos + 2 <= len && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+               then begin
+                 pos := !pos + 2;
+                 let low = hex4 () in
+                 if low < 0xdc00 || low > 0xdfff then
+                   fail "unpaired surrogate";
+                 0x10000 + ((code - 0xd800) lsl 10) + (low - 0xdc00)
+               end
+               else fail "unpaired surrogate"
+             else if code >= 0xdc00 && code <= 0xdfff then
+               fail "unpaired surrogate"
+             else code
+           in
            (* non-ASCII code points are re-encoded as UTF-8 *)
            if code < 0x80 then Buffer.add_char buf (Char.chr code)
            else if code < 0x800 then begin
              Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
            end
-           else begin
+           else if code < 0x10000 then begin
              Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xf0 lor (code lsr 18)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3f)));
              Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
            end

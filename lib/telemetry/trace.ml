@@ -67,7 +67,11 @@ let record name args t_start_ns t_end_ns =
   if b.size = len && len < cap then begin
     let grown = Array.make (min (2 * len) cap) dummy_event in
     Array.blit b.events 0 grown 0 len;
-    b.events <- grown
+    b.events <- grown;
+    (* Growth only fires when the ring has just filled, i.e. [next] has
+       wrapped to 0 and slots 0..size-1 are chronological — resume
+       appending after them, not over the oldest span. *)
+    b.next <- b.size
   end;
   let len = Array.length b.events in
   if b.size < len then begin

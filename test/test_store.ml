@@ -233,6 +233,8 @@ let test_handle_rejects_malformed () =
     (status {|{"n": 4}|});
   Alcotest.(check (option string)) "bad hex" (Some "error")
     (status {|{"n": 4, "tt": "xyzw"}|});
+  Alcotest.(check (option string)) "bad unicode escape" (Some "error")
+    (status {|{"tt":"\uZZZZ"}|});
   Alcotest.(check (option string)) "unknown engine" (Some "error")
     (status {|{"n": 4, "tt": "8ff8", "engine": "zchaff"}|})
 

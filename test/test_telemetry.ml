@@ -202,6 +202,28 @@ let test_trace_multi_domain () =
   Alcotest.(check bool) "at least two distinct domain ids" true
     (List.length tids >= 2)
 
+let test_trace_ring_growth () =
+  reset ();
+  Trace.set_enabled true;
+  (* Cross several capacity doublings (buffers start at 1024) without
+     reaching the ring cap: every span must survive, in order, with no
+     dummy slots left behind by the growth path. *)
+  let n = 5000 in
+  for i = 1 to n do
+    Trace.instant (Printf.sprintf "e%d" i)
+  done;
+  Trace.set_enabled false;
+  let events = Trace.events () in
+  Alcotest.(check int) "all spans kept below capacity" n (List.length events);
+  Alcotest.(check int) "nothing dropped" 0 (Trace.dropped ());
+  Alcotest.(check bool) "no empty-name (dummy) events" true
+    (List.for_all (fun e -> e.Trace.name <> "") events);
+  List.iteri
+    (fun i e ->
+      if e.Trace.name <> Printf.sprintf "e%d" (i + 1) then
+        Alcotest.failf "event %d is %S, growth lost ordering" i e.Trace.name)
+    events
+
 let test_trace_ring_overflow () =
   reset ();
   Trace.set_enabled true;
@@ -211,9 +233,50 @@ let test_trace_ring_overflow () =
     Trace.instant (Printf.sprintf "e%d" i)
   done;
   Trace.set_enabled false;
+  let events = Trace.events () in
   Alcotest.(check int) "ring keeps capacity events" Trace.default_capacity
-    (List.length (Trace.events ()));
-  Alcotest.(check int) "drops counted" 100 (Trace.dropped ())
+    (List.length events);
+  Alcotest.(check int) "drops counted" 100 (Trace.dropped ());
+  Alcotest.(check bool) "no empty-name (dummy) events" true
+    (List.for_all (fun e -> e.Trace.name <> "") events);
+  (* Exactly the oldest 100 spans were overwritten. *)
+  Alcotest.(check string) "oldest surviving span" "e101"
+    (List.hd events).Trace.name;
+  Alcotest.(check string) "newest span kept"
+    (Printf.sprintf "e%d" (Trace.default_capacity + 100))
+    (List.nth events (Trace.default_capacity - 1)).Trace.name
+
+(* {2 JSON reader edge cases} *)
+
+let test_json_bad_unicode_escape_is_error () =
+  (* A malformed \u escape must surface as [Error], not an exception —
+     in the daemon a raising parser would kill the serve loop on one
+     bad client line. *)
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S must not parse" s)
+    [ {|{"tt":"\uZZZZ"}|};       (* non-hex digits *)
+      {|"\u1_23"|};              (* OCaml underscore literal *)
+      {|"\u00"|};                (* truncated *)
+      {|"\ud83d"|};              (* lone high surrogate *)
+      {|"\udca9"|};              (* lone low surrogate *)
+      {|"\ud83dxx"|} ]           (* high surrogate, no \u following *)
+
+let test_json_unicode_escapes_decode () =
+  (match Json.of_string {|"caf\u00e9"|} with
+   | Ok (Json.String s) -> Alcotest.(check string) "2-byte" "caf\xc3\xa9" s
+   | _ -> Alcotest.fail "\\u00e9 must parse");
+  (match Json.of_string {|"\u20ac"|} with
+   | Ok (Json.String s) -> Alcotest.(check string) "3-byte" "\xe2\x82\xac" s
+   | _ -> Alcotest.fail "\\u20ac must parse");
+  (* A surrogate pair combines into one 4-byte UTF-8 character
+     (U+1F4A9), not two 3-byte CESU-8 sequences. *)
+  match Json.of_string {|"\ud83d\udca9"|} with
+  | Ok (Json.String s) ->
+    Alcotest.(check string) "4-byte astral" "\xf0\x9f\x92\xa9" s
+  | _ -> Alcotest.fail "surrogate pair must parse"
 
 (* {2 The unified snapshot} *)
 
@@ -279,7 +342,13 @@ let () =
           Alcotest.test_case "exception passthrough" `Quick
             test_trace_exception_passthrough;
           Alcotest.test_case "multi-domain spans" `Quick test_trace_multi_domain;
+          Alcotest.test_case "ring growth" `Quick test_trace_ring_growth;
           Alcotest.test_case "ring overflow" `Quick test_trace_ring_overflow ] );
+      ( "json",
+        [ Alcotest.test_case "bad unicode escape is Error" `Quick
+            test_json_bad_unicode_escape_is_error;
+          Alcotest.test_case "unicode escapes decode" `Quick
+            test_json_unicode_escapes_decode ] );
       ( "snapshot",
         [ Alcotest.test_case "unified shape" `Quick test_snapshot_shape;
           Alcotest.test_case "probe exception reported" `Quick
