@@ -189,6 +189,107 @@ let micro () =
     tests;
   Format.printf "@."
 
+(* --- kernel microbenchmarks (--kernels) ---
+
+   ns/op for the four hot Kern operations — quartering (distinct_rows),
+   block compatibility, forced-value propagation (force + undo) and
+   output assembly — on random packed matrices at 4/5/6 side variables,
+   for BOTH implementations (C stubs and the pure-OCaml fallback), so a
+   regression in either shows up regardless of which one STP_KERNELS
+   selects. Written to BENCH_kernels.json for the CI smoke check. *)
+
+let kernels () =
+  let module Kern = Stp_matrix.Kern in
+  let open Stp_harness.Report in
+  let st = Random.State.make [| 0xbe_c4; 42 |] in
+  let rand_bytes words =
+    let b = Bytes.create (words * 8) in
+    for k = 0 to words - 1 do
+      Bytes.set_int64_ne b (k * 8) (Random.State.int64 st Int64.max_int)
+    done;
+    b
+  in
+  let time_ns iters f =
+    (* one warmup pass, then a timed loop around the op *)
+    f ();
+    let t0 = Stp_util.Profile.now_ns () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    float_of_int (Stp_util.Profile.now_ns () - t0) /. float_of_int iters
+  in
+  let impls =
+    [ ("c", (module Kern.C_ops : Kern.OPS));
+      ("ocaml", (module Kern.Ocaml_ops : Kern.OPS)) ]
+  in
+  let sink = ref 0 in
+  let blocks = ref [] in
+  Format.printf "=== Kern microbenchmarks (ns/op, %s selected at runtime) ===@.@."
+    Kern.impl_name;
+  Format.printf "%-14s %4s  %10s %10s@." "op" "vars" "c" "ocaml";
+  List.iter
+    (fun vars ->
+      let bits = 1 lsl vars in
+      let w = (bits + 63) / 64 in
+      let rows = 16 in
+      let mat = rand_bytes (rows * w) in
+      let ta = rand_bytes (2 * w) and tb = rand_bytes (2 * w) in
+      let frows = rand_bytes (2 * w) in
+      let state = Bytes.make (2 * w * 8) '\000' in
+      let newly = Bytes.create (w * 8) in
+      let inds = rand_bytes (bits * w) in
+      let sel = rand_bytes ((bits + 63) / 64) in
+      let out = Bytes.create (w * 8) in
+      let per_op op =
+        let ns =
+          List.map
+            (fun (impl, ops) ->
+              let module K = (val ops : Kern.OPS) in
+              let iters, f =
+                match op with
+                | "distinct_rows" ->
+                  (200_000, fun () -> sink := !sink + K.distinct_rows mat rows w 3)
+                | "compat" ->
+                  (500_000, fun () -> if K.compat ta 0 tb 0 w then incr sink)
+                | "force" ->
+                  ( 200_000,
+                    fun () ->
+                      let rc = K.force frows 0 state 0 w newly 0 w 1 1 in
+                      sink := !sink + rc;
+                      if rc > 0 then K.undo state 0 w newly 0 w )
+                | "assemble" ->
+                  (100_000, fun () -> K.assemble inds 0 sel 0 bits w out 0)
+                | _ -> assert false
+              in
+              let ns = time_ns iters f in
+              blocks :=
+                Obj
+                  [ ("op", String op); ("vars", Int vars);
+                    ("impl", String impl); ("iters", Int iters);
+                    ("ns_per_op", Float ns) ]
+                :: !blocks;
+              ns)
+            impls
+        in
+        match ns with
+        | [ c; ml ] -> Format.printf "%-14s %4d  %10.1f %10.1f@." op vars c ml
+        | _ -> assert false
+      in
+      List.iter per_op [ "distinct_rows"; "compat"; "force"; "assemble" ])
+    [ 4; 5; 6 ];
+  let json =
+    Obj
+      [ ("source", String "bench/main --kernels");
+        ("impl_default", String Kern.impl_name);
+        ("blocks", List (List.rev !blocks)) ]
+  in
+  let oc = open_out "BENCH_kernels.json" in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.(sink %d)@." (!sink land 1);
+  Printf.eprintf "[bench] wrote BENCH_kernels.json\n%!"
+
 (* Ablations over the engine's design choices (DESIGN.md section 3):
    DSD peeling, and first-topology vs exhaustive all-solutions. All
    timing below reads the one monotonic source, [Profile.now_ns]. *)
@@ -234,21 +335,34 @@ let ablations () =
 let () =
   let open Cmdliner in
   let module Cli = Stp_harness.Cli in
-  let run jobs no_npn_cache profile trace metrics =
+  let kernels_flag =
+    Arg.(
+      value & flag
+      & info [ "kernels" ]
+          ~doc:
+            "Run only the Kern multi-word kernel microbenchmarks (both the C \
+             stubs and the pure-OCaml fallback) and write \
+             BENCH_kernels.json.")
+  in
+  let run jobs no_npn_cache profile trace metrics kernels_only =
     Cli.with_telemetry ~trace ~metrics @@ fun () ->
     Stp_util.Profile.set_enabled profile;
-    fig2 ();
-    fig3 ();
-    fig1 ();
-    micro ();
-    ablations ();
-    table1 ~jobs:(Cli.resolve_jobs jobs) ~npn_cache:(not no_npn_cache) ()
+    if kernels_only then kernels ()
+    else begin
+      fig2 ();
+      fig3 ();
+      fig1 ();
+      micro ();
+      kernels ();
+      ablations ();
+      table1 ~jobs:(Cli.resolve_jobs jobs) ~npn_cache:(not no_npn_cache) ()
+    end
   in
   let cmd =
     Cmd.v
       (Cmd.info "bench" ~doc:"regenerate the paper's tables and figures")
       Term.(
         const run $ Cli.jobs $ Cli.no_npn_cache $ Cli.profile $ Cli.trace
-        $ Cli.metrics)
+        $ Cli.metrics $ kernels_flag)
   in
   exit (Cmd.eval cmd)

@@ -1,0 +1,84 @@
+(** Multi-word kernel primitives for the factorisation solver.
+
+    The packed decompose path of [Stp_synth.Factor] keeps one machine
+    word of block values per side, which caps it at 5-variable sides
+    and 6-variable targets. These kernels generalise the same
+    word-parallel operations to flat multi-word buffers, so 6- and
+    7-variable sides get quartering rejects, compatibility tests and
+    constraint propagation at word granularity too.
+
+    Buffers are plain [Bytes] holding 64-bit words in {e native} byte
+    order; offsets and widths are counted in words. Two complete
+    implementations are compiled: C stubs (branch-free popcounts,
+    whole-step propagation in one call) and a pure-OCaml fallback on
+    [Bytes.get_int64_ne]/[set_int64_ne]. {!ops} picks one per process
+    from the [STP_KERNELS] environment variable ([c] — the default —
+    or [ocaml]); both stay addressable for differential testing. *)
+
+type impl = C | Ocaml
+
+val impl : impl
+(** Implementation selected for this process: [Ocaml] when the
+    [STP_KERNELS] environment variable is [ocaml], [C] otherwise. *)
+
+val impl_name : string
+(** ["c"] or ["ocaml"]. *)
+
+module type OPS = sig
+  val popcount : Bytes.t -> int -> int -> int
+  (** [popcount b off w]: set bits in the [w] words at word-offset
+      [off]. *)
+
+  val equal_rows : Bytes.t -> int -> Bytes.t -> int -> int -> bool
+  (** [equal_rows a aoff b boff w]: the two [w]-word rows are equal. *)
+
+  val compat : Bytes.t -> int -> Bytes.t -> int -> int -> bool
+  (** [compat a aoff b boff w] on ternary rows laid out
+      [value words ; care words] ([2w] words each): no position is
+      cared on both sides with different values. *)
+
+  val distinct_rows : Bytes.t -> int -> int -> int -> int
+  (** [distinct_rows b rows w cap]: number of distinct [w]-word rows
+      among the first [rows] rows of the flat matrix at [b], counting
+      stops at [cap]. The quartering comparison kernel: a factorable
+      disjoint cover leaves exactly two distinct blocks per side. *)
+
+  val first_unset : Bytes.t -> int -> int -> int
+  (** [first_unset b off nbits]: index of the first clear bit below
+      [nbits] in the bitset at word-offset [off], or [-1]. *)
+
+  val is_const_row : Bytes.t -> int -> int -> bool
+  (** [is_const_row b off nbits]: the [nbits]-wide row is all-zero or
+      all-one (the constant-factor test on a fully assigned side). *)
+
+  val force :
+    Bytes.t -> int -> Bytes.t -> int -> int -> Bytes.t -> int -> int ->
+    int -> int -> int
+  (** [force rows roff st val_off care_off newly noff w ok0 ok1]: one
+      whole constraint-propagation step. The class row at [roff] is
+      [valid ; tv] ([w] words each); the partner side's state planes
+      live in [st]. [ok0]/[ok1] (0/1) say whether a partner value of
+      0/1 keeps the gate on target. Returns [-1] on conflict (state
+      untouched), else writes the newly-forced mask to [newly],
+      ORs it into the partner planes, and returns 1 if nonempty,
+      0 otherwise. *)
+
+  val undo : Bytes.t -> int -> int -> Bytes.t -> int -> int -> unit
+  (** [undo st val_off care_off mask moff w]: clear the masked bits
+      from both state planes (trail rollback). *)
+
+  val assemble : Bytes.t -> int -> Bytes.t -> int -> int -> int -> Bytes.t -> int -> unit
+  (** [assemble inds ioff row roff count tw out ooff]: OR together the
+      [tw]-word indicator rows of the classes whose bit is set in the
+      [count]-bit selector [row]; the result overwrites [out]. *)
+end
+
+module C_ops : OPS
+module Ocaml_ops : OPS
+
+module Ops : OPS
+(** The per-process selection ({!impl}) — what the solver uses. *)
+
+val word_of_var : n:int -> v:int -> k:int -> int64
+(** Pattern of variable [v] of an [n]-variable table restricted to
+    table word [k]: the minterms of word [k] where [v] is 1. *)

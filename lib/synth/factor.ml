@@ -1,5 +1,7 @@
 module Tt = Stp_tt.Tt
 module Tmat = Stp_matrix.Tmat
+module Kern = Stp_matrix.Kern
+module K = Stp_matrix.Kern.Ops
 module Gate = Stp_chain.Gate
 module Chain = Stp_chain.Chain
 module Dag = Stp_topology.Dag
@@ -93,6 +95,33 @@ module QuadTbl = Hashtbl.Make (struct
   let hash (a, b, c, d) = mix_int (mix_int (mix_int a b) c) d
 end)
 
+(* Learned cover knowledge: which factorisation triples of a cover
+   survive the solver's bind filters, given the capability signatures of
+   the two child slots. The bind outcome of an unconstrained slot is a
+   pure function of (subfunction, slot capability), so survivors learned
+   at one DAG node prune the same cover at every sibling topology whose
+   slots have the same capabilities. *)
+module LearnKey = struct
+  type t = Tt.t * int * int * int * int
+
+  let equal (t1, a1, b1, ca1, cb1) (t2, a2, b2, ca2, cb2) =
+    a1 = a2 && b1 = b2 && ca1 = ca2 && cb1 = cb2 && Tt.equal t1 t2
+
+  let hash (t, a, b, ca, cb) =
+    mix_int (mix_int (mix_int (mix_int (Tt.hash t) a) b) ca) cb
+end
+
+module LearnTbl = Hashtbl.Make (LearnKey)
+
+module QKey = struct
+  type t = Tt.t * int
+
+  let equal (t1, g1) (t2, g2) = g1 = g2 && Tt.equal t1 t2
+  let hash (t, g) = mix_int (Tt.hash t) g
+end
+
+module QTbl = Hashtbl.Make (QKey)
+
 (* Resolved knowledge about the minimal tree-leaf count of a function
    class: either the exact minimum, or a bound below which every budget
    has been refuted. [tree_ok] is monotone in the budget, so both facts
@@ -107,6 +136,12 @@ type memo = {
   realisations : fragment list RealTbl.t;
   key_cache : feas_key TtTbl.t;
   covers_cache : (int * int) list QuadTbl.t;
+  learned : int array LearnTbl.t;
+      (* (target, amask, bmask, child capabilities) -> sorted indices of
+         the factorisation triples surviving the bind filters; [||] is a
+         learned refutation of the whole cover *)
+  quarters : int QTbl.t;
+      (* (target, group mask) -> capped distinct-block count *)
   basis : int; (* bitmask over the 16 gate codes the engine may use *)
 }
 
@@ -135,6 +170,8 @@ let create_memo ?basis () : memo =
     realisations = RealTbl.create 997;
     key_cache = TtTbl.create 997;
     covers_cache = QuadTbl.create 997;
+    learned = LearnTbl.create 997;
+    quarters = QTbl.create 997;
     basis }
 
 type stats = {
@@ -167,6 +204,71 @@ let lowest_bit_index x =
   let rec go x i = if x land 1 = 1 then i else go (x lsr 1) (i + 1) in
   go x 0
 
+(* Reusable per-domain scratch arena for the packed and multi-word
+   decompose paths: block-constraint tables, indicator words, the
+   int-encoded undo trail and the multi-word row/state/trail buffers.
+   Backtracking touches only these preallocated buffers, so the
+   enumeration itself performs no allocation and no reallocation on
+   undo. Sizes cover the path bounds (packed: sides of at most 5
+   variables; multi-word: sides of at most 7 variables, targets of at
+   most 12). *)
+type scratch = {
+  bm_a : int array;
+  tv_a : int array;
+  am_b : int array;
+  tv_b : int array;
+  ind1_a : int64 array;
+  ind1_b : int64 array;
+  trail1 : int array; (* entry = (mask lsl 1) lor is_a *)
+  outw1 : int64 array;
+  rows_a : Bytes.t; (* per A class: [valid | target-value], wB words each *)
+  rows_b : Bytes.t;
+  mind_a : Bytes.t; (* per-class indicator rows, tw words each *)
+  mind_b : Bytes.t;
+  mst : Bytes.t; (* value/assignedness planes for both sides *)
+  mnewly : Bytes.t;
+  mout : Bytes.t;
+  mtrail : Bytes.t; (* undo masks, one wmax-word entry per step *)
+  tside : int array;
+  pend_a : int array;
+  pend_b : int array;
+}
+
+let alloc_scratch () =
+  { bm_a = Array.make 32 0;
+    tv_a = Array.make 32 0;
+    am_b = Array.make 32 0;
+    tv_b = Array.make 32 0;
+    ind1_a = Array.make 32 0L;
+    ind1_b = Array.make 32 0L;
+    trail1 = Array.make 160 0;
+    outw1 = Array.make 1 0L;
+    rows_a = Bytes.make (512 * 8) '\000';
+    rows_b = Bytes.make (512 * 8) '\000';
+    mind_a = Bytes.make (8192 * 8) '\000';
+    mind_b = Bytes.make (8192 * 8) '\000';
+    mst = Bytes.make (8 * 8) '\000';
+    mnewly = Bytes.make (2 * 8) '\000';
+    mout = Bytes.make (64 * 8) '\000';
+    mtrail = Bytes.make (512 * 8) '\000';
+    tside = Array.make 256 0;
+    pend_a = Array.make 256 0;
+    pend_b = Array.make 256 0 }
+
+let scratch_key : scratch option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let get_scratch () =
+  let slot = Domain.DLS.get scratch_key in
+  match !slot with
+  | Some s ->
+    Profile.incr Profile.Arena_reuses;
+    s
+  | None ->
+    let s = alloc_scratch () in
+    slot := Some s;
+    s
+
 exception Fail
 
 (* All factorisations target = phi(g over A, h over B).  The unknowns are
@@ -175,7 +277,8 @@ exception Fail
    phi(g(alpha), h(beta)) = target(assignment).  Unconstrained block
    values are the paper's don't-care entries 'x' (Property 3): the
    enumeration branches on them, yielding distinct solutions. *)
-let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () =
+let decompose_uncached ?memo ?g_fixed ?h_fixed ~allowed ~path ~cap ~target
+    ~amask ~bmask () =
   let n = Tt.num_vars target in
   let smask = Tt.support_mask target in
   if smask land lnot (amask lor bmask) <> 0 then []
@@ -205,20 +308,50 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
          factors, so every solution's blocks take precisely two values
          over the A classes and two over the B classes. The packed
          kernels compare whole blocks word-parallel. *)
+      let distinct2 group =
+        (* The capped distinct-block count recurs across the B masks and
+           fixed-side variants of the same (target, group) pair; memo
+           runs answer it from the quarter cache. *)
+        match memo with
+        | None -> Tmat.distinct_blocks (Tmat.of_tt target) ~group
+        | Some m -> (
+          match QTbl.find m.quarters (target, group) with
+          | c ->
+            Profile.incr Profile.Quarter_cache_hits;
+            c
+          | exception Not_found ->
+            let c = Tmat.distinct_blocks (Tmat.of_tt target) ~group in
+            QTbl.replace m.quarters (target, group) c;
+            c)
+      in
       let quick_reject =
         amask land bmask = 0
         && (Profile.incr Profile.Quarter_tests;
             true)
-        &&
-        let tm = Tmat.of_tt target in
-        Tmat.distinct_blocks tm ~group:amask <> 2
-        || Tmat.distinct_blocks tm ~group:bmask <> 2
+        && (distinct2 amask <> 2 || distinct2 bmask <> 2)
       in
       if quick_reject then begin
         Profile.incr Profile.Quarter_rejects;
         []
       end
-      else if na <= 5 && nb <= 5 && n <= 6 then begin
+      else
+        let use_packed = na <= 5 && nb <= 5 && n <= 6 in
+        let use_multi = na <= 7 && nb <= 7 && n <= 12 in
+        let chosen =
+          match path with
+          | `Auto ->
+            if use_packed then `Packed
+            else if use_multi then `Multiword
+            else `List
+          | `Packed ->
+            if use_packed then `Packed
+            else invalid_arg "Factor.decompose: packed path inapplicable"
+          | `Multiword ->
+            if use_multi then `Multiword
+            else invalid_arg "Factor.decompose: multiword path inapplicable"
+          | `List -> `List
+        in
+        if chosen = `Packed then begin
         (* Packed path: each side's block values fit one machine word
            (bit [alpha] of [ga_val]/[ga_care] is class alpha's value and
            assignedness). Propagation computes whole masks of forced
@@ -229,11 +362,20 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
            prefix and memo contents are engine-independent. *)
         let wa = 1 lsl na and wb = 1 lsl nb in
         let full_a = (1 lsl wa) - 1 and full_b = (1 lsl wb) - 1 in
+        let s = get_scratch () in
         (* Per A class alpha: the B classes jointly reachable with it
            ([bm_a]) and, among those, the ones whose shared assignment
            makes the target true ([tv_a]); [am_b]/[tv_b] transposed. *)
-        let bm_a = Array.make wa 0 and tv_a = Array.make wa 0 in
-        let am_b = Array.make wb 0 and tv_b = Array.make wb 0 in
+        let bm_a = s.bm_a and tv_a = s.tv_a in
+        let am_b = s.am_b and tv_b = s.tv_b in
+        for i = 0 to wa - 1 do
+          bm_a.(i) <- 0;
+          tv_a.(i) <- 0
+        done;
+        for i = 0 to wb - 1 do
+          am_b.(i) <- 0;
+          tv_b.(i) <- 0
+        done;
         for ui = 0 to (1 lsl nu) - 1 do
           let m = ref 0 in
           Array.iteri
@@ -251,22 +393,22 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
         let word_mask =
           if n = 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L
         in
-        let patterns vars =
-          Array.map (fun v -> (Tt.to_words (Tt.var n v)).(0)) vars
+        let fill_ind ind vars w =
+          for code = 0 to w - 1 do
+            let acc = ref word_mask in
+            Array.iteri
+              (fun j v ->
+                let p = Kern.word_of_var ~n ~v ~k:0 in
+                acc :=
+                  Int64.logand !acc
+                    (if (code lsr j) land 1 = 1 then p else Int64.lognot p))
+              vars;
+            ind.(code) <- !acc
+          done
         in
-        let pat_a = patterns avars and pat_b = patterns bvars in
-        let indicators pats w =
-          Array.init w (fun code ->
-              let acc = ref word_mask in
-              Array.iteri
-                (fun j p ->
-                  acc :=
-                    Int64.logand !acc
-                      (if (code lsr j) land 1 = 1 then p else Int64.lognot p))
-                pats;
-              !acc)
-        in
-        let ind_a = indicators pat_a wa and ind_b = indicators pat_b wb in
+        fill_ind s.ind1_a avars wa;
+        fill_ind s.ind1_b bvars wb;
+        let ind_a = s.ind1_a and ind_b = s.ind1_b in
         let seed_row vars w fixed =
           match fixed with
           | None -> (0, 0)
@@ -290,7 +432,11 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
           let ga_val = ref sv_a and ga_care = ref sc_a in
           let hb_val = ref sv_b and hb_care = ref sc_b in
           let pending_a = ref sc_a and pending_b = ref sc_b in
-          let trail = Stp_util.Vec.create ~dummy:(true, 0) () in
+          let tlen = ref 0 in
+          let push is_a mask =
+            s.trail1.(!tlen) <- (mask lsl 1) lor (if is_a then 1 else 0);
+            incr tlen
+          in
           (* Consequences of A class [idx] being assigned: over its valid
              partner classes, a partner value is forced wherever only one
              gate input makes phi meet the target. *)
@@ -308,7 +454,7 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
             if newly <> 0 then begin
               hb_care := !hb_care lor newly;
               hb_val := !hb_val lor (forced1 land newly);
-              Stp_util.Vec.push trail (false, newly);
+              push false newly;
               pending_b := !pending_b lor newly
             end
           in
@@ -326,7 +472,7 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
             if newly <> 0 then begin
               ga_care := !ga_care lor newly;
               ga_val := !ga_val lor (forced1 land newly);
-              Stp_util.Vec.push trail (true, newly);
+              push true newly;
               pending_a := !pending_a lor newly
             end
           in
@@ -349,13 +495,13 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
             if is_a then begin
               ga_care := !ga_care lor b;
               if v = 1 then ga_val := !ga_val lor b;
-              Stp_util.Vec.push trail (true, b);
+              push true b;
               pending_a := !pending_a lor b
             end
             else begin
               hb_care := !hb_care lor b;
               if v = 1 then hb_val := !hb_val lor b;
-              Stp_util.Vec.push trail (false, b);
+              push false b;
               pending_b := !pending_b lor b
             end;
             drain ()
@@ -365,8 +511,10 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
           let rollback mark =
             pending_a := 0;
             pending_b := 0;
-            while Stp_util.Vec.length trail > mark do
-              let is_a, mask = Stp_util.Vec.pop trail in
+            while !tlen > mark do
+              decr tlen;
+              let e = s.trail1.(!tlen) in
+              let is_a = e land 1 = 1 and mask = e lsr 1 in
               if is_a then begin
                 ga_care := !ga_care land lnot mask;
                 ga_val := !ga_val land lnot mask
@@ -383,7 +531,8 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
               if (row lsr code) land 1 = 1 then
                 acc := Int64.logor !acc ind.(code)
             done;
-            Tt.of_words n [| !acc |]
+            s.outw1.(0) <- !acc;
+            Tt.of_words n s.outw1
           in
           let emit () =
             (* Reject constant factors. *)
@@ -409,7 +558,7 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
               else begin
                 let is_a = una <> 0 in
                 let idx = lowest_bit_index (if is_a then una else unb) in
-                let mark = Stp_util.Vec.length trail in
+                let mark = !tlen in
                 (try
                    set is_a idx 0;
                    search ()
@@ -433,6 +582,266 @@ let decompose_uncached ?g_fixed ?h_fixed ~allowed ~cap ~target ~amask ~bmask () 
           (fun phi ->
             if (allowed lsr phi) land 1 = 1 && !count < cap then solve_phi phi)
           Gate.nontrivial;
+        List.rev !results
+      end
+      else if chosen = `Multiword then begin
+        (* Multi-word path: the same propagation search as the packed
+           engine, generalised past one machine word per side through
+           the {!Stp_matrix.Kern} kernels. Each side's block values and
+           assignedness live in flat word planes; one kernel call per
+           propagation step computes the whole mask of newly forced
+           partner classes, trail entries are word masks undone by the
+           undo kernel, and factors are assembled by OR-ing per-class
+           multi-word indicator rows. The branch structure (lowest
+           unassigned A class first, value 0 then 1) is identical to the
+           packed path, so the enumeration order is too. *)
+        Profile.incr Profile.Multiword_decomposes;
+        let s = get_scratch () in
+        let kc = ref 0 in
+        let wa = 1 lsl na and wb = 1 lsl nb in
+        let wA = (wa + 63) lsr 6 and wB = (wb + 63) lsr 6 in
+        let wmax = if wA > wB then wA else wB in
+        let tw = if n <= 6 then 1 else 1 lsl (n - 6) in
+        let set_bit b woff bit =
+          let k = (woff + (bit lsr 6)) lsl 3 in
+          Bytes.set_int64_ne b k
+            (Int64.logor (Bytes.get_int64_ne b k)
+               (Int64.shift_left 1L (bit land 63)))
+        in
+        let get_bit b woff bit =
+          Int64.to_int
+            (Int64.shift_right_logical
+               (Bytes.get_int64_ne b ((woff + (bit lsr 6)) lsl 3))
+               (bit land 63))
+          land 1
+        in
+        Bytes.fill s.rows_a 0 (wa * 2 * wB * 8) '\000';
+        Bytes.fill s.rows_b 0 (wb * 2 * wA * 8) '\000';
+        for ui = 0 to (1 lsl nu) - 1 do
+          let m = ref 0 in
+          Array.iteri
+            (fun j v -> if (ui lsr j) land 1 = 1 then m := !m lor (1 lsl v))
+            uvars;
+          let alpha = gather asel ui and beta = gather bsel ui in
+          set_bit s.rows_a (alpha * 2 * wB) beta;
+          set_bit s.rows_b (beta * 2 * wA) alpha;
+          if Tt.get target !m then begin
+            set_bit s.rows_a ((alpha * 2 * wB) + wB) beta;
+            set_bit s.rows_b ((beta * 2 * wA) + wA) alpha
+          end
+        done;
+        let word_mask =
+          if n >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L
+        in
+        let fill_ind ind vars w =
+          for code = 0 to w - 1 do
+            for k = 0 to tw - 1 do
+              let acc = ref word_mask in
+              Array.iteri
+                (fun j v ->
+                  let p = Kern.word_of_var ~n ~v ~k in
+                  acc :=
+                    Int64.logand !acc
+                      (if (code lsr j) land 1 = 1 then p else Int64.lognot p))
+                vars;
+              Bytes.set_int64_ne ind (((code * tw) + k) lsl 3) !acc
+            done
+          done
+        in
+        fill_ind s.mind_a avars wa;
+        fill_ind s.mind_b bvars wb;
+        (* State plane layout in [s.mst], in words: [0,wA) g values,
+           [wA,2wA) g assignedness, then the same two planes for h. *)
+        let aval = 0 and acare = wA in
+        let bval = 2 * wA and bcare = (2 * wA) + wB in
+        let out_arr = Array.make tw 0L in
+        let results = ref [] in
+        let count = ref 0 in
+        let pa_len = ref 0 and pb_len = ref 0 and tlen = ref 0 in
+        let push_pend to_a idx =
+          if to_a then begin
+            s.pend_a.(!pa_len) <- idx;
+            incr pa_len
+          end
+          else begin
+            s.pend_b.(!pb_len) <- idx;
+            incr pb_len
+          end
+        in
+        let record_newly to_a w =
+          let base = !tlen * wmax in
+          for k = 0 to wmax - 1 do
+            let x =
+              if k < w then Bytes.get_int64_ne s.mnewly (k lsl 3) else 0L
+            in
+            Bytes.set_int64_ne s.mtrail ((base + k) lsl 3) x;
+            if k < w then begin
+              let scan bit0 v =
+                let v = ref v in
+                while !v <> 0 do
+                  push_pend to_a (bit0 + lowest_bit_index !v);
+                  v := !v land (!v - 1)
+                done
+              in
+              scan (k * 64) (Int64.to_int (Int64.logand x 0xFFFFFFFFL));
+              scan
+                ((k * 64) + 32)
+                (Int64.to_int (Int64.shift_right_logical x 32))
+            end
+          done;
+          s.tside.(!tlen) <- (if to_a then 1 else 0);
+          incr tlen
+        in
+        let solve_phi phi =
+          let bit a b = (phi lsr ((2 * a) + b)) land 1 in
+          Bytes.fill s.mst 0 (2 * (wA + wB) * 8) '\000';
+          pa_len := 0;
+          pb_len := 0;
+          tlen := 0;
+          let seed vars w voff coff to_a fixed =
+            match fixed with
+            | None -> ()
+            | Some f ->
+              for code = 0 to w - 1 do
+                let m = ref 0 in
+                Array.iteri
+                  (fun j v ->
+                    if (code lsr j) land 1 = 1 then m := !m lor (1 lsl v))
+                  vars;
+                set_bit s.mst coff code;
+                if Tt.get f !m then set_bit s.mst voff code;
+                push_pend to_a code
+              done
+          in
+          seed avars wa aval acare true g_fixed;
+          seed bvars wb bval bcare false h_fixed;
+          let force_from_a idx =
+            let v = get_bit s.mst aval idx in
+            incr kc;
+            let r =
+              K.force s.rows_a (idx * 2 * wB) s.mst bval bcare s.mnewly 0 wB
+                (bit v 0) (bit v 1)
+            in
+            if r < 0 then raise Fail;
+            if r > 0 then record_newly false wB
+          in
+          let force_from_b idx =
+            let v = get_bit s.mst bval idx in
+            incr kc;
+            let r =
+              K.force s.rows_b (idx * 2 * wA) s.mst aval acare s.mnewly 0 wA
+                (bit 0 v) (bit 1 v)
+            in
+            if r < 0 then raise Fail;
+            if r > 0 then record_newly true wA
+          in
+          (* LIFO pending stacks instead of the packed path's
+             lowest-bit-first masks: unit propagation here is confluent,
+             so the drained closure — and with it every branch decision
+             — is order-independent. *)
+          let rec drain () =
+            if !pa_len > 0 then begin
+              decr pa_len;
+              force_from_a s.pend_a.(!pa_len);
+              drain ()
+            end
+            else if !pb_len > 0 then begin
+              decr pb_len;
+              force_from_b s.pend_b.(!pb_len);
+              drain ()
+            end
+          in
+          let set is_a idx v =
+            let base = !tlen * wmax in
+            for k = 0 to wmax - 1 do
+              Bytes.set_int64_ne s.mtrail ((base + k) lsl 3) 0L
+            done;
+            Bytes.set_int64_ne s.mtrail
+              ((base + (idx lsr 6)) lsl 3)
+              (Int64.shift_left 1L (idx land 63));
+            s.tside.(!tlen) <- (if is_a then 1 else 0);
+            incr tlen;
+            if is_a then begin
+              set_bit s.mst acare idx;
+              if v = 1 then set_bit s.mst aval idx
+            end
+            else begin
+              set_bit s.mst bcare idx;
+              if v = 1 then set_bit s.mst bval idx
+            end;
+            push_pend is_a idx;
+            drain ()
+          in
+          let rollback mark =
+            pa_len := 0;
+            pb_len := 0;
+            while !tlen > mark do
+              decr tlen;
+              incr kc;
+              let base = !tlen * wmax in
+              if s.tside.(!tlen) = 1 then
+                K.undo s.mst aval acare s.mtrail base wA
+              else K.undo s.mst bval bcare s.mtrail base wB
+            done
+          in
+          let emit () =
+            kc := !kc + 2;
+            if
+              not
+                (K.is_const_row s.mst aval wa || K.is_const_row s.mst bval wb)
+            then begin
+              kc := !kc + 2;
+              K.assemble s.mind_a 0 s.mst aval wa tw s.mout 0;
+              for k = 0 to tw - 1 do
+                out_arr.(k) <- Bytes.get_int64_ne s.mout (k lsl 3)
+              done;
+              let g = Tt.of_words n out_arr in
+              K.assemble s.mind_b 0 s.mst bval wb tw s.mout 0;
+              for k = 0 to tw - 1 do
+                out_arr.(k) <- Bytes.get_int64_ne s.mout (k lsl 3)
+              done;
+              let h = Tt.of_words n out_arr in
+              results := { phi; g; h } :: !results;
+              incr count
+            end
+          in
+          let rec search () =
+            if !count < cap then begin
+              incr kc;
+              let ia = K.first_unset s.mst acare wa in
+              let is_a = ia >= 0 in
+              let idx =
+                if is_a then ia
+                else begin
+                  incr kc;
+                  K.first_unset s.mst bcare wb
+                end
+              in
+              if idx < 0 then emit ()
+              else begin
+                let mark = !tlen in
+                (try
+                   set is_a idx 0;
+                   search ()
+                 with Fail -> ());
+                rollback mark;
+                if !count < cap then begin
+                  try
+                    set is_a idx 1;
+                    search ()
+                  with Fail -> ()
+                end;
+                rollback mark
+              end
+            end
+          in
+          match drain () with () -> search () | exception Fail -> ()
+        in
+        List.iter
+          (fun phi ->
+            if (allowed lsr phi) land 1 = 1 && !count < cap then solve_phi phi)
+          Gate.nontrivial;
+        Profile.add Profile.Multiword_kernel_calls !kc;
         List.rev !results
       end
       else begin
@@ -636,13 +1045,23 @@ let rec take n = function
   | [] -> []
   | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
 
-let decompose ?memo ?g_fixed ?h_fixed ~cap ~target ~amask ~bmask () =
+let decompose ?memo ?(path = `Auto) ?g_fixed ?h_fixed ~cap ~target ~amask
+    ~bmask () =
   match memo with
   | None ->
     Profile.incr Profile.Decompose_calls;
     Profile.time Profile.Decompose (fun () ->
-        decompose_uncached ?g_fixed ?h_fixed ~allowed:full_basis ~cap ~target
-          ~amask ~bmask ())
+        decompose_uncached ?g_fixed ?h_fixed ~allowed:full_basis ~path ~cap
+          ~target ~amask ~bmask ())
+  | Some memo when path <> `Auto ->
+    (* Forced engines bypass the factorisation memo (every path emits
+       the same triples in the same order, but differential callers
+       should never answer from a cache another engine filled). The
+       quarter cache is engine-independent and stays shared. *)
+    Profile.incr Profile.Decompose_calls;
+    Profile.time Profile.Decompose (fun () ->
+        decompose_uncached ~memo ?g_fixed ?h_fixed ~allowed:memo.basis ~path
+          ~cap ~target ~amask ~bmask ())
   | Some memo ->
     (* The cached value is always the full (decompose_cap-bounded)
        enumeration, truncated per call: this keeps the cache contents —
@@ -651,16 +1070,17 @@ let decompose ?memo ?g_fixed ?h_fixed ~cap ~target ~amask ~bmask () =
        memo be reused across the instances of a collection run. *)
     let key = (target, g_fixed, h_fixed, amask, bmask) in
     let full =
-      match FactTbl.find_opt memo.factorisations key with
-      | Some r ->
+      match FactTbl.find memo.factorisations key with
+      | r ->
         Profile.incr Profile.Decompose_cache_hits;
         r
-      | None ->
+      | exception Not_found ->
         Profile.incr Profile.Decompose_calls;
         let r =
           Profile.time Profile.Decompose (fun () ->
-              decompose_uncached ?g_fixed ?h_fixed ~allowed:memo.basis
-                ~cap:(max cap decompose_cap) ~target ~amask ~bmask ())
+              decompose_uncached ~memo ?g_fixed ?h_fixed ~allowed:memo.basis
+                ~path:`Auto ~cap:(max cap decompose_cap) ~target ~amask ~bmask
+                ())
         in
         FactTbl.replace memo.factorisations key r;
         r
@@ -712,9 +1132,9 @@ let decompose_tracked ?g_fixed ?h_fixed ~memo ~stats ~target ~amask ~bmask () =
 let covers_ordered ?(max_shared = max_int) ~memo ~support ~slots_a ~slots_b () =
   let smask = List.fold_left (fun m v -> m lor (1 lsl v)) 0 support in
   let key = (smask, slots_a, slots_b, max_shared) in
-  match QuadTbl.find_opt memo.covers_cache key with
-  | Some cs -> cs
-  | None ->
+  match QuadTbl.find memo.covers_cache key with
+  | cs -> cs
+  | exception Not_found ->
     let cs = covers ~max_shared ~support ~slots_a ~slots_b () in
     let overlap (a, b) = popcount_mask (a land b) in
     let cs =
@@ -740,9 +1160,9 @@ let proj_var_of tt =
    the precomputed table, larger supports fall back to the raw
    support-compacted table. *)
 let feasibility_key memo t =
-  match TtTbl.find_opt memo.key_cache t with
-  | Some k -> k
-  | None ->
+  match TtTbl.find memo.key_cache t with
+  | k -> k
+  | exception Not_found ->
     let shrunk, _ = Tt.shrink_to_support t in
     let k = Tt.num_vars shrunk in
     let key =
@@ -778,11 +1198,11 @@ let rec tree_ok ~memo ~stats ~deadline t budget =
     (* ample room: do not spend time *)
   else begin
     let key = (feasibility_key memo t, budget) in
-    match FeasTbl.find_opt memo.feasibility key with
-    | Some r ->
+    match FeasTbl.find memo.feasibility key with
+    | r ->
       Profile.incr Profile.Feasibility_cache_hits;
       r
-    | None ->
+    | exception Not_found ->
       Stp_util.Deadline.check deadline;
       stats.feasibility_checks <- stats.feasibility_checks + 1;
       Profile.incr Profile.Feasibility_checks;
@@ -834,12 +1254,7 @@ and min_tree_leaves ~memo ~stats ~deadline t upper =
   if upper < start then None
   else begin
     let key = feasibility_key memo t in
-    match KeyTbl.find_opt memo.min_leaves key with
-    | Some (Exact m) -> if m <= upper then Some m else None
-    | cached ->
-      let refuted =
-        match cached with Some (Refuted_to r) -> r | _ -> start - 1
-      in
+    let scan_from refuted =
       if refuted >= upper then None
       else begin
         let rec scan l =
@@ -855,6 +1270,11 @@ and min_tree_leaves ~memo ~stats ~deadline t upper =
         in
         scan (max start (refuted + 1))
       end
+    in
+    match KeyTbl.find memo.min_leaves key with
+    | Exact m -> if m <= upper then Some m else None
+    | Refuted_to r -> scan_from r
+    | exception Not_found -> scan_from (start - 1)
   end
 
 (* Per-node structural data used for pruning and memoisation: distinct
@@ -992,11 +1412,11 @@ let solve_shape ?(deadline = Stp_util.Deadline.never) ?memo ?stats ~cap ~shape
     if k < 2 || infos.(j).tree_leaves < k || infos.(j).tree_gates < k - 1 then []
     else begin
       let key = (infos.(j).sig_ordered, t) in
-      match RealTbl.find_opt memo.realisations key with
-      | Some r ->
+      match RealTbl.find memo.realisations key with
+      | r ->
         Profile.incr Profile.Realisation_cache_hits;
         r
-      | None ->
+      | exception Not_found ->
         Profile.incr Profile.Realisation_cache_misses;
         let fa, fb = shape.Dag.fanins.(j) in
         let result =
@@ -1102,6 +1522,20 @@ let solve_shape ?(deadline = Stp_util.Deadline.never) ?memo ?stats ~cap ~shape
     | Dag.N j -> targets.(j)
     | Dag.L _ -> None
   in
+  (* Capability signature of a child slot: everything [bind] consults
+     about the slot besides the bound function itself, packed into one
+     int ([-1] marks a leaf slot). Two slots with equal signatures
+     accept exactly the same subfunctions, which is what makes learned
+     survivor sets transfer across sibling topologies. *)
+  let cap_of = function
+    | Dag.L _ -> -1
+    | Dag.N j ->
+      let inf = infos.(j) in
+      inf.leaves_below
+      lor (inf.gates_below lsl 8)
+      lor (inf.tree_leaves lsl 16)
+      lor (inf.tree_gates lsl 32)
+  in
   (* Bind a side to a subfunction; returns an undo closure, or None if the
      binding is inconsistent or provably unrealisable. *)
   let bind side f =
@@ -1162,46 +1596,106 @@ let solve_shape ?(deadline = Stp_util.Deadline.never) ?memo ?stats ~cap ~shape
           (realize node t)
       end
       else begin
+        (* Returns true iff the triple passed every bind filter (the
+           recursion below it runs regardless); recorded as a learned
+           survivor when the slots are unconstrained. *)
         let try_triple { phi; g; h } =
-          if !count < cap then begin
+          if !count >= cap then false
+          else begin
             (* Internal/internal pairs computing complementary or equal
                functions cannot occur in a size-optimal chain. *)
             let both_internal =
               match (fa, fb) with Dag.N _, Dag.N _ -> true | _ -> false
             in
-            if both_internal && (Tt.equal g h || Tt.equal_bnot g h) then ()
+            if both_internal && (Tt.equal g h || Tt.equal_bnot g h) then false
             else
               match bind fa g with
-              | None -> ()
+              | None -> false
               | Some undo_a -> (
                 match bind fb h with
-                | None -> undo_a ()
+                | None ->
+                  undo_a ();
+                  false
                 | Some undo_b ->
                   gates.(node) <- phi;
                   assign (node - 1);
                   undo_b ();
-                  undo_a ())
+                  undo_a ();
+                  true)
           end
         in
         let slots_a = slot_cap fa and slots_b = slot_cap fb in
         if slots_a + slots_b >= k then begin
           let cover_list = covers_ordered ~memo ~support ~slots_a ~slots_b () in
+          let no_fixed side =
+            match fixed_target side with None -> true | Some _ -> false
+          in
+          (* Learning is sound only for unconstrained slots: a pre-bound
+             child folds its fixed function into the bind outcome, which
+             the learned key does not capture. *)
+          let learnable = no_fixed fa && no_fixed fb in
+          let capa = cap_of fa and capb = cap_of fb in
           List.iter
             (fun (amask, bmask) ->
               if !count < cap then begin
-                (* Pre-filter covers against already-fixed child
-                   targets. *)
-                let ok_fixed side mask =
-                  match fixed_target side with
-                  | None -> true
-                  | Some f0 -> Tt.support_mask f0 land lnot mask = 0
-                in
-                if ok_fixed fa amask && ok_fixed fb bmask then begin
-                  stats.decompose_calls <- stats.decompose_calls + 1;
-                  let triples =
-                    decompose_tracked ~memo ~stats ~target:t ~amask ~bmask ()
+                if learnable then begin
+                  let lkey = (t, amask, bmask, capa, capb) in
+                  match LearnTbl.find memo.learned lkey with
+                  | [||] ->
+                    (* Learned refutation: no triple of this cover can
+                       bind into slots of these capabilities. *)
+                    Profile.incr Profile.Learned_prunes
+                  | surv ->
+                    Profile.incr Profile.Learned_replays;
+                    stats.decompose_calls <- stats.decompose_calls + 1;
+                    let triples =
+                      decompose_tracked ~memo ~stats ~target:t ~amask ~bmask ()
+                    in
+                    let si = ref 0 in
+                    let ns = Array.length surv in
+                    List.iteri
+                      (fun i tr ->
+                        if !si < ns && surv.(!si) = i then begin
+                          incr si;
+                          ignore (try_triple tr)
+                        end)
+                      triples
+                  | exception Not_found ->
+                    stats.decompose_calls <- stats.decompose_calls + 1;
+                    let triples =
+                      decompose_tracked ~memo ~stats ~target:t ~amask ~bmask ()
+                    in
+                    let buf = Array.make (List.length triples + 1) 0 in
+                    let ns = ref 0 in
+                    List.iteri
+                      (fun i tr ->
+                        if try_triple tr then begin
+                          buf.(!ns) <- i;
+                          incr ns
+                        end)
+                      triples;
+                    (* Record only complete passes: once the chain cap
+                       trips, try_triple stops binding and the survivor
+                       set would be truncated. *)
+                    if !count < cap then
+                      LearnTbl.replace memo.learned lkey
+                        (Array.sub buf 0 !ns)
+                end
+                else begin
+                  (* Pre-filter covers against already-fixed child
+                     targets. *)
+                  let ok_fixed side mask =
+                    match fixed_target side with
+                    | None -> true
+                    | Some f0 -> Tt.support_mask f0 land lnot mask = 0
                   in
-                  List.iter try_triple triples
+                  if ok_fixed fa amask && ok_fixed fb bmask then begin
+                    stats.decompose_calls <- stats.decompose_calls + 1;
+                    let triples =
+                      decompose_tracked ~memo ~stats ~target:t ~amask ~bmask ()
+                    in
+                    List.iter (fun tr -> ignore (try_triple tr)) triples
+                  end
                 end
               end)
             cover_list

@@ -48,6 +48,7 @@ val create_memo : ?basis:Stp_chain.Gate.code list -> unit -> memo
 
 val decompose :
   ?memo:memo ->
+  ?path:[ `Auto | `Packed | `Multiword | `List ] ->
   ?g_fixed:Stp_tt.Tt.t ->
   ?h_fixed:Stp_tt.Tt.t ->
   cap:int ->
@@ -61,7 +62,18 @@ val decompose :
     most [cap] triples are returned. Returns [] when
     [supp target ⊄ amask ∪ bmask]. [g_fixed] (resp. [h_fixed]) pins one
     side to a known subfunction — used when a shared DAG node's function
-    was already bound by another parent. *)
+    was already bound by another parent.
+
+    [path] selects the enumeration engine. [`Auto] (the default) picks
+    the single-word packed solver when each side fits one machine word
+    (at most 5 variables, 6-variable targets), the multi-word
+    {!Stp_matrix.Kern} solver up to 7-variable sides and 12-variable
+    targets, and the list-based solver beyond. All engines emit the
+    same triples in the same deterministic order; forcing [`Packed],
+    [`Multiword] or [`List] exists for differential testing and
+    benchmarks. Forced engines bypass the factorisation memo.
+    @raise Invalid_argument
+      if a forced engine does not cover the requested side widths. *)
 
 type stats = {
   mutable decompose_calls : int;

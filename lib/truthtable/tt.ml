@@ -205,12 +205,15 @@ let compare a b =
     in
     loop (Array.length a.words - 1)
 
+(* Mixing in the native int domain: [Int64.mul] would box its result
+   on every word of every lookup of the synthesis memo tables. *)
 let hash t =
-  Array.fold_left
-    (fun acc w ->
-      let h = Int64.to_int (Int64.mul w 0x9E3779B97F4A7C15L) in
-      (acc * 31) + (h land max_int))
-    (t.n + 1) t.words
+  let acc = ref (t.n + 1) in
+  for k = 0 to Array.length t.words - 1 do
+    let h = Int64.to_int (Array.unsafe_get t.words k) * 0x9E3779B97F4A7C1 in
+    acc := (!acc * 31) + (h land max_int)
+  done;
+  !acc
 
 let apply2 code a b =
   check_arity a b;
@@ -263,18 +266,62 @@ let cofactor t i b =
     { n = t.n; words }
   end
 
-let depends_on t i = not (equal (cofactor t i false) (cofactor t i true))
+(* Word-parallel dependence test, no intermediate cofactor tables:
+   [support_size] runs per candidate factor in the synthesis inner
+   loop, so it must not allocate. *)
+let depends_on t i =
+  if i < 0 || i >= t.n then invalid_arg "Tt.depends_on";
+  let words = t.words in
+  if i < 6 then begin
+    (* Positions pair up in-word: the function depends on [i] iff some
+       pair's low and high halves differ. Unused high bits are 0 on
+       both sides of the shift, so no end masking is needed. *)
+    let shift = 1 lsl i in
+    let np = Int64.lognot var_patterns.(i) in
+    let rec loop k =
+      k >= 0
+      &&
+      let w = Array.unsafe_get words k in
+      (not
+         (Int64.equal
+            (Int64.logand (Int64.logxor w (Int64.shift_right_logical w shift))
+               np)
+            0L))
+      || loop (k - 1)
+    in
+    loop (Array.length words - 1)
+  end
+  else begin
+    let bit = 1 lsl (i - 6) in
+    let rec loop k =
+      k >= 0
+      && ((k land bit = 0
+          && not
+               (Int64.equal (Array.unsafe_get words k)
+                  (Array.unsafe_get words (k lor bit))))
+         || loop (k - 1))
+    in
+    loop (Array.length words - 1)
+  end
+
+let support_mask t =
+  let m = ref 0 in
+  for i = 0 to t.n - 1 do
+    if depends_on t i then m := !m lor (1 lsl i)
+  done;
+  !m
+
+let support_size t =
+  let rec pc x acc = if x = 0 then acc else pc (x land (x - 1)) (acc + 1) in
+  pc (support_mask t) 0
 
 let support t =
+  let m = support_mask t in
   let rec loop i acc =
     if i < 0 then acc
-    else loop (i - 1) (if depends_on t i then i :: acc else acc)
+    else loop (i - 1) (if (m lsr i) land 1 = 1 then i :: acc else acc)
   in
   loop (t.n - 1) []
-
-let support_size t = List.length (support t)
-
-let support_mask t = List.fold_left (fun m v -> m lor (1 lsl v)) 0 (support t)
 
 let permute t perm =
   if Array.length perm <> t.n then invalid_arg "Tt.permute";

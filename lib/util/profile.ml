@@ -39,8 +39,14 @@ type counter =
   | Requests_timed_out
   | Requests_degraded
   | Requests_failed
+  | Learned_prunes
+  | Learned_replays
+  | Quarter_cache_hits
+  | Arena_reuses
+  | Multiword_decomposes
+  | Multiword_kernel_calls
 
-let num_counters = 18
+let num_counters = 24
 
 let counter_index = function
   | Decompose_calls -> 0
@@ -61,6 +67,12 @@ let counter_index = function
   | Requests_timed_out -> 15
   | Requests_degraded -> 16
   | Requests_failed -> 17
+  | Learned_prunes -> 18
+  | Learned_replays -> 19
+  | Quarter_cache_hits -> 20
+  | Arena_reuses -> 21
+  | Multiword_decomposes -> 22
+  | Multiword_kernel_calls -> 23
 
 let counter_name = function
   | Decompose_calls -> "decompose_calls"
@@ -81,13 +93,21 @@ let counter_name = function
   | Requests_timed_out -> "requests_timed_out"
   | Requests_degraded -> "requests_degraded"
   | Requests_failed -> "requests_failed"
+  | Learned_prunes -> "learned_prunes"
+  | Learned_replays -> "learned_replays"
+  | Quarter_cache_hits -> "quarter_cache_hits"
+  | Arena_reuses -> "arena_reuses"
+  | Multiword_decomposes -> "multiword_decomposes"
+  | Multiword_kernel_calls -> "multiword_kernel_calls"
 
 let all_counters =
   [ Decompose_calls; Decompose_cache_hits; Quarter_tests; Quarter_rejects;
     Feasibility_checks; Feasibility_cache_hits; Realisation_cache_hits;
     Realisation_cache_misses; Chains_emitted; Chains_verified; Cube_merges;
     Cube_subsumption_checks; Requests_received; Requests_solved;
-    Requests_cached; Requests_timed_out; Requests_degraded; Requests_failed ]
+    Requests_cached; Requests_timed_out; Requests_degraded; Requests_failed;
+    Learned_prunes; Learned_replays; Quarter_cache_hits; Arena_reuses;
+    Multiword_decomposes; Multiword_kernel_calls ]
 
 (* Cross-domain accumulators. Parallel collection runs fan instances
    over domains; counters and timers sum over all of them. *)

@@ -42,6 +42,12 @@ type counter =
   | Requests_timed_out       (** requests whose deadline expired *)
   | Requests_degraded        (** timed-out requests answered with an upper bound *)
   | Requests_failed          (** malformed or erroring requests *)
+  | Learned_prunes           (** covers skipped via a learned refutation *)
+  | Learned_replays          (** cover triple loops replayed from learned survivors *)
+  | Quarter_cache_hits       (** quartering signatures answered from the memo *)
+  | Arena_reuses             (** decompose scratch arenas reused without reallocation *)
+  | Multiword_decomposes     (** factorisation searches run on the multi-word path *)
+  | Multiword_kernel_calls   (** multi-word kernel ops dispatched (force/assemble/...) *)
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool

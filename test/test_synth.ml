@@ -137,6 +137,53 @@ let test_decompose_memo_regression () =
     (List.map key
        (Factor.decompose ~cap:1000 ~target:f ~amask:0b0011 ~bmask:0b1100 ()))
 
+let test_decompose_paths_agree () =
+  (* The packed single-word solver, the multi-word kernel solver and the
+     list fallback must emit the same triples in the same order — the
+     solve_shape search relies on engine-independent enumeration order.
+     Forced paths bypass the factorisation memo, so every engine really
+     recomputes. *)
+  let key { Factor.phi; g; h } = (phi, Tt.to_hex g, Tt.to_hex h) in
+  let tst = Alcotest.(list (triple int string string)) in
+  let rng = Prng.create 4711 in
+  for _ = 1 to 60 do
+    let n = 3 + Prng.int rng 3 in
+    let target = Tt.of_fun n (fun _ -> Prng.bool rng) in
+    let full = (1 lsl n) - 1 in
+    let amask = 1 + Prng.int rng full in
+    let bmask = 1 + Prng.int rng full in
+    let run path =
+      List.map key
+        (Factor.decompose ~path ~cap:4096 ~target ~amask ~bmask ())
+    in
+    let packed = run `Packed in
+    Alcotest.check tst "multiword = packed (order included)" packed
+      (run `Multiword);
+    Alcotest.check tst "list = packed (order included)" packed (run `List)
+  done;
+  (* fixed-side and overlapping covers too *)
+  let f = Tt.of_hex ~n:4 "8ff8" in
+  let g0 = Tt.band (Tt.var 4 0) (Tt.var 4 1) in
+  let run path =
+    List.map key
+      (Factor.decompose ~path ~g_fixed:g0 ~cap:4096 ~target:f ~amask:0b0011
+         ~bmask:0b1111 ())
+  in
+  let packed = run `Packed in
+  Alcotest.(check bool) "fixed-side cover solvable" true (packed <> []);
+  Alcotest.check tst "fixed side: multiword = packed" packed (run `Multiword);
+  Alcotest.check tst "fixed side: list = packed" packed (run `List)
+
+let test_decompose_forced_path_rejects () =
+  (* a forced engine that cannot represent the cover must fail loudly,
+     not silently fall back *)
+  let f = Tt.expand (Tt.of_hex ~n:3 "96") 7 [| 0; 3; 6 |] in
+  Alcotest.check_raises "packed inapplicable"
+    (Invalid_argument "Factor.decompose: packed path inapplicable") (fun () ->
+      ignore
+        (Factor.decompose ~path:`Packed ~cap:10 ~target:f ~amask:0x7f
+           ~bmask:0x7f ()))
+
 let qcheck_decompose_sound =
   QCheck.Test.make ~name:"decompose recomposes (random targets/covers)"
     ~count:150
@@ -177,6 +224,37 @@ let test_solve_shape_wrong_size () =
   Dag.iter 1 (fun shape ->
       Alcotest.(check (list unit)) "no 1-gate chain" []
         (List.map ignore (Factor.solve_shape ~cap:10 ~shape ~target:xor3 ())))
+
+let test_learned_cache_permutation () =
+  (* Learned cover refutations and survivor sets are keyed by
+     (target, cover, capability signature), so entries recorded while
+     solving one shape are replayed while solving another. The replay
+     must be invisible: solving the same shapes in a different order —
+     hitting the learned entries from a different population history —
+     must produce exactly the same chains per shape. *)
+  let chain_key c =
+    Format.asprintf "%a" Chain.pp_compact (Chain.normalise_fanin_order c)
+  in
+  let targets = [ Tt.of_hex ~n:4 "8ff8"; Tt.of_hex ~n:4 "1ee6" ] in
+  let shapes = Dag.enumerate 3 in
+  List.iter
+    (fun target ->
+      let solve memo shape =
+        List.sort compare
+          (List.map chain_key
+             (Factor.solve_shape ~memo ~cap:1000 ~shape ~target ()))
+      in
+      let fwd_memo = Factor.create_memo () in
+      let fwd = List.map (solve fwd_memo) shapes in
+      let rev_memo = Factor.create_memo () in
+      let rev = List.rev (List.map (solve rev_memo) (List.rev shapes)) in
+      let fresh =
+        List.map (fun s -> solve (Factor.create_memo ()) s) shapes
+      in
+      let tst = Alcotest.(list (list string)) in
+      Alcotest.check tst "reverse call order = forward" fwd rev;
+      Alcotest.check tst "shared memo = fresh memos" fresh fwd)
+    targets
 
 (* --- full synthesis: known optima --- *)
 
@@ -381,10 +459,16 @@ let () =
             test_decompose_exhaustive;
           Alcotest.test_case "memo regression" `Quick
             test_decompose_memo_regression;
+          Alcotest.test_case "engine paths agree" `Quick
+            test_decompose_paths_agree;
+          Alcotest.test_case "forced path rejects" `Quick
+            test_decompose_forced_path_rejects;
           QCheck_alcotest.to_alcotest qcheck_decompose_sound ] );
       ( "solve_shape",
         [ Alcotest.test_case "xor3" `Quick test_solve_shape_xor3;
-          Alcotest.test_case "wrong size" `Quick test_solve_shape_wrong_size ] );
+          Alcotest.test_case "wrong size" `Quick test_solve_shape_wrong_size;
+          Alcotest.test_case "learned cache permutation" `Quick
+            test_learned_cache_permutation ] );
       ( "stp_exact",
         [ Alcotest.test_case "known optima" `Slow test_stp_known_optima;
           Alcotest.test_case "trivial targets" `Quick test_trivial_targets;
