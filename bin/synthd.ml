@@ -1,90 +1,226 @@
 (* Batch synthesis daemon: JSON-lines requests (truth table in, optimum
    2-LUT chains out) over stdin/stdout or a Unix socket, backed by the
-   persistent NPN cache store. *)
+   persistent NPN cache store. With --shards N it instead runs the
+   sharded multiplexing service: a front-end select loop over a Unix
+   socket and/or TCP, routing requests by canonical NPN class to N
+   forked worker daemons with per-shard store sections (append-mode
+   persistence, online compaction, crash restarts).
+
+   Two store maintenance modes round the tool out: --compact rewrites a
+   store file dropping dead bytes; --merge-out folds shard section
+   files (or any store files) back into one store. *)
 
 open Cmdliner
 module Cli = Stp_harness.Cli
 module Store = Stp_store.Store
 module Daemon = Stp_store.Daemon
+module Service = Stp_service.Service
+module Wire = Stp_service.Wire
 
-let run jobs timeout store_path socket no_npn_cache profile heartbeat trace
-    metrics sends =
+let load_store_verbose path =
+  let s = Store.load ~path in
+  let st = Store.stats s in
+  Printf.eprintf "[synthd] store %s: %d classes in %d sections%s\n%!" path
+    st.Store.classes st.Store.sections
+    (if st.Store.skipped = 0 then ""
+     else Printf.sprintf " (%d corrupt records skipped)" st.Store.skipped);
+  s
+
+(* Client mode: round-trip request lines through a serving daemon over
+   the Unix socket or TCP. *)
+let run_client ~socket ~tcp sends =
+  let addr =
+    if socket <> "" then Wire.Unix_path socket
+    else
+      let host, port = Wire.parse_tcp tcp in
+      Wire.Tcp (host, port)
+  in
+  match Wire.connect addr with
+  | fd ->
+    Wire.send_lines fd sends;
+    Unix.shutdown fd Unix.SHUTDOWN_SEND;
+    let r = Wire.line_reader fd in
+    let rec drain () =
+      match Wire.next_line r with
+      | Some l ->
+        print_endline l;
+        drain ()
+      | None -> ()
+    in
+    drain ();
+    Unix.close fd
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "synthd: cannot reach daemon at %s: %s\n"
+      (if socket <> "" then socket else tcp)
+      (Unix.error_message e);
+    exit 1
+
+let run_compact store_path =
+  if store_path = "" then begin
+    prerr_endline "synthd: --compact needs --store";
+    exit 124
+  end;
+  let s = load_store_verbose store_path in
+  let c = Store.compact s in
+  Printf.printf "compacted %s: %d -> %d bytes (%d reclaimed)\n" store_path
+    c.Store.before_bytes c.Store.after_bytes c.Store.reclaimed
+
+let run_merge out srcs =
+  if srcs = [] then begin
+    prerr_endline "synthd: --merge-out needs source store paths as arguments";
+    exit 124
+  end;
+  let dst = Store.load ~path:out in
+  List.iter
+    (fun src_path ->
+      let src = load_store_verbose src_path in
+      let m = Store.merge_from dst src in
+      Printf.printf "merged %s: %d new, %d duplicate%s, %d superseded\n"
+        src_path m.Store.merged m.Store.merge_duplicates
+        (if m.Store.merge_duplicates = 1 then "" else "s")
+        m.Store.superseded)
+    srcs;
+  (* A merge only grows the live table; rewrite for a dead-byte-free
+     result file. *)
+  ignore (Store.compact dst);
+  let st = Store.stats dst in
+  Printf.printf "wrote %s: %d classes, %d bytes\n" out st.Store.classes
+    st.Store.disk_bytes
+
+let run_service ~shards ~jobs ~timeout ~store ~socket ~tcp ~no_npn_cache
+    ~window ~compact_bytes =
+  if socket = "" && tcp = "" then begin
+    prerr_endline "synthd: --shards needs --socket and/or --tcp";
+    exit 124
+  end;
+  Service.serve
+    { Service.shards;
+      jobs;
+      timeout;
+      store;
+      socket;
+      tcp;
+      no_npn_cache;
+      window;
+      compact_dead_bytes = compact_bytes }
+
+let run_single ~jobs ~timeout ~store_path ~socket ~no_npn_cache ~heartbeat
+    ~profile =
+  let store =
+    match store_path with "" -> None | path -> Some (load_store_verbose path)
+  in
+  Printf.eprintf
+    "[synthd] v%s serving %s: %d job%s, default timeout %.1fs%s%s\n%!"
+    Daemon.version
+    (if socket = "" then "stdin" else socket)
+    jobs
+    (if jobs = 1 then "" else "s")
+    timeout
+    (if no_npn_cache then ", npn-cache off" else "")
+    (if heartbeat > 0.0 then Printf.sprintf ", heartbeat every %gs" heartbeat
+     else "");
+  Daemon.serve
+    { Daemon.jobs; timeout; store; socket; no_npn_cache;
+      heartbeat_s = heartbeat; persist = Daemon.Rewrite };
+  (match store with
+   | Some s ->
+     let st = Store.stats s in
+     Printf.eprintf
+       "[synthd] store: %d classes flushed to %s (%d flush%s, %d bytes)\n%!"
+       st.Store.classes (Store.path s) st.Store.flushes
+       (if st.Store.flushes = 1 then "" else "es")
+       st.Store.flush_bytes
+   | None -> ());
+  if profile then
+    Format.eprintf "[synthd] profile:@.%a@.%!" Stp_util.Profile.pp
+      (Stp_util.Profile.snapshot ())
+
+let run jobs timeout store_path socket tcp no_npn_cache profile heartbeat
+    trace metrics sends shards window compact_bytes compact merge_out srcs =
   Cli.with_telemetry ~trace ~metrics @@ fun () ->
   Stp_util.Profile.set_enabled profile;
-  match sends with
-  | _ :: _ ->
-    (* Client mode: round-trip request lines through a serving daemon. *)
-    if socket = "" then begin
-      prerr_endline "synthd: --send needs --socket";
-      exit 124
-    end;
-    (match Daemon.client ~socket sends with
-     | responses -> List.iter print_endline responses
-     | exception Unix.Unix_error (e, _, _) ->
-       Printf.eprintf "synthd: cannot reach daemon at %s: %s\n" socket
-         (Unix.error_message e);
-       exit 1)
-  | [] ->
-    let jobs = Cli.resolve_jobs jobs in
-    let store =
-      match store_path with
-      | "" -> None
-      | path ->
-        let s = Store.load ~path in
-        let st = Store.stats s in
-        Printf.eprintf "[synthd] store %s: %d classes in %d sections%s\n%!"
-          path st.Store.classes st.Store.sections
-          (if st.Store.skipped = 0 then ""
-           else Printf.sprintf " (%d corrupt records skipped)" st.Store.skipped);
-        Some s
-    in
-    Printf.eprintf
-      "[synthd] v%s serving %s: %d job%s, default timeout %.1fs%s%s\n%!"
-      Daemon.version
-      (if socket = "" then "stdin" else socket)
-      jobs
-      (if jobs = 1 then "" else "s")
-      timeout
-      (if no_npn_cache then ", npn-cache off" else "")
-      (if heartbeat > 0.0 then
-         Printf.sprintf ", heartbeat every %gs" heartbeat
-       else "");
-    Daemon.serve
-      { Daemon.jobs; timeout; store; socket; no_npn_cache;
-        heartbeat_s = heartbeat };
-    (match store with
-     | Some s ->
-       let st = Store.stats s in
-       Printf.eprintf
-         "[synthd] store: %d classes flushed to %s (%d flush%s, %d bytes)\n%!"
-         st.Store.classes (Store.path s) st.Store.flushes
-         (if st.Store.flushes = 1 then "" else "es")
-         st.Store.flush_bytes
-     | None -> ());
-    if profile then
-      Format.eprintf "[synthd] profile:@.%a@.%!" Stp_util.Profile.pp
-        (Stp_util.Profile.snapshot ())
+  if compact then run_compact store_path
+  else if merge_out <> "" then run_merge merge_out srcs
+  else
+    match sends with
+    | _ :: _ ->
+      if socket = "" && tcp = "" then begin
+        prerr_endline "synthd: --send needs --socket or --tcp";
+        exit 124
+      end;
+      run_client ~socket ~tcp sends
+    | [] ->
+      if shards = 0 && tcp <> "" then begin
+        prerr_endline
+          "synthd: --tcp is served by the sharded service; add --shards N";
+        exit 124
+      end;
+      let jobs = Cli.resolve_jobs jobs in
+      if shards > 0 then
+        run_service ~shards ~jobs ~timeout ~store:store_path ~socket ~tcp
+          ~no_npn_cache ~window ~compact_bytes
+      else run_single ~jobs ~timeout ~store_path ~socket ~no_npn_cache
+             ~heartbeat ~profile
 
 let heartbeat_arg =
   let doc =
     "While idle, print a one-line status (uptime, request/batch counts, \
-     store size) to stderr every $(docv) seconds (0 disables)."
+     store size) to stderr every $(docv) seconds (0 disables). \
+     Single-process mode only."
   in
   Arg.(value & opt float 0.0 & info [ "heartbeat" ] ~docv:"SECONDS" ~doc)
-
-let socket_arg =
-  let doc =
-    "Serve a Unix domain socket at this path instead of stdin/stdout \
-     (created on start, unlinked on shutdown)."
-  in
-  Arg.(value & opt string "" & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let send_arg =
   let doc =
     "Act as a client: send this JSON request line (repeatable) to the \
-     daemon at --socket, print the responses, and exit."
+     daemon at --socket or --tcp, print the responses, and exit."
   in
   Arg.(value & opt_all string [] & info [ "send" ] ~docv:"JSON" ~doc)
+
+let shards_arg =
+  let doc =
+    "Run the sharded multiplexing service with $(docv) worker processes \
+     (0, the default, runs the classic single-process daemon). Each \
+     worker owns a disjoint NPN-class partition, its own domain pool \
+     and its own store section file $(i,STORE.shardKofN); dead workers \
+     are restarted and their in-flight requests re-dispatched."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+
+let window_arg =
+  let doc =
+    "Service mode: per-client backpressure window — stop reading a \
+     client once it has $(docv) unanswered requests in flight."
+  in
+  Arg.(value & opt int 64 & info [ "window" ] ~docv:"N" ~doc)
+
+let compact_bytes_arg =
+  let doc =
+    "Service mode: each worker compacts its store section online once \
+     it carries at least $(docv) dead bytes (0 disables)."
+  in
+  Arg.(
+    value & opt int (1 lsl 20) & info [ "compact-bytes" ] ~docv:"BYTES" ~doc)
+
+let compact_arg =
+  let doc =
+    "Compact the --store file once (atomic rewrite dropping dead bytes: \
+     superseded duplicates, corrupt frames, torn tails) and exit."
+  in
+  Arg.(value & flag & info [ "compact" ] ~doc)
+
+let merge_out_arg =
+  let doc =
+    "Merge the store files given as positional arguments into $(docv) \
+     (created if missing; on key collisions the record with fewer gates \
+     wins), compact it, and exit — folds per-shard section files back \
+     into one store."
+  in
+  Arg.(value & opt string "" & info [ "merge-out" ] ~docv:"OUT" ~doc)
+
+let srcs_arg =
+  let doc = "Source store files for --merge-out." in
+  Arg.(value & pos_all string [] & info [] ~docv:"STORE" ~doc)
 
 let cmd =
   let doc = "batch exact-synthesis daemon over the persistent NPN store" in
@@ -97,14 +233,25 @@ let cmd =
          the function's NPN class is already known, or a verified upper \
          bound when the per-request deadline expires. Buffered request \
          backlogs are fanned out over --jobs domains. SIGTERM/SIGINT \
-         finish the current batch and flush the store." ]
+         finish the current batch and flush the store.";
+      `P
+        "With --shards N the process becomes a sharded service: a \
+         front-end multiplexer accepts any number of concurrent clients \
+         on --socket and/or --tcp, routes each request to the worker \
+         owning its canonical NPN class, keeps responses in per-client \
+         request order, applies per-client backpressure (--window), \
+         restarts crashed workers without losing accepted requests, and \
+         answers {\"type\":\"stats\"} with per-shard queue depths and \
+         the full telemetry snapshot." ]
   in
   Cmd.v
     (Cmd.info "synthd" ~doc ~man)
     Term.(
       const run $ Cli.jobs
       $ Cli.timeout ~doc:"Default per-request deadline in seconds." ()
-      $ Cli.store $ socket_arg $ Cli.no_npn_cache $ Cli.profile
-      $ heartbeat_arg $ Cli.trace $ Cli.metrics $ send_arg)
+      $ Cli.store $ Cli.socket $ Cli.tcp $ Cli.no_npn_cache $ Cli.profile
+      $ heartbeat_arg $ Cli.trace $ Cli.metrics $ send_arg $ shards_arg
+      $ window_arg $ compact_bytes_arg $ compact_arg $ merge_out_arg
+      $ srcs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -73,6 +73,20 @@ let with_telemetry ~trace:trace_path ~metrics:metrics_on f =
   in
   Fun.protect ~finally:finish f
 
+let socket =
+  let doc =
+    "Serve (or connect to) a Unix domain socket at this path (created \
+     on start, unlinked on shutdown; empty string disables)."
+  in
+  Arg.(value & opt string "" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp =
+  let doc =
+    "Serve (or connect to) a TCP address: $(i,HOST:PORT), $(i,:PORT) or \
+     $(i,PORT) (host defaults to 127.0.0.1; empty string disables)."
+  in
+  Arg.(value & opt string "" & info [ "tcp" ] ~docv:"ADDR" ~doc)
+
 let store =
   let doc =
     "Load the persistent NPN cache store from this file before the run and \

@@ -27,6 +27,14 @@ val profile : bool Cmdliner.Term.t
 val no_npn_cache : bool Cmdliner.Term.t
 (** [--no-npn-cache]: solve every instance directly. *)
 
+val socket : string Cmdliner.Term.t
+(** [--socket PATH]: Unix domain socket to serve or connect to; empty
+    string (the default) disables. Shared by [synthd] and [soak]. *)
+
+val tcp : string Cmdliner.Term.t
+(** [--tcp ADDR]: TCP address ([HOST:PORT], [:PORT] or [PORT]) to serve
+    or connect to; empty string (the default) disables. *)
+
 val store : string Cmdliner.Term.t
 (** [--store PATH]: persistent NPN cache store to load before and flush
     after the run; empty string disables. *)

@@ -1,0 +1,72 @@
+(** Non-blocking line-buffered connections for the service front-end.
+
+    A {!conn} wraps one socket with a read buffer (bytes → complete
+    JSON lines) and a write queue (lines → bytes, flushed as far as the
+    kernel allows without blocking). The front-end's single select loop
+    owns every conn — clients, shard pipes — and moves data with
+    {!read_lines}/{!flush_out}; nothing here blocks.
+
+    The module also carries the shared address plumbing (Unix-path and
+    TCP listeners, retrying connect) and a small blocking line reader
+    for plain clients and tests. *)
+
+type conn
+
+val make : Unix.file_descr -> conn
+(** Take ownership of [fd] and set it non-blocking. *)
+
+val fd : conn -> Unix.file_descr
+
+val read_lines : conn -> string list
+(** Drain everything the kernel has buffered and return the complete
+    lines; a partial trailing line stays buffered. EOF or a fatal read
+    error flips {!eof} (after yielding the lines already received). *)
+
+val queue_line : conn -> string -> unit
+(** Enqueue [line ^ "\n"] for {!flush_out}. *)
+
+val flush_out : conn -> bool
+(** Write as much queued output as the kernel accepts right now;
+    [false] means the peer is gone (EPIPE/ECONNRESET) and the conn
+    should be dropped. *)
+
+val pending_out : conn -> int
+(** Unsent output bytes — the write-side backpressure signal. *)
+
+val eof : conn -> bool
+
+val close : conn -> unit
+(** Close the fd (idempotent; errors ignored) and mark {!eof}. *)
+
+(** {2 Addresses} *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+val parse_tcp : string -> string * int
+(** ["host:port"], [":port"] or ["port"] → (host, port); the empty or
+    missing host means ["127.0.0.1"].
+    @raise Failure on an unparseable port. *)
+
+val listen : addr -> Unix.file_descr
+(** Bind + listen (backlog 64). Unix paths are unlinked first; TCP
+    sockets get [SO_REUSEADDR]. The fd is close-on-exec and blocking —
+    accept readiness comes from the select loop. *)
+
+val connect : ?attempts:int -> addr -> Unix.file_descr
+(** Blocking connect with bounded exponential backoff (default 25
+    attempts, ~3 s worst case) on [ECONNREFUSED]/[ENOENT], so clients
+    forked moments after the service need not poll for the listener.
+    @raise Unix.Unix_error when the service never comes up. *)
+
+(** {2 Blocking line I/O (clients, tests)} *)
+
+type line_reader
+
+val line_reader : Unix.file_descr -> line_reader
+
+val next_line : line_reader -> string option
+(** Next complete line, blocking until one arrives; [None] on EOF. *)
+
+val send_lines : Unix.file_descr -> string list -> unit
+(** Write the lines newline-terminated, blocking until all bytes are
+    out. *)

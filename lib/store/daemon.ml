@@ -9,6 +9,10 @@ module Trace = Stp_telemetry.Trace
 module Hist = Stp_telemetry.Hist
 module Telemetry = Stp_telemetry.Telemetry
 
+type persist =
+  | Rewrite
+  | Append of { compact_dead_bytes : int }
+
 type config = {
   jobs : int;
   timeout : float;
@@ -16,6 +20,7 @@ type config = {
   socket : string;
   no_npn_cache : bool;
   heartbeat_s : float;
+  persist : persist;
 }
 
 let default_config =
@@ -24,7 +29,8 @@ let default_config =
     store = None;
     socket = "";
     no_npn_cache = false;
-    heartbeat_s = 0.0 }
+    heartbeat_s = 0.0;
+    persist = Rewrite }
 
 let version = "1"
 
@@ -283,7 +289,14 @@ let sync_store config caches =
     List.iter
       (fun (section, cache) -> ignore (Store.absorb store ~section cache))
       caches;
-    Store.flush store
+    (match config.persist with
+     | Rewrite -> Store.flush store
+     | Append { compact_dead_bytes } ->
+       Store.append store;
+       if
+         compact_dead_bytes > 0
+         && (Store.stats store).Store.dead_bytes >= compact_dead_bytes
+       then ignore (Store.compact store))
 
 let heartbeat config =
   let store =
@@ -391,22 +404,51 @@ let serve ?(input = Unix.stdin) ?(output = Unix.stdout) config =
                 (if ready then
                    match Unix.accept sock with
                    | client, _ ->
+                     (* A forked worker must not inherit client fds. *)
+                     Unix.set_close_on_exec client;
                      Fun.protect
                        ~finally:(fun () ->
                          try Unix.close client with Unix.Unix_error _ -> ())
                        (fun () -> serve_stream client client)
-                   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                   | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) ->
+                     (* The peer gave up between connect and accept —
+                        not our problem; keep serving. *)
+                     ()
+                   | exception
+                       Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE) as e, _, _)
+                     ->
+                     (* Out of descriptors: shedding this connection is
+                        recoverable, killing the serve loop is not. Back
+                        off briefly so close() elsewhere can catch up. *)
+                     Printf.eprintf "[synthd] accept: %s; backing off\n%!"
+                       (Unix.error_message e);
+                     Unix.sleepf 0.05);
                 accept_loop ()
               end
             in
             accept_loop ()))
 
-let client ~socket lines =
+(* Bounded connect retry: a freshly forked daemon binds its socket a
+   beat after the parent can first try to connect, so clients back off
+   on the two "not there yet" errors instead of racing startup. The
+   budget is ~3 s worst case, then the last error propagates. *)
+let rec connect_retry sock addr attempts delay =
+  try Unix.connect sock addr
+  with
+  | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+    when attempts > 1 ->
+    Unix.sleepf delay;
+    connect_retry sock addr (attempts - 1) (Float.min 0.25 (delay *. 2.))
+  | Unix.Unix_error (Unix.EINTR, _, _) when attempts > 1 ->
+    connect_retry sock addr (attempts - 1) delay
+
+let client ?(attempts = 25) ~socket lines =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
     (fun () ->
-      Unix.connect sock (Unix.ADDR_UNIX socket);
+      connect_retry sock (Unix.ADDR_UNIX socket) (max 1 attempts) 0.01;
       write_all sock (String.concat "\n" lines ^ "\n");
       Unix.shutdown sock Unix.SHUTDOWN_SEND;
       let buf = Buffer.create 4096 in

@@ -61,6 +61,17 @@
     tracing is on. With [heartbeat_s > 0] the daemon prints a one-line
     status to stderr whenever it has been idle that long. *)
 
+type persist =
+  | Rewrite
+      (** full atomic {!Store.flush} after every batch — simple and
+          crash-proof, O(store) per batch *)
+  | Append of { compact_dead_bytes : int }
+      (** {!Store.append} the batch's new classes (O(new) per batch),
+          and {!Store.compact} whenever the file carries at least
+          [compact_dead_bytes] dead bytes ([<= 0] never compacts) —
+          the mode the sharded service runs its long-lived workers
+          in *)
+
 type config = {
   jobs : int;          (** domains for batch fan-out (>= 1) *)
   timeout : float;     (** default per-request deadline, seconds *)
@@ -69,11 +80,12 @@ type config = {
   no_npn_cache : bool; (** disable the NPN cache (every request solves) *)
   heartbeat_s : float; (** idle seconds between stderr heartbeats;
                            [<= 0] disables *)
+  persist : persist;   (** how each batch's classes reach the disk *)
 }
 
 val default_config : config
 (** [jobs = 1], [timeout = 5.0], no store, stdio, cache enabled, no
-    heartbeat. *)
+    heartbeat, [Rewrite] persistence. *)
 
 val version : string
 (** Protocol version echoed by ping/stats responses. *)
@@ -104,8 +116,11 @@ val control : ?id:int -> string -> string
 (** [control ty] formats a control request line, e.g.
     [control "ping"] or [control "stats"]. *)
 
-val client : socket:string -> string list -> string list
+val client : ?attempts:int -> socket:string -> string list -> string list
 (** [client ~socket lines] connects to a serving daemon, sends the
     request lines, shuts down the writing side, and returns the
-    response lines — the CI smoke test's transport.
-    @raise Unix.Unix_error when the daemon is not listening. *)
+    response lines — the CI smoke test's transport. The connect is
+    retried with exponential backoff (up to [attempts] tries, default
+    25, ~3 s worst case) on [ECONNREFUSED]/[ENOENT], so callers forked
+    moments after the daemon need not poll for the socket to appear.
+    @raise Unix.Unix_error when the daemon never starts listening. *)

@@ -29,15 +29,32 @@ module Json = Stp_telemetry.Json
 
 let magic = "STPNPNS1"
 
-type record = { section : string; canon : Tt.t; entry : Npn_cache.entry }
+type record = {
+  section : string;
+  canon : Tt.t;
+  entry : Npn_cache.entry;
+  size : int;  (** on-disk frame size: 8-byte header + payload *)
+}
 
 type t = {
   path : string;
   table : (string, record) Hashtbl.t;
+  (* Records added since the last persist, keyed like [table]; the
+     value is the already-encoded payload so [append] writes without
+     re-encoding. *)
+  dirty : (string, string) Hashtbl.t;
   lock : Mutex.t;
   mutable skipped : int;
   mutable flushes : int;
   mutable flush_bytes : int;
+  mutable live_bytes : int;   (* frame bytes of every record in [table] *)
+  mutable dirty_bytes : int;  (* frame bytes of [dirty] records *)
+  mutable disk_bytes : int;   (* current on-disk file size *)
+  mutable clean_end : int;    (* offset after the last fully framed record *)
+  mutable appends : int;
+  mutable append_bytes : int;
+  mutable compactions : int;
+  mutable reclaimed_bytes : int;
 }
 
 type stats = {
@@ -46,21 +63,40 @@ type stats = {
   skipped : int;
   flushes : int;
   flush_bytes : int;
+  disk_bytes : int;
+  dead_bytes : int;
+  appends : int;
+  append_bytes : int;
+  compactions : int;
+  reclaimed_bytes : int;
 }
 
 type seed_stats = { seeded : int; seed_rejected : int }
 
 type absorb_stats = { absorbed : int; duplicates : int }
 
+type compact_stats = { before_bytes : int; after_bytes : int; reclaimed : int }
+
+type merge_stats = { merged : int; merge_duplicates : int; superseded : int }
+
 let path t = t.path
 
 let create ~path =
   { path;
     table = Hashtbl.create 64;
+    dirty = Hashtbl.create 16;
     lock = Mutex.create ();
     skipped = 0;
     flushes = 0;
-    flush_bytes = 0 }
+    flush_bytes = 0;
+    live_bytes = 0;
+    dirty_bytes = 0;
+    disk_bytes = 0;
+    clean_end = 0;
+    appends = 0;
+    append_bytes = 0;
+    compactions = 0;
+    reclaimed_bytes = 0 }
 
 let key ~section canon =
   Printf.sprintf "%s\x00%d\x00%s" section (Tt.num_vars canon) (Tt.to_hex canon)
@@ -78,6 +114,8 @@ let fnv1a_32 s =
   !h
 
 (* {2 Encoding} *)
+
+let frame_size payload = 8 + String.length payload
 
 let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
 
@@ -101,16 +139,21 @@ let encode_chain buf (c : Chain.t) =
   add_u8 buf c.Chain.output;
   add_u8 buf (if c.Chain.output_negated then 1 else 0)
 
-let encode_record r =
+let encode_payload ~section ~canon (entry : Npn_cache.entry) =
   let buf = Buffer.create 128 in
-  add_u8 buf (String.length r.section);
-  Buffer.add_string buf r.section;
-  add_u8 buf (Tt.num_vars r.canon);
-  Array.iter (fun w -> Buffer.add_int64_le buf w) (Tt.to_words r.canon);
-  add_u8 buf r.entry.Npn_cache.gates;
-  add_u16 buf (List.length r.entry.Npn_cache.chains);
-  List.iter (encode_chain buf) r.entry.Npn_cache.chains;
+  add_u8 buf (String.length section);
+  Buffer.add_string buf section;
+  add_u8 buf (Tt.num_vars canon);
+  Array.iter (fun w -> Buffer.add_int64_le buf w) (Tt.to_words canon);
+  add_u8 buf entry.Npn_cache.gates;
+  add_u16 buf (List.length entry.Npn_cache.chains);
+  List.iter (encode_chain buf) entry.Npn_cache.chains;
   Buffer.contents buf
+
+let add_frame buf payload =
+  add_u32 buf (String.length payload);
+  add_u32 buf (fnv1a_32 payload);
+  Buffer.add_string buf payload
 
 (* {2 Decoding} *)
 
@@ -183,11 +226,23 @@ let decode_record payload =
   done;
   let chains = List.rev !chains in
   if !pos <> len then raise (Corrupt "trailing bytes in payload");
-  { section; canon; entry = { Npn_cache.gates; chains } }
+  { section;
+    canon;
+    entry = { Npn_cache.gates; chains };
+    size = frame_size payload }
 
 (* {2 Load} *)
 
 let warn fmt = Printf.eprintf ("store: warning: " ^^ fmt ^^ "\n%!")
+
+(* Replace [k] in the live table, keeping [live_bytes] exact: a
+   superseded record's frame stays on disk (dead) until compaction. *)
+let put_live t k r =
+  (match Hashtbl.find_opt t.table k with
+   | Some old -> t.live_bytes <- t.live_bytes - old.size
+   | None -> ());
+  Hashtbl.replace t.table k r;
+  t.live_bytes <- t.live_bytes + r.size
 
 let load_channel t ic =
   let header = really_input_string ic (String.length magic) in
@@ -195,6 +250,7 @@ let load_channel t ic =
     warn "%s: bad magic, ignoring file" t.path;
     raise Exit
   end;
+  t.clean_end <- String.length magic;
   let read_u32 () =
     let b = really_input_string ic 4 in
     Char.code b.[0]
@@ -208,13 +264,16 @@ let load_channel t ic =
     | payload_len ->
       let checksum = read_u32 () in
       let payload = really_input_string ic payload_len in
+      (* The frame is complete — even if its content is rejected below,
+         appends may safely resume after it. *)
+      t.clean_end <- pos_in ic;
       (if fnv1a_32 payload <> checksum then begin
          t.skipped <- t.skipped + 1;
          warn "%s: checksum mismatch, skipping record" t.path
        end
        else
          match decode_record payload with
-         | r -> Hashtbl.replace t.table (key ~section:r.section r.canon) r
+         | r -> put_live t (key ~section:r.section r.canon) r
          | exception Corrupt msg ->
            t.skipped <- t.skipped + 1;
            warn "%s: undecodable record (%s), skipping" t.path msg);
@@ -222,7 +281,9 @@ let load_channel t ic =
   in
   try loop ()
   with End_of_file ->
-    (* A record header or body was cut short — keep what loaded. *)
+    (* A record header or body was cut short — keep what loaded; the
+       torn tail stays dead until the next append truncates it or a
+       compaction rewrites the file. *)
     t.skipped <- t.skipped + 1;
     warn "%s: truncated record at end of file" t.path
 
@@ -235,6 +296,7 @@ let load ~path =
      Fun.protect
        ~finally:(fun () -> close_in_noerr ic)
        (fun () ->
+         t.disk_bytes <- in_channel_length ic;
          try load_channel t ic with
          | Exit -> ()
          | End_of_file ->
@@ -242,22 +304,25 @@ let load ~path =
            warn "%s: file shorter than its header" path));
   t
 
-(* {2 Flush} *)
+(* {2 Persisting} *)
 
 let flush_counter = Atomic.make 0
 
-let flush t =
-  Trace.span "store.flush" ~args:[ ("path", t.path) ] @@ fun () ->
-  let records = with_lock t (fun () -> Hashtbl.fold (fun _ r acc -> r :: acc) t.table []) in
+let write_fd fd bytes =
+  let len = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd bytes !written (len - !written)
+  done
+
+(* Full rewrite: serialise every live record to a temp file and rename
+   it over the store path. Callers hold the lock. *)
+let rewrite_locked t =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf magic;
-  List.iter
-    (fun r ->
-      let payload = encode_record r in
-      add_u32 buf (String.length payload);
-      add_u32 buf (fnv1a_32 payload);
-      Buffer.add_string buf payload)
-    records;
+  Hashtbl.iter
+    (fun _ r -> add_frame buf (encode_payload ~section:r.section ~canon:r.canon r.entry))
+    t.table;
   let tmp =
     Printf.sprintf "%s.tmp.%d.%d" t.path (Unix.getpid ())
       (Atomic.fetch_and_add flush_counter 1)
@@ -266,17 +331,72 @@ let flush t =
   Fun.protect
     ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-      let bytes = Buffer.to_bytes buf in
-      let len = Bytes.length bytes in
-      let written = ref 0 in
-      while !written < len do
-        written := !written + Unix.write fd bytes !written (len - !written)
-      done;
+      write_fd fd (Buffer.to_bytes buf);
       Unix.fsync fd);
   Unix.rename tmp t.path;
+  t.flushes <- t.flushes + 1;
+  t.flush_bytes <- t.flush_bytes + Buffer.length buf;
+  t.disk_bytes <- Buffer.length buf;
+  t.clean_end <- Buffer.length buf;
+  Hashtbl.reset t.dirty;
+  t.dirty_bytes <- 0
+
+let flush t =
+  Trace.span "store.flush" ~args:[ ("path", t.path) ] @@ fun () ->
+  with_lock t (fun () -> rewrite_locked t)
+
+(* Persist only the records recorded since the last persist, appended
+   after the last complete frame. O(new records) per call where {!flush}
+   is O(store) — the difference that keeps a long-running shard's
+   per-batch persistence flat. A torn tail left by a crash is truncated
+   away first (its bytes count as reclaimed); frames the loader skipped
+   for content reasons stay until {!compact}. *)
+let append_locked t =
+  if t.clean_end < String.length magic then
+    (* Fresh store, or a file the loader abandoned: only a full rewrite
+       can produce a valid file. *)
+    rewrite_locked t
+  else if Hashtbl.length t.dirty = 0 && t.clean_end = t.disk_bytes then ()
+  else
+    match Unix.openfile t.path [ Unix.O_WRONLY ] 0o644 with
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      (* The file vanished under us; rebuild it whole. *)
+      rewrite_locked t
+    | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          if t.clean_end < t.disk_bytes then begin
+            Unix.ftruncate fd t.clean_end;
+            t.reclaimed_bytes <- t.reclaimed_bytes + (t.disk_bytes - t.clean_end);
+            t.disk_bytes <- t.clean_end
+          end;
+          ignore (Unix.lseek fd t.clean_end Unix.SEEK_SET);
+          let buf = Buffer.create 4096 in
+          Hashtbl.iter (fun _ payload -> add_frame buf payload) t.dirty;
+          write_fd fd (Buffer.to_bytes buf);
+          Unix.fsync fd;
+          t.appends <- t.appends + 1;
+          t.append_bytes <- t.append_bytes + Buffer.length buf;
+          t.disk_bytes <- t.disk_bytes + Buffer.length buf;
+          t.clean_end <- t.disk_bytes;
+          Hashtbl.reset t.dirty;
+          t.dirty_bytes <- 0)
+
+let append t =
+  Trace.span "store.append" ~args:[ ("path", t.path) ] @@ fun () ->
+  with_lock t (fun () -> append_locked t)
+
+let compact t =
+  Trace.span "store.compact" ~args:[ ("path", t.path) ] @@ fun () ->
   with_lock t (fun () ->
-      t.flushes <- t.flushes + 1;
-      t.flush_bytes <- t.flush_bytes + Buffer.length buf)
+      let before_bytes = t.disk_bytes in
+      rewrite_locked t;
+      let after_bytes = t.disk_bytes in
+      let reclaimed = max 0 (before_bytes - after_bytes) in
+      t.compactions <- t.compactions + 1;
+      t.reclaimed_bytes <- t.reclaimed_bytes + reclaimed;
+      { before_bytes; after_bytes; reclaimed })
 
 (* {2 Cache interchange} *)
 
@@ -296,6 +416,18 @@ let seed t ~section cache =
     { seeded = 0; seed_rejected = 0 }
     records
 
+(* Record [r] as new under [k]: live table + dirty queue. Callers hold
+   the lock and have checked the key is fresh (or decided to replace). *)
+let add_dirty_locked t k section canon entry =
+  let payload = encode_payload ~section ~canon entry in
+  let r = { section; canon; entry; size = frame_size payload } in
+  put_live t k r;
+  (match Hashtbl.find_opt t.dirty k with
+   | Some old -> t.dirty_bytes <- t.dirty_bytes - frame_size old
+   | None -> ());
+  Hashtbl.replace t.dirty k payload;
+  t.dirty_bytes <- t.dirty_bytes + r.size
+
 let absorb t ~section cache =
   Trace.span "store.absorb" ~args:[ ("section", section) ] @@ fun () ->
   let entries = Npn_cache.entries cache in
@@ -306,21 +438,55 @@ let absorb t ~section cache =
           if Hashtbl.mem t.table k then
             { st with duplicates = st.duplicates + 1 }
           else begin
-            Hashtbl.replace t.table k { section; canon; entry };
+            add_dirty_locked t k section canon entry;
             { st with absorbed = st.absorbed + 1 }
           end)
         { absorbed = 0; duplicates = 0 }
         entries)
 
+let merge_from t src =
+  Trace.span "store.merge" ~args:[ ("from", src.path); ("into", t.path) ]
+  @@ fun () ->
+  (* Snapshot the source outside [t]'s lock: no nested locking. *)
+  let records =
+    with_lock src (fun () ->
+        Hashtbl.fold (fun _ r acc -> r :: acc) src.table [])
+  in
+  with_lock t (fun () ->
+      List.fold_left
+        (fun st r ->
+          let k = key ~section:r.section r.canon in
+          match Hashtbl.find_opt t.table k with
+          | None ->
+            add_dirty_locked t k r.section r.canon r.entry;
+            { st with merged = st.merged + 1 }
+          | Some old
+            when r.entry.Npn_cache.gates < old.entry.Npn_cache.gates ->
+            (* A strictly better record supersedes the resident one —
+               e.g. an upper-bound-era entry displaced by an optimum. *)
+            add_dirty_locked t k r.section r.canon r.entry;
+            { st with superseded = st.superseded + 1 }
+          | Some _ -> { st with merge_duplicates = st.merge_duplicates + 1 })
+        { merged = 0; merge_duplicates = 0; superseded = 0 }
+        records)
+
 let stats t =
   with_lock t (fun () ->
       let sections = Hashtbl.create 8 in
       Hashtbl.iter (fun _ r -> Hashtbl.replace sections r.section ()) t.table;
+      let header = min t.disk_bytes (String.length magic) in
+      let persisted_live = t.live_bytes - t.dirty_bytes in
       { classes = Hashtbl.length t.table;
         sections = Hashtbl.length sections;
         skipped = t.skipped;
         flushes = t.flushes;
-        flush_bytes = t.flush_bytes })
+        flush_bytes = t.flush_bytes;
+        disk_bytes = t.disk_bytes;
+        dead_bytes = max 0 (t.disk_bytes - header - persisted_live);
+        appends = t.appends;
+        append_bytes = t.append_bytes;
+        compactions = t.compactions;
+        reclaimed_bytes = t.reclaimed_bytes })
 
 let stats_json t =
   let st = stats t in
@@ -330,7 +496,13 @@ let stats_json t =
       ("sections", Json.Int st.sections);
       ("skipped", Json.Int st.skipped);
       ("flushes", Json.Int st.flushes);
-      ("flush_bytes", Json.Int st.flush_bytes) ]
+      ("flush_bytes", Json.Int st.flush_bytes);
+      ("disk_bytes", Json.Int st.disk_bytes);
+      ("dead_bytes", Json.Int st.dead_bytes);
+      ("appends", Json.Int st.appends);
+      ("append_bytes", Json.Int st.append_bytes);
+      ("compactions", Json.Int st.compactions);
+      ("reclaimed_bytes", Json.Int st.reclaimed_bytes) ]
 
 let attach_telemetry t =
   Stp_telemetry.Telemetry.register_probe "store" (fun () -> stats_json t)

@@ -5,7 +5,10 @@
     (one per engine/basis combination, since chain sets are not
     interchangeable across engines). [table1], [rewrite] and the
     [synthd] daemon all share this format via [--store]: a warm store
-    answers every previously-solved class without a solver call.
+    answers every previously-solved class without a solver call. The
+    sharded service gives each shard its own store file (section
+    contents unchanged), and {!merge_from} folds shard files back into
+    one store for warm runs.
 
     Durability discipline:
 
@@ -14,6 +17,15 @@
     - {b Atomic flush}: {!flush} serialises to a unique temp file,
       [fsync]s it, and [rename]s it over the store path — readers and
       crashes never observe a half-written store.
+    - {b Incremental append}: {!append} persists only the records added
+      since the last persist, after the last complete frame — O(new)
+      per call where {!flush} is O(store), so a long-running shard's
+      per-batch persistence cost stays flat. A torn tail left by a
+      crash is truncated before appending; a file whose header the
+      loader rejected is rewritten whole.
+    - {b Online compaction}: {!compact} atomically rewrites the file
+      from the live table, dropping superseded/duplicate/corrupt frames
+      and reporting the bytes reclaimed.
     - {b Corrupt-record skip-and-warn on load}: a record with a bad
       checksum or an undecodable payload is skipped (counted in
       {!stats}) and loading continues with the next record; a
@@ -23,8 +35,10 @@
       {!Stp_synth.Npn_cache.add_entry} before use, so even a
       checksum-colliding corruption cannot poison synthesis results.
 
-    The store is mutex-protected: domains of a parallel run may
-    {!absorb} and {!flush} concurrently. *)
+    The store is mutex-protected — domains of a parallel run may
+    {!absorb}, {!append}, {!compact} and {!flush} concurrently — but
+    one store file must have a single writing process: {!append}
+    assumes nothing else moved the file's clean end. *)
 
 type t
 
@@ -42,8 +56,17 @@ type stats = {
   classes : int;     (** records currently held, over all sections *)
   sections : int;    (** distinct section names *)
   skipped : int;     (** corrupt records skipped by {!load} *)
-  flushes : int;     (** completed {!flush} calls on this handle *)
-  flush_bytes : int; (** bytes written across those flushes *)
+  flushes : int;     (** completed {!flush}/{!compact} rewrites *)
+  flush_bytes : int; (** bytes written across those rewrites *)
+  disk_bytes : int;  (** current size of the on-disk file *)
+  dead_bytes : int;
+    (** on-disk bytes holding no live record: superseded duplicates,
+        corrupt frames, torn tails — what {!compact} reclaims *)
+  appends : int;        (** completed {!append} calls *)
+  append_bytes : int;   (** bytes written across those appends *)
+  compactions : int;    (** completed {!compact} calls *)
+  reclaimed_bytes : int;
+    (** bytes dropped by compactions and torn-tail truncations *)
 }
 
 val stats : t -> stats
@@ -67,6 +90,20 @@ type absorb_stats = {
   duplicates : int;  (** classes already present (kept, not overwritten) *)
 }
 
+type compact_stats = {
+  before_bytes : int;  (** file size before the rewrite *)
+  after_bytes : int;   (** file size after *)
+  reclaimed : int;     (** [max 0 (before - after)] *)
+}
+
+type merge_stats = {
+  merged : int;            (** records new to the destination *)
+  merge_duplicates : int;  (** records already present (destination kept) *)
+  superseded : int;
+    (** resident records replaced by a strictly better (fewer-gates)
+        incoming record *)
+}
+
 val seed : t -> section:string -> Stp_synth.Npn_cache.t -> seed_stats
 (** [seed t ~section cache] imports every class of [section] into
     [cache] via {!Stp_synth.Npn_cache.add_entry} (which re-validates
@@ -75,9 +112,31 @@ val seed : t -> section:string -> Stp_synth.Npn_cache.t -> seed_stats
 val absorb : t -> section:string -> Stp_synth.Npn_cache.t -> absorb_stats
 (** [absorb t ~section cache] records every class of [cache] into
     [section], keeping existing records on key collision; reports how
-    many were new vs already present. Call before {!flush}. *)
+    many were new vs already present. Call before {!flush} or
+    {!append}. *)
 
 val flush : t -> unit
-(** Atomically persist the store to its path (write temp, fsync,
+(** Atomically persist the whole store to its path (write temp, fsync,
     rename). Safe to call concurrently and repeatedly; a crash between
     flushes leaves the previous complete store on disk. *)
+
+val append : t -> unit
+(** Persist only the records added since the last persist by appending
+    complete frames after the last clean frame of the file (truncating
+    a torn tail first, creating the file if needed). Much cheaper than
+    {!flush} for a large, slowly growing store; crash-safe in the same
+    record-granular sense as {!load} (a torn appended frame loses only
+    itself). Requires this process to be the file's only writer. *)
+
+val compact : t -> compact_stats
+(** Rewrite the file from the live table (atomic tmp + fsync + rename),
+    dropping dead bytes — duplicate/superseded frames accumulated by
+    merges, corrupt frames, torn tails. The returned (and cumulative,
+    see {!stats}) reclaimed-byte counts feed the telemetry probe. *)
+
+val merge_from : t -> t -> merge_stats
+(** [merge_from t src] folds every record of [src] into [t]: new keys
+    are added, existing keys keep [t]'s record unless [src]'s has
+    strictly fewer gates (then it supersedes — the stale frame stays on
+    disk until {!compact}). The merge tool folding per-shard store
+    files back into one [--store] file for warm runs. *)

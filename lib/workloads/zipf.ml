@@ -1,0 +1,61 @@
+(* A Zipf-distributed stream of NPN4 requests: class popularity follows
+   1/rank^alpha over a seed-dependent rank order of the 221
+   synthesizable NPN4 classes. The head classes dominate (cache hits
+   after first sight), the tail trickles in cold classes throughout a
+   run — the soak harness's model of a synthesis service's steady
+   state. Each draw picks a class by CDF inversion, then a uniformly
+   random member of that class (random input permutation, input
+   complement mask and output complement), so the request stream
+   exercises canonicalisation, not just table lookup. *)
+
+module Tt = Stp_tt.Tt
+module Npn = Stp_tt.Npn
+module Prng = Stp_util.Prng
+
+type t = {
+  prng : Prng.t;
+  classes : Tt.t array;  (* seed-shuffled: index = popularity rank *)
+  cdf : float array;     (* cdf.(i) = P(rank <= i) *)
+}
+
+let create ?(seed = 1) ?(alpha = 1.1) () =
+  if alpha < 0.0 then invalid_arg "Zipf.create: alpha must be >= 0";
+  let prng = Prng.create seed in
+  let classes = Array.of_list (Npn4.synthesizable ()) in
+  Prng.shuffle prng classes;
+  let n = Array.length classes in
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) alpha);
+    cdf.(i) <- !total
+  done;
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. !total
+  done;
+  { prng; classes; cdf }
+
+let num_classes t = Array.length t.classes
+
+let rank t =
+  let u = Prng.float t.prng in
+  (* First index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let random_transform prng n =
+  let perm = Array.init n Fun.id in
+  Prng.shuffle prng perm;
+  { Npn.perm; input_neg = Prng.bits prng n; output_neg = Prng.bool prng }
+
+let next t =
+  let cls = t.classes.(rank t) in
+  let n = Tt.num_vars cls in
+  let member = Npn.apply cls (random_transform t.prng n) in
+  (n, Tt.to_hex member)
+
+let next_class t = t.classes.(rank t)

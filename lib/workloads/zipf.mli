@@ -1,0 +1,25 @@
+(** Zipf-distributed NPN4 request streams for the service soak bench.
+
+    Class popularity is [1/rank^alpha] over a seed-shuffled rank order
+    of the 221 synthesizable {!Npn4} classes: a hot head a cache
+    answers after first sight, plus a cold tail that keeps arriving
+    throughout a run. Every draw is a uniformly random {e member} of
+    the picked class (random NPN transform), so consumers exercise
+    canonicalisation rather than replaying literal representatives.
+    Deterministic in [seed] ({!Stp_util.Prng}). *)
+
+type t
+
+val create : ?seed:int -> ?alpha:float -> unit -> t
+(** Default [seed = 1], [alpha = 1.1]. [alpha = 0] is uniform; larger
+    skews hotter. @raise Invalid_argument when [alpha < 0]. *)
+
+val num_classes : t -> int
+
+val next : t -> int * string
+(** One request target: [(n, tt_hex)] in the daemon protocol's
+    [n]/[tt] format. *)
+
+val next_class : t -> Stp_tt.Tt.t
+(** Like {!next} but returns the drawn class representative itself
+    (no member randomisation) — for shard-balance analysis. *)

@@ -167,6 +167,172 @@ let test_concurrent_flush_under_pool () =
   Alcotest.(check int) "all sections present" 8 st.Store.sections;
   Sys.remove path
 
+(* {2 Append-mode persistence, compaction, merge} *)
+
+let solve_cache fs =
+  let cache = Npn_cache.create () in
+  List.iter (solve_into cache) fs;
+  cache
+
+let seeded_classes store =
+  let cache = Npn_cache.create () in
+  ignore (Store.seed store ~section:"STP" cache);
+  Npn_cache.classes cache
+
+let test_append_round_trip () =
+  let path = temp_path () in
+  let store = Store.create ~path in
+  (* Two batches. The first persist of a fresh store must write the
+     header, so it is a rewrite; the second must append after the
+     first extent without rewriting a byte of it. *)
+  ignore
+    (Store.absorb store ~section:"STP"
+       (solve_cache [ List.nth targets 0; List.nth targets 1 ]));
+  Store.append store;
+  let first_size = (Store.stats store).Store.disk_bytes in
+  let first_extent = read_file path in
+  Alcotest.(check int) "fresh store persists via one header rewrite" 1
+    (Store.stats store).Store.flushes;
+  ignore
+    (Store.absorb store ~section:"STP"
+       (solve_cache [ List.nth targets 2; List.nth targets 3 ]));
+  Store.append store;
+  let st = Store.stats store in
+  Alcotest.(check int) "second persist appended" 1 st.Store.appends;
+  Alcotest.(check int) "second persist did not rewrite" 1 st.Store.flushes;
+  Alcotest.(check bool) "second append grew the file" true
+    (st.Store.disk_bytes > first_size);
+  Alcotest.(check string) "first extent untouched by the append"
+    first_extent
+    (String.sub (read_file path) 0 first_size);
+  (* Round-trip equivalence with a full rewrite of the same content. *)
+  let reloaded = Store.load ~path in
+  Alcotest.(check int) "appended store reloads all classes" 4
+    (Store.stats reloaded).Store.classes;
+  Alcotest.(check int) "no corrupt records" 0 (Store.stats reloaded).Store.skipped;
+  let flushed_path = temp_path () in
+  let flushed = populated_store flushed_path in
+  Alcotest.(check int) "appended store seeds like a flushed one"
+    (seeded_classes flushed) (seeded_classes reloaded);
+  Sys.remove path;
+  Sys.remove flushed_path
+
+let test_append_truncates_torn_tail () =
+  let path = temp_path () in
+  let store = Store.create ~path in
+  ignore
+    (Store.absorb store ~section:"STP"
+       (solve_cache [ List.nth targets 0; List.nth targets 1 ]));
+  Store.append store;
+  (* Tear the file mid-frame, as a crash during an append would. *)
+  let bytes = read_file path in
+  write_file path (String.sub bytes 0 (String.length bytes - 7));
+  let store = Store.load ~path in
+  Alcotest.(check int) "one record survives the torn tail" 1
+    (Store.stats store).Store.classes;
+  (* The next append must truncate the torn frame before writing, so
+     the new frame never lands mid-garbage. *)
+  ignore
+    (Store.absorb store ~section:"STP" (solve_cache [ List.nth targets 2 ]));
+  Store.append store;
+  let reloaded = Store.load ~path in
+  let st = Store.stats reloaded in
+  Alcotest.(check int) "torn tail replaced by clean frames" 2 st.Store.classes;
+  Alcotest.(check int) "no corrupt frame left behind" 0 st.Store.skipped;
+  Sys.remove path
+
+let test_compaction_equivalence () =
+  let path = temp_path () in
+  let store = populated_store path in
+  let before = seeded_classes store in
+  (* Corrupt one frame on disk: the reload skips it and accounts the
+     frame as dead bytes. *)
+  let bytes = Bytes.of_string (read_file path) in
+  Bytes.set bytes 16 (Char.chr (Char.code (Bytes.get bytes 16) lxor 0xff));
+  write_file path (Bytes.to_string bytes);
+  let corrupted = Store.load ~path in
+  let st = Store.stats corrupted in
+  Alcotest.(check int) "corrupt record skipped" 1 st.Store.skipped;
+  Alcotest.(check int) "skip survives as live classes" (before - 1)
+    st.Store.classes;
+  Alcotest.(check bool) "corrupt frame counts as dead bytes" true
+    (st.Store.dead_bytes > 0);
+  (* Compaction drops the dead frame and keeps every live record. *)
+  let c = Store.compact corrupted in
+  Alcotest.(check bool) "compaction reclaimed the dead frame" true
+    (c.Store.reclaimed > 0);
+  let reloaded = Store.load ~path in
+  let st = Store.stats reloaded in
+  Alcotest.(check int) "compacted store is fully clean" 0 st.Store.skipped;
+  Alcotest.(check int) "live classes preserved" (before - 1) st.Store.classes;
+  Alcotest.(check int) "no dead bytes after compaction" 0 st.Store.dead_bytes;
+  Alcotest.(check int) "seeds the same live classes" (before - 1)
+    (seeded_classes reloaded);
+  Sys.remove path
+
+let test_merge_stores () =
+  let path_a = temp_path () and path_b = temp_path () in
+  let a = Store.create ~path:path_a in
+  ignore
+    (Store.absorb a ~section:"STP"
+       (solve_cache [ List.nth targets 0; List.nth targets 1; List.nth targets 2 ]));
+  Store.flush a;
+  let b = Store.create ~path:path_b in
+  ignore
+    (Store.absorb b ~section:"STP"
+       (solve_cache [ List.nth targets 1; List.nth targets 2; List.nth targets 3 ]));
+  Store.flush b;
+  let m = Store.merge_from a b in
+  Alcotest.(check int) "one class is new" 1 m.Store.merged;
+  Alcotest.(check int) "two already present" 2 m.Store.merge_duplicates;
+  Alcotest.(check int) "equal-gate records never supersede" 0 m.Store.superseded;
+  Store.flush a;
+  let reloaded = Store.load ~path:path_a in
+  Alcotest.(check int) "merged store holds the union" 4
+    (Store.stats reloaded).Store.classes;
+  Alcotest.(check int) "merge is idempotent" 0
+    (Store.merge_from a b).Store.merged;
+  Sys.remove path_a;
+  Sys.remove path_b
+
+let test_concurrent_absorb_while_compacting () =
+  let path = temp_path () in
+  let store = Store.create ~path in
+  (* Half the domains absorb fresh sections and append; the other half
+     compact concurrently. Every interleaving must leave a valid file
+     holding every absorbed class. *)
+  let jobs = List.init 8 (fun i -> i) in
+  let results =
+    Stp_parallel.Pool.map ~domains:4
+      (fun i ->
+        if i mod 2 = 0 then begin
+          let cache = Npn_cache.create () in
+          List.iter (solve_into cache) targets;
+          let fresh =
+            Store.absorb store ~section:(Printf.sprintf "S%d" i) cache
+          in
+          Store.append store;
+          fresh.Store.absorbed
+        end
+        else begin
+          ignore (Store.compact store);
+          0
+        end)
+      jobs
+  in
+  Alcotest.(check int) "every absorb admitted its classes" 16
+    (List.fold_left ( + ) 0 results);
+  let mid = Store.load ~path in
+  Alcotest.(check int) "no corrupt records mid-race" 0
+    (Store.stats mid).Store.skipped;
+  ignore (Store.compact store);
+  let final = Store.load ~path in
+  let st = Store.stats final in
+  Alcotest.(check int) "final file holds every class" 16 st.Store.classes;
+  Alcotest.(check int) "four sections present" 4 st.Store.sections;
+  Alcotest.(check int) "clean after final compaction" 0 st.Store.skipped;
+  Sys.remove path
+
 (* {2 The daemon's request protocol (in-process)} *)
 
 let get_string key json =
@@ -259,6 +425,15 @@ let () =
             test_sanitised_seed_rejects_corruption;
           Alcotest.test_case "concurrent flush under pool" `Slow
             test_concurrent_flush_under_pool ] );
+      ( "append",
+        [ Alcotest.test_case "append round trip" `Quick test_append_round_trip;
+          Alcotest.test_case "append truncates a torn tail" `Quick
+            test_append_truncates_torn_tail;
+          Alcotest.test_case "compaction preserves live records" `Quick
+            test_compaction_equivalence;
+          Alcotest.test_case "merge folds stores" `Quick test_merge_stores;
+          Alcotest.test_case "concurrent absorb while compacting" `Slow
+            test_concurrent_absorb_while_compacting ] );
       ( "protocol",
         [ Alcotest.test_case "solves a request" `Quick test_handle_solves;
           Alcotest.test_case "attributes cache answers" `Quick

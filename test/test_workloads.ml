@@ -85,6 +85,55 @@ let test_scaling () =
   Alcotest.(check int) "custom scale" 10
     (List.length custom.Collections.functions)
 
+module Zipf = Stp_workloads.Zipf
+
+let test_zipf_deterministic () =
+  let a = Zipf.create ~seed:42 () and b = Zipf.create ~seed:42 () in
+  for _ = 1 to 200 do
+    let na, ta = Zipf.next a and nb, tb = Zipf.next b in
+    Alcotest.(check int) "same arity" na nb;
+    Alcotest.(check string) "same target" ta tb
+  done;
+  let c = Zipf.create ~seed:43 () in
+  let differs = ref false in
+  for _ = 1 to 50 do
+    let _, ta = Zipf.next a and _, tc = Zipf.next c in
+    if ta <> tc then differs := true
+  done;
+  Alcotest.(check bool) "different seeds draw different streams" true !differs
+
+let test_zipf_members_are_valid_npn4 () =
+  let z = Zipf.create ~seed:7 () in
+  Alcotest.(check int) "draws over the synthesizable classes" 221
+    (Zipf.num_classes z);
+  let classes = Hashtbl.create 64 in
+  for _ = 1 to 500 do
+    let n, hex = Zipf.next z in
+    Alcotest.(check int) "NPN4 arity" 4 n;
+    let f = Tt.of_hex ~n hex in
+    let canon, _ = Stp_tt.Npn.canonical f in
+    Alcotest.(check bool) "member of a synthesizable class" true
+      (Tt.support_size canon > 0);
+    Hashtbl.replace classes (Tt.to_hex canon) ()
+  done;
+  (* Zipf head + tail: several classes seen, but far fewer than draws. *)
+  let distinct = Hashtbl.length classes in
+  Alcotest.(check bool) "hot head repeats classes" true (distinct < 221);
+  Alcotest.(check bool) "cold tail still arrives" true (distinct > 20)
+
+let test_zipf_skew () =
+  (* Higher alpha concentrates draws on the head ranks. *)
+  let count_distinct alpha =
+    let z = Zipf.create ~seed:5 ~alpha () in
+    let seen = Hashtbl.create 64 in
+    for _ = 1 to 400 do
+      Hashtbl.replace seen (Tt.to_hex (Zipf.next_class z)) ()
+    done;
+    Hashtbl.length seen
+  in
+  Alcotest.(check bool) "uniform covers more classes than zipf 2.0" true
+    (count_distinct 0.0 > count_distinct 2.0)
+
 let () =
   Alcotest.run "workloads"
     [ ( "npn4",
@@ -100,4 +149,9 @@ let () =
             test_collections_distinct ] );
       ( "collections",
         [ Alcotest.test_case "table1 rows" `Slow test_table1_collections;
-          Alcotest.test_case "scaling" `Quick test_scaling ] ) ]
+          Alcotest.test_case "scaling" `Quick test_scaling ] );
+      ( "zipf",
+        [ Alcotest.test_case "deterministic" `Quick test_zipf_deterministic;
+          Alcotest.test_case "members are valid NPN4" `Slow
+            test_zipf_members_are_valid_npn4;
+          Alcotest.test_case "alpha skews the head" `Quick test_zipf_skew ] ) ]
