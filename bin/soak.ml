@@ -80,8 +80,11 @@ let run requests clients window seed alpha timeout socket tcp shards jobs
   in
   let addr =
     if tcp <> "" && socket = "" then
-      let host, port = Wire.parse_tcp tcp in
-      Wire.Tcp (host, port)
+      match Wire.parse_tcp tcp with
+      | host, port -> Wire.Tcp (host, port)
+      | exception Failure msg ->
+        prerr_endline ("soak: " ^ msg);
+        exit 124
     else Wire.Unix_path sock_path
   in
   let service_pid =

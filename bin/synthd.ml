@@ -139,6 +139,11 @@ let run jobs timeout store_path socket tcp no_npn_cache profile heartbeat
     trace metrics sends shards window compact_bytes compact merge_out srcs =
   Cli.with_telemetry ~trace ~metrics @@ fun () ->
   Stp_util.Profile.set_enabled profile;
+  (if tcp <> "" then
+     try ignore (Wire.parse_tcp tcp)
+     with Failure msg ->
+       prerr_endline ("synthd: " ^ msg);
+       exit 124);
   if compact then run_compact store_path
   else if merge_out <> "" then run_merge merge_out srcs
   else

@@ -198,22 +198,6 @@ let spawn_worker state sid =
     Unix.set_close_on_exec parent_fd;
     (pid, Wire.make parent_fd)
 
-(* Move waiting tickets into the worker pipe while there is headroom. *)
-let pump_shard state shard =
-  if shard.alive then begin
-    while
-      (not (Queue.is_empty shard.waiting))
-      && Wire.pending_out shard.conn < shard_out_hw
-    do
-      let t = Queue.pop shard.waiting in
-      Wire.queue_line shard.conn t.t_line;
-      Queue.add t shard.inflight
-    done;
-    if Wire.pending_out shard.conn > 0 && not (Wire.flush_out shard.conn)
-    then shard.alive <- false (* EOF path picks the death up *)
-  end;
-  ignore state
-
 let shard_died state shard =
   if shard.alive then begin
     shard.alive <- false;
@@ -238,6 +222,26 @@ let shard_died state shard =
     log "shard %d (pid %d) died; requeued %d in-flight request%s" shard.sid
       shard.pid requeued
       (if requeued = 1 then "" else "s")
+  end
+
+(* Move waiting tickets into the worker pipe while there is headroom. *)
+let pump_shard state shard =
+  if shard.alive then begin
+    while
+      (not (Queue.is_empty shard.waiting))
+      && Wire.pending_out shard.conn < shard_out_hw
+    do
+      let t = Queue.pop shard.waiting in
+      Wire.queue_line shard.conn t.t_line;
+      Queue.add t shard.inflight
+    done;
+    if Wire.pending_out shard.conn > 0 && not (Wire.flush_out shard.conn)
+    then
+      (* A write failure (EPIPE before we ever read the EOF) is the same
+         event as reading the EOF: the worker is gone. Requeue its work
+         and schedule the respawn now — the select loop no longer
+         watches a dead shard's fd, so nothing else would notice. *)
+      shard_died state shard
   end
 
 let respawn_shard state shard =
@@ -571,11 +575,13 @@ let serve_loop state =
       state.drain_deadline_ns <-
         now + int_of_float (drain_grace_s state.config *. 1e9);
       List.iter close_quiet state.listeners;
-      log "shutdown requested; draining %d in-flight request%s"
-        (Array.fold_left
-           (fun n s -> n + Queue.length s.inflight + Queue.length s.waiting)
-           0 state.shards)
-        (if state.requests = 1 then "" else "s")
+      let inflight =
+        Array.fold_left
+          (fun n s -> n + Queue.length s.inflight + Queue.length s.waiting)
+          0 state.shards
+      in
+      log "shutdown requested; draining %d in-flight request%s" inflight
+        (if inflight = 1 then "" else "s")
     end;
     if state.draining then
       if

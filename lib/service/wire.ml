@@ -44,9 +44,16 @@ let split_lines c =
     Buffer.add_substring c.rbuf s (i + 1) (String.length s - i - 1);
     String.split_on_char '\n' (String.sub s 0 i)
 
+(* Backpressure cannot protect [rbuf] — bytes are consumed eagerly —
+   so a peer streaming data with no newline would grow it without
+   bound. No legitimate request line approaches this size; a conn whose
+   partial line exceeds it is dropped as [eof]. *)
+let max_line_bytes = 8 * 1024 * 1024
+
 (* Drain everything the kernel has for us right now; returns the
    complete lines that produced. EOF and connection-reset errors mark
-   the conn [eof] (after yielding any lines already buffered). *)
+   the conn [eof] (after yielding any lines already buffered), as does
+   a buffered partial line growing past [max_line_bytes]. *)
 let read_lines c =
   let continue = ref (not c.eof) in
   while !continue do
@@ -54,7 +61,12 @@ let read_lines c =
     | 0 ->
       c.eof <- true;
       continue := false
-    | n -> Buffer.add_subbytes c.rbuf c.chunk 0 n
+    | n ->
+      Buffer.add_subbytes c.rbuf c.chunk 0 n;
+      (* Bound one drain too: a fast local writer can keep the fd
+         readable indefinitely. Complete lines beyond the cap wait for
+         the next loop iteration. *)
+      if Buffer.length c.rbuf > max_line_bytes then continue := false
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       continue := false
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -62,7 +74,12 @@ let read_lines c =
       c.eof <- true;
       continue := false
   done;
-  split_lines c
+  let lines = split_lines c in
+  if Buffer.length c.rbuf > max_line_bytes then begin
+    c.eof <- true;
+    Buffer.clear c.rbuf
+  end;
+  lines
 
 let queue_line c line =
   Queue.add (line ^ "\n") c.out;
@@ -99,11 +116,22 @@ let flush_out c =
 type addr = Unix_path of string | Tcp of string * int
 
 let parse_tcp spec =
-  match String.rindex_opt spec ':' with
-  | None -> ("127.0.0.1", int_of_string (String.trim spec))
-  | Some i ->
+  let bad reason =
+    failwith (Printf.sprintf "bad TCP address %S: %s" spec reason)
+  in
+  let port_of s =
+    match int_of_string (String.trim s) with
+    | p when 0 <= p && p <= 65535 -> p
+    | _ -> bad "port out of range (0-65535)"
+    | exception Failure _ -> bad "expected PORT or HOST:PORT"
+  in
+  match (String.index_opt spec ':', String.rindex_opt spec ':') with
+  | None, _ -> ("127.0.0.1", port_of spec)
+  | Some i, Some j when i <> j ->
+    bad "IPv6 literals are not supported; use an IPv4 HOST:PORT"
+  | Some i, _ ->
     let host = String.sub spec 0 i in
-    let port = int_of_string (String.sub spec (i + 1) (String.length spec - i - 1)) in
+    let port = port_of (String.sub spec (i + 1) (String.length spec - i - 1)) in
     ((if host = "" then "127.0.0.1" else host), port)
 
 let sockaddr_of = function
@@ -146,6 +174,12 @@ let connect ?(attempts = 25) addr =
       (try Unix.close sock with Unix.Unix_error _ -> ());
       Unix.sleepf delay;
       go (n - 1) (Float.min 0.25 (delay *. 2.))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) when n > 1 ->
+      (* The interrupted connect may still complete in-kernel; retrying
+         on the same fd would raise EALREADY/EISCONN, so start over on
+         a fresh one. *)
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      go (n - 1) delay
     | exception e ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
       raise e

@@ -20,7 +20,9 @@ val fd : conn -> Unix.file_descr
 val read_lines : conn -> string list
 (** Drain everything the kernel has buffered and return the complete
     lines; a partial trailing line stays buffered. EOF or a fatal read
-    error flips {!eof} (after yielding the lines already received). *)
+    error flips {!eof} (after yielding the lines already received), as
+    does a partial line growing past an 8 MB cap — backpressure cannot
+    bound the line buffer, so the cap does. *)
 
 val queue_line : conn -> string -> unit
 (** Enqueue [line ^ "\n"] for {!flush_out}. *)
@@ -44,8 +46,10 @@ type addr = Unix_path of string | Tcp of string * int
 
 val parse_tcp : string -> string * int
 (** ["host:port"], [":port"] or ["port"] → (host, port); the empty or
-    missing host means ["127.0.0.1"].
-    @raise Failure on an unparseable port. *)
+    missing host means ["127.0.0.1"]. IPv6 literals are rejected — the
+    service resolves IPv4 only.
+    @raise Failure with a usage message on an unparseable port, an
+    out-of-range port, or a multi-colon (IPv6) spec. *)
 
 val listen : addr -> Unix.file_descr
 (** Bind + listen (backlog 64). Unix paths are unlinked first; TCP

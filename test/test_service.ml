@@ -70,6 +70,50 @@ let test_shard_of_class_invariant () =
   Alcotest.(check int) "single shard routes everything to 0" 0
     (Service.shard_of ~shards:1 (Tt.of_hex ~n:4 "8ff8"))
 
+(* {2 Wire} *)
+
+let test_parse_tcp () =
+  let check_ok spec expect =
+    Alcotest.(check (pair string int)) spec expect (Wire.parse_tcp spec)
+  in
+  check_ok "7777" ("127.0.0.1", 7777);
+  check_ok ":7777" ("127.0.0.1", 7777);
+  check_ok "10.0.0.1:443" ("10.0.0.1", 443);
+  let rejects spec =
+    match Wire.parse_tcp spec with
+    | _ -> Alcotest.failf "parse_tcp accepted %S" spec
+    | exception Failure _ -> ()
+  in
+  rejects "";
+  rejects "localhost:notaport";
+  rejects "1:2:3";
+  rejects "::1";
+  rejects "[::1]:80";
+  rejects "127.0.0.1:70000"
+
+(* A newline-free stream must not grow the conn's line buffer without
+   bound: past the cap the conn is marked eof and yields no lines. *)
+let test_read_line_cap () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  let conn = Wire.make b in
+  let chunk = Bytes.make 65536 'x' in
+  let limit = 32 * 1024 * 1024 in
+  let total = ref 0 in
+  while (not (Wire.eof conn)) && !total < limit do
+    (match Unix.write a chunk 0 (Bytes.length chunk) with
+     | n -> total := !total + n
+     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+       ());
+    Alcotest.(check (list string)) "no lines from a newline-free stream" []
+      (Wire.read_lines conn)
+  done;
+  Alcotest.(check bool) "oversized line flips eof" true (Wire.eof conn);
+  Alcotest.(check bool) "eof arrives well before the stream ends" true
+    (!total < limit);
+  Unix.close a;
+  Wire.close conn
+
 (* {2 The forked service} *)
 
 let spawn_service ?(shards = 2) ?(store = "") ?(window = 64) ?(tcp = "")
@@ -255,6 +299,11 @@ let () =
     [ ( "routing",
         [ Alcotest.test_case "shard_of is NPN-class invariant" `Quick
             test_shard_of_class_invariant ] );
+      ( "wire",
+        [ Alcotest.test_case "parse_tcp accepts host:port, rejects junk"
+            `Quick test_parse_tcp;
+          Alcotest.test_case "read_lines caps a newline-free stream" `Quick
+            test_read_line_cap ] );
       ( "service",
         [ Alcotest.test_case "pipelined clients keep per-client order" `Slow
             test_pipelined_clients_keep_order;
