@@ -21,6 +21,12 @@ module Collections = Stp_workloads.Collections
 
 let bench_timeout = 2.5
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 (* Collection scale for one bench run: NPN4 is subsampled (every third
    class) because the hardest classes dominate wall-clock; the paper's
    relative picture is preserved (see EXPERIMENTS.md). *)
@@ -290,6 +296,151 @@ let kernels () =
   Format.printf "@.(sink %d)@." (!sink land 1);
   Printf.eprintf "[bench] wrote BENCH_kernels.json\n%!"
 
+(* --- SAT-core microbenchmarks (--sat) ---
+
+   Two parts, written to BENCH_sat.json for the CI smoke check:
+
+   - raw CDCL throughput (propagations/s, conflicts/s) over the
+     committed DIMACS mini-corpus in bench/dimacs — every file's verdict
+     is cross-checked against the .sat.cnf/.unsat.cnf label;
+   - a cold-vs-incremental A/B of the BMS and FEN budget sweeps over an
+     NPN4 subsample: same targets, same timeout, one fresh solver per
+     budget (cold) against one long-lived solver with per-budget
+     selectors (incremental). The process-wide [Solver.Totals] counters
+     are snapshotted around each leg, so the conflict/propagation saving
+     is visible next to the wall-clock one. *)
+
+let sat_bench ~corpus () =
+  let module Solver = Stp_sat.Solver in
+  let module Dimacs = Stp_sat.Dimacs in
+  let open Stp_harness.Report in
+  Format.printf "=== SAT-core microbenchmarks ===@.@.";
+  (* corpus throughput *)
+  let files =
+    Sys.readdir corpus |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cnf")
+    |> List.sort compare
+  in
+  Format.printf "%-28s %8s %6s %12s %12s@." "file" "result" "reps"
+    "props/s" "conflicts/s";
+  let corpus_rows =
+    List.map
+      (fun file ->
+        let cnf = Dimacs.parse (read_file (Filename.concat corpus file)) in
+        let expected =
+          if Filename.check_suffix file ".sat.cnf" then "sat"
+          else if Filename.check_suffix file ".unsat.cnf" then "unsat"
+          else "unknown"
+        in
+        let result = ref Solver.Unknown in
+        let props = ref 0 and conflicts = ref 0 and reps = ref 0 in
+        let t0 = Stp_util.Profile.now_ns () in
+        (* repeat fresh cold solves until the sample is long enough to
+           time meaningfully *)
+        while
+          !reps < 100
+          && (!reps < 3
+             || Stp_util.Profile.now_ns () - t0 < 300_000_000)
+        do
+          let solver = Solver.create () in
+          Dimacs.load solver cnf;
+          result := Solver.solve solver;
+          let st = Solver.stats solver in
+          props := !props + st.Solver.propagations;
+          conflicts := !conflicts + st.Solver.conflicts;
+          incr reps
+        done;
+        let elapsed =
+          float_of_int (Stp_util.Profile.now_ns () - t0) *. 1e-9
+        in
+        let verdict =
+          match !result with
+          | Solver.Sat -> "sat"
+          | Solver.Unsat -> "unsat"
+          | Solver.Unknown -> "unknown"
+        in
+        let ok = expected = "unknown" || verdict = expected in
+        if not ok then
+          Printf.eprintf "[bench] MISMATCH %s: expected %s, got %s\n%!" file
+            expected verdict;
+        let props_s = float_of_int !props /. elapsed in
+        let conf_s = float_of_int !conflicts /. elapsed in
+        Format.printf "%-28s %8s %6d %12.0f %12.0f@." file verdict !reps
+          props_s conf_s;
+        Obj
+          [ ("file", String file); ("expected", String expected);
+            ("result", String verdict); ("ok", Bool ok);
+            ("reps", Int !reps); ("time_s", Float elapsed);
+            ("propagations", Int !props); ("conflicts", Int !conflicts);
+            ("props_per_s", Float props_s);
+            ("conflicts_per_s", Float conf_s) ])
+      files
+  in
+  (* cold vs incremental budget sweeps *)
+  let targets =
+    (Collections.npn4 Collections.Default).Collections.functions
+    |> List.filteri (fun i _ -> i mod 18 = 0)
+  in
+  let sweep_timeout = 1.0 in
+  Format.printf "@.%-6s %-12s %7s %9s %9s %12s %12s@." "engine" "mode"
+    "targets" "solved" "timeouts" "wall_s" "conflicts";
+  let sweep_rows =
+    List.concat_map
+      (fun (name, outcome) ->
+        List.map
+          (fun incremental ->
+            let before = Solver.Totals.snapshot () in
+            let t0 = Stp_util.Profile.now_ns () in
+            let solved = ref 0 and timeouts = ref 0 in
+            List.iter
+              (fun f ->
+                let options = Stp_synth.Spec.with_timeout sweep_timeout in
+                let deadline = Stp_synth.Spec.deadline_of options in
+                match outcome ~incremental ~options ~deadline f with
+                | `Solved _ -> incr solved
+                | `Timeout | `Infeasible -> incr timeouts)
+              targets;
+            let wall =
+              float_of_int (Stp_util.Profile.now_ns () - t0) *. 1e-9
+            in
+            let after = Solver.Totals.snapshot () in
+            let delta key =
+              List.assoc key after - List.assoc key before
+            in
+            let mode = if incremental then "incremental" else "cold" in
+            Format.printf "%-6s %-12s %7d %9d %9d %12.2f %12d@." name mode
+              (List.length targets) !solved !timeouts wall
+              (delta "conflicts");
+            Obj
+              [ ("engine", String name); ("mode", String mode);
+                ("targets", Int (List.length targets));
+                ("solved", Int !solved); ("timeouts", Int !timeouts);
+                ("wall_s", Float wall);
+                ("conflicts", Int (delta "conflicts"));
+                ("propagations", Int (delta "propagations"));
+                ("solvers", Int (delta "solvers")) ])
+          [ false; true ])
+      [ ("BMS",
+         fun ~incremental ~options ~deadline f ->
+           Stp_synth.Baselines.bms_outcome ~incremental ~options ~deadline f);
+        ("FEN",
+         fun ~incremental ~options ~deadline f ->
+           Stp_synth.Baselines.fen_outcome ~incremental ~options ~deadline f) ]
+  in
+  let json =
+    Obj
+      [ ("source", String "bench/main --sat");
+        ("timeout_s", Float sweep_timeout);
+        ("corpus", List corpus_rows);
+        ("sweep", List sweep_rows) ]
+  in
+  let oc = open_out "BENCH_sat.json" in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.";
+  Printf.eprintf "[bench] wrote BENCH_sat.json\n%!"
+
 (* Ablations over the engine's design choices (DESIGN.md section 3):
    DSD peeling, and first-topology vs exhaustive all-solutions. All
    timing below reads the one monotonic source, [Profile.now_ns]. *)
@@ -344,10 +495,27 @@ let () =
              stubs and the pure-OCaml fallback) and write \
              BENCH_kernels.json.")
   in
-  let run jobs no_npn_cache profile trace metrics kernels_only =
+  let sat_flag =
+    Arg.(
+      value & flag
+      & info [ "sat" ]
+          ~doc:
+            "Run only the SAT-core microbenchmarks (DIMACS corpus \
+             throughput, cold-vs-incremental budget-sweep A/B) and write \
+             BENCH_sat.json.")
+  in
+  let corpus =
+    Arg.(
+      value
+      & opt string "bench/dimacs"
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:"Directory of .cnf files for the --sat corpus benchmark.")
+  in
+  let run jobs no_npn_cache profile trace metrics kernels_only sat_only corpus =
     Cli.with_telemetry ~trace ~metrics @@ fun () ->
     Stp_util.Profile.set_enabled profile;
     if kernels_only then kernels ()
+    else if sat_only then sat_bench ~corpus ()
     else begin
       fig2 ();
       fig3 ();
@@ -363,6 +531,6 @@ let () =
       (Cmd.info "bench" ~doc:"regenerate the paper's tables and figures")
       Term.(
         const run $ Cli.jobs $ Cli.no_npn_cache $ Cli.profile $ Cli.trace
-        $ Cli.metrics $ kernels_flag)
+        $ Cli.metrics $ kernels_flag $ sat_flag $ corpus)
   in
   exit (Cmd.eval cmd)

@@ -1,0 +1,106 @@
+(* cnf: solve a DIMACS CNF file with the in-repo CDCL solver.
+
+   Prints the classic competition verdict line ("s SATISFIABLE" /
+   "s UNSATISFIABLE" / "s UNKNOWN") plus one "c ..." stats line.
+   [--drat] records a DRAT proof during the solve and, on UNSAT,
+   replays it through the in-repo forward RUP checker ({!Stp_sat.Drat});
+   a proof that fails to check exits with code 3. Exit codes follow the
+   SAT-competition convention: 10 satisfiable, 20 unsatisfiable
+   (certified when [--drat] is on), 0 unknown. *)
+
+module Solver = Stp_sat.Solver
+module Dimacs = Stp_sat.Dimacs
+module Drat = Stp_sat.Drat
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run file drat timeout =
+  let cnf = Dimacs.parse (read_file file) in
+  let solver = Solver.create () in
+  Solver.set_proof solver drat;
+  Dimacs.load solver cnf;
+  let deadline =
+    if timeout > 0.0 then Stp_util.Deadline.after timeout
+    else Stp_util.Deadline.never
+  in
+  let t0 = Stp_util.Profile.now_ns () in
+  let result = Solver.solve ~deadline solver in
+  let elapsed = float_of_int (Stp_util.Profile.now_ns () - t0) *. 1e-9 in
+  let st = Solver.stats solver in
+  Printf.printf
+    "c %s: %.3fs, %d decisions, %d propagations, %d conflicts, %d restarts, \
+     %d learnt (%d core)\n"
+    (Filename.basename file) elapsed st.Solver.decisions
+    st.Solver.propagations st.Solver.conflicts st.Solver.restarts
+    st.Solver.learned st.Solver.learned_core;
+  match result with
+  | Solver.Sat ->
+    (* Re-check the model against every clause before claiming SAT. *)
+    let ok =
+      List.for_all
+        (fun clause ->
+          List.exists
+            (fun l ->
+              Solver.value solver (Stp_sat.Lit.var l) = Stp_sat.Lit.sign l)
+            clause)
+        cnf.Dimacs.clauses
+    in
+    if not ok then begin
+      print_endline "s UNKNOWN";
+      prerr_endline "cnf: model failed verification";
+      exit 3
+    end;
+    print_endline "s SATISFIABLE";
+    exit 10
+  | Solver.Unsat ->
+    if drat then begin
+      let steps = Solver.proof solver in
+      Printf.printf "c drat: %d steps\n" (List.length steps);
+      match
+        Drat.check ~num_vars:cnf.Dimacs.num_vars ~clauses:cnf.Dimacs.clauses
+          steps
+      with
+      | Ok () -> print_endline "c drat: proof verified"
+      | Error msg ->
+        print_endline "s UNKNOWN";
+        prerr_endline ("cnf: DRAT check failed: " ^ msg);
+        exit 3
+    end;
+    print_endline "s UNSATISFIABLE";
+    exit 20
+  | Solver.Unknown ->
+    print_endline "s UNKNOWN";
+    exit 0
+
+let () =
+  let open Cmdliner in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some non_dir_file) None
+      & info [] ~docv:"FILE" ~doc:"DIMACS CNF input file.")
+  in
+  let drat =
+    Arg.(
+      value & flag
+      & info [ "drat" ]
+          ~doc:
+            "Record a DRAT proof while solving and verify UNSAT answers \
+             with the in-repo RUP checker.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 0.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Give up after this many seconds (0 disables).")
+  in
+  let cmd =
+    Cmd.v
+      (Cmd.info "cnf" ~doc:"solve a DIMACS CNF with the exact-synthesis CDCL core")
+      Term.(const run $ file $ drat $ timeout)
+  in
+  exit (Cmd.eval cmd)

@@ -48,3 +48,59 @@ val encoded_minterms : t -> int list
 val decode : t -> Stp_chain.Chain.t
 (** Reads a chain out of the solver's current model; call only after
     [solve] returned [Sat]. *)
+
+(** {1 Incremental encoding}
+
+    A monotone-extensible form of the same encoding, built for one
+    long-lived solver per synthesis instance. Gate structure, operator
+    constraints and simulation clauses are budget-independent and
+    persist across gate counts; the budget-specific clauses (output
+    match, every-gate-used) are guarded by a per-budget selector
+    literal. Solve budget [r] under [~assumptions:[budget_selector r]];
+    when budget [r] is refuted, {!Inc.retire} the selector — a single
+    unit clause — and move on with every learnt clause intact. Fence
+    (topology) restrictions are expressed as per-fence assumption sets
+    over the shared selection variables, so a whole fence family reuses
+    one solver too. *)
+module Inc : sig
+  type inc
+
+  val create :
+    ?basis:Stp_chain.Gate.code list ->
+    solver:Stp_sat.Solver.t ->
+    f:Stp_tt.Tt.t ->
+    unit ->
+    inc
+  (** No clauses are added until minterms and budgets are requested.
+      @raise Invalid_argument if [f] is not normal. *)
+
+  val solver : inc -> Stp_sat.Solver.t
+
+  val budget_selector : inc -> int -> Stp_sat.Lit.t option
+  (** [budget_selector c r] encodes gates up to [r] (if not already
+      present) plus the budget-[r] constraints, and returns the
+      assumption literal activating them. [None] when the structure
+      admits no fanin pair for some gate (fewer than two signals). *)
+
+  val retire : inc -> int -> unit
+  (** Permanently refutes budget [r]'s selector (unit clause); the
+      guarded clauses are reclaimed by the solver. No-op if the budget
+      was never encoded or already retired. *)
+
+  val add_minterm : inc -> int -> unit
+  (** CEGAR refinement: adds the simulation clauses of one more minterm
+      for every encoded gate, and its output clause for every live
+      budget. No-op if already encoded. *)
+
+  val encoded_minterms : inc -> int list
+
+  val fence_assumptions : inc -> levels:int array -> Stp_sat.Lit.t list option
+  (** Assumption literals forcing every fence-illegal selection
+      variable false, for the fence described by 1-based [levels]
+      (length = gate budget). [None] when some gate has no legal pair
+      under the fence. Combine with the budget selector:
+      [solve ~assumptions:(sel :: fence_assumptions ...)]. *)
+
+  val decode : inc -> r:int -> Stp_chain.Chain.t
+  (** Reads the budget-[r] chain out of the current model. *)
+end

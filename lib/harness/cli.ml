@@ -57,6 +57,13 @@ let metrics =
 let with_telemetry ~trace:trace_path ~metrics:metrics_on f =
   if trace_path <> "" then Stp_telemetry.Trace.set_enabled true;
   if metrics_on then Stp_telemetry.Telemetry.set_metrics_enabled true;
+  (* Process-wide CDCL counters under ["sat"] in every snapshot; cheap
+     (a handful of atomic reads), so registered unconditionally. *)
+  Stp_telemetry.Telemetry.register_probe "sat" (fun () ->
+      Stp_telemetry.Json.Obj
+        (List.map
+           (fun (k, v) -> (k, Stp_telemetry.Json.Int v))
+           (Stp_sat.Solver.Totals.snapshot ())));
   let finish () =
     if trace_path <> "" then begin
       let n = Stp_telemetry.Trace.write ~path:trace_path in

@@ -5,34 +5,48 @@ let parse text =
   let num_vars = ref (-1) in
   let clauses = ref [] in
   let current = ref [] in
-  let handle_token tok =
+  let current_line = ref 0 in
+  let fail lineno msg =
+    invalid_arg (Printf.sprintf "Dimacs.parse: line %d: %s" lineno msg)
+  in
+  let handle_token lineno tok =
     match int_of_string_opt tok with
-    | None -> invalid_arg "Dimacs.parse: bad token"
+    | None -> fail lineno (Printf.sprintf "bad token %S" tok)
     | Some 0 ->
       clauses := List.rev !current :: !clauses;
       current := []
-    | Some i -> current := Lit.of_int i :: !current
+    | Some i ->
+      let v = abs i in
+      if v > !num_vars then
+        fail lineno
+          (Printf.sprintf "variable %d exceeds the declared %d" v !num_vars);
+      current := Lit.of_int i :: !current
   in
-  List.iter
-    (fun line ->
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
       let line = String.trim line in
       if line = "" then ()
       else if line.[0] = 'c' then ()
       else if line.[0] = 'p' then begin
+        if !num_vars >= 0 then fail lineno "duplicate header";
         match String.split_on_char ' ' line |> List.filter (( <> ) "") with
-        | [ "p"; "cnf"; nv; _nc ] -> (
-          match int_of_string_opt nv with
-          | Some n -> num_vars := n
-          | None -> invalid_arg "Dimacs.parse: bad header")
-        | _ -> invalid_arg "Dimacs.parse: bad header"
+        | [ "p"; "cnf"; nv; nc ] -> (
+          match (int_of_string_opt nv, int_of_string_opt nc) with
+          | Some n, Some _ when n >= 0 -> num_vars := n
+          | _ -> fail lineno "bad header")
+        | _ -> fail lineno "bad header"
       end
-      else
+      else begin
+        if !num_vars < 0 then fail lineno "clause before the 'p cnf' header";
+        if !current = [] then current_line := lineno;
         String.split_on_char ' ' line
         |> List.filter (( <> ) "")
-        |> List.iter handle_token)
+        |> List.iter (handle_token lineno)
+      end)
     lines;
   if !num_vars < 0 then invalid_arg "Dimacs.parse: missing header";
-  if !current <> [] then invalid_arg "Dimacs.parse: unterminated clause";
+  if !current <> [] then fail !current_line "unterminated clause";
   { num_vars = !num_vars; clauses = List.rev !clauses }
 
 let print fmt { num_vars; clauses } =

@@ -3,8 +3,11 @@
 type cnf = { num_vars : int; clauses : Lit.t list list }
 
 val parse : string -> cnf
-(** [parse text] reads DIMACS CNF from a string.
-    @raise Invalid_argument on malformed input. *)
+(** [parse text] reads DIMACS CNF from a string. Clauses must follow
+    the [p cnf] header, and every variable index must stay within the
+    declared count.
+    @raise Invalid_argument on malformed input, with the offending line
+    number in the message. *)
 
 val print : Format.formatter -> cnf -> unit
 

@@ -1,0 +1,136 @@
+type step = Add of Lit.t list | Delete of Lit.t list
+
+(* Clauses in the checker's database. [key] is the sorted, deduplicated
+   literal set, used to match Delete steps. Duplicates are dropped on
+   insertion too: [scan] counts unassigned literal *occurrences*, so a
+   repeated literal would keep a semantically-unit clause from ever
+   propagating (the solver dedupes in [add_clause]; raw caller clauses
+   may not be). *)
+type cls = { lits : int array; key : int array; mutable live : bool }
+
+let key_of lits = Array.of_list (List.sort_uniq compare lits)
+
+exception Conflict
+exception Failed of string
+
+let check ~num_vars ~clauses ?(assumptions = []) steps =
+  (* Size the universe from everything in sight. *)
+  let nv = ref num_vars in
+  let see l = if l lsr 1 >= !nv then nv := (l lsr 1) + 1 in
+  List.iter (List.iter see) clauses;
+  List.iter see assumptions;
+  List.iter (function Add ls | Delete ls -> List.iter see ls) steps;
+  let nv = max 1 !nv in
+  (* 0 = true, 1 = false, 2 = undefined, per variable. *)
+  let assigns = Array.make nv 2 in
+  let lit_value l =
+    let a = assigns.(l lsr 1) in
+    if a = 2 then 2 else a lxor (l land 1)
+  in
+  let occur = Array.make (2 * nv) [] in
+  (* Live unit clauses seed every propagation; live empty clauses make
+     every check trivial. Both are invisible to occurrence scanning. *)
+  let units = ref [] in
+  let empty_live = ref 0 in
+  let insert lits_list =
+    let lits = key_of lits_list in
+    let c = { lits; key = lits; live = true } in
+    Array.iter (fun l -> occur.(l) <- c :: occur.(l)) lits;
+    (match lits with
+     | [||] -> incr empty_live
+     | [| l |] -> units := (c, l) :: !units
+     | _ -> ());
+    c
+  in
+  let trail = ref [] in
+  let pending = Queue.create () in
+  let assign l =
+    match lit_value l with
+    | 0 -> ()
+    | 1 -> raise Conflict
+    | _ ->
+      assigns.(l lsr 1) <- l land 1;
+      trail := l :: !trail;
+      Queue.add l pending
+  in
+  let scan c =
+    (* Satisfied clauses are inert; otherwise a single unassigned
+       literal is forced, and none at all is a conflict. *)
+    let unassigned = ref (-1) and n_unassigned = ref 0 and sat = ref false in
+    Array.iter
+      (fun l ->
+        match lit_value l with
+        | 0 -> sat := true
+        | 2 ->
+          incr n_unassigned;
+          unassigned := l
+        | _ -> ())
+      c.lits;
+    if not !sat then
+      if !n_unassigned = 0 then raise Conflict
+      else if !n_unassigned = 1 then assign !unassigned
+  in
+  (* Unit-propagate from the database units plus [seeds]; true iff a
+     conflict is reached. Always unwinds the trail. *)
+  let propagates_to_conflict seeds =
+    Queue.clear pending;
+    let outcome =
+      try
+        if !empty_live > 0 then raise Conflict;
+        List.iter (fun (c, l) -> if c.live then assign l) !units;
+        List.iter assign seeds;
+        while not (Queue.is_empty pending) do
+          let p = Queue.pop pending in
+          List.iter (fun c -> if c.live then scan c) occur.(p lxor 1)
+        done;
+        false
+      with Conflict -> true
+    in
+    List.iter (fun l -> assigns.(l lsr 1) <- 2) !trail;
+    trail := [];
+    outcome
+  in
+  let pp_lits ls =
+    String.concat " " (List.map (fun l -> string_of_int (Lit.to_int l)) ls)
+  in
+  try
+    List.iter (fun c -> ignore (insert c)) clauses;
+    List.iteri
+      (fun i step ->
+        match step with
+        | Add lits ->
+          if not (propagates_to_conflict (List.map Lit.negate lits)) then
+            raise
+              (Failed
+                 (Printf.sprintf "step %d: clause [%s] is not RUP" i
+                    (pp_lits lits)));
+          ignore (insert lits)
+        | Delete lits ->
+          let key = key_of lits in
+          let candidates =
+            match lits with
+            | [] -> []
+            | l :: _ -> List.filter (fun c -> c.live && c.key = key) occur.(l)
+          in
+          (match candidates with
+           | c :: _ ->
+             c.live <- false;
+             (match c.lits with [||] -> decr empty_live | _ -> ())
+           | [] ->
+             raise
+               (Failed
+                  (Printf.sprintf "step %d: delete of absent clause [%s]" i
+                     (pp_lits lits)))))
+      steps;
+    if propagates_to_conflict assumptions then Ok ()
+    else Error "proof does not refute the formula under the assumptions"
+  with Failed msg -> Error msg
+
+let pp_step fmt = function
+  | Add lits ->
+    List.iter (fun l -> Format.fprintf fmt "%d " (Lit.to_int l)) lits;
+    Format.fprintf fmt "0"
+  | Delete lits ->
+    Format.fprintf fmt "d ";
+    List.iter (fun l -> Format.fprintf fmt "%d " (Lit.to_int l)) lits;
+    Format.fprintf fmt "0"

@@ -1,0 +1,39 @@
+(** DRAT proof steps and a forward RUP checker.
+
+    The solver (see {!Solver.set_proof}) records one {!step} per learnt
+    clause and per learnt-clause deletion, plus a terminal step when it
+    concludes unsatisfiability: the empty clause for an unconditional
+    refutation, or the clause [~a1 \/ ... \/ ~ak] over the failed
+    assumption set for an assumption-relative one. Every recorded
+    clause is implied by the input formula alone (assumption literals
+    appear {e inside} learnt clauses, they are never resolved away), so
+    a single cumulative proof stays checkable across repeated
+    incremental [solve] calls.
+
+    The checker verifies each [Add] by reverse unit propagation against
+    the clauses accumulated so far: asserting the negation of the
+    clause and running unit propagation over the database must yield a
+    conflict. [Delete] steps must name a clause currently in the
+    database (learnt deletions always do; the checker is strict so that
+    bookkeeping bugs surface). Finally the database extended with the
+    given assumptions must propagate to a conflict, which certifies
+    that formula + assumptions is unsatisfiable. *)
+
+type step =
+  | Add of Lit.t list     (** learnt (or concluding) clause, RUP-checked *)
+  | Delete of Lit.t list  (** clause removed from the active database *)
+
+val check :
+  num_vars:int ->
+  clauses:Lit.t list list ->
+  ?assumptions:Lit.t list ->
+  step list ->
+  (unit, string) result
+(** [check ~num_vars ~clauses ~assumptions steps] verifies that [steps]
+    is a valid DRAT derivation from [clauses] and that it certifies the
+    unsatisfiability of [clauses] plus [assumptions] (unit clauses).
+    [num_vars] is a lower bound; literals beyond it grow the universe. *)
+
+val pp_step : Format.formatter -> step -> unit
+(** DRAT text form: ["1 -2 0"] for additions, ["d 1 -2 0"] for
+    deletions. *)

@@ -1,14 +1,29 @@
-(* Conflict-driven clause learning, after MiniSat.  Watched literals are
-   clause slots 0 and 1; a clause sits in the watch list of each watched
-   literal and the list for literal [l] is visited when [l] becomes
-   false. *)
+(* Conflict-driven clause learning, after MiniSat, with the incremental
+   and clause-management machinery of the Glucose lineage.
+
+   Watched literals are clause slots 0 and 1; a clause sits in the watch
+   list of each watched literal and the list for literal [l] is visited
+   when [l] becomes false. Each watch list entry carries a *blocking
+   literal* — some other literal of the clause — so the hot propagate
+   loop can skip clauses that are already satisfied without touching
+   clause memory. Binary clauses are inlined into the watcher entirely:
+   the blocker IS the other literal, and propagation never reads the
+   clause at all.
+
+   Learnt clauses carry their LBD (literal block distance: the number of
+   distinct decision levels among their literals, computed at learn
+   time). Glue clauses (LBD <= 2) form a core tier that is never
+   deleted; the local tier is reduced by LBD-then-activity. *)
 
 type clause = {
   mutable lits : int array;
   mutable activity : float;
   learnt : bool;
+  mutable lbd : int; (* 0 for problem clauses *)
   mutable deleted : bool;
 }
+
+type watcher = { mutable blocker : int; wcl : clause }
 
 type result = Sat | Unsat | Unknown
 
@@ -18,6 +33,11 @@ type stats = {
   conflicts : int;
   restarts : int;
   learned : int;
+  learned_core : int;
+  learned_local : int;
+  reductions : int;
+  deleted : int;
+  retired : int;
 }
 
 (* lbool encoding in [assigns]: 0 = true, 1 = false, 2 = undefined. *)
@@ -30,7 +50,7 @@ type t = {
   mutable reasons : clause option array; (* per var *)
   mutable saved_phase : bool array; (* per var *)
   mutable acts : float array;       (* per var *)
-  mutable watches : clause Stp_util.Vec.t array; (* per literal *)
+  mutable watches : watcher Stp_util.Vec.t array; (* per literal *)
   order : Order.t Lazy.t;
   trail : int Stp_util.Vec.t;       (* literals in assignment order *)
   trail_lim : int Stp_util.Vec.t;
@@ -47,13 +67,70 @@ type t = {
   mutable n_conflicts : int;
   mutable n_restarts : int;
   mutable n_learned : int;
+  mutable n_core : int;       (* live core-tier learnts *)
+  mutable n_reductions : int;
+  mutable n_deleted : int;
+  mutable n_retired : int;
+  (* totals flushed so far (delta accounting for the global counters) *)
+  mutable fl_decisions : int;
+  mutable fl_propagations : int;
+  mutable fl_conflicts : int;
+  mutable fl_restarts : int;
+  mutable fl_learned : int;
+  (* DRAT proof recording *)
+  mutable proof_on : bool;
+  mutable proof : Drat.step list; (* reversed *)
+  (* assumption subset used by the last Unsat-under-assumptions *)
+  mutable conflict_core : Lit.t list;
   (* scratch for analysis *)
   mutable seen : bool array;
+  mutable lbd_stamp : int array;  (* per level *)
+  mutable lbd_time : int;
 }
 
-let dummy_clause = { lits = [||]; activity = 0.0; learnt = false; deleted = true }
+let dummy_clause =
+  { lits = [||]; activity = 0.0; learnt = false; lbd = 0; deleted = true }
+
+let dummy_watcher = { blocker = -1; wcl = dummy_clause }
+
+(* Process-wide counters across every solver instance; always on (plain
+   atomics), so services and benches can surface SAT pressure without
+   enabling the profiler. *)
+module Totals = struct
+  let n = 14
+
+  let cells = Array.init n (fun _ -> Atomic.make 0)
+
+  let solvers = 0
+  and solves = 1
+  and sat = 2
+  and unsat = 3
+  and unknown = 4
+  and decisions = 5
+  and propagations = 6
+  and conflicts = 7
+  and restarts = 8
+  and learned = 9
+  and learned_core = 10
+  and reductions = 11
+  and deleted = 12
+  and retired = 13
+
+  let names =
+    [| "solvers"; "solves"; "sat"; "unsat"; "unknown"; "decisions";
+       "propagations"; "conflicts"; "restarts"; "learned"; "learned_core";
+       "reductions"; "deleted"; "retired" |]
+
+  let bump i k = if k <> 0 then ignore (Atomic.fetch_and_add cells.(i) k)
+
+  let snapshot () =
+    Array.to_list (Array.mapi (fun i name -> (name, Atomic.get cells.(i))) names)
+
+  let reset () = Array.iter (fun c -> Atomic.set c 0) cells
+end
 
 let create () =
+  Totals.bump Totals.solvers 1;
   let rec t =
     { nvars = 0;
       assigns = Array.make 64 l_undef;
@@ -61,7 +138,7 @@ let create () =
       reasons = Array.make 64 None;
       saved_phase = Array.make 64 false;
       acts = Array.make 64 0.0;
-      watches = Array.init 128 (fun _ -> Stp_util.Vec.create ~dummy:dummy_clause ());
+      watches = Array.init 128 (fun _ -> Stp_util.Vec.create ~dummy:dummy_watcher ());
       order = lazy (Order.create ~activity:(fun v -> t.acts.(v)));
       trail = Stp_util.Vec.create ~dummy:(-1) ();
       trail_lim = Stp_util.Vec.create ~dummy:(-1) ();
@@ -77,11 +154,36 @@ let create () =
       n_conflicts = 0;
       n_restarts = 0;
       n_learned = 0;
-      seen = Array.make 64 false }
+      n_core = 0;
+      n_reductions = 0;
+      n_deleted = 0;
+      n_retired = 0;
+      fl_decisions = 0;
+      fl_propagations = 0;
+      fl_conflicts = 0;
+      fl_restarts = 0;
+      fl_learned = 0;
+      proof_on = false;
+      proof = [];
+      conflict_core = [];
+      seen = Array.make 64 false;
+      lbd_stamp = Array.make 65 0;
+      lbd_time = 0 }
   in
   t
 
 let num_vars t = t.nvars
+
+let set_proof t on =
+  t.proof_on <- on;
+  t.proof <- []
+
+let proof t = List.rev t.proof
+
+let proof_add t lits = if t.proof_on then t.proof <- Drat.Add lits :: t.proof
+
+let proof_delete t lits =
+  if t.proof_on then t.proof <- Drat.Delete (Array.to_list lits) :: t.proof
 
 let grow_arrays t =
   let n = Array.length t.assigns in
@@ -97,9 +199,12 @@ let grow_arrays t =
   t.saved_phase <- copy_arr t.saved_phase false;
   t.acts <- copy_arr t.acts 0.0;
   t.seen <- copy_arr t.seen false;
+  let stamp = Array.make (n' + 1) 0 in
+  Array.blit t.lbd_stamp 0 stamp 0 (Array.length t.lbd_stamp);
+  t.lbd_stamp <- stamp;
   let w = Array.init (2 * n') (fun i ->
       if i < Array.length t.watches then t.watches.(i)
-      else Stp_util.Vec.create ~dummy:dummy_clause ())
+      else Stp_util.Vec.create ~dummy:dummy_watcher ())
   in
   t.watches <- w
 
@@ -138,6 +243,21 @@ let cla_bump t c =
 
 let cla_decay t = t.cla_inc <- t.cla_inc /. 0.999
 
+(* Distinct decision levels (> 0) among an assigned literal array. *)
+let compute_lbd t lits =
+  t.lbd_time <- t.lbd_time + 1;
+  let stamp = t.lbd_stamp and time = t.lbd_time in
+  let n = ref 0 in
+  Array.iter
+    (fun q ->
+      let lv = t.levels.(q lsr 1) in
+      if lv > 0 && stamp.(lv) <> time then begin
+        stamp.(lv) <- time;
+        incr n
+      end)
+    lits;
+  !n
+
 let enqueue t l reason =
   let v = l lsr 1 in
   t.assigns.(v) <- l land 1;
@@ -147,68 +267,110 @@ let enqueue t l reason =
   Stp_util.Vec.push t.trail l
 
 let attach_clause t c =
-  Stp_util.Vec.push t.watches.(c.lits.(0)) c;
-  Stp_util.Vec.push t.watches.(c.lits.(1)) c
+  (* The blocker starts as the other watched literal; for binary clauses
+     it stays that way forever, which is what makes the binary fast path
+     sound: the watcher alone describes the whole clause. *)
+  Stp_util.Vec.push t.watches.(c.lits.(0)) { blocker = c.lits.(1); wcl = c };
+  Stp_util.Vec.push t.watches.(c.lits.(1)) { blocker = c.lits.(0); wcl = c }
 
-(* Propagate all enqueued facts; return the conflicting clause or None. *)
+(* Propagate all enqueued facts; return the conflicting clause or None.
+
+   This is the solver's hottest loop, so the watch list is scanned on
+   its backing array ([Vec.raw]) with unchecked accesses: every index is
+   bounded by the length captured at scan entry, and the one [push]
+   inside the scan targets a different literal's list (the new watch is
+   never false while the scanned literal is), so the backing array can
+   not be reallocated under us. Literal values are read against
+   [assigns] directly: a literal is true iff the stored sign equals its
+   own, false iff it equals the opposite — undefined (2) matches
+   neither, so no three-way test is needed. *)
 let propagate t =
   let conflict = ref None in
-  while !conflict = None && t.qhead < Stp_util.Vec.length t.trail do
+  let assigns = t.assigns in
+  let lit_true l = Array.unsafe_get assigns (l lsr 1) = l land 1 in
+  let lit_false l = Array.unsafe_get assigns (l lsr 1) = l land 1 lxor 1 in
+  while !conflict == None && t.qhead < Stp_util.Vec.length t.trail do
     let p = Stp_util.Vec.get t.trail t.qhead in
     t.qhead <- t.qhead + 1;
     t.n_propagations <- t.n_propagations + 1;
     let false_lit = p lxor 1 in
     let ws = t.watches.(false_lit) in
     let n = Stp_util.Vec.length ws in
+    let data = Stp_util.Vec.raw ws in
     let keep = ref 0 in
     let i = ref 0 in
     while !i < n do
-      let c = Stp_util.Vec.get ws !i in
+      let w = Array.unsafe_get data !i in
       incr i;
+      let c = w.wcl in
       if c.deleted then ()
+      else if lit_true w.blocker then begin
+        (* Blocking literal satisfied: the clause is inert this round. *)
+        Array.unsafe_set data !keep w;
+        incr keep
+      end
+      else if Array.length c.lits = 2 then begin
+        (* Binary clause, fully described by the watcher: the blocker is
+           the other literal and it is not true here. *)
+        let other = w.blocker in
+        Array.unsafe_set data !keep w;
+        incr keep;
+        if lit_false other then begin
+          while !i < n do
+            Array.unsafe_set data !keep (Array.unsafe_get data !i);
+            incr keep;
+            incr i
+          done;
+          conflict := Some c;
+          t.qhead <- Stp_util.Vec.length t.trail
+        end
+        else enqueue t other (Some c)
+      end
       else begin
+        let lits = c.lits in
         (* Ensure the falsified literal is slot 1. *)
-        if c.lits.(0) = false_lit then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- false_lit
+        if Array.unsafe_get lits 0 = false_lit then begin
+          Array.unsafe_set lits 0 (Array.unsafe_get lits 1);
+          Array.unsafe_set lits 1 false_lit
         end;
-        let first = c.lits.(0) in
-        if lit_value t first = 0 then begin
-          (* Clause already satisfied: keep the watch. *)
-          Stp_util.Vec.set ws !keep c;
+        let first = Array.unsafe_get lits 0 in
+        if first <> w.blocker && lit_true first then begin
+          (* Clause already satisfied: keep the watch, refresh blocker. *)
+          w.blocker <- first;
+          Array.unsafe_set data !keep w;
           incr keep
         end
         else begin
           (* Look for a new literal to watch. *)
-          let len = Array.length c.lits in
-          let rec find k = if k >= len then -1
-            else if lit_value t c.lits.(k) <> 1 then k
-            else find (k + 1)
-          in
-          let k = find 2 in
-          if k >= 0 then begin
-            c.lits.(1) <- c.lits.(k);
-            c.lits.(k) <- false_lit;
-            Stp_util.Vec.push t.watches.(c.lits.(1)) c
-            (* watch moved: do not keep *)
-          end
-          else if lit_value t first = 1 then begin
-            (* Conflict: restore remaining watches and stop. *)
-            Stp_util.Vec.set ws !keep c;
-            incr keep;
-            while !i < n do
-              Stp_util.Vec.set ws !keep (Stp_util.Vec.get ws !i);
-              incr keep;
-              incr i
-            done;
-            conflict := Some c;
-            t.qhead <- Stp_util.Vec.length t.trail
+          let len = Array.length lits in
+          let k = ref 2 in
+          while !k < len && lit_false (Array.unsafe_get lits !k) do
+            incr k
+          done;
+          if !k < len then begin
+            Array.unsafe_set lits 1 (Array.unsafe_get lits !k);
+            Array.unsafe_set lits !k false_lit;
+            (* watch moved: reuse the watcher record, do not keep *)
+            w.blocker <- first;
+            Stp_util.Vec.push t.watches.(Array.unsafe_get lits 1) w
           end
           else begin
-            (* Unit: enqueue first. *)
-            Stp_util.Vec.set ws !keep c;
+            w.blocker <- first;
+            Array.unsafe_set data !keep w;
             incr keep;
-            enqueue t first (Some c)
+            if lit_false first then begin
+              (* Conflict: restore remaining watches and stop. *)
+              while !i < n do
+                Array.unsafe_set data !keep (Array.unsafe_get data !i);
+                incr keep;
+                incr i
+              done;
+              conflict := Some c;
+              t.qhead <- Stp_util.Vec.length t.trail
+            end
+            else
+              (* Unit: enqueue first. *)
+              enqueue t first (Some c)
           end
         end
       end
@@ -246,12 +408,30 @@ let analyze t conflict =
     (match !confl with
      | None -> assert false
      | Some c ->
-       if c.learnt then cla_bump t c;
-       let start = if !p = -1 then 0 else 1 in
-       for j = start to Array.length c.lits - 1 do
+       if c.learnt then begin
+         cla_bump t c;
+         (* Glucose-style LBD refresh: clauses that keep showing up in
+            conflicts with a lower block distance are promoted, possibly
+            into the never-deleted core tier. *)
+         if c.lbd > 2 then begin
+           let nl = compute_lbd t c.lits in
+           if nl < c.lbd then begin
+             if nl <= 2 then begin
+               t.n_core <- t.n_core + 1;
+               Totals.bump Totals.learned_core 1;
+               Stp_util.Profile.incr Stp_util.Profile.Sat_learned_core
+             end;
+             c.lbd <- nl
+           end
+         end
+       end;
+       (* Skip the literal this clause was resolved on (for binary
+          reasons the propagated literal may sit in either slot). *)
+       let skip = if !p = -1 then -1 else !p lsr 1 in
+       for j = 0 to Array.length c.lits - 1 do
          let q = c.lits.(j) in
          let v = q lsr 1 in
-         if (not seen.(v)) && t.levels.(v) > 0 then begin
+         if v <> skip && (not seen.(v)) && t.levels.(v) > 0 then begin
            var_bump t v;
            seen.(v) <- true;
            if t.levels.(v) >= decision_level t then incr counter
@@ -292,15 +472,61 @@ let analyze t conflict =
   in
   (Array.of_list lits, btlevel)
 
-let record_learnt t lits =
+(* Which of the pushed assumption literals force the falsified
+   assumption [p]: walk the trail from the top, expanding reason clauses
+   and collecting decision literals (inside the assumption prefix every
+   decision is an assumption). The result — [p] included — is an unsat
+   core: the formula refutes this subset on its own, so any assumption
+   superset is refuted too. MiniSat's [analyzeFinal]. *)
+let analyze_final t p =
+  let out = ref [ p ] in
+  if decision_level t > 0 then begin
+    let seen = t.seen in
+    seen.(p lsr 1) <- true;
+    let bottom = Stp_util.Vec.get t.trail_lim 0 in
+    for i = Stp_util.Vec.length t.trail - 1 downto bottom do
+      let l = Stp_util.Vec.get t.trail i in
+      let v = l lsr 1 in
+      if seen.(v) then begin
+        (match t.reasons.(v) with
+         | None -> if t.levels.(v) > 0 then out := l :: !out
+         | Some c ->
+           (* skip the propagated variable itself; binary reasons may
+              hold it in either slot *)
+           Array.iter
+             (fun q ->
+               let w = q lsr 1 in
+               if w <> v && t.levels.(w) > 0 then seen.(w) <- true)
+             c.lits);
+        seen.(v) <- false
+      end
+    done;
+    seen.(p lsr 1) <- false
+  end;
+  !out
+
+(* [record_learnt] is called with the trail still at the conflict level
+   (LBD needs the levels), and backtracks itself. *)
+let record_learnt t lits btlevel =
   t.n_learned <- t.n_learned + 1;
+  let lbd = compute_lbd t lits in
+  proof_add t (Array.to_list lits);
+  cancel_until t btlevel;
   if Array.length lits = 1 then begin
     cancel_until t 0;
     if lit_value t lits.(0) = l_undef then enqueue t lits.(0) None
-    else if lit_value t lits.(0) = 1 then t.ok <- false
+    else if lit_value t lits.(0) = 1 then begin
+      t.ok <- false;
+      proof_add t []
+    end
   end
   else begin
-    let c = { lits; activity = 0.0; learnt = true; deleted = false } in
+    let c = { lits; activity = 0.0; learnt = true; lbd; deleted = false } in
+    if lbd <= 2 then begin
+      t.n_core <- t.n_core + 1;
+      Totals.bump Totals.learned_core 1;
+      Stp_util.Profile.incr Stp_util.Profile.Sat_learned_core
+    end;
     (* Slot 1 must hold the literal of the backtrack level so that the
        watch invariant holds after backjumping: pick the highest-level
        literal among lits[1..]. *)
@@ -323,18 +549,41 @@ let locked t c =
   let v = c.lits.(0) lsr 1 in
   match t.reasons.(v) with Some r -> r == c | None -> false
 
+let is_core c = c.lbd <= 2 || Array.length c.lits <= 2
+
+(* Reduce the local learnt tier: order by LBD (high first), break ties
+   by activity (low first), delete the worse half. Core (glue) clauses
+   are never considered. *)
 let reduce_db t =
+  t.n_reductions <- t.n_reductions + 1;
+  Totals.bump Totals.reductions 1;
+  Stp_util.Profile.incr Stp_util.Profile.Sat_reductions;
   let learnts = Stp_util.Vec.to_array t.learnts in
-  Array.sort (fun a b -> Float.compare a.activity b.activity) learnts;
-  let n = Array.length learnts in
-  let limit = n / 2 in
+  let local =
+    Array.of_list (List.filter (fun c -> not (is_core c)) (Array.to_list learnts))
+  in
+  Array.sort
+    (fun a b ->
+      if a.lbd <> b.lbd then compare b.lbd a.lbd
+      else Float.compare a.activity b.activity)
+    local;
+  let limit = Array.length local / 2 in
+  let n_deleted = ref 0 in
   Array.iteri
     (fun i c ->
-      if i < limit && Array.length c.lits > 2 && not (locked t c) then
-        c.deleted <- true)
-    learnts;
+      if i < limit && Array.length c.lits > 2 && not (locked t c) then begin
+        c.deleted <- true;
+        incr n_deleted;
+        proof_delete t c.lits
+      end)
+    local;
+  t.n_deleted <- t.n_deleted + !n_deleted;
+  Totals.bump Totals.deleted !n_deleted;
+  Stp_util.Profile.add Stp_util.Profile.Sat_deleted_clauses !n_deleted;
   Stp_util.Vec.clear t.learnts;
-  Array.iter (fun c -> if not c.deleted then Stp_util.Vec.push t.learnts c) learnts
+  Array.iter
+    (fun (c : clause) -> if not c.deleted then Stp_util.Vec.push t.learnts c)
+    learnts
 
 let add_clause t lits =
   if t.ok then begin
@@ -359,16 +608,71 @@ let add_clause t lits =
         | [] -> t.ok <- false
         | [ l ] ->
           enqueue t l None;
-          if propagate t <> None then t.ok <- false
+          if propagate t <> None then begin
+            t.ok <- false;
+            proof_add t []
+          end
         | _ ->
           let c =
             { lits = Array.of_list lits; activity = 0.0; learnt = false;
-              deleted = false }
+              lbd = 0; deleted = false }
           in
           attach_clause t c;
           Stp_util.Vec.push t.clauses c
     end
   end
+
+(* Remove clauses satisfied by the level-0 assignment. Sound only at
+   decision level 0; retired-selector clauses are reclaimed here.
+   Deletions of problem clauses are not recorded in the proof — the
+   checker's database keeps the caller's original clauses, and extra
+   clauses only help unit propagation. *)
+let simplify t =
+  if t.ok then begin
+    cancel_until t 0;
+    match propagate t with
+    | Some _ ->
+      t.ok <- false;
+      proof_add t []
+    | None ->
+      let satisfied c = Array.exists (fun l -> lit_value t l = 0) c.lits in
+      let sweep ~proof vec =
+        let arr = Stp_util.Vec.to_array vec in
+        Stp_util.Vec.clear vec;
+        let n_deleted = ref 0 in
+        Array.iter
+          (fun c ->
+            if satisfied c then begin
+              c.deleted <- true;
+              incr n_deleted;
+              if proof then begin
+                proof_delete t c.lits;
+                if c.learnt && is_core c then t.n_core <- t.n_core - 1
+              end
+            end
+            else Stp_util.Vec.push vec c)
+          arr;
+        !n_deleted
+      in
+      ignore (sweep ~proof:false t.clauses);
+      let nd = sweep ~proof:true t.learnts in
+      t.n_deleted <- t.n_deleted + nd;
+      Totals.bump Totals.deleted nd;
+      Stp_util.Profile.add Stp_util.Profile.Sat_deleted_clauses nd;
+      (* Level-0 propagations keep pointers to their reason clauses;
+         those may now be swept, so detach them. Analysis never looks at
+         level-0 reasons. *)
+      Stp_util.Vec.iter (fun l -> t.reasons.(l lsr 1) <- None) t.trail
+  end
+
+let new_selector t = Lit.pos (new_var t)
+
+let retire t sel =
+  add_clause t [ Lit.negate sel ];
+  t.n_retired <- t.n_retired + 1;
+  Totals.bump Totals.retired 1;
+  Stp_util.Profile.incr Stp_util.Profile.Sat_selectors_retired;
+  simplify t
 
 (* The Luby restart sequence 1 1 2 1 1 2 4 ... (MiniSat's formulation). *)
 let luby x =
@@ -394,15 +698,55 @@ let decide t =
   in
   loop ()
 
+(* Push per-solve deltas of the hot counters into the process-wide
+   totals and the profiler. *)
+let flush_totals t outcome =
+  let module P = Stp_util.Profile in
+  Totals.bump Totals.solves 1;
+  P.incr P.Sat_solves;
+  (match outcome with
+   | Sat -> Totals.bump Totals.sat 1
+   | Unsat -> Totals.bump Totals.unsat 1
+   | Unknown -> Totals.bump Totals.unknown 1);
+  let d_dec = t.n_decisions - t.fl_decisions in
+  let d_prop = t.n_propagations - t.fl_propagations in
+  let d_conf = t.n_conflicts - t.fl_conflicts in
+  let d_rst = t.n_restarts - t.fl_restarts in
+  let d_lrn = t.n_learned - t.fl_learned in
+  t.fl_decisions <- t.n_decisions;
+  t.fl_propagations <- t.n_propagations;
+  t.fl_conflicts <- t.n_conflicts;
+  t.fl_restarts <- t.n_restarts;
+  t.fl_learned <- t.n_learned;
+  Totals.bump Totals.decisions d_dec;
+  Totals.bump Totals.propagations d_prop;
+  Totals.bump Totals.conflicts d_conf;
+  Totals.bump Totals.restarts d_rst;
+  Totals.bump Totals.learned d_lrn;
+  P.add P.Sat_decisions d_dec;
+  P.add P.Sat_propagations d_prop;
+  P.add P.Sat_conflicts d_conf;
+  P.add P.Sat_restarts d_rst;
+  P.add P.Sat_learned d_lrn
+
 let solve ?(assumptions = []) ?(deadline = Stp_util.Deadline.never)
     ?(conflict_budget = max_int) t =
-  if not t.ok then Unsat
+  t.conflict_core <- [];
+  if not t.ok then begin
+    flush_totals t Unsat;
+    Unsat
+  end
   else begin
     cancel_until t 0;
     (match propagate t with
-     | Some _ -> t.ok <- false
+     | Some _ ->
+       t.ok <- false;
+       proof_add t []
      | None -> ());
-    if not t.ok then Unsat
+    if not t.ok then begin
+      flush_totals t Unsat;
+      Unsat
+    end
     else begin
       let assumptions = Array.of_list assumptions in
       t.max_learnts <-
@@ -421,6 +765,7 @@ let solve ?(assumptions = []) ?(deadline = Stp_util.Deadline.never)
           decr budget;
           if decision_level t = 0 then begin
             t.ok <- false;
+            proof_add t [];
             result := Some Unsat
           end
           else begin
@@ -428,15 +773,15 @@ let solve ?(assumptions = []) ?(deadline = Stp_util.Deadline.never)
                decision loop then re-pushes the assumptions, which either
                succeed or expose their inconsistency as Unsat. *)
             let learnt, btlevel = analyze t conflict in
-            cancel_until t btlevel;
-            record_learnt t learnt;
+            record_learnt t learnt btlevel;
             if not t.ok then result := Some Unsat;
             var_decay t;
             cla_decay t;
             if !budget <= 0 then result := Some Unknown
             else if Stp_util.Deadline.expired deadline then result := Some Unknown
             else if
-              float_of_int (Stp_util.Vec.length t.learnts) >= t.max_learnts
+              float_of_int (Stp_util.Vec.length t.learnts - t.n_core)
+              >= t.max_learnts
             then begin
               reduce_db t;
               t.max_learnts <- t.max_learnts *. 1.3
@@ -461,7 +806,15 @@ let solve ?(assumptions = []) ?(deadline = Stp_util.Deadline.never)
               | 0 ->
                 (* already satisfied: open an empty decision level *)
                 Stp_util.Vec.push t.trail_lim (Stp_util.Vec.length t.trail)
-              | 1 -> result := Some Unsat
+              | 1 ->
+                (* The failed-assumption clause — the negated unsat core
+                   of the assumptions — is formula-implied (it does not
+                   mention this solve's assumption context) and RUP, so
+                   it certifies Unsat-under-assumptions without
+                   poisoning later checks. *)
+                t.conflict_core <- analyze_final t a;
+                proof_add t (List.map Lit.negate t.conflict_core);
+                result := Some Unsat
               | _ ->
                 Stp_util.Vec.push t.trail_lim (Stp_util.Vec.length t.trail);
                 enqueue t a None
@@ -481,9 +834,13 @@ let solve ?(assumptions = []) ?(deadline = Stp_util.Deadline.never)
       (match !result with
        | Some Sat -> () (* keep the model readable via [value] *)
        | _ -> cancel_until t 0);
-      match !result with Some r -> r | None -> assert false
+      let r = match !result with Some r -> r | None -> assert false in
+      flush_totals t r;
+      r
     end
   end
+
+let unsat_core t = t.conflict_core
 
 let value t v =
   if v < 0 || v >= t.nvars then invalid_arg "Solver.value";
@@ -496,4 +853,9 @@ let stats t =
     propagations = t.n_propagations;
     conflicts = t.n_conflicts;
     restarts = t.n_restarts;
-    learned = t.n_learned }
+    learned = t.n_learned;
+    learned_core = t.n_core;
+    learned_local = Stp_util.Vec.length t.learnts - t.n_core;
+    reductions = t.n_reductions;
+    deleted = t.n_deleted;
+    retired = t.n_retired }

@@ -1,11 +1,21 @@
-(** A CDCL SAT solver.
+(** An incremental CDCL SAT solver.
 
-    Conflict-driven clause learning with two-watched-literal propagation,
-    VSIDS variable activities, phase saving, Luby restarts, first-UIP
-    conflict analysis with recursive clause minimisation, and activity-
-    based learned-clause deletion. Supports incremental solving under
-    assumptions and cooperative wall-clock deadlines — the substrate for
-    the paper's three SAT-based exact-synthesis baselines. *)
+    Conflict-driven clause learning with two-watched-literal propagation
+    (blocking literals on the watch lists, binary clauses inlined into
+    the watcher), VSIDS variable activities, phase saving, Luby
+    restarts, first-UIP conflict analysis with recursive clause
+    minimisation, and a two-tier learnt-clause database managed by LBD:
+    glue clauses (LBD <= 2) are never deleted, the local tier is reduced
+    by LBD-then-activity.
+
+    The solver is {e incremental}: variables and clauses may be added
+    freely between [solve] calls (the trail is unwound to level 0 on new
+    input), learnt clauses, activities and saved phases survive across
+    calls, and selector literals let a caller retire whole groups of
+    clauses with a single unit (see {!new_selector} / {!retire}). This
+    is the substrate for the paper's SAT-based exact-synthesis
+    baselines, which re-solve ever-growing encodings across gate
+    budgets and fence families. *)
 
 type t
 
@@ -15,14 +25,16 @@ type result = Sat | Unsat | Unknown
 val create : unit -> t
 
 val new_var : t -> int
-(** Allocates a fresh variable and returns its index. *)
+(** Allocates a fresh variable and returns its index. May be called at
+    any point, including after [solve]. *)
 
 val num_vars : t -> int
 
 val add_clause : t -> Lit.t list -> unit
 (** Adds a clause over existing variables. Adding the empty clause (or a
     clause that simplifies to it) makes the instance trivially
-    unsatisfiable. Clauses may be added between [solve] calls. *)
+    unsatisfiable. Clauses may be added between [solve] calls; the
+    solver backtracks to decision level 0 to splice them in. *)
 
 val solve :
   ?assumptions:Lit.t list ->
@@ -32,14 +44,58 @@ val solve :
   result
 (** Solves under the given assumptions. After [Sat], {!value} reads the
     model; after [Unsat] under assumptions, the instance may still be
-    satisfiable under different assumptions. *)
+    satisfiable under different assumptions. Everything learnt is kept
+    for the next call. *)
 
 val value : t -> int -> bool
 (** [value s v] is the model value of variable [v]; only meaningful
     after [solve] returned [Sat]. *)
 
+val unsat_core : t -> Lit.t list
+(** After {!solve} returned [Unsat] under assumptions: the subset of
+    that solve's assumption literals actually used in the refutation
+    (MiniSat's final conflict analysis). The formula refutes this
+    subset on its own, so any assumption set containing it is refuted
+    without a solve — the fence engine skips whole topology families
+    this way. [[]] when the database is unsatisfiable outright. *)
+
 val okay : t -> bool
 (** [false] once the clause database is unconditionally unsatisfiable. *)
+
+(** {1 Selector literals}
+
+    An encoding layer that must be retractable — e.g. the per-budget
+    output constraints of an exact-synthesis encoding — guards each of
+    its clauses with the negation of a fresh selector literal and
+    solves under the assumption that the selector holds. Retiring the
+    selector asserts its negation as a unit, permanently satisfying
+    (and reclaiming) every guarded clause, with all learnt clauses
+    kept. *)
+
+val new_selector : t -> Lit.t
+(** A fresh positive literal to guard a clause group with: add clauses
+    of the form [~sel :: clause], solve with [~assumptions:[sel]]. *)
+
+val retire : t -> Lit.t -> unit
+(** [retire s sel] asserts [~sel] as a unit clause and simplifies the
+    database, dropping every clause the retired selector guarded. *)
+
+val simplify : t -> unit
+(** Removes clauses satisfied by the level-0 assignment. Called
+    automatically by {!retire}. *)
+
+(** {1 DRAT proofs} *)
+
+val set_proof : t -> bool -> unit
+(** Enables (or disables) DRAT proof recording; either way the recorded
+    steps are cleared. Enable before the first [solve] so the proof
+    covers every learnt clause. *)
+
+val proof : t -> Drat.step list
+(** The recorded steps, oldest first. After an [Unsat] answer the
+    cumulative proof (checked against every clause added so far, plus
+    that solve's assumptions) certifies unsatisfiability — see
+    {!Drat.check}. *)
 
 (** {1 Statistics} *)
 
@@ -48,7 +104,25 @@ type stats = {
   propagations : int;
   conflicts : int;
   restarts : int;
-  learned : int;
+  learned : int;         (** learnt clauses recorded, cumulative *)
+  learned_core : int;    (** live glue (LBD <= 2) learnt clauses *)
+  learned_local : int;   (** live local-tier learnt clauses *)
+  reductions : int;      (** learnt-DB reduction passes *)
+  deleted : int;         (** learnt clauses deleted, cumulative *)
+  retired : int;         (** selectors retired *)
 }
 
 val stats : t -> stats
+
+(** Process-wide counters summed over every solver instance, always on.
+    Hot-path counters are flushed once per [solve] call, so a live
+    metrics surface (the telemetry probe, [synthd] stats) can report
+    SAT pressure without enabling the profiler. *)
+module Totals : sig
+  val snapshot : unit -> (string * int) list
+  (** Pairs like [("conflicts", n)]: solvers, solves, sat, unsat,
+      unknown, decisions, propagations, conflicts, restarts, learned,
+      learned_core, reductions, deleted, retired. *)
+
+  val reset : unit -> unit
+end

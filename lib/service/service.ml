@@ -100,7 +100,13 @@ type shard = {
   mutable restarts : int;
   mutable spawned_ns : int;
   mutable respawn_at_ns : int;
+  mutable sat : Json.t;  (* last solver-counter block the worker reported *)
 }
+
+(* Tickets carrying this uid are service-internal probes (per-shard
+   stats refresh): their responses are absorbed into shard state, never
+   forwarded. Real client uids start at 0. *)
+let internal_uid = -1
 
 type client = {
   uid : int;
@@ -284,6 +290,32 @@ let deliver state (t : ticket) resp =
   | Some cl -> complete state cl ~seq:t.t_seq resp
   | None -> state.responses <- state.responses + 1 (* client gone; drop *)
 
+(* Absorb a worker's answer to a service-internal stats probe: keep its
+   solver counter block for the next stats response. *)
+let absorb_internal shard resp =
+  match Json.of_string resp with
+  | Ok json -> (
+    match Json.member "sat" json with
+    | Some sat -> shard.sat <- sat
+    | None -> ())
+  | Error _ -> ()
+
+(* Ask every live worker for fresh solver counters. The probes ride the
+   ordinary FIFO pipe (workers answer in order), so a stats response
+   reports the previous sweep's counters — one request stale, never
+   blocking the control plane on a busy worker. *)
+let refresh_shard_stats state =
+  Array.iter
+    (fun s ->
+      if s.alive then begin
+        Queue.add
+          { t_uid = internal_uid; t_seq = 0; t_line = {|{"type":"stats"}|};
+            t_start_ns = now_ns () }
+          s.waiting;
+        pump_shard state s
+      end)
+    state.shards
+
 (* {2 Control plane} *)
 
 let uptime_s state = float_of_int (now_ns () - state.start_ns) *. 1e-9
@@ -300,7 +332,8 @@ let shard_json s =
       ("answered", Json.Int s.answered);
       ("inflight", Json.Int (Queue.length s.inflight));
       ("queued", Json.Int (Queue.length s.waiting));
-      ("restarts", Json.Int s.restarts) ]
+      ("restarts", Json.Int s.restarts);
+      ("sat", s.sat) ]
 
 let stalled_now state =
   Hashtbl.fold
@@ -380,6 +413,7 @@ let route state cl line =
       match Json.member "type" json with
       | Some (Json.String "ping") -> complete state cl ~seq (pong_response state json)
       | Some (Json.String "stats") ->
+        refresh_shard_stats state;
         complete state cl ~seq (stats_response state json)
       | Some _ ->
         (* Unknown control types get the worker's error message. *)
@@ -521,6 +555,7 @@ let serve_loop state =
             (fun line ->
               if String.trim line <> "" then
                 match Queue.pop s.inflight with
+                | t when t.t_uid = internal_uid -> absorb_internal s line
                 | t ->
                   s.answered <- s.answered + 1;
                   deliver state t line
@@ -686,7 +721,8 @@ let serve (config : config) =
           answered = 0;
           restarts = 0;
           spawned_ns = 0;
-          respawn_at_ns = 0 })
+          respawn_at_ns = 0;
+          sat = Json.Null })
   in
   (* Placeholder conns above never enter the loop: spawn real workers
      first, closing the placeholders. *)

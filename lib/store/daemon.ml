@@ -80,6 +80,17 @@ let pong config =
      | None -> Report.Null
      | Some store -> Report.String (Store.path store)) ]
 
+(* Process-wide CDCL solver counters (all engines, all domains) — the
+   block the sharded service surfaces per shard. Unconditional, like
+   [requests_total]: [Profile]'s sat counters need [--profile]. *)
+let sat_json () =
+  Report.Obj
+    (List.map
+       (fun (k, v) -> (k, Report.Int v))
+       (Stp_sat.Solver.Totals.snapshot ()))
+
+let () = Telemetry.register_probe "sat" (fun () -> sat_json ())
+
 let stats_response config =
   [ ("status", Report.String "ok");
     ("version", Report.String version);
@@ -87,6 +98,7 @@ let stats_response config =
     ("requests", Report.Int (Atomic.get requests_total));
     ("batches", Report.Int (Atomic.get batches_total));
     ("store", store_json config);
+    ("sat", sat_json ());
     ("telemetry", Telemetry.snapshot_json ()) ]
 
 (* Histogram per answer provenance: [synthd/source/cache] is a replay,

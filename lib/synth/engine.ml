@@ -45,9 +45,9 @@ let baseline name outcome : (module S) =
   end)
 
 let stp = (module Stp_engine : S)
-let bms = baseline "BMS" Baselines.bms_outcome
-let fen = baseline "FEN" Baselines.fen_outcome
-let lutexact = baseline "ABC" Baselines.abc_outcome
+let bms = baseline "BMS" (fun ~options ~deadline f -> Baselines.bms_outcome ~options ~deadline f)
+let fen = baseline "FEN" (fun ~options ~deadline f -> Baselines.fen_outcome ~options ~deadline f)
+let lutexact = baseline "ABC" (fun ~options ~deadline f -> Baselines.abc_outcome ~options ~deadline f)
 
 let all = [ bms; fen; lutexact; stp ]
 

@@ -21,37 +21,66 @@ let check_outputs fs =
     fs;
   n
 
-let exact ?(options = Spec.default_options) fs =
+let exact ?(incremental = true) ?(options = Spec.default_options) fs =
   let n = check_outputs fs in
   ignore n;
   let start = Stp_util.Unix_time.now () in
   let deadline = Spec.deadline_of options in
   let elapsed () = Stp_util.Unix_time.now () -. start in
+  let timeout () =
+    { status = Spec.Timeout; mchain = None; gates = None; elapsed = elapsed () }
+  in
+  let solved mc r =
+    let sims = Mchain.simulate mc in
+    Array.iteri (fun k f -> assert (Tt.equal sims.(k) f)) fs;
+    { status = Spec.Solved; mchain = Some mc; gates = Some r;
+      elapsed = elapsed () }
+  in
   let lower =
     Array.fold_left (fun acc f -> max acc (Tt.support_size f - 1)) 1 fs
   in
-  let rec loop r =
-    if r > options.Spec.max_gates then
-      { status = Spec.Timeout; mchain = None; gates = None; elapsed = elapsed () }
-    else begin
+  (* One budget per step: incremental keeps a single solver whose gate
+     pool only grows; each budget's closing constraints ride on a
+     selector retired once the budget is refuted. *)
+  let step =
+    if incremental then begin
       let solver = Solver.create () in
-      match
-        Stp_encodings.Ssv_multi.build ?basis:options.Spec.basis ~solver ~fs ~r ()
-      with
-      | None -> loop (r + 1)
-      | Some enc -> (
-        match Solver.solve ~deadline solver with
-        | Solver.Unsat -> loop (r + 1)
-        | Solver.Unknown ->
-          { status = Spec.Timeout; mchain = None; gates = None;
-            elapsed = elapsed () }
-        | Solver.Sat ->
-          let mc = Stp_encodings.Ssv_multi.decode enc in
-          let sims = Mchain.simulate mc in
-          Array.iteri (fun k f -> assert (Tt.equal sims.(k) f)) fs;
-          { status = Spec.Solved; mchain = Some mc; gates = Some r;
-            elapsed = elapsed () })
+      let enc =
+        Stp_encodings.Ssv_multi.Inc.create ?basis:options.Spec.basis ~solver
+          ~fs ()
+      in
+      fun r ->
+        match Stp_encodings.Ssv_multi.Inc.budget_selector enc r with
+        | None -> `Unsat
+        | Some sel -> (
+          match Solver.solve ~assumptions:[ sel ] ~deadline solver with
+          | Solver.Unsat ->
+            Stp_encodings.Ssv_multi.Inc.retire enc r;
+            `Unsat
+          | Solver.Unknown -> `Unknown
+          | Solver.Sat -> `Sat (Stp_encodings.Ssv_multi.Inc.decode enc ~r))
     end
+    else
+      fun r ->
+        let solver = Solver.create () in
+        match
+          Stp_encodings.Ssv_multi.build ?basis:options.Spec.basis ~solver ~fs
+            ~r ()
+        with
+        | None -> `Unsat
+        | Some enc -> (
+          match Solver.solve ~deadline solver with
+          | Solver.Unsat -> `Unsat
+          | Solver.Unknown -> `Unknown
+          | Solver.Sat -> `Sat (Stp_encodings.Ssv_multi.decode enc))
+  in
+  let rec loop r =
+    if r > options.Spec.max_gates then timeout ()
+    else
+      match step r with
+      | `Unsat -> loop (r + 1)
+      | `Unknown -> timeout ()
+      | `Sat mc -> solved mc r
   in
   loop lower
 

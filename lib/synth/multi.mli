@@ -8,10 +8,13 @@ type result = {
   elapsed : float;
 }
 
-val exact : ?options:Spec.options -> Stp_tt.Tt.t array -> result
+val exact :
+  ?incremental:bool -> ?options:Spec.options -> Stp_tt.Tt.t array -> result
 (** Size-optimal multi-output chain via the multi-output SSV encoding on
     the CDCL solver — exact, one solution. Outputs must share one
-    arity. *)
+    arity. Incremental by default: one solver spans the whole gate-budget
+    sweep, with per-budget selector literals ({!Stp_encodings.Ssv_multi.Inc});
+    [~incremental:false] rebuilds solver and encoding per budget. *)
 
 val stp_shared : ?options:Spec.options -> Stp_tt.Tt.t array -> result
 (** Heuristic multi-output synthesis in the STP spirit: each output is

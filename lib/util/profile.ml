@@ -45,8 +45,18 @@ type counter =
   | Arena_reuses
   | Multiword_decomposes
   | Multiword_kernel_calls
+  | Sat_solves
+  | Sat_decisions
+  | Sat_propagations
+  | Sat_conflicts
+  | Sat_restarts
+  | Sat_learned
+  | Sat_learned_core
+  | Sat_reductions
+  | Sat_deleted_clauses
+  | Sat_selectors_retired
 
-let num_counters = 24
+let num_counters = 34
 
 let counter_index = function
   | Decompose_calls -> 0
@@ -73,6 +83,16 @@ let counter_index = function
   | Arena_reuses -> 21
   | Multiword_decomposes -> 22
   | Multiword_kernel_calls -> 23
+  | Sat_solves -> 24
+  | Sat_decisions -> 25
+  | Sat_propagations -> 26
+  | Sat_conflicts -> 27
+  | Sat_restarts -> 28
+  | Sat_learned -> 29
+  | Sat_learned_core -> 30
+  | Sat_reductions -> 31
+  | Sat_deleted_clauses -> 32
+  | Sat_selectors_retired -> 33
 
 let counter_name = function
   | Decompose_calls -> "decompose_calls"
@@ -99,6 +119,16 @@ let counter_name = function
   | Arena_reuses -> "arena_reuses"
   | Multiword_decomposes -> "multiword_decomposes"
   | Multiword_kernel_calls -> "multiword_kernel_calls"
+  | Sat_solves -> "sat_solves"
+  | Sat_decisions -> "sat_decisions"
+  | Sat_propagations -> "sat_propagations"
+  | Sat_conflicts -> "sat_conflicts"
+  | Sat_restarts -> "sat_restarts"
+  | Sat_learned -> "sat_learned"
+  | Sat_learned_core -> "sat_learned_core"
+  | Sat_reductions -> "sat_reductions"
+  | Sat_deleted_clauses -> "sat_deleted_clauses"
+  | Sat_selectors_retired -> "sat_selectors_retired"
 
 let all_counters =
   [ Decompose_calls; Decompose_cache_hits; Quarter_tests; Quarter_rejects;
@@ -107,7 +137,10 @@ let all_counters =
     Cube_subsumption_checks; Requests_received; Requests_solved;
     Requests_cached; Requests_timed_out; Requests_degraded; Requests_failed;
     Learned_prunes; Learned_replays; Quarter_cache_hits; Arena_reuses;
-    Multiword_decomposes; Multiword_kernel_calls ]
+    Multiword_decomposes; Multiword_kernel_calls; Sat_solves; Sat_decisions;
+    Sat_propagations; Sat_conflicts; Sat_restarts; Sat_learned;
+    Sat_learned_core; Sat_reductions; Sat_deleted_clauses;
+    Sat_selectors_retired ]
 
 (* Cross-domain accumulators. Parallel collection runs fan instances
    over domains; counters and timers sum over all of them. *)

@@ -48,6 +48,16 @@ type counter =
   | Arena_reuses             (** decompose scratch arenas reused without reallocation *)
   | Multiword_decomposes     (** factorisation searches run on the multi-word path *)
   | Multiword_kernel_calls   (** multi-word kernel ops dispatched (force/assemble/...) *)
+  | Sat_solves               (** [Solver.solve] calls completed *)
+  | Sat_decisions            (** CDCL decisions *)
+  | Sat_propagations         (** CDCL unit propagations *)
+  | Sat_conflicts            (** CDCL conflicts *)
+  | Sat_restarts             (** CDCL restarts *)
+  | Sat_learned              (** learnt clauses recorded *)
+  | Sat_learned_core         (** learnt clauses entering the core (glue) tier *)
+  | Sat_reductions           (** learnt-DB reduction passes *)
+  | Sat_deleted_clauses      (** learnt clauses deleted *)
+  | Sat_selectors_retired    (** budget selectors retired by a unit *)
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool

@@ -15,6 +15,8 @@ let get v i =
   if i < 0 || i >= v.len then invalid_arg "Vec.get";
   v.data.(i)
 
+let raw v = v.data
+
 let set v i x =
   if i < 0 || i >= v.len then invalid_arg "Vec.set";
   v.data.(i) <- x

@@ -18,6 +18,12 @@ val is_empty : 'a t -> bool
 val get : 'a t -> int -> 'a
 (** [get v i] is the [i]-th element. Bounds-checked. *)
 
+val raw : 'a t -> 'a array
+(** The backing array, for unchecked hot-loop access. Only indices
+    [< length v] hold live elements; the reference is invalidated by
+    any [push] that grows the vector. The SAT solver's propagation
+    loop is the intended (and only) customer. *)
+
 val set : 'a t -> int -> 'a -> unit
 
 val push : 'a t -> 'a -> unit

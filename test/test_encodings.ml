@@ -125,6 +125,94 @@ let test_fence_levels_restrict () =
     | Solver.Sat -> Alcotest.fail "flat fence cannot realise xor3"
     | Solver.Unknown -> Alcotest.fail "unknown")
 
+(* One Inc instance swept across budgets must find the same optimum as
+   fresh per-budget encodings, its decoded chains must compute the
+   target, and retired budgets must not disturb later ones. *)
+let test_inc_matches_fresh () =
+  let rng = Prng.create 4242 in
+  let agreed = ref 0 in
+  for _ = 1 to 15 do
+    let n = 3 in
+    let f = Tt.of_fun n (fun _ -> Prng.bool rng) in
+    let f = if Tt.get f 0 then Tt.bnot f else f in
+    if Tt.support_size f >= 2 then begin
+      let fresh_optimum =
+        let rec try_r r =
+          if r > 6 then None
+          else
+            match solve_size f r with
+            | `Sat _ -> Some r
+            | `Unsat | `Infeasible -> try_r (r + 1)
+            | `Unknown -> None
+        in
+        try_r 1
+      in
+      let solver = Solver.create () in
+      let inc = Ssv.Inc.create ~solver ~f () in
+      for m = 1 to (1 lsl n) - 1 do
+        Ssv.Inc.add_minterm inc m
+      done;
+      let inc_optimum =
+        let rec try_r r =
+          if r > 6 then None
+          else
+            match Ssv.Inc.budget_selector inc r with
+            | None -> try_r (r + 1)
+            | Some sel -> (
+              match Solver.solve ~assumptions:[ sel ] solver with
+              | Solver.Sat ->
+                let chain = Ssv.Inc.decode inc ~r in
+                Alcotest.(check bool) "inc chain computes f" true
+                  (Tt.equal (Chain.simulate chain) f);
+                Some r
+              | Solver.Unsat ->
+                Ssv.Inc.retire inc r;
+                try_r (r + 1)
+              | Solver.Unknown -> None)
+        in
+        try_r 1
+      in
+      Alcotest.(check (option int)) "optimum agrees" fresh_optimum inc_optimum;
+      if fresh_optimum = inc_optimum && fresh_optimum <> None then incr agreed
+    end
+  done;
+  Alcotest.(check bool) "exercised" true (!agreed > 5)
+
+(* Fence assumption sets over the shared encoding must accept exactly
+   the fences the baked-in [~levels] encoding accepts. *)
+let test_inc_fence_assumptions_match_baked () =
+  let xor3 = Tt.of_hex ~n:3 "96" in
+  let solver = Solver.create () in
+  let inc = Ssv.Inc.create ~solver ~f:xor3 () in
+  for m = 1 to 7 do
+    Ssv.Inc.add_minterm inc m
+  done;
+  match Ssv.Inc.budget_selector inc 2 with
+  | None -> Alcotest.fail "budget 2 must be feasible"
+  | Some sel ->
+    let try_fence levels =
+      match Ssv.Inc.fence_assumptions inc ~levels with
+      | None -> `Infeasible
+      | Some asms -> (
+        match Solver.solve ~assumptions:(sel :: asms) solver with
+        | Solver.Sat -> `Sat (Ssv.Inc.decode inc ~r:2)
+        | Solver.Unsat -> `Unsat
+        | Solver.Unknown -> `Unknown)
+    in
+    (match try_fence [| 1; 2 |] with
+     | `Sat chain ->
+       Alcotest.(check bool) "fence chain computes xor3" true
+         (Tt.equal (Chain.simulate chain) xor3)
+     | _ -> Alcotest.fail "two-level fence must admit the xor chain");
+    (match try_fence [| 1; 1 |] with
+     | `Sat _ -> Alcotest.fail "flat fence cannot realise xor3"
+     | `Unsat | `Infeasible -> ()
+     | `Unknown -> Alcotest.fail "unknown");
+    (* the same instance still solves unrestricted afterwards *)
+    (match Solver.solve ~assumptions:[ sel ] solver with
+     | Solver.Sat -> ()
+     | _ -> Alcotest.fail "unrestricted budget 2 must stay sat")
+
 let test_optimum_matches_paper_examples () =
   (* 0x8ff8 has a 3-gate optimum (Example 7) *)
   let f = Tt.of_hex ~n:4 "8ff8" in
@@ -148,4 +236,8 @@ let () =
           Alcotest.test_case "cegar refinement" `Quick test_cegar_refinement;
           Alcotest.test_case "fence levels" `Quick test_fence_levels_restrict;
           Alcotest.test_case "paper example optimum" `Quick
-            test_optimum_matches_paper_examples ] ) ]
+            test_optimum_matches_paper_examples ] );
+      ( "ssv-inc",
+        [ Alcotest.test_case "inc matches fresh" `Slow test_inc_matches_fresh;
+          Alcotest.test_case "fence assumptions match baked" `Quick
+            test_inc_fence_assumptions_match_baked ] ) ]

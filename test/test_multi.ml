@@ -117,6 +117,27 @@ let test_constant_rejected () =
     (Invalid_argument "Multi: constant outputs have no Boolean chain")
     (fun () -> ignore (Multi.exact [| Tt.zero 2 |]))
 
+let test_cold_incremental_agree () =
+  (* The shared-solver sweep must find the same joint optimum as the
+     cold per-budget encodings, with valid decoded networks. *)
+  let rng = Prng.create 61 in
+  for _ = 1 to 6 do
+    let f = Tt.of_fun 3 (fun _ -> Prng.bool rng) in
+    let g = Tt.of_fun 3 (fun _ -> Prng.bool rng) in
+    if (not (Tt.is_const f)) && not (Tt.is_const g) then begin
+      let cold = Multi.exact ~incremental:false ~options [| f; g |] in
+      let inc = Multi.exact ~incremental:true ~options [| f; g |] in
+      Alcotest.(check bool) "cold solved" true
+        (cold.Multi.status = Spec.Solved);
+      Alcotest.(check bool) "inc solved" true (inc.Multi.status = Spec.Solved);
+      Alcotest.(check (option int))
+        "optimum agrees" cold.Multi.gates inc.Multi.gates;
+      let sims = Mchain.simulate (Option.get inc.Multi.mchain) in
+      Alcotest.(check bool) "inc f" true (Tt.equal sims.(0) f);
+      Alcotest.(check bool) "inc g" true (Tt.equal sims.(1) g)
+    end
+  done
+
 let () =
   Alcotest.run "multi"
     [ ( "mchain",
@@ -133,4 +154,6 @@ let () =
             test_shared_outputs_same_function;
           Alcotest.test_case "literal output" `Quick test_literal_output;
           Alcotest.test_case "random pairs" `Slow test_random_pairs_agree;
-          Alcotest.test_case "constants rejected" `Quick test_constant_rejected ] ) ]
+          Alcotest.test_case "constants rejected" `Quick test_constant_rejected;
+          Alcotest.test_case "cold vs incremental" `Slow
+            test_cold_incremental_agree ] ) ]

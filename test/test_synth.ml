@@ -341,6 +341,38 @@ let test_engines_agree_random () =
     end
   done
 
+let test_cold_incremental_agree () =
+  (* The shared-solver and cold paths of every baseline must report the
+     same optimum, and both decoded chains must compute the target. *)
+  let rng = Prng.create 86 in
+  let options = Spec.with_timeout 30.0 in
+  let engines =
+    [ ("bms", fun ~incremental f -> Baselines.bms ~incremental ~options f);
+      ("fen", fun ~incremental f -> Baselines.fen ~incremental ~options f);
+      ("abc", fun ~incremental f -> Baselines.abc ~incremental ~options f) ]
+  in
+  for _ = 1 to 8 do
+    let f = Tt.of_fun 3 (fun _ -> Prng.bool rng) in
+    if Tt.support_size f >= 1 then
+      List.iter
+        (fun (name, engine) ->
+          let cold = engine ~incremental:false f in
+          let inc = engine ~incremental:true f in
+          check_solved (name ^ " cold") cold;
+          check_solved (name ^ " incremental") inc;
+          Alcotest.(check int)
+            (name ^ " optimum agrees")
+            (gates_of cold) (gates_of inc);
+          List.iter
+            (fun c ->
+              Alcotest.(check bool)
+                (name ^ " incremental chain correct")
+                true
+                (Tt.equal (Chain.simulate c) f))
+            inc.Spec.chains)
+        engines
+  done
+
 let test_all_solutions_distinct_and_verified () =
   let f = Tt.of_hex ~n:3 "e8" in
   let r = Stp_exact.synthesize f in
@@ -483,4 +515,6 @@ let () =
           Alcotest.test_case "fdsd6 optimum" `Slow test_fdsd6_optimum ] );
       ( "baselines",
         [ Alcotest.test_case "known optima" `Slow test_baselines_known_optima;
-          Alcotest.test_case "engines agree" `Slow test_engines_agree_random ] ) ]
+          Alcotest.test_case "engines agree" `Slow test_engines_agree_random;
+          Alcotest.test_case "cold vs incremental" `Slow
+            test_cold_incremental_agree ] ) ]
