@@ -441,6 +441,67 @@ let sat_bench ~corpus () =
   Format.printf "@.";
   Printf.eprintf "[bench] wrote BENCH_sat.json\n%!"
 
+(* --- SAT-sweeping benchmark (--sweep) ---
+
+   Generated netlists (Ntk_gen, fixed seed) at three scales through
+   Sweep.run, each under a wall budget so the 50k-node point stays
+   bounded; rows go to BENCH_sweep.json for the CI smoke check. *)
+let netsweep () =
+  let open Stp_harness.Report in
+  let module Sweep = Stp_network.Sweep in
+  let module Ntk = Stp_network.Ntk in
+  Format.printf "=== SAT SWEEPING (generated netlists, seed 1) ===@.@.";
+  Format.printf "%9s %9s %9s %8s %8s %8s %8s %7s %9s@." "nodes" "ands" "after"
+    "merges" "refuted" "skipped" "rounds" "verif" "wall_s";
+  let rows =
+    List.map
+      (fun (nodes, timeout) ->
+        let ntk = Stp_workloads.Ntk_gen.generate ~seed:1 ~nodes () in
+        let options = { Sweep.default_options with Sweep.timeout } in
+        let _, r = Sweep.run ~options ntk in
+        Format.printf "%9d %9d %9d %8d %8d %8d %8d %7b %9.2f@." nodes
+          r.Sweep.ands_before r.Sweep.ands_after r.Sweep.merges
+          r.Sweep.pairs_refuted r.Sweep.pairs_skipped r.Sweep.rounds
+          r.Sweep.verified r.Sweep.elapsed;
+        Obj
+          [ ("nodes", Int nodes);
+            ("timeout_s", Float timeout);
+            ("pis", Int (Ntk.num_pis ntk));
+            ("pos", Int (Ntk.num_pos ntk));
+            ("ands_before", Int r.Sweep.ands_before);
+            ("ands_after", Int r.Sweep.ands_after);
+            ("gain", Int (r.Sweep.ands_before - r.Sweep.ands_after));
+            ("depth_before", Int r.Sweep.depth_before);
+            ("depth_after", Int r.Sweep.depth_after);
+            ("classes", Int r.Sweep.classes);
+            ("candidates", Int r.Sweep.candidates);
+            ("pairs_proved", Int r.Sweep.pairs_proved);
+            ("pairs_refuted", Int r.Sweep.pairs_refuted);
+            ("pairs_skipped", Int r.Sweep.pairs_skipped);
+            ("merges", Int r.Sweep.merges);
+            ("rounds", Int r.Sweep.rounds);
+            ("cex_patterns", Int r.Sweep.cex_patterns);
+            ("sat_vars", Int r.Sweep.sat_vars);
+            ("sat_conflicts", Int r.Sweep.sat.Stp_sat.Solver.conflicts);
+            ("sat_propagations", Int r.Sweep.sat.Stp_sat.Solver.propagations);
+            ("verified", Bool r.Sweep.verified);
+            ("verify_method", String r.Sweep.verify_method);
+            ("wall_s", Float r.Sweep.elapsed) ])
+      [ (5_000, 10.0); (20_000, 30.0); (50_000, 60.0) ]
+  in
+  let json =
+    Obj
+      [ ("source", String "bench/main --sweep");
+        ("seed", Int 1);
+        ("rows", List rows) ]
+  in
+  let oc = open_out "BENCH_sweep.json" in
+  output_string oc (to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "@.";
+  Printf.eprintf "[bench] wrote BENCH_sweep.json\n%!"
+
 (* Ablations over the engine's design choices (DESIGN.md section 3):
    DSD peeling, and first-topology vs exhaustive all-solutions. All
    timing below reads the one monotonic source, [Profile.now_ns]. *)
@@ -511,11 +572,21 @@ let () =
       & info [ "corpus" ] ~docv:"DIR"
           ~doc:"Directory of .cnf files for the --sat corpus benchmark.")
   in
-  let run jobs no_npn_cache profile trace metrics kernels_only sat_only corpus =
+  let sweep_flag =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:
+            "Run only the SAT-sweeping benchmark (generated netlists at \
+             three scales) and write BENCH_sweep.json.")
+  in
+  let run jobs no_npn_cache profile trace metrics kernels_only sat_only
+      sweep_only corpus =
     Cli.with_telemetry ~trace ~metrics @@ fun () ->
     Stp_util.Profile.set_enabled profile;
     if kernels_only then kernels ()
     else if sat_only then sat_bench ~corpus ()
+    else if sweep_only then netsweep ()
     else begin
       fig2 ();
       fig3 ();
@@ -531,6 +602,6 @@ let () =
       (Cmd.info "bench" ~doc:"regenerate the paper's tables and figures")
       Term.(
         const run $ Cli.jobs $ Cli.no_npn_cache $ Cli.profile $ Cli.trace
-        $ Cli.metrics $ kernels_flag $ sat_flag $ corpus)
+        $ Cli.metrics $ kernels_flag $ sat_flag $ sweep_flag $ corpus)
   in
   exit (Cmd.eval cmd)

@@ -1,8 +1,11 @@
-(* NPN-cached exact cut rewriting over AIGER/BLIF/Verilog netlists. *)
+(* Pass-pipeline netlist optimization over AIGER/BLIF/Verilog: NPN-cached
+   exact cut rewriting and SAT sweeping, composed from a --passes spec. *)
 
 open Cmdliner
 module Ntk = Stp_network.Ntk
 module Rewrite = Stp_network.Rewrite
+module Sweep = Stp_network.Sweep
+module Pass = Stp_network.Pass
 module Report = Stp_harness.Report
 module Cli = Stp_harness.Cli
 module Store = Stp_store.Store
@@ -30,28 +33,40 @@ let write_network path ntk =
     Stp_network.Blif.write_file path ntk
   else Stp_network.Aiger.write_file path ntk
 
-let row_json path ntk (r : Rewrite.report) =
+let pass_json (s : Pass.stats) =
   let open Report in
+  Obj
+    ([ ("pass", String s.pass);
+       ("ands_before", Int s.ands_before);
+       ("ands_after", Int s.ands_after);
+       ("gain", Int (Pass.gain s));
+       ("depth_before", Int s.depth_before);
+       ("depth_after", Int s.depth_after);
+       ("verified", Bool s.verified);
+       ("verify_method", String s.verify_method);
+       ("elapsed_s", Float s.elapsed_s) ]
+    @ List.map (fun (k, v) -> (k, Int v)) s.detail)
+
+let row_json path ntk (rows : Pass.stats list) =
+  let open Report in
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
   Obj
     [ ("file", String (Filename.basename path));
       ("pis", Int (Ntk.num_pis ntk));
       ("pos", Int (Ntk.num_pos ntk));
-      ("ands_before", Int r.ands_before);
-      ("ands_after", Int r.ands_after);
-      ("gain", Int (Rewrite.gain r));
-      ("depth_before", Int r.depth_before);
-      ("depth_after", Int r.depth_after);
-      ("applied", Int r.applied);
-      ("candidates", Int r.candidates);
-      ("classes", Int r.classes);
-      ("cache_hits", Int r.cache.Stp_synth.Npn_cache.hits);
-      ("cache_misses", Int r.cache.Stp_synth.Npn_cache.misses);
-      ("verified", Bool r.verified);
-      ("verify_method", String r.verify_method);
-      ("elapsed_s", Float r.elapsed) ]
+      ("ands_before", Int first.Pass.ands_before);
+      ("ands_after", Int last.Pass.ands_after);
+      ("gain", Int (first.Pass.ands_before - last.Pass.ands_after));
+      ("depth_before", Int first.Pass.depth_before);
+      ("depth_after", Int last.Pass.depth_after);
+      ("verified", Bool (List.for_all (fun r -> r.Pass.verified) rows));
+      ("elapsed_s",
+       Float (List.fold_left (fun a r -> a +. r.Pass.elapsed_s) 0.0 rows));
+      ("passes", List (List.map pass_json rows)) ]
 
-let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
-    out_path store_path =
+let run files passes_spec lut_size cut_limit timeout jobs full_basis
+    max_chains sweep_words sweep_timeout sweep_conflicts sweep_rounds
+    sweep_cex seed json_path out_path store_path =
   if files = [] then begin
     prerr_endline "rewrite: no input files";
     exit 124
@@ -61,12 +76,6 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
     exit 124
   end;
   let jobs = Cli.resolve_jobs jobs in
-  Printf.eprintf
-    "[rewrite] lut-size %d, cut-limit %d, timeout %.1fs/class, %d job%s, \
-     basis %s\n%!"
-    lut_size cut_limit timeout jobs
-    (if jobs = 1 then "" else "s")
-    (if full_basis then "full" else "and");
   let options =
     { Rewrite.cut_size = lut_size;
       cut_limit;
@@ -74,6 +83,14 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
       jobs;
       max_chains;
       basis = (if full_basis then None else Some Rewrite.and_basis) }
+  in
+  let sweep_options =
+    { Sweep.sim_words = sweep_words;
+      max_rounds = sweep_rounds;
+      conflict_budget = sweep_conflicts;
+      timeout = sweep_timeout;
+      max_cex_per_round = sweep_cex;
+      seed }
   in
   (* One cache for the whole batch: classes solved on one benchmark are
      replays on the next. Chains live in the selected gate basis, so the
@@ -100,6 +117,24 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
        Printf.eprintf "[rewrite] store: seeded %d %s classes\n%!" st.Store.seeded
          section
    | None -> ());
+  Pass.register (Rewrite.pass ~options ~cache ());
+  Pass.register (Sweep.pass ~options:sweep_options ());
+  let pipeline =
+    match Pass.parse passes_spec with
+    | Ok [] ->
+      prerr_endline "rewrite: --passes is empty";
+      exit 124
+    | Ok ps -> ps
+    | Error msg ->
+      Printf.eprintf "rewrite: %s\n" msg;
+      exit 124
+  in
+  Printf.eprintf
+    "[rewrite] passes %s; lut-size %d, cut-limit %d, timeout %.1fs/class, %d \
+     job%s, basis %s\n%!"
+    passes_spec lut_size cut_limit timeout jobs
+    (if jobs = 1 then "" else "s")
+    (if full_basis then "full" else "and");
   let all_ok = ref true in
   let total_gain = ref 0 in
   let rows =
@@ -109,34 +144,41 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
         Printf.eprintf "[rewrite] %s: %d PIs, %d POs, %d ANDs, depth %d\n%!"
           (Filename.basename path) (Ntk.num_pis ntk) (Ntk.num_pos ntk)
           (Ntk.count_live ntk) (Ntk.depth ntk);
-        let optimized, r = Rewrite.run ~options ~cache ntk in
-        let pct =
-          if r.Rewrite.ands_before = 0 then 0.0
-          else
-            100.0
-            *. float_of_int (Rewrite.gain r)
-            /. float_of_int r.Rewrite.ands_before
-        in
-        Printf.eprintf
-          "[rewrite]   %d candidates -> %d classes, cache %d/%d hits\n%!"
-          r.Rewrite.candidates r.Rewrite.classes
-          r.Rewrite.cache.Stp_synth.Npn_cache.hits
-          (r.Rewrite.cache.Stp_synth.Npn_cache.hits
-          + r.Rewrite.cache.Stp_synth.Npn_cache.misses);
-        Printf.eprintf
-          "[rewrite]   ANDs %d -> %d (saved %d, %.1f%%), depth %d -> %d, %d \
-           rewrites, %s (%s), %.2fs\n%!"
-          r.Rewrite.ands_before r.Rewrite.ands_after (Rewrite.gain r) pct
-          r.Rewrite.depth_before r.Rewrite.depth_after r.Rewrite.applied
-          (if r.Rewrite.verified then "verified" else "VERIFICATION FAILED")
-          r.Rewrite.verify_method r.Rewrite.elapsed;
-        if not r.Rewrite.verified then all_ok := false;
-        total_gain := !total_gain + Rewrite.gain r;
-        if out_path <> "" && r.Rewrite.verified then begin
+        let optimized, stats = Pass.run_pipeline pipeline ntk in
+        List.iter
+          (fun (s : Pass.stats) ->
+            let pct =
+              if s.ands_before = 0 then 0.0
+              else
+                100.0 *. float_of_int (Pass.gain s)
+                /. float_of_int s.ands_before
+            in
+            Printf.eprintf
+              "[rewrite]   %-8s ANDs %d -> %d (saved %d, %.1f%%), depth %d \
+               -> %d, %s (%s), %.2fs%s\n%!"
+              s.pass s.ands_before s.ands_after (Pass.gain s) pct
+              s.depth_before s.depth_after
+              (if s.verified then "verified" else "VERIFICATION FAILED")
+              s.verify_method s.elapsed_s
+              (match s.detail with
+               | [] -> ""
+               | d ->
+                 "  ["
+                 ^ String.concat ", "
+                     (List.map (fun (k, v) -> Printf.sprintf "%s %d" k v) d)
+                 ^ "]"))
+          stats;
+        if List.exists (fun (s : Pass.stats) -> not s.verified) stats then
+          all_ok := false;
+        let first = List.hd stats
+        and last = List.nth stats (List.length stats - 1) in
+        total_gain :=
+          !total_gain + (first.Pass.ands_before - last.Pass.ands_after);
+        if out_path <> "" && !all_ok then begin
           write_network out_path optimized;
           Printf.eprintf "[rewrite]   wrote %s\n%!" out_path
         end;
-        row_json path ntk r)
+        row_json path ntk stats)
       files
   in
   (match store with
@@ -158,6 +200,7 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
     let doc =
       Obj
         [ ("source", String "bin/rewrite");
+          ("passes", String passes_spec);
           ("lut_size", Int lut_size);
           ("cut_limit", Int cut_limit);
           ("timeout_s", Float timeout);
@@ -176,6 +219,14 @@ let run files lut_size cut_limit timeout jobs full_basis max_chains json_path
 let files_arg =
   let doc = "Benchmark netlists (AIGER .aig/.aag, BLIF, structural Verilog)." in
   Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc)
+
+let passes_arg =
+  let doc =
+    "Comma-separated pass pipeline, run left to right. Available: \
+     $(b,rewrite) (NPN-cached exact cut rewriting) and $(b,sweep) \
+     (SAT sweeping). E.g. $(b,--passes sweep,rewrite)."
+  in
+  Arg.(value & opt string "rewrite" & info [ "passes" ] ~docv:"SPEC" ~doc)
 
 let lut_size_arg =
   let doc = "Cut size k: rewrite up to k-input subfunctions (2-6)." in
@@ -196,6 +247,36 @@ let max_chains_arg =
   let doc = "Optimum chains tried per cut (the engine returns all of them)." in
   Arg.(value & opt int 8 & info [ "max-chains" ] ~docv:"N" ~doc)
 
+let sweep_words_arg =
+  let doc = "Sweep: initial random simulation word batches (64 patterns each)." in
+  Arg.(value & opt int Sweep.default_options.Sweep.sim_words
+       & info [ "sweep-words" ] ~docv:"N" ~doc)
+
+let sweep_timeout_arg =
+  let doc = "Sweep: whole-pass wall-clock budget in seconds." in
+  Arg.(value & opt float Sweep.default_options.Sweep.timeout
+       & info [ "sweep-timeout" ] ~docv:"SECONDS" ~doc)
+
+let sweep_conflicts_arg =
+  let doc = "Sweep: CDCL conflict budget per proof attempt (0 = unlimited)." in
+  Arg.(value & opt int Sweep.default_options.Sweep.conflict_budget
+       & info [ "sweep-conflicts" ] ~docv:"N" ~doc)
+
+let sweep_rounds_arg =
+  let doc = "Sweep: refinement-round cap." in
+  Arg.(value & opt int Sweep.default_options.Sweep.max_rounds
+       & info [ "sweep-rounds" ] ~docv:"N" ~doc)
+
+let sweep_cex_arg =
+  let doc = "Sweep: counterexamples per round before re-simulating." in
+  Arg.(value & opt int Sweep.default_options.Sweep.max_cex_per_round
+       & info [ "sweep-cex" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for sweep simulation patterns." in
+  Arg.(value & opt int Sweep.default_options.Sweep.seed
+       & info [ "seed" ] ~docv:"N" ~doc)
+
 let out_arg =
   let doc =
     "Write the optimized network here (.aig binary AIGER, .aag ASCII, \
@@ -204,13 +285,14 @@ let out_arg =
   Arg.(value & opt string "" & info [ "o"; "out" ] ~docv:"PATH" ~doc)
 
 let cmd =
-  let doc = "optimize netlists by NPN-cached exact cut rewriting" in
+  let doc = "optimize netlists through a pipeline of verified passes" in
   Cmd.v
     (Cmd.info "rewrite" ~doc)
     Term.(
-      const run $ files_arg $ lut_size_arg $ cut_limit_arg
+      const run $ files_arg $ passes_arg $ lut_size_arg $ cut_limit_arg
       $ Cli.timeout ~doc:"Per-NPN-class synthesis timeout in seconds." ()
-      $ Cli.jobs $ full_basis_arg $ max_chains_arg
-      $ Cli.json () $ out_arg $ Cli.store)
+      $ Cli.jobs $ full_basis_arg $ max_chains_arg $ sweep_words_arg
+      $ sweep_timeout_arg $ sweep_conflicts_arg $ sweep_rounds_arg
+      $ sweep_cex_arg $ seed_arg $ Cli.json () $ out_arg $ Cli.store)
 
 let () = exit (Cmd.eval cmd)

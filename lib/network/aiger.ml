@@ -1,37 +1,101 @@
 let fail fmt = Printf.ksprintf failwith fmt
 
-(* --- tokenised line access over the raw file contents --- *)
+(* --- buffered single-pass byte source ---
 
-type cursor = { s : string; mutable pos : int }
+   One abstraction serves both in-memory strings and channels: a
+   window of bytes plus a refill callback. [read_file] decodes
+   straight out of a fixed 256 KiB window instead of materialising the
+   whole file, so a hundred-thousand-node generated netlist costs the
+   window plus the network being built, not 2x the file size. *)
 
-let read_line cur =
-  if cur.pos >= String.length cur.s then fail "aiger: unexpected end of file";
-  let j =
-    match String.index_from_opt cur.s cur.pos '\n' with
-    | Some j -> j
-    | None -> String.length cur.s
+type source = {
+  mutable buf : Bytes.t;
+  mutable pos : int; (* next unread byte in [buf] *)
+  mutable len : int; (* valid bytes in [buf] *)
+  mutable base : int; (* file offset of buf.[0], for error messages *)
+  refill : Bytes.t -> int -> int -> int;
+    (* [refill buf off max] reads up to [max] bytes at [off]; 0 at EOF *)
+}
+
+let source_of_string s =
+  { buf = Bytes.unsafe_of_string s;
+    pos = 0;
+    len = String.length s;
+    base = 0;
+    refill = (fun _ _ _ -> 0) }
+
+let source_of_channel ?(chunk = 256 * 1024) ic =
+  { buf = Bytes.create chunk; pos = 0; len = 0; base = 0; refill = input ic }
+
+(* Slide the unread tail to the front and top the buffer up; [false]
+   when the source is exhausted. *)
+let refill_source src =
+  if src.pos > 0 then begin
+    let tail = src.len - src.pos in
+    if tail > 0 then Bytes.blit src.buf src.pos src.buf 0 tail;
+    src.base <- src.base + src.pos;
+    src.pos <- 0;
+    src.len <- tail
+  end;
+  if src.len >= Bytes.length src.buf then true
+  else begin
+    let n = src.refill src.buf src.len (Bytes.length src.buf - src.len) in
+    src.len <- src.len + n;
+    n > 0
+  end
+
+let read_byte src =
+  if src.pos < src.len then begin
+    let b = Char.code (Bytes.unsafe_get src.buf src.pos) in
+    src.pos <- src.pos + 1;
+    b
+  end
+  else if refill_source src then begin
+    let b = Char.code (Bytes.get src.buf src.pos) in
+    src.pos <- src.pos + 1;
+    b
+  end
+  else -1
+
+let offset src = src.base + src.pos
+
+(* One text line, newline consumed and stripped. [where] names the
+   section being read so truncation errors locate themselves. *)
+let read_line src ~where =
+  let rec scan acc =
+    match Bytes.index_from_opt src.buf src.pos '\n' with
+    | Some j when j < src.len ->
+      let line = Bytes.sub_string src.buf src.pos (j - src.pos) in
+      src.pos <- j + 1;
+      (match acc with [] -> line | _ -> String.concat "" (List.rev (line :: acc)))
+    | _ ->
+      let part = Bytes.sub_string src.buf src.pos (src.len - src.pos) in
+      src.pos <- src.len;
+      if refill_source src then scan (part :: acc)
+      else if part = "" && acc = [] then
+        fail "aiger: unexpected end of file in %s (offset %d)" where
+          (offset src)
+      else String.concat "" (List.rev (part :: acc))
   in
-  let line = String.sub cur.s cur.pos (j - cur.pos) in
-  cur.pos <- j + 1;
-  line
+  scan []
 
-let ints_of_line line =
+let ints_of_line ~where line =
   String.split_on_char ' ' line
   |> List.filter (fun t -> t <> "")
   |> List.map (fun t ->
          match int_of_string_opt t with
          | Some v when v >= 0 -> v
-         | _ -> fail "aiger: expected a literal, got %S" t)
+         | _ -> fail "aiger: expected a literal in %s, got %S" where t)
 
-let int_of_line line =
-  match ints_of_line line with
+let int_of_line ~where line =
+  match ints_of_line ~where line with
   | [ v ] -> v
-  | _ -> fail "aiger: expected a single literal on line %S" line
+  | _ -> fail "aiger: expected a single literal in %s, got %S" where line
 
 type header = { m : int; i : int; l : int; o : int; a : int }
 
-let read_header cur =
-  let line = read_line cur in
+let read_header src =
+  let line = read_line src ~where:"header" in
   match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
   | magic :: rest when magic = "aig" || magic = "aag" ->
     let nums =
@@ -52,111 +116,153 @@ let read_header cur =
 
 (* --- ASCII --- *)
 
-let of_ascii cur h =
+let of_ascii src h =
   let t = Ntk.create ~capacity:(h.m + 1) () in
-  (* file variable -> our literal, resolved lazily so AND definitions
-     may appear in any order *)
+  (* file variable -> our literal, resolved out of order below so AND
+     definitions may appear in any order *)
   let input_of = Hashtbl.create 97 in
-  for _ = 1 to h.i do
-    let l = int_of_line (read_line cur) in
-    if l < 2 || l land 1 = 1 then fail "aiger: bad input literal %d" l;
+  for k = 1 to h.i do
+    let where = Printf.sprintf "input %d of %d" k h.i in
+    let l = int_of_line ~where (read_line src ~where) in
+    if l < 2 || l land 1 = 1 then fail "aiger: bad literal %d at %s" l where;
     if Hashtbl.mem input_of (l / 2) then fail "aiger: duplicate input %d" l;
     Hashtbl.replace input_of (l / 2) (Ntk.add_pi t)
   done;
-  let out_lits = List.init h.o (fun _ -> int_of_line (read_line cur)) in
+  let out_lits =
+    List.init h.o (fun k ->
+        let where = Printf.sprintf "output %d of %d" (k + 1) h.o in
+        int_of_line ~where (read_line src ~where))
+  in
   let defs = Hashtbl.create 97 in
-  for _ = 1 to h.a do
-    match ints_of_line (read_line cur) with
+  for k = 1 to h.a do
+    let where = Printf.sprintf "AND %d of %d" k h.a in
+    match ints_of_line ~where (read_line src ~where) with
     | [ lhs; rhs0; rhs1 ] ->
-      if lhs < 2 || lhs land 1 = 1 then fail "aiger: bad AND literal %d" lhs;
+      if lhs < 2 || lhs land 1 = 1 then
+        fail "aiger: bad AND literal %d at %s" lhs where;
       if Hashtbl.mem input_of (lhs / 2) || Hashtbl.mem defs (lhs / 2) then
-        fail "aiger: literal %d defined twice" lhs;
+        fail "aiger: literal %d defined twice (%s)" lhs where;
       Hashtbl.replace defs (lhs / 2) (rhs0, rhs1)
-    | _ -> fail "aiger: malformed AND line"
+    | _ -> fail "aiger: malformed AND line at %s" where
   done;
   let memo = Hashtbl.create 97 in
-  let visiting = Hashtbl.create 97 in
-  let rec resolve_lit l =
-    let base = resolve_var (l / 2) in
-    if l land 1 = 1 then Ntk.lit_not base else base
-  and resolve_var v =
-    if v = 0 then Ntk.const_false
-    else
-      match Hashtbl.find_opt memo v with
-      | Some m -> m
-      | None -> (
-        match Hashtbl.find_opt input_of v with
+  let ready v =
+    v = 0 || Hashtbl.mem memo v || Hashtbl.mem input_of v
+  in
+  let lit_of l =
+    let v = l / 2 in
+    let base =
+      if v = 0 then Ntk.const_false
+      else
+        match Hashtbl.find_opt memo v with
         | Some m -> m
-        | None ->
-          (match Hashtbl.find_opt defs v with
+        | None -> (
+          match Hashtbl.find_opt input_of v with
+          | Some m -> m
+          | None -> fail "aiger: undefined literal %d" (2 * v))
+    in
+    if l land 1 = 1 then Ntk.lit_not base else base
+  in
+  (* Explicit-stack resolution: generated netlists reach hundreds of
+     thousands of levels of AND nesting, far beyond the OCaml call
+     stack. A variable is deferred at most once ([visiting]); meeting
+     a deferred variable again before its fanins completed is a cycle. *)
+  let visiting = Hashtbl.create 97 in
+  let resolve_var root =
+    let stack = ref [ root ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+        if ready v then stack := rest
+        else (
+          match Hashtbl.find_opt defs v with
           | None -> fail "aiger: undefined literal %d" (2 * v)
           | Some (rhs0, rhs1) ->
-            if Hashtbl.mem visiting v then
-              fail "aiger: cyclic AND definition at literal %d" (2 * v);
-            Hashtbl.replace visiting v ();
-            let m = Ntk.add_and t (resolve_lit rhs0) (resolve_lit rhs1) in
-            Hashtbl.remove visiting v;
-            Hashtbl.replace memo v m;
-            m))
+            let v0 = rhs0 / 2 and v1 = rhs1 / 2 in
+            if ready v0 && ready v1 then begin
+              Hashtbl.remove visiting v;
+              Hashtbl.replace memo v (Ntk.add_and t (lit_of rhs0) (lit_of rhs1));
+              stack := rest
+            end
+            else begin
+              if Hashtbl.mem visiting v then
+                fail "aiger: cyclic AND definition at literal %d" (2 * v);
+              Hashtbl.replace visiting v ();
+              let pending =
+                List.filter (fun w -> not (ready w)) [ v0; v1 ]
+              in
+              stack := pending @ !stack
+            end)
+    done
   in
   (* Materialise every defined AND (ascending) so the parsed network
      keeps even nodes that no output reaches. *)
   Hashtbl.fold (fun v _ acc -> v :: acc) defs []
   |> List.sort compare
-  |> List.iter (fun v -> ignore (resolve_var v));
-  List.iter (fun l -> ignore (Ntk.add_po t (resolve_lit l))) out_lits;
+  |> List.iter resolve_var;
+  List.iter (fun l -> ignore (Ntk.add_po t (lit_of l))) out_lits;
   t
 
 (* --- binary --- *)
 
-let read_varint cur =
+let read_varint src ~where =
   let x = ref 0 and shift = ref 0 and continue = ref true in
   while !continue do
-    if cur.pos >= String.length cur.s then fail "aiger: truncated delta";
-    let b = Char.code cur.s.[cur.pos] in
-    cur.pos <- cur.pos + 1;
+    let b = read_byte src in
+    if b < 0 then fail "aiger: truncated delta at %s (offset %d)" where
+        (offset src);
     x := !x lor ((b land 0x7f) lsl !shift);
     shift := !shift + 7;
     continue := b land 0x80 <> 0
   done;
   !x
 
-let of_binary cur h =
+let of_binary src h =
   let t = Ntk.create ~capacity:(h.m + 1) () in
   let lit_of = Array.make (h.m + 1) (-1) in
   for v = 1 to h.i do
     lit_of.(v) <- Ntk.add_pi t
   done;
-  let out_lits = List.init h.o (fun _ -> int_of_line (read_line cur)) in
-  let resolve l =
+  let out_lits =
+    List.init h.o (fun k ->
+        let where = Printf.sprintf "output %d of %d" (k + 1) h.o in
+        int_of_line ~where (read_line src ~where))
+  in
+  let resolve ~where l =
     let v = l / 2 in
-    if v > h.m then fail "aiger: literal %d out of range" l;
+    if v > h.m then fail "aiger: literal %d out of range at %s" l where;
     let base = if v = 0 then Ntk.const_false else lit_of.(v) in
-    if base < 0 then fail "aiger: undefined literal %d" l;
+    if base < 0 then fail "aiger: undefined literal %d at %s" l where;
     if l land 1 = 1 then Ntk.lit_not base else base
   in
   for k = 0 to h.a - 1 do
+    let where = Printf.sprintf "AND %d of %d" (k + 1) h.a in
     let lhs = 2 * (h.i + h.l + k + 1) in
-    let d0 = read_varint cur in
-    let d1 = read_varint cur in
+    let d0 = read_varint src ~where in
+    let d1 = read_varint src ~where in
     let rhs0 = lhs - d0 in
     let rhs1 = rhs0 - d1 in
-    if d0 <= 0 || rhs1 < 0 then fail "aiger: bad deltas for literal %d" lhs;
-    lit_of.(lhs / 2) <- Ntk.add_and t (resolve rhs0) (resolve rhs1)
+    if d0 <= 0 || rhs1 < 0 then
+      fail "aiger: bad deltas at %s (literal %d)" where lhs;
+    lit_of.(lhs / 2) <- Ntk.add_and t (resolve ~where rhs0) (resolve ~where rhs1)
   done;
-  List.iter (fun l -> ignore (Ntk.add_po t (resolve l))) out_lits;
+  List.iter
+    (fun l -> ignore (Ntk.add_po t (resolve ~where:"output list" l)))
+    out_lits;
   t
 
-let of_string s =
-  let cur = { s; pos = 0 } in
-  let ascii, h = read_header cur in
-  if ascii then of_ascii cur h else of_binary cur h
+let of_source src =
+  let ascii, h = read_header src in
+  if ascii then of_ascii src h else of_binary src h
+
+let of_string s = of_source (source_of_string s)
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+    (fun () -> of_source (source_of_channel ic))
 
 (* --- writers --- *)
 

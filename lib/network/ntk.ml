@@ -224,8 +224,8 @@ let simulate t =
       if is_compl l then Tt.bnot x else x)
     (outputs t)
 
-let simulate_words t ws =
-  if Array.length ws <> t.pis then invalid_arg "Ntk.simulate_words";
+let simulate_words_all t ws =
+  if Array.length ws <> t.pis then invalid_arg "Ntk.simulate_words_all";
   let sigs = Array.make (num_vars t) 0L in
   Array.blit ws 0 sigs 1 t.pis;
   iter_ands t (fun v ->
@@ -234,6 +234,11 @@ let simulate_words t ws =
         if is_compl l then Int64.lognot x else x
       in
       sigs.(v) <- Int64.logand (f (Vec.get t.fan0 v)) (f (Vec.get t.fan1 v)));
+  sigs
+
+let simulate_words t ws =
+  if Array.length ws <> t.pis then invalid_arg "Ntk.simulate_words";
+  let sigs = simulate_words_all t ws in
   Array.map
     (fun l ->
       let x = sigs.(var_of_lit l) in

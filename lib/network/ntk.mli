@@ -140,10 +140,19 @@ val simulate : t -> Stp_tt.Tt.t array
     simulate over one dummy variable, like {!Stp_chain.Chain}. *)
 
 val simulate_words : t -> int64 array -> int64 array
-(** [simulate_words t ws] runs 64 random vectors bit-parallel: PI [i]
-    takes pattern [ws.(i)] and the result holds one signature word per
-    output — the sampling fallback when exhaustive {!simulate} is out
-    of reach. *)
+(** [simulate_words t ws] runs 64 caller-supplied vectors bit-parallel:
+    PI [i] takes pattern [ws.(i)] and the result holds one signature
+    word per output — the sampling fallback when exhaustive
+    {!simulate} is out of reach. The patterns need not be random:
+    SAT-sweeping re-simulates counterexample assignments through the
+    same entry point. *)
+
+val simulate_words_all : t -> int64 array -> int64 array
+(** Like {!simulate_words} but returns one signature word per {e
+    variable} (index = variable, entry = the uncomplemented value of
+    that variable under the 64 patterns; the constant variable reads
+    [0L]). The per-node view that equivalence-class seeding
+    ({!Sweep}) is built on. *)
 
 (** {1 Restructuring} *)
 

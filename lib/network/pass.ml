@@ -1,0 +1,98 @@
+module Tt = Stp_tt.Tt
+module Prng = Stp_util.Prng
+
+type stats = {
+  pass : string;
+  ands_before : int;
+  ands_after : int;
+  depth_before : int;
+  depth_after : int;
+  verified : bool;
+  verify_method : string;
+  elapsed_s : float;
+  detail : (string * int) list;
+}
+
+type t = {
+  name : string;
+  run : Ntk.t -> Ntk.t * stats;
+}
+
+let gain s = s.ands_before - s.ands_after
+
+let random_rounds = 256
+
+let verify_equivalent a b =
+  if Ntk.num_pis a <> Ntk.num_pis b || Ntk.num_pos a <> Ntk.num_pos b then
+    (false, "shape mismatch")
+  else if Ntk.num_pis a <= 16 then
+    let fa = Ntk.simulate a and fb = Ntk.simulate b in
+    (Array.for_all2 Tt.equal fa fb, "exhaustive")
+  else begin
+    let rng = Prng.create 0x5eed in
+    let pis = Ntk.num_pis a in
+    let ok = ref true in
+    for _ = 1 to random_rounds do
+      if !ok then begin
+        let ws = Array.init pis (fun _ -> Prng.next_int64 rng) in
+        let sa = Ntk.simulate_words a ws and sb = Ntk.simulate_words b ws in
+        if not (Array.for_all2 Int64.equal sa sb) then ok := false
+      end
+    done;
+    (!ok, Printf.sprintf "random:%d" random_rounds)
+  end
+
+let measure ~name f ntk =
+  let t0 = Stp_util.Unix_time.now () in
+  let ands_before = Ntk.count_live ntk in
+  let depth_before = Ntk.depth ntk in
+  let out, detail = f ntk in
+  let verified, verify_method = verify_equivalent ntk out in
+  ( out,
+    { pass = name;
+      ands_before;
+      ands_after = Ntk.count_live out;
+      depth_before;
+      depth_after = Ntk.depth out;
+      verified;
+      verify_method;
+      elapsed_s = Stp_util.Unix_time.now () -. t0;
+      detail } )
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 7
+
+let register p = Hashtbl.replace registry p.name p
+
+let find name = Hashtbl.find_opt registry name
+
+let names () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort compare
+
+let parse spec =
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec resolve acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+      match find name with
+      | Some p -> resolve (p :: acc) rest
+      | None ->
+        Error
+          (Printf.sprintf "unknown pass %S (registered: %s)" name
+             (String.concat ", " (names ()))))
+  in
+  resolve [] parts
+
+let run_pipeline passes ntk =
+  let rec go ntk acc = function
+    | [] -> (ntk, List.rev acc)
+    | p :: rest ->
+      let out, st = p.run ntk in
+      if st.verified then go out (st :: acc) rest
+      else (ntk, List.rev (st :: acc))
+  in
+  go ntk [] passes

@@ -1,0 +1,80 @@
+(** Composable network-optimization passes.
+
+    A pass is a named transformation [Ntk.t -> Ntk.t * stats] that
+    reports, through one shared record, what every pass must account
+    for: AND count and depth before and after, wall time, and whether
+    the output was verified equivalent to the input. {!Rewrite.pass}
+    and {!Sweep.pass} wrap the two optimization engines; [bin/rewrite]
+    composes them from a [--passes sweep,rewrite,...] spec through the
+    {!parse} / {!run_pipeline} surface, and any later pass (balancing,
+    refactoring, ...) joins the same pipeline by registering itself.
+
+    Verification is the pipeline's contract, not an option: a pass
+    whose [verified] is false aborts the pipeline ({!run_pipeline}
+    returns the stats collected so far and the {e input} of the failed
+    pass), so a bad transformation can never flow downstream. *)
+
+type stats = {
+  pass : string;          (** name of the pass that produced this row *)
+  ands_before : int;      (** live AND count of the pass input *)
+  ands_after : int;
+  depth_before : int;
+  depth_after : int;
+  verified : bool;        (** input and output networks agree *)
+  verify_method : string; (** ["exhaustive"], ["random:<rounds>"], ... *)
+  elapsed_s : float;
+  detail : (string * int) list;
+      (** pass-specific counters, e.g. rewrite's [applied] or sweep's
+          [merges]; key order is preserved into the JSON report *)
+}
+
+type t = {
+  name : string;
+  run : Ntk.t -> Ntk.t * stats;
+}
+
+val gain : stats -> int
+(** [ands_before - ands_after]. *)
+
+val verify_equivalent : Ntk.t -> Ntk.t -> bool * string
+(** Semantic equivalence of two networks with the same PI/PO counts:
+    exhaustive truth-table comparison when [num_pis <= 16], otherwise
+    256 rounds of seeded random 64-bit vector simulation. The shared
+    final check of every pass ({!Rewrite.run}, {!Sweep.run}). *)
+
+val measure :
+  name:string ->
+  (Ntk.t -> Ntk.t * (string * int) list) ->
+  Ntk.t ->
+  Ntk.t * stats
+(** [measure ~name f ntk] runs [f], times it, fills the before/after
+    counts and verifies the result with {!verify_equivalent} — the
+    easy way to lift a plain transformation into a pass: [{ name; run
+    = measure ~name f }]. Passes that already verify internally
+    (rewrite, sweep) build their stats directly instead. *)
+
+(** {1 Registry}
+
+    A process-wide name -> pass table. [bin/rewrite] registers its
+    flag-configured passes at startup; tests register throwaway
+    passes. Re-registering a name replaces the pass. *)
+
+val register : t -> unit
+
+val find : string -> t option
+
+val names : unit -> string list
+(** Registered names, sorted. *)
+
+val parse : string -> (t list, string) result
+(** [parse "sweep,rewrite,sweep"] resolves a comma-separated pipeline
+    spec against the registry; [Error msg] names the first unknown
+    pass and lists the registered ones. The empty string is an empty
+    pipeline. *)
+
+val run_pipeline : t list -> Ntk.t -> Ntk.t * stats list
+(** Runs the passes left to right, collecting one stats row each. On
+    the first pass whose [verified] is false the pipeline stops and
+    returns that pass's {e input} network together with the rows so
+    far (the failed row included, so the caller can see and report
+    it). *)

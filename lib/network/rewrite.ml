@@ -4,7 +4,6 @@ module Chain = Stp_chain.Chain
 module Spec = Stp_synth.Spec
 module Npn_cache = Stp_synth.Npn_cache
 module Pool = Stp_parallel.Pool
-module Prng = Stp_util.Prng
 
 type options = {
   cut_size : int;
@@ -41,27 +40,7 @@ type report = {
 
 let gain r = r.ands_before - r.ands_after
 
-let random_rounds = 256
-
-let verify_equivalent a b =
-  if Ntk.num_pis a <> Ntk.num_pis b || Ntk.num_pos a <> Ntk.num_pos b then
-    (false, "shape mismatch")
-  else if Ntk.num_pis a <= 16 then
-    let fa = Ntk.simulate a and fb = Ntk.simulate b in
-    (Array.for_all2 Tt.equal fa fb, "exhaustive")
-  else begin
-    let rng = Prng.create 0x5eed in
-    let pis = Ntk.num_pis a in
-    let ok = ref true in
-    for _ = 1 to random_rounds do
-      if !ok then begin
-        let ws = Array.init pis (fun _ -> Prng.next_int64 rng) in
-        let sa = Ntk.simulate_words a ws and sb = Ntk.simulate_words b ws in
-        if not (Array.for_all2 Int64.equal sa sb) then ok := false
-      end
-    done;
-    (!ok, Printf.sprintf "random:%d" random_rounds)
-  end
+let verify_equivalent = Pass.verify_equivalent
 
 (* One rewriting candidate of a node: a cut, its support-reduced
    function, and where the surviving leaves sit in the cut. *)
@@ -296,3 +275,24 @@ let run ?(options = default_options) ?cache ntk =
       verified;
       verify_method;
       elapsed = Stp_util.Unix_time.now () -. t0 } )
+
+let pass ?(options = default_options) ?cache () =
+  { Pass.name = "rewrite";
+    run =
+      (fun ntk ->
+        let out, r = run ~options ?cache ntk in
+        ( out,
+          { Pass.pass = "rewrite";
+            ands_before = r.ands_before;
+            ands_after = r.ands_after;
+            depth_before = r.depth_before;
+            depth_after = r.depth_after;
+            verified = r.verified;
+            verify_method = r.verify_method;
+            elapsed_s = r.elapsed;
+            detail =
+              [ ("applied", r.applied);
+                ("candidates", r.candidates);
+                ("classes", r.classes);
+                ("cache_hits", r.cache.Npn_cache.hits);
+                ("cache_misses", r.cache.Npn_cache.misses) ] } )) }

@@ -69,7 +69,14 @@ val run :
     [basis]. *)
 
 val verify_equivalent : Ntk.t -> Ntk.t -> bool * string
-(** The final check used by {!run}, exposed for the CLI and tests:
+(** The final check used by {!run} — an alias of
+    {!Pass.verify_equivalent}, kept here for the CLI and tests:
     exhaustive truth-table comparison when [num_pis <= 16], otherwise
     256 rounds of 64-bit random-vector simulation (seeded, so
     deterministic). Networks must agree on input and output counts. *)
+
+val pass : ?options:options -> ?cache:Stp_synth.Npn_cache.t -> unit -> Pass.t
+(** The rewriter as a pipeline pass named ["rewrite"]; stats carry
+    [applied]/[candidates]/[classes]/[cache_hits]/[cache_misses] in
+    [detail]. Register it with {!Pass.register} to make it reachable
+    from a [--passes] spec. *)

@@ -1,0 +1,91 @@
+(** SAT sweeping (fraiging): prove and merge equivalent nodes.
+
+    The scenario of the authors' follow-up paper ("A Semi-Tensor
+    Product based Circuit Simulation for SAT-sweeping"): on netlists
+    far too large for cut rewriting alone, find nodes that compute the
+    same function (up to complement), prove the equivalences, and
+    collapse each class onto one representative.
+
+    The pass runs in refinement rounds:
+
+    + {b Simulate.} Word-parallel simulation ({!Ntk.simulate_words_all})
+      over a growing pattern set — seeded random vectors first,
+      counterexamples later — gives every node a signature.
+    + {b Partition.} Nodes with equal signatures {e up to complement}
+      (the signature is normalised by its first sample bit) form
+      candidate equivalence classes; the constant node participates,
+      so stuck-at nodes are candidates too. Simulation can only
+      separate nodes that genuinely differ, so no true equivalence is
+      ever lost to this step.
+    + {b Prove.} Each member is checked against its class
+      representative on {e one long-lived incremental}
+      {!Stp_sat.Solver.t} shared by the whole sweep: node cones are
+      Tseitin-encoded once, each pair costs only two
+      assumption-driven [solve] calls (no per-pair clauses), and
+      everything learnt carries over to every later pair. A [Sat]
+      answer yields a counterexample that is fed back as a new
+      simulation pattern for the next round; [Unknown] (per-proof
+      conflict budget or the sweep deadline) skips the pair and is
+      accounted in the report.
+
+    Rounds continue until a round produces no counterexample, the
+    round cap is hit, or the deadline expires. Proven merges are
+    applied in one rebuild through {!Ntk.extract}'s substitution
+    machinery (members always point at strictly older nodes, so
+    substitution chains across rounds stay acyclic) and the result is
+    re-verified against the input with {!Pass.verify_equivalent}. *)
+
+type options = {
+  sim_words : int;
+      (** initial random 64-pattern simulation word batches (>= 1) *)
+  max_rounds : int;     (** refinement-round cap *)
+  conflict_budget : int;
+      (** CDCL conflict cap per [solve] call; [0] means unlimited *)
+  timeout : float;      (** whole-sweep wall budget in seconds *)
+  max_cex_per_round : int;
+      (** counterexamples harvested before a round re-simulates *)
+  seed : int;           (** PRNG seed for patterns and cex padding *)
+}
+
+val default_options : options
+(** [sim_words = 8], [max_rounds = 16], [conflict_budget = 2000],
+    [timeout = 60.0], [max_cex_per_round = 64], [seed = 1]. *)
+
+type report = {
+  ands_before : int;      (** live AND count of the input network *)
+  ands_after : int;
+  depth_before : int;
+  depth_after : int;
+  classes : int;          (** candidate classes of the first partition *)
+  candidates : int;       (** candidate pairs attempted (incl. skipped) *)
+  pairs_proved : int;
+  pairs_refuted : int;    (** pairs separated by a counterexample *)
+  pairs_skipped : int;    (** pairs abandoned on budget or deadline *)
+  merges : int;           (** nodes redirected to a representative *)
+  rounds : int;           (** simulate-partition-prove rounds run *)
+  cex_patterns : int;     (** counterexamples fed back into simulation *)
+  sat_vars : int;         (** AIG nodes Tseitin-encoded into the solver *)
+  sat : Stp_sat.Solver.stats;  (** the shared solver's final counters *)
+  verified : bool;
+  verify_method : string;
+  elapsed : float;
+}
+
+val run : ?options:options -> Ntk.t -> Ntk.t * report
+(** Sweeps a copy; the input network is never changed. *)
+
+val candidate_classes :
+  ?sim_words:int -> ?seed:int -> Ntk.t -> (int * bool) list list
+(** The simulation-only seeding exposed for tests and analysis: the
+    candidate classes of the first partition, each a list of [(var,
+    phase)] with the representative first ([phase = false]) and
+    [phase] meaning complement-of-representative. Classes are sorted
+    by representative and members ascending; singleton classes are
+    omitted. Two truly equivalent nodes always land in the same
+    class. *)
+
+val pass : ?options:options -> unit -> Pass.t
+(** The sweep as a pipeline pass named ["sweep"]; [detail] carries
+    [classes], [candidates], [pairs_proved], [pairs_refuted],
+    [pairs_skipped], [merges], [rounds], [cex_patterns] and
+    [sat_conflicts]. *)

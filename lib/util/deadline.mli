@@ -33,7 +33,9 @@ val expired : t -> bool
 (** [expired d] is [true] once the wall clock has passed [d]. The check is
     throttled internally (see {!after}) so it is cheap to call in tight
     loops; consequently expiry may be reported up to [poll_interval - 1]
-    calls late, never early. *)
+    calls late, never early. Expiry latches: once [expired] has
+    returned [true] it returns [true] forever, even on the polls the
+    throttle would otherwise answer without reading the clock. *)
 
 val check : t -> unit
 (** [check d] raises {!Timeout} if [d] has expired. *)

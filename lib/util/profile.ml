@@ -55,8 +55,14 @@ type counter =
   | Sat_reductions
   | Sat_deleted_clauses
   | Sat_selectors_retired
+  | Sweep_classes
+  | Sweep_pairs_proved
+  | Sweep_pairs_refuted
+  | Sweep_pairs_skipped
+  | Sweep_merges
+  | Sweep_cex_patterns
 
-let num_counters = 34
+let num_counters = 40
 
 let counter_index = function
   | Decompose_calls -> 0
@@ -93,6 +99,12 @@ let counter_index = function
   | Sat_reductions -> 31
   | Sat_deleted_clauses -> 32
   | Sat_selectors_retired -> 33
+  | Sweep_classes -> 34
+  | Sweep_pairs_proved -> 35
+  | Sweep_pairs_refuted -> 36
+  | Sweep_pairs_skipped -> 37
+  | Sweep_merges -> 38
+  | Sweep_cex_patterns -> 39
 
 let counter_name = function
   | Decompose_calls -> "decompose_calls"
@@ -129,6 +141,12 @@ let counter_name = function
   | Sat_reductions -> "sat_reductions"
   | Sat_deleted_clauses -> "sat_deleted_clauses"
   | Sat_selectors_retired -> "sat_selectors_retired"
+  | Sweep_classes -> "sweep_classes"
+  | Sweep_pairs_proved -> "sweep_pairs_proved"
+  | Sweep_pairs_refuted -> "sweep_pairs_refuted"
+  | Sweep_pairs_skipped -> "sweep_pairs_skipped"
+  | Sweep_merges -> "sweep_merges"
+  | Sweep_cex_patterns -> "sweep_cex_patterns"
 
 let all_counters =
   [ Decompose_calls; Decompose_cache_hits; Quarter_tests; Quarter_rejects;
@@ -140,7 +158,9 @@ let all_counters =
     Multiword_decomposes; Multiword_kernel_calls; Sat_solves; Sat_decisions;
     Sat_propagations; Sat_conflicts; Sat_restarts; Sat_learned;
     Sat_learned_core; Sat_reductions; Sat_deleted_clauses;
-    Sat_selectors_retired ]
+    Sat_selectors_retired; Sweep_classes; Sweep_pairs_proved;
+    Sweep_pairs_refuted; Sweep_pairs_skipped; Sweep_merges;
+    Sweep_cex_patterns ]
 
 (* Cross-domain accumulators. Parallel collection runs fan instances
    over domains; counters and timers sum over all of them. *)

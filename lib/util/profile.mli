@@ -58,6 +58,12 @@ type counter =
   | Sat_reductions           (** learnt-DB reduction passes *)
   | Sat_deleted_clauses      (** learnt clauses deleted *)
   | Sat_selectors_retired    (** budget selectors retired by a unit *)
+  | Sweep_classes            (** candidate equivalence classes formed by a sweep round *)
+  | Sweep_pairs_proved       (** sweep candidate pairs proven equivalent *)
+  | Sweep_pairs_refuted      (** sweep candidate pairs refuted by a counterexample *)
+  | Sweep_pairs_skipped      (** sweep candidate pairs abandoned on resource limits *)
+  | Sweep_merges             (** nodes merged into their class representative *)
+  | Sweep_cex_patterns       (** counterexample patterns fed back into simulation *)
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool

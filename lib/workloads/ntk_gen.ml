@@ -1,0 +1,112 @@
+module Ntk = Stp_network.Ntk
+module Prng = Stp_util.Prng
+
+(* A growable pool of literals the generator draws operands from. *)
+type pool = { mutable lits : Ntk.lit array; mutable len : int }
+
+let pool_add p l =
+  if p.len = Array.length p.lits then begin
+    let grown = Array.make (2 * p.len) 0 in
+    Array.blit p.lits 0 grown 0 p.len;
+    p.lits <- grown
+  end;
+  p.lits.(p.len) <- l;
+  p.len <- p.len + 1
+
+(* Recency-biased draw: half the picks come from the newest 64 pool
+   entries, so later logic reads earlier logic and the DAG deepens
+   instead of staying a two-level crust over the PIs. *)
+let pick rng p =
+  let i =
+    if Prng.bool rng then p.len - 1 - Prng.int rng (min 64 p.len)
+    else Prng.int rng p.len
+  in
+  let l = p.lits.(i) in
+  if Prng.int rng 4 = 0 then Ntk.lit_not l else l
+
+let generate ?(seed = 1) ?(pis = 64) ?(pos = 32) ?(redundancy = 0.15)
+    ~nodes () =
+  if pis < 1 then invalid_arg "Ntk_gen.generate: pis < 1";
+  if pos < 1 then invalid_arg "Ntk_gen.generate: pos < 1";
+  if nodes < 0 then invalid_arg "Ntk_gen.generate: nodes < 0";
+  if redundancy < 0.0 || redundancy > 1.0 then
+    invalid_arg "Ntk_gen.generate: redundancy outside [0, 1]";
+  let rng = Prng.create seed in
+  let t = Ntk.create ~capacity:(nodes + pis + 1) () in
+  let p = { lits = Array.make 1024 0; len = 0 } in
+  for _ = 1 to pis do
+    pool_add p (Ntk.add_pi t)
+  done;
+  let add l = pool_add p l in
+  (* one plain gate *)
+  let plain () =
+    let a = pick rng p and b = pick rng p in
+    match Prng.int rng 8 with
+    | 0 | 1 | 2 -> add (Ntk.add_and t a b)
+    | 3 | 4 | 5 -> add (Ntk.add_or t a b)
+    | 6 -> add (Ntk.add_xor t a b)
+    | _ ->
+      let s = pick rng p in
+      add (Ntk.add_or t (Ntk.add_and t s a) (Ntk.add_and t (Ntk.lit_not s) b))
+  in
+  (* Redundancy templates: the same function through two structurally
+     different forms, which strashing cannot unify — the candidate
+     pairs a sweep proves and merges. Both forms enter the pool. *)
+  let template () =
+    let a = pick rng p and b = pick rng p and c = pick rng p in
+    match Prng.int rng 6 with
+    | 0 ->
+      (* XOR: sum-of-products vs complemented XNOR cover *)
+      add (Ntk.add_xor t a b);
+      add
+        (Ntk.lit_not
+           (Ntk.add_or t (Ntk.add_and t a b)
+              (Ntk.add_and t (Ntk.lit_not a) (Ntk.lit_not b))))
+    | 1 ->
+      (* MUX: the OR-of-ANDs form vs the XOR decomposition *)
+      add
+        (Ntk.add_or t (Ntk.add_and t c a) (Ntk.add_and t (Ntk.lit_not c) b));
+      add (Ntk.add_xor t b (Ntk.add_and t c (Ntk.add_xor t a b)))
+    | 2 ->
+      (* distributivity: a(b + c) vs ab + ac *)
+      add (Ntk.add_and t a (Ntk.add_or t b c));
+      add (Ntk.add_or t (Ntk.add_and t a b) (Ntk.add_and t a c))
+    | 3 ->
+      (* majority, both classic covers *)
+      add
+        (Ntk.add_or t
+           (Ntk.add_or t (Ntk.add_and t a b) (Ntk.add_and t a c))
+           (Ntk.add_and t b c));
+      add (Ntk.add_or t (Ntk.add_and t a b) (Ntk.add_and t c (Ntk.add_or t a b)))
+    | 4 ->
+      (* absorption: ab + a(not b) collapses onto the literal a *)
+      add (Ntk.add_or t (Ntk.add_and t a b) (Ntk.add_and t a (Ntk.lit_not b)))
+    | _ ->
+      (* a non-trivially constant cone: ab & (not a)c = 0 *)
+      add
+        (Ntk.add_and t (Ntk.add_and t a b)
+           (Ntk.add_and t (Ntk.lit_not a) c))
+  in
+  while Ntk.num_ands t < nodes do
+    if Prng.float rng < redundancy then template () else plain ()
+  done;
+  (* Fold every fanout-free node (and PI) into the outputs through
+     balanced random gate trees: nothing stays dead, so the sweep sees
+     every planted equivalence. *)
+  let refs = Ntk.refcounts t in
+  let queue = Queue.create () in
+  for v = 1 to Ntk.num_vars t - 1 do
+    if refs.(v) = 0 then Queue.add (Ntk.lit_of_var v false) queue
+  done;
+  while Queue.length queue < pos do
+    Queue.add (pick rng p) queue
+  done;
+  while Queue.length queue > pos do
+    let a = Queue.pop queue and b = Queue.pop queue in
+    let l =
+      if Prng.bool rng then Ntk.add_and t a b else Ntk.add_or t a b
+    in
+    Queue.add l queue
+  done;
+  Queue.iter (fun l -> ignore (Ntk.add_po t l)) queue;
+  t

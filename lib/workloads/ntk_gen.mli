@@ -1,0 +1,40 @@
+(** Seeded random/structured netlist generator for sweep-scale
+    workloads.
+
+    The committed example benchmarks top out at a few dozen AND nodes;
+    SAT-sweeping is about netlists three to five orders of magnitude
+    beyond that. This generator grows a deterministic AIG of roughly
+    [nodes] AND nodes from a seed — committed as a generator, not as
+    multi-megabyte files.
+
+    Two kinds of logic are mixed:
+
+    - {b random gates}: AND/OR/XOR/MUX over recency-biased operands,
+      giving an irregular DAG with realistic sharing;
+    - {b redundancy templates} (fraction [redundancy] of draws): the
+      same function built through two structurally different forms that
+      strashing cannot unify — XOR vs its complemented-cover dual, the
+      two classic MUX decompositions, AND-over-OR vs its distributed
+      form, majority both ways, an absorption identity equivalent to an
+      existing literal, and a non-trivially constant cone. These are
+      exactly the candidate classes a sweep must find, prove and merge,
+      so the proven-merge count of a run has a known-positive floor.
+
+    Every node is made observable: leftovers with no fanout are folded
+    into the primary outputs through balanced gate trees, so the live
+    AND count equals the AND count and no candidate equivalence hides
+    in dead logic. The result may therefore exceed [nodes] by the size
+    of those trees (worst case ~20%). *)
+
+val generate :
+  ?seed:int ->
+  ?pis:int ->
+  ?pos:int ->
+  ?redundancy:float ->
+  nodes:int ->
+  unit ->
+  Stp_network.Ntk.t
+(** Defaults: [seed = 1], [pis = 64], [pos = 32], [redundancy = 0.15].
+    [nodes] is a floor on the AND count (see above for the ceiling).
+    @raise Invalid_argument on [pis < 1], [pos < 1], [nodes < 0] or
+    [redundancy] outside [0, 1]. *)
